@@ -1,0 +1,293 @@
+//! Word-packed block bitmap with contiguous-run search.
+
+/// A bitmap over a range of blocks: bit set = allocated.
+///
+/// Search is word-at-a-time with a rolling next-free hint, so allocation
+/// stays cheap even for multi-gigabyte groups.
+#[derive(Debug, Clone)]
+pub struct BlockBitmap {
+    words: Vec<u64>,
+    blocks: u64,
+    free: u64,
+    /// Rolling hint: no free block exists below this unless freed later.
+    hint: u64,
+}
+
+impl BlockBitmap {
+    pub fn new(blocks: u64) -> Self {
+        assert!(blocks > 0);
+        Self {
+            words: vec![0u64; blocks.div_ceil(64) as usize],
+            blocks,
+            free: blocks,
+            hint: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.blocks
+    }
+
+    pub fn free_count(&self) -> u64 {
+        self.free
+    }
+
+    pub fn used_count(&self) -> u64 {
+        self.blocks - self.free
+    }
+
+    /// Is `block` allocated?
+    pub fn is_allocated(&self, block: u64) -> bool {
+        debug_assert!(block < self.blocks);
+        self.words[(block / 64) as usize] & (1u64 << (block % 64)) != 0
+    }
+
+    /// True when every block of `start..start+len` is free.
+    pub fn is_range_free(&self, start: u64, len: u64) -> bool {
+        if start + len > self.blocks {
+            return false;
+        }
+        (start..start + len).all(|b| !self.is_allocated(b))
+    }
+
+    /// Mark `start..start+len` allocated. Panics if any block already is.
+    pub fn set_range(&mut self, start: u64, len: u64) {
+        assert!(start + len <= self.blocks, "set past end of bitmap");
+        for b in start..start + len {
+            let (w, m) = ((b / 64) as usize, 1u64 << (b % 64));
+            assert!(self.words[w] & m == 0, "double allocation of block {b}");
+            self.words[w] |= m;
+        }
+        self.free -= len;
+    }
+
+    /// Mark `start..start+len` free. Panics if any block already is.
+    pub fn free_range(&mut self, start: u64, len: u64) {
+        assert!(start + len <= self.blocks, "free past end of bitmap");
+        for b in start..start + len {
+            let (w, m) = ((b / 64) as usize, 1u64 << (b % 64));
+            assert!(self.words[w] & m != 0, "double free of block {b}");
+            self.words[w] &= !m;
+        }
+        self.free += len;
+        self.hint = self.hint.min(start);
+    }
+
+    /// Allocate exactly `len` contiguous blocks, searching forward from
+    /// `goal` (then wrapping to the lowest free region). Returns the start.
+    pub fn alloc_run(&mut self, goal: u64, len: u64) -> Option<u64> {
+        if len == 0 || len > self.free {
+            return None;
+        }
+        let goal = goal.min(self.blocks.saturating_sub(1));
+        if let Some(s) = self.find_run(goal, len) {
+            self.set_range(s, len);
+            return Some(s);
+        }
+        if goal > self.hint {
+            if let Some(s) = self.find_run(self.hint, len) {
+                self.set_range(s, len);
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Allocate exactly `start..start+len` if that range is entirely free.
+    pub fn alloc_at(&mut self, start: u64, len: u64) -> bool {
+        if self.is_range_free(start, len) {
+            self.set_range(start, len);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocate up to `len` blocks as few runs as possible, searching from
+    /// `goal`. Returns the runs; total may be short if the bitmap runs out.
+    pub fn alloc_chunks(&mut self, goal: u64, len: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut need = len.min(self.free);
+        let mut goal = goal;
+        while need > 0 {
+            // Largest run available starting at/after goal, capped at need.
+            match self.find_any_run(goal, need) {
+                Some((s, l)) => {
+                    self.set_range(s, l);
+                    out.push((s, l));
+                    need -= l;
+                    goal = s + l;
+                }
+                None => {
+                    if goal == 0 {
+                        break;
+                    }
+                    goal = 0; // wrap once
+                }
+            }
+        }
+        out
+    }
+
+    /// First free block at/after `from`, scanning word-wise.
+    fn next_free(&self, from: u64) -> Option<u64> {
+        if from >= self.blocks {
+            return None;
+        }
+        let mut w = (from / 64) as usize;
+        // Mask off bits below `from` in the first word.
+        let mut inverted = !self.words[w] & (!0u64 << (from % 64));
+        loop {
+            if inverted != 0 {
+                let bit = inverted.trailing_zeros() as u64;
+                let b = w as u64 * 64 + bit;
+                return (b < self.blocks).then_some(b);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            inverted = !self.words[w];
+        }
+    }
+
+    /// Length of the free run starting exactly at `start`, capped at `cap`.
+    fn run_len_at(&self, start: u64, cap: u64) -> u64 {
+        let mut n = 0;
+        while n < cap && start + n < self.blocks && !self.is_allocated(start + n) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Find a free run of exactly `len` blocks at/after `goal`.
+    fn find_run(&self, goal: u64, len: u64) -> Option<u64> {
+        let mut pos = goal;
+        while let Some(s) = self.next_free(pos) {
+            let l = self.run_len_at(s, len);
+            if l >= len {
+                return Some(s);
+            }
+            pos = s + l + 1;
+        }
+        None
+    }
+
+    /// Find the first free run at/after `goal` (any length, capped at
+    /// `cap`); returns (start, len).
+    fn find_any_run(&self, goal: u64, cap: u64) -> Option<(u64, u64)> {
+        let s = self.next_free(goal)?;
+        Some((s, self.run_len_at(s, cap)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_run_from_goal() {
+        let mut b = BlockBitmap::new(256);
+        assert_eq!(b.alloc_run(100, 10), Some(100));
+        assert_eq!(b.free_count(), 246);
+        assert!(b.is_allocated(100));
+        assert!(b.is_allocated(109));
+        assert!(!b.is_allocated(110));
+    }
+
+    #[test]
+    fn alloc_run_skips_allocated_region() {
+        let mut b = BlockBitmap::new(256);
+        b.set_range(100, 10);
+        assert_eq!(b.alloc_run(100, 5), Some(110));
+    }
+
+    #[test]
+    fn alloc_run_wraps_to_start() {
+        let mut b = BlockBitmap::new(128);
+        b.set_range(64, 64);
+        assert_eq!(b.alloc_run(100, 10), Some(0));
+    }
+
+    #[test]
+    fn alloc_run_fails_when_no_contiguous_space() {
+        let mut b = BlockBitmap::new(64);
+        // Allocate every other block: no run of 2 exists.
+        for i in (0..64).step_by(2) {
+            b.set_range(i, 1);
+        }
+        assert_eq!(b.alloc_run(0, 2), None);
+        assert_eq!(b.alloc_run(0, 1), Some(1));
+    }
+
+    #[test]
+    fn free_then_realloc() {
+        let mut b = BlockBitmap::new(64);
+        b.set_range(0, 64);
+        b.free_range(10, 10);
+        assert_eq!(b.free_count(), 10);
+        assert_eq!(b.alloc_run(0, 10), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn double_alloc_panics() {
+        let mut b = BlockBitmap::new(64);
+        b.set_range(0, 4);
+        b.set_range(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BlockBitmap::new(64);
+        b.free_range(0, 4);
+    }
+
+    #[test]
+    fn alloc_at_exact() {
+        let mut b = BlockBitmap::new(64);
+        assert!(b.alloc_at(10, 5));
+        assert!(!b.alloc_at(12, 5));
+        assert!(b.alloc_at(15, 5));
+    }
+
+    #[test]
+    fn alloc_chunks_gathers_fragmented_space() {
+        let mut b = BlockBitmap::new(64);
+        // Free space: [0..8), [16..24), [32..64)
+        b.set_range(8, 8);
+        b.set_range(24, 8);
+        let runs = b.alloc_chunks(0, 20);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 20);
+        assert_eq!(runs[0], (0, 8));
+        assert_eq!(runs[1], (16, 8));
+        assert_eq!(runs[2], (32, 4));
+    }
+
+    #[test]
+    fn alloc_chunks_wraps_from_goal() {
+        let mut b = BlockBitmap::new(64);
+        b.set_range(32, 32);
+        let runs = b.alloc_chunks(40, 8);
+        assert_eq!(runs, vec![(0, 8)]);
+    }
+
+    #[test]
+    fn alloc_chunks_returns_short_when_full() {
+        let mut b = BlockBitmap::new(16);
+        b.set_range(0, 12);
+        let runs = b.alloc_chunks(0, 10);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn word_boundary_runs() {
+        let mut b = BlockBitmap::new(256);
+        assert_eq!(b.alloc_run(60, 10), Some(60)); // spans word 0/1 boundary
+        assert!(b.is_allocated(63));
+        assert!(b.is_allocated(64));
+    }
+}

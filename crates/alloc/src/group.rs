@@ -1,0 +1,284 @@
+//! Parallel allocation groups (PAG).
+//!
+//! Redbud "divides [shared disks] into parallel allocation groups for
+//! parallel management of free space" (§V-A). Each group owns an
+//! independent bitmap behind its own lock, so allocation requests from
+//! concurrent streams proceed in parallel as long as they land in different
+//! groups. Runs never span a group boundary, exactly like ext block groups.
+
+use crate::bitmap::BlockBitmap;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Group {
+    bitmap: Mutex<BlockBitmap>,
+    free: AtomicU64,
+}
+
+/// A disk's free-space manager: `groups` independent allocation groups.
+pub struct GroupedAllocator {
+    groups: Vec<Group>,
+    group_blocks: u64,
+    blocks: u64,
+}
+
+impl std::fmt::Debug for GroupedAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupedAllocator")
+            .field("blocks", &self.blocks)
+            .field("groups", &self.groups.len())
+            .field("free", &self.free_blocks())
+            .finish()
+    }
+}
+
+impl GroupedAllocator {
+    /// Manage `blocks` blocks split into `groups` groups.
+    pub fn new(blocks: u64, groups: usize) -> Self {
+        assert!(groups > 0 && blocks >= groups as u64);
+        let group_blocks = blocks / groups as u64;
+        let mut gs = Vec::with_capacity(groups);
+        for i in 0..groups as u64 {
+            // Last group absorbs the remainder.
+            let len = if i == groups as u64 - 1 {
+                blocks - group_blocks * (groups as u64 - 1)
+            } else {
+                group_blocks
+            };
+            gs.push(Group {
+                bitmap: Mutex::new(BlockBitmap::new(len)),
+                free: AtomicU64::new(len),
+            });
+        }
+        Self {
+            groups: gs,
+            group_blocks,
+            blocks,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.blocks
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn free_blocks(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.free.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Fraction of the disk in use, 0.0–1.0.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free_blocks() as f64 / self.blocks as f64
+    }
+
+    fn group_of(&self, block: u64) -> usize {
+        ((block / self.group_blocks) as usize).min(self.groups.len() - 1)
+    }
+
+    fn group_base(&self, gi: usize) -> u64 {
+        gi as u64 * self.group_blocks
+    }
+
+    /// Allocate exactly `len` contiguous blocks near `goal`: the goal's
+    /// group first, then subsequent groups (wrapping).
+    pub fn alloc_run(&self, goal: u64, len: u64) -> Option<u64> {
+        let goal = goal.min(self.blocks - 1);
+        let start_gi = self.group_of(goal);
+        for step in 0..self.groups.len() {
+            let gi = (start_gi + step) % self.groups.len();
+            let g = &self.groups[gi];
+            if g.free.load(Ordering::Relaxed) < len {
+                continue;
+            }
+            let local_goal = if gi == start_gi {
+                goal - self.group_base(gi)
+            } else {
+                0
+            };
+            let mut bm = g.bitmap.lock();
+            if let Some(s) = bm.alloc_run(local_goal, len) {
+                g.free.store(bm.free_count(), Ordering::Relaxed);
+                return Some(self.group_base(gi) + s);
+            }
+        }
+        None
+    }
+
+    /// Allocate exactly `start..start+len` (must not span groups).
+    pub fn alloc_at(&self, start: u64, len: u64) -> bool {
+        let gi = self.group_of(start);
+        if self.group_of(start + len - 1) != gi {
+            return false;
+        }
+        let g = &self.groups[gi];
+        let mut bm = g.bitmap.lock();
+        let ok = bm.alloc_at(start - self.group_base(gi), len);
+        if ok {
+            g.free.store(bm.free_count(), Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Allocate `len` blocks in as few runs as possible near `goal`;
+    /// panics if the disk is completely out of space.
+    pub fn alloc_chunks(&self, goal: u64, len: u64) -> Vec<(u64, u64)> {
+        let goal = goal.min(self.blocks - 1);
+        let start_gi = self.group_of(goal);
+        let mut out = Vec::new();
+        let mut need = len;
+        for step in 0..self.groups.len() {
+            if need == 0 {
+                break;
+            }
+            let gi = (start_gi + step) % self.groups.len();
+            let g = &self.groups[gi];
+            if g.free.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let local_goal = if gi == start_gi {
+                goal - self.group_base(gi)
+            } else {
+                0
+            };
+            let mut bm = g.bitmap.lock();
+            for (s, l) in bm.alloc_chunks(local_goal, need) {
+                out.push((self.group_base(gi) + s, l));
+                need -= l;
+            }
+            g.free.store(bm.free_count(), Ordering::Relaxed);
+        }
+        assert!(need < len || len == 0, "file system out of space");
+        out
+    }
+
+    /// Free a physical run (may span group boundaries).
+    pub fn free(&self, start: u64, len: u64) {
+        let mut pos = start;
+        let end = start + len;
+        while pos < end {
+            let gi = self.group_of(pos);
+            let base = self.group_base(gi);
+            let group_end = if gi == self.groups.len() - 1 {
+                self.blocks
+            } else {
+                base + self.group_blocks
+            };
+            let run = end.min(group_end) - pos;
+            let g = &self.groups[gi];
+            let mut bm = g.bitmap.lock();
+            bm.free_range(pos - base, run);
+            g.free.store(bm.free_count(), Ordering::Relaxed);
+            pos += run;
+        }
+    }
+
+    /// Is `block` currently allocated? (test/diagnostic helper)
+    pub fn is_allocated(&self, block: u64) -> bool {
+        let gi = self.group_of(block);
+        self.groups[gi]
+            .bitmap
+            .lock()
+            .is_allocated(block - self.group_base(gi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_near_goal_same_group() {
+        let a = GroupedAllocator::new(1024, 4);
+        let s = a.alloc_run(300, 10).unwrap();
+        assert!((256..512).contains(&s), "stayed in goal's group, got {s}");
+    }
+
+    #[test]
+    fn spills_to_next_group_when_full() {
+        let a = GroupedAllocator::new(1024, 4);
+        assert!(a.alloc_run(0, 256).is_some()); // fill group 0
+        let s = a.alloc_run(0, 10).unwrap();
+        assert!(s >= 256);
+    }
+
+    #[test]
+    fn run_never_spans_groups() {
+        let a = GroupedAllocator::new(1024, 4);
+        a.alloc_run(0, 200);
+        // 56 blocks left in group 0; a 100-block run must come from group 1.
+        let s = a.alloc_run(0, 100).unwrap();
+        assert_eq!(s, 256);
+    }
+
+    #[test]
+    fn free_spanning_groups() {
+        let a = GroupedAllocator::new(1024, 4);
+        assert!(a.alloc_at(200, 56));
+        assert!(a.alloc_at(256, 56));
+        // Free across the group 0/1 boundary in one call.
+        a.free(200, 112);
+        assert_eq!(a.free_blocks(), 1024);
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let a = GroupedAllocator::new(1000, 2);
+        a.alloc_run(0, 250);
+        assert!((a.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alloc_chunks_crosses_groups() {
+        let a = GroupedAllocator::new(1024, 4);
+        a.alloc_run(0, 250); // group 0 nearly full
+        let runs = a.alloc_chunks(0, 20);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 20);
+        assert!(runs.len() >= 2);
+    }
+
+    #[test]
+    fn concurrent_allocations_are_disjoint() {
+        let a = Arc::new(GroupedAllocator::new(64 * 1024, 16));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                let mut runs = Vec::new();
+                for i in 0..100 {
+                    let goal = (t * 4096 + i * 13) % (64 * 1024);
+                    if let Some(s) = a.alloc_run(goal, 7) {
+                        runs.push(s);
+                    }
+                }
+                runs
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        assert_eq!(n, 800, "all allocations should succeed");
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 7, "overlapping runs {} and {}", w[0], w[1]);
+        }
+        assert_eq!(a.free_blocks(), 64 * 1024 - 800 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of space")]
+    fn chunks_panics_when_disk_full() {
+        let a = GroupedAllocator::new(64, 1);
+        a.alloc_run(0, 64);
+        a.alloc_chunks(0, 1);
+    }
+}

@@ -1,0 +1,727 @@
+//! On-demand preallocation — the paper's primary contribution (§III).
+//!
+//! The allocator tracks every write stream extending a file and keeps two
+//! windows per (file, stream):
+//!
+//! * the **current window** — persistently preallocated contiguous blocks
+//!   the stream is consuming;
+//! * the **sequential window** — contiguous blocks *temporarily* reserved
+//!   just past the current window, predicting the stream's next extends.
+//!   No other stream may allocate from it.
+//!
+//! Two triggers drive the state machine (paper Fig. 2 and the walk-through
+//! of Fig. 3):
+//!
+//! * `layout_miss` — the request is outside the current window, or it is
+//!   the stream's first extend of the file. The first extend initialises
+//!   the windows; later misses increment a counter, and once the counter
+//!   reaches [`OnDemandConfig::miss_threshold`] the stream is classified as
+//!   random and preallocation turns off for it ("in the face of random
+//!   workload, the preallocation could be turned off immediately").
+//! * `pre_alloc_layout` — the request lands at the head of the sequential
+//!   window and `layout_miss` was never hit since initialisation. The
+//!   sequential window is promoted to current and a new, exponentially
+//!   larger sequential window is reserved further on
+//!   (`size = min(prev * scale, max)` — §III-C).
+//!
+//! Because every stream is handled independently, "preallocation sequence
+//! of the sequential stream interposed by random streams is not
+//! interrupted".
+
+use crate::group::GroupedAllocator;
+use crate::policy::{AllocPolicy, FileId, PolicyKind};
+use crate::stream::StreamId;
+use std::collections::HashMap;
+
+/// Tuning parameters for on-demand preallocation.
+#[derive(Debug, Clone)]
+pub struct OnDemandConfig {
+    /// Window growth factor; the paper uses 2 or 4 (§III-C).
+    pub scale: u64,
+    /// `max_preallocation_size` in blocks (tunable cap on the ramp).
+    pub max_window_blocks: u64,
+    /// Consecutive misses after which a stream's preallocation turns off.
+    pub miss_threshold: u32,
+}
+
+impl Default for OnDemandConfig {
+    fn default() -> Self {
+        Self {
+            scale: 2,
+            // 8 MiB of 4 KiB blocks.
+            max_window_blocks: 2048,
+            miss_threshold: 3,
+        }
+    }
+}
+
+/// A window over contiguous physical blocks mapping a logical range.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    /// Next logical block this window will serve (watermark).
+    logical_next: u64,
+    /// Physical block backing `logical_next`.
+    phys_next: u64,
+    /// Blocks remaining in the window.
+    remaining: u64,
+}
+
+impl Window {
+    fn new(logical: u64, phys: u64, len: u64) -> Self {
+        Self {
+            logical_next: logical,
+            phys_next: phys,
+            remaining: len,
+        }
+    }
+
+    /// Consume up to `len` blocks if the request continues the watermark.
+    fn take(&mut self, logical: u64, len: u64) -> Option<(u64, u64)> {
+        if logical != self.logical_next || self.remaining == 0 {
+            return None;
+        }
+        let n = len.min(self.remaining);
+        let phys = self.phys_next;
+        self.logical_next += n;
+        self.phys_next += n;
+        self.remaining -= n;
+        Some((phys, n))
+    }
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    current: Option<Window>,
+    seq: Option<Window>,
+    /// Misses since the last demonstrated sequentiality;
+    /// `pre_alloc_layout` requires 0.
+    miss_count: u32,
+    /// Consecutive in-window serves since the last miss — evidence the
+    /// stream is sequential again (bursty-but-sequential streams like
+    /// BTIO's per-cell writes jump between regions without being random).
+    window_hits: u32,
+    /// Next sequential-window size in blocks.
+    window_size: u64,
+    /// Physical end of this stream's last allocation: window
+    /// re-initialisation allocates here, keeping a stream's regions
+    /// clustered ("any write workloads from different streams are thus not
+    /// interleaved", §III-A).
+    goal: Option<u64>,
+    initialized: bool,
+    /// Preallocation disabled — stream classified random.
+    off: bool,
+}
+
+/// In-window serves that clear the miss counter: the stream has proven it
+/// extends sequentially within its (re)initialised window.
+const SEQUENTIAL_EVIDENCE_HITS: u32 = 2;
+
+/// One persisted current window (see [`OnDemandPolicy::shutdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistentWindow {
+    pub file: FileId,
+    pub stream: StreamId,
+    pub logical_next: u64,
+    pub phys_next: u64,
+    pub remaining: u64,
+    pub window_size: u64,
+}
+
+/// The on-disk-persistent part of the on-demand allocator's state,
+/// surviving a reboot (§III-A).
+#[derive(Debug, Clone)]
+pub struct OnDemandSnapshot {
+    pub config: OnDemandConfig,
+    pub windows: Vec<PersistentWindow>,
+    pub goal: u64,
+}
+
+/// Counters exposed for tests, ablations and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnDemandStats {
+    pub layout_misses: u64,
+    pub pre_alloc_hits: u64,
+    pub streams_turned_off: u64,
+    /// Blocks returned to the allocator at finalize (unused preallocation).
+    pub reclaimed_blocks: u64,
+}
+
+/// The MiF on-demand preallocation policy.
+#[derive(Debug)]
+pub struct OnDemandPolicy {
+    pub config: OnDemandConfig,
+    streams: HashMap<(FileId, StreamId), StreamState>,
+    goal: u64,
+    stats: OnDemandStats,
+}
+
+impl Default for OnDemandPolicy {
+    fn default() -> Self {
+        Self::new(OnDemandConfig::default())
+    }
+}
+
+impl OnDemandPolicy {
+    pub fn new(config: OnDemandConfig) -> Self {
+        assert!(config.scale >= 2, "scale must ramp the window");
+        assert!(config.max_window_blocks >= 1);
+        assert!(config.miss_threshold >= 1);
+        Self {
+            config,
+            streams: HashMap::new(),
+            goal: 0,
+            stats: OnDemandStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> OnDemandStats {
+        self.stats
+    }
+
+    /// Is preallocation currently off for this stream? (test hook)
+    pub fn is_off(&self, file: FileId, stream: StreamId) -> bool {
+        self.streams
+            .get(&(file, stream))
+            .map(|s| s.off)
+            .unwrap_or(false)
+    }
+
+    /// Reserve a contiguous run of up to `want` blocks near `goal`,
+    /// degrading geometrically if free space is tight.
+    fn reserve_run(alloc: &GroupedAllocator, goal: u64, want: u64) -> Option<(u64, u64)> {
+        let mut want = want;
+        while want > 0 {
+            if let Some(s) = alloc.alloc_run(goal, want) {
+                return Some((s, want));
+            }
+            want /= 2;
+        }
+        None
+    }
+
+    /// Plain allocation used for random streams / fallbacks.
+    fn plain(&mut self, alloc: &GroupedAllocator, len: u64) -> Vec<(u64, u64)> {
+        let runs = alloc.alloc_chunks(self.goal, len);
+        if let Some(&(s, l)) = runs.last() {
+            self.goal = s + l;
+        }
+        runs
+    }
+
+    /// Capture the *persistent* preallocation state for a reboot (§III-A:
+    /// "the window contains some preallocated contiguous blocks which are
+    /// persistent across reboots"). Current windows survive; sequential
+    /// windows are only *temporarily* reserved and are released here, as a
+    /// clean shutdown (or recovery) would.
+    pub fn shutdown(mut self, alloc: &GroupedAllocator) -> OnDemandSnapshot {
+        let mut windows = Vec::new();
+        for ((file, stream), state) in self.streams.iter_mut() {
+            if let Some(sw) = state.seq.take() {
+                if sw.remaining > 0 {
+                    alloc.free(sw.phys_next, sw.remaining);
+                    self.stats.reclaimed_blocks += sw.remaining;
+                }
+            }
+            if let Some(cw) = state.current {
+                if cw.remaining > 0 {
+                    windows.push(PersistentWindow {
+                        file: *file,
+                        stream: *stream,
+                        logical_next: cw.logical_next,
+                        phys_next: cw.phys_next,
+                        remaining: cw.remaining,
+                        window_size: state.window_size,
+                    });
+                }
+            }
+        }
+        OnDemandSnapshot {
+            config: self.config.clone(),
+            windows,
+            goal: self.goal,
+        }
+    }
+
+    /// Rebuild the policy after a reboot from the persisted window state.
+    /// The allocator must already reflect the persistent allocations (the
+    /// current windows' blocks are still marked allocated on disk).
+    pub fn recover(snapshot: OnDemandSnapshot) -> Self {
+        let mut policy = Self::new(snapshot.config);
+        policy.goal = snapshot.goal;
+        for w in snapshot.windows {
+            policy.streams.insert(
+                (w.file, w.stream),
+                StreamState {
+                    current: Some(Window::new(w.logical_next, w.phys_next, w.remaining)),
+                    seq: None,
+                    miss_count: 0,
+                    window_hits: 0,
+                    window_size: w.window_size,
+                    goal: Some(w.phys_next + w.remaining),
+                    initialized: true,
+                    off: false,
+                },
+            );
+        }
+        policy
+    }
+
+    /// Release a stream's windows back to the allocator (the unconsumed
+    /// parts), counting reclaimed blocks.
+    fn release_windows(
+        alloc: &GroupedAllocator,
+        state: &mut StreamState,
+        stats: &mut OnDemandStats,
+    ) {
+        for w in [state.current.take(), state.seq.take()].into_iter().flatten() {
+            if w.remaining > 0 {
+                alloc.free(w.phys_next, w.remaining);
+                stats.reclaimed_blocks += w.remaining;
+            }
+        }
+    }
+}
+
+impl AllocPolicy for OnDemandPolicy {
+    fn extend(
+        &mut self,
+        alloc: &GroupedAllocator,
+        file: FileId,
+        stream: StreamId,
+        logical: u64,
+        len: u64,
+    ) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(1);
+        let mut logical = logical;
+        let mut need = len;
+
+        // Take the stream state out to appease the borrow checker; put it
+        // back at the end.
+        let key = (file, stream);
+        let mut state = self.streams.remove(&key).unwrap_or_default();
+
+        if state.off {
+            let runs = self.plain(alloc, need);
+            out.extend(runs);
+            self.streams.insert(key, state);
+            return out;
+        }
+
+        while need > 0 {
+            // 1. Serve from the current window (no trigger).
+            if let Some(cw) = state.current.as_mut() {
+                if let Some((phys, n)) = cw.take(logical, need) {
+                    match out.last_mut() {
+                        Some((s, l)) if *s + *l == phys => *l += n,
+                        _ => out.push((phys, n)),
+                    }
+                    logical += n;
+                    need -= n;
+                    state.window_hits += 1;
+                    if state.window_hits >= SEQUENTIAL_EVIDENCE_HITS {
+                        state.miss_count = 0;
+                    }
+                    continue;
+                }
+            }
+
+            // 2. pre_alloc_layout: the request continues at the head of the
+            // sequential window. The paper gates this on `layout_miss` never
+            // having hit; we gate on the stream not (yet) being classified
+            // random instead, with misses cleared by demonstrated
+            // sequentiality — otherwise bursty-but-sequential streams (BTIO
+            // writes one cell sequentially, then jumps to the next strided
+            // cell) would be cut off after a handful of region jumps, which
+            // is exactly the workload §V-C.2 credits on-demand for.
+            let seq_head = state
+                .seq
+                .as_ref()
+                .map(|sw| sw.logical_next == logical && sw.remaining > 0)
+                .unwrap_or(false);
+            if seq_head && state.miss_count < self.config.miss_threshold {
+                self.stats.pre_alloc_hits += 1;
+                // Promote: sequential window becomes the current window.
+                let promoted = state.seq.take().expect("checked above");
+                // Any unconsumed current-window tail is stale (the stream
+                // has moved on); return it.
+                if let Some(cw) = state.current.take() {
+                    if cw.remaining > 0 {
+                        alloc.free(cw.phys_next, cw.remaining);
+                        self.stats.reclaimed_blocks += cw.remaining;
+                    }
+                }
+                state.current = Some(promoted);
+                // Ramp and reserve the next sequential window just past the
+                // promoted one.
+                state.window_size = (state.window_size * self.config.scale)
+                    .min(self.config.max_window_blocks)
+                    .max(1);
+                let cw = state.current.as_ref().expect("just set");
+                let next_logical = cw.logical_next + cw.remaining;
+                let phys_goal = cw.phys_next + cw.remaining;
+                state.seq = Self::reserve_run(alloc, phys_goal, state.window_size)
+                    .map(|(s, l)| Window::new(next_logical, s, l));
+                continue; // serve from the new current window
+            }
+
+            // 3. layout_miss.
+            self.stats.layout_misses += 1;
+            state.window_hits = 0;
+            if state.initialized {
+                state.miss_count += 1;
+                if state.miss_count >= self.config.miss_threshold {
+                    // Random stream: turn preallocation off immediately.
+                    state.off = true;
+                    self.stats.streams_turned_off += 1;
+                    Self::release_windows(alloc, &mut state, &mut self.stats);
+                    let runs = self.plain(alloc, need);
+                    out.extend(runs);
+                    self.streams.insert(key, state);
+                    return out;
+                }
+            }
+            // (Re)initialise windows at the request position. The request's
+            // own blocks become the (consumed) current window and a fresh
+            // sequential window is reserved right behind them —
+            // "the allocator first allocates one block for each request and
+            // initiates the sequential windows" (Fig. 3, T1).
+            // The windows being released start where the stream stopped
+            // writing; resuming allocation there keeps the stream's regions
+            // physically consecutive across jumps (no hole is left behind).
+            let resume = state
+                .current
+                .as_ref()
+                .filter(|w| w.remaining > 0)
+                .or(state.seq.as_ref())
+                .map(|w| w.phys_next);
+            if resume.is_some() {
+                state.goal = resume;
+            }
+            Self::release_windows(alloc, &mut state, &mut self.stats);
+            state.initialized = true;
+            // Initiation sizes the window from the write size (§III-C); a
+            // *re*-initialisation keeps the ramp the stream has already
+            // earned — a bursty sequential stream that jumps regions would
+            // otherwise restart from the minimum at every jump and its
+            // windows would never grow past the burst length.
+            state.window_size = state
+                .window_size
+                .max(need * self.config.scale)
+                .min(self.config.max_window_blocks)
+                .max(1);
+
+            // Re-initialisations resume where the stream stopped writing;
+            // a stream's very first region starts at the file-system goal.
+            let stream_goal = state.goal.unwrap_or(self.goal);
+            let runs = match Self::reserve_run(alloc, stream_goal, need) {
+                Some((s, l)) if l == need => vec![(s, l)],
+                _ => self.plain(alloc, need),
+            };
+            let (last_s, last_l) = *runs.last().expect("nonempty allocation");
+            let run_end = last_s + last_l;
+            self.goal = run_end;
+            out.extend(runs);
+            logical += need;
+            need = 0;
+
+            // Current window: fully consumed, watermark at the request end.
+            state.current = Some(Window::new(logical, run_end, 0));
+            state.seq = Self::reserve_run(alloc, run_end, state.window_size)
+                .map(|(s, l)| Window::new(logical, s, l));
+            state.goal = Some(
+                state
+                    .seq
+                    .as_ref()
+                    .map(|w| w.phys_next + w.remaining)
+                    .unwrap_or(run_end),
+            );
+        }
+
+        self.streams.insert(key, state);
+        out
+    }
+
+    fn finalize(&mut self, alloc: &GroupedAllocator, file: FileId) {
+        let keys: Vec<_> = self
+            .streams
+            .keys()
+            .filter(|(f, _)| *f == file)
+            .copied()
+            .collect();
+        for key in keys {
+            if let Some(mut state) = self.streams.remove(&key) {
+                Self::release_windows(alloc, &mut state, &mut self.stats);
+            }
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::OnDemand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GroupedAllocator, OnDemandPolicy) {
+        (
+            GroupedAllocator::new(64 * 1024, 4),
+            OnDemandPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn figure3_walkthrough() {
+        // Three streams write one block each at T1, two continue at T2 and
+        // T3 — each stream's region must come out physically contiguous.
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let p1 = StreamId::new(1, 1);
+        let p2 = StreamId::new(2, 1);
+        let p3 = StreamId::new(3, 1);
+
+        // T1: first extends (layout_miss → init).
+        let a1 = p.extend(&alloc, f, p1, 100, 1);
+        let b1 = p.extend(&alloc, f, p2, 200, 1);
+        let c1 = p.extend(&alloc, f, p3, 300, 1);
+        // T2: sequential continuations (pre_alloc_layout).
+        let a2 = p.extend(&alloc, f, p1, 101, 1);
+        let b2 = p.extend(&alloc, f, p2, 201, 1);
+        // T3: continuations inside the new current windows (no trigger).
+        let a3 = p.extend(&alloc, f, p1, 102, 1);
+        let b3 = p.extend(&alloc, f, p2, 202, 1);
+
+        // Each stream's blocks are physically consecutive.
+        assert_eq!(a2[0].0, a1[0].0 + 1, "P1 contiguous after promote");
+        assert_eq!(a3[0].0, a2[0].0 + 1, "P1 contiguous inside window");
+        assert_eq!(b2[0].0, b1[0].0 + 1, "P2 contiguous after promote");
+        assert_eq!(b3[0].0, b2[0].0 + 1);
+        let _ = c1;
+        let s = p.stats();
+        assert_eq!(s.pre_alloc_hits, 2);
+        assert_eq!(s.layout_misses, 3); // the three T1 initialisations
+    }
+
+    #[test]
+    fn windows_of_streams_do_not_overlap() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let streams: Vec<_> = (0..16).map(|i| StreamId::new(i, 0)).collect();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for round in 0..20u64 {
+            for (i, &s) in streams.iter().enumerate() {
+                let logical = i as u64 * 10_000 + round * 4;
+                runs.extend(p.extend(&alloc, f, s, logical, 4));
+            }
+        }
+        runs.sort_unstable();
+        for w in runs.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_stream_yields_few_extents() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        let mut tree = mif_extent::ExtentTree::new();
+        for i in 0..256u64 {
+            for (phys, l) in p.extend(&alloc, f, s, i * 4, 4) {
+                tree.insert(mif_extent::Extent::new(i * 4, phys, l));
+            }
+        }
+        // 1024 blocks written; the exponential ramp means O(log n) extents.
+        assert!(
+            tree.extent_count() <= 12,
+            "expected few extents, got {}",
+            tree.extent_count()
+        );
+    }
+
+    #[test]
+    fn interleaved_streams_still_contiguous_per_region() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s1 = StreamId::new(1, 1);
+        let s2 = StreamId::new(2, 1);
+        let mut tree = mif_extent::ExtentTree::new();
+        for i in 0..64u64 {
+            for (phys, l) in p.extend(&alloc, f, s1, i * 2, 2) {
+                tree.insert(mif_extent::Extent::new(i * 2, phys, l));
+            }
+            for (phys, l) in p.extend(&alloc, f, s2, 100_000 + i * 2, 2) {
+                tree.insert(mif_extent::Extent::new(100_000 + i * 2, phys, l));
+            }
+        }
+        // 256 blocks over two regions: a handful of extents, not 128.
+        assert!(
+            tree.extent_count() <= 20,
+            "got {} extents",
+            tree.extent_count()
+        );
+    }
+
+    #[test]
+    fn random_stream_turns_preallocation_off() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        // Jump around: every request is a layout miss.
+        let offsets = [0u64, 5000, 200, 9000, 42, 7777];
+        for (i, &off) in offsets.iter().enumerate() {
+            p.extend(&alloc, f, s, off, 1);
+            if i >= 3 {
+                assert!(p.is_off(f, s), "should be off after {} misses", i);
+            }
+        }
+        assert_eq!(p.stats().streams_turned_off, 1);
+    }
+
+    #[test]
+    fn random_stream_does_not_interrupt_sequential_one() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let seq = StreamId::new(1, 1);
+        let rnd = StreamId::new(2, 1);
+        let mut tree = mif_extent::ExtentTree::new();
+        let offsets = [0u64, 5000, 200, 9000, 42, 7777, 123, 456];
+        for i in 0..8u64 {
+            for (phys, l) in p.extend(&alloc, f, seq, i, 1) {
+                tree.insert(mif_extent::Extent::new(i, phys, l));
+            }
+            p.extend(&alloc, f, rnd, offsets[i as usize], 1);
+        }
+        // The random stream gets cut off; the sequential one keeps its
+        // preallocation sequence and stays piecewise contiguous (each
+        // window is contiguous even if the random stream claimed blocks
+        // between windows).
+        assert!(p.is_off(f, rnd));
+        assert!(!p.is_off(f, seq));
+        assert!(
+            tree.extent_count() <= 3,
+            "sequential stream fragmented: {} extents",
+            tree.extent_count()
+        );
+    }
+
+    #[test]
+    fn window_ramp_is_exponential_and_capped() {
+        let cfg = OnDemandConfig {
+            scale: 2,
+            max_window_blocks: 16,
+            miss_threshold: 3,
+        };
+        let alloc = GroupedAllocator::new(64 * 1024, 1);
+        let mut p = OnDemandPolicy::new(cfg);
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        // First write of 2 blocks → window 4; promotions ramp 8, 16, 16...
+        let mut sizes = Vec::new();
+        let mut logical = 0u64;
+        for _ in 0..6 {
+            p.extend(&alloc, f, s, logical, 2);
+            logical += 2;
+            let st = p.streams.get(&(f, s)).unwrap();
+            sizes.push(st.window_size);
+        }
+        assert_eq!(sizes[0], 4);
+        assert!(sizes.iter().all(|&w| w <= 16));
+        assert!(sizes.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*sizes.last().unwrap(), 16);
+    }
+
+    #[test]
+    fn finalize_reclaims_window_blocks() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        p.extend(&alloc, f, s, 0, 4);
+        let used_before = 64 * 1024 - alloc.free_blocks();
+        assert!(used_before > 4, "windows reserved beyond the write");
+        p.finalize(&alloc, f);
+        assert_eq!(64 * 1024 - alloc.free_blocks(), 4, "only the data remains");
+        assert!(p.stats().reclaimed_blocks > 0);
+    }
+
+    #[test]
+    fn request_spanning_current_and_seq_windows() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        // Init with 4 blocks (seq window = 8 blocks at scale 2).
+        p.extend(&alloc, f, s, 0, 4);
+        // Request 20 blocks: spills through seq windows via promotions.
+        let runs = p.extend(&alloc, f, s, 4, 20);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 20);
+        // Contiguity means few runs.
+        assert!(runs.len() <= 3, "got {runs:?}");
+    }
+
+    #[test]
+    fn windows_survive_reboot() {
+        // §III-A: current windows are persistent across reboots; the
+        // stream continues contiguously where it left off.
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        // Ramp up: several promotions leave a partially-consumed window.
+        let mut last_phys = 0;
+        for i in 0..16u64 {
+            let runs = p.extend(&alloc, f, s, i * 2, 2);
+            last_phys = runs.last().unwrap().0 + runs.last().unwrap().1;
+        }
+        let free_before = alloc.free_blocks();
+        let snapshot = p.shutdown(&alloc);
+        assert!(!snapshot.windows.is_empty(), "a current window persisted");
+        // Shutdown released the temporary (sequential) reservations.
+        assert!(alloc.free_blocks() > free_before);
+
+        let mut p2 = OnDemandPolicy::recover(snapshot);
+        let runs = p2.extend(&alloc, f, s, 32, 2);
+        assert_eq!(
+            runs[0].0, last_phys,
+            "post-reboot extend continues the persistent window"
+        );
+        let stats = p2.stats();
+        assert_eq!(stats.layout_misses, 0, "no miss: the window was restored");
+    }
+
+    #[test]
+    fn reboot_with_no_live_windows_is_clean() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        p.extend(&alloc, f, StreamId::new(1, 1), 0, 4);
+        p.finalize(&alloc, f);
+        let used = 64 * 1024 - alloc.free_blocks();
+        let snapshot = p.shutdown(&alloc);
+        assert!(snapshot.windows.is_empty());
+        assert_eq!(64 * 1024 - alloc.free_blocks(), used, "nothing double-freed");
+        let mut p2 = OnDemandPolicy::recover(snapshot);
+        // Fresh stream works normally after recovery.
+        let runs = p2.extend(&alloc, f, StreamId::new(2, 2), 0, 4);
+        assert_eq!(runs.iter().map(|r| r.1).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn off_stream_uses_plain_allocation() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        let s = StreamId::new(1, 1);
+        for off in [0u64, 5000, 200, 9000] {
+            p.extend(&alloc, f, s, off, 1);
+        }
+        assert!(p.is_off(f, s));
+        let free_before = alloc.free_blocks();
+        p.extend(&alloc, f, s, 600, 2);
+        // Plain path allocates exactly the requested blocks, no windows.
+        assert_eq!(free_before - alloc.free_blocks(), 2);
+    }
+}

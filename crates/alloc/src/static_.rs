@@ -1,0 +1,183 @@
+//! `fallocate`-style static preallocation.
+//!
+//! §I: "recent efforts in file systems provide the fallocate syscall which
+//! persistently allocates all blocks for the file. Nevertheless, it
+//! requires an application to have sufficient foreknowledge of how much
+//! space the file will need." With the whole file materialised up front,
+//! logical block `i` maps to `base + i` — the least possible fragmentation,
+//! the upper bound MiF is compared against in Fig. 6.
+
+use crate::group::GroupedAllocator;
+use crate::policy::{AllocPolicy, FileId, PolicyKind};
+use crate::stream::StreamId;
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct Prealloc {
+    /// Physical runs covering logical 0..size, in logical order.
+    runs: Vec<(u64, u64)>,
+    size: u64,
+}
+
+impl Prealloc {
+    /// Physical runs backing `logical..logical+len`.
+    fn resolve(&self, logical: u64, len: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut pos = 0u64;
+        let end = logical + len;
+        for &(s, l) in &self.runs {
+            let run_lo = pos;
+            let run_hi = pos + l;
+            let lo = run_lo.max(logical);
+            let hi = run_hi.min(end);
+            if lo < hi {
+                out.push((s + (lo - run_lo), hi - lo));
+            }
+            pos = run_hi;
+            if pos >= end {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Static whole-file preallocation; falls back to chunk allocation for
+/// writes past the declared size (or for files created without a hint).
+#[derive(Debug, Default)]
+pub struct StaticPolicy {
+    files: HashMap<FileId, Prealloc>,
+    goal: u64,
+}
+
+impl AllocPolicy for StaticPolicy {
+    fn create(&mut self, alloc: &GroupedAllocator, file: FileId, size_hint: Option<u64>) {
+        let Some(size) = size_hint else { return };
+        if size == 0 {
+            return;
+        }
+        // One contiguous run if possible; otherwise the largest pieces
+        // available (real fallocate also degrades on fragmented free space).
+        let runs = match alloc.alloc_run(self.goal, size) {
+            Some(s) => vec![(s, size)],
+            None => alloc.alloc_chunks(self.goal, size),
+        };
+        if let Some(&(s, l)) = runs.last() {
+            self.goal = s + l;
+        }
+        self.files.insert(file, Prealloc { runs, size });
+    }
+
+    fn extend(
+        &mut self,
+        alloc: &GroupedAllocator,
+        file: FileId,
+        _stream: StreamId,
+        logical: u64,
+        len: u64,
+    ) -> Vec<(u64, u64)> {
+        if let Some(p) = self.files.get(&file) {
+            if logical + len <= p.size {
+                return p.resolve(logical, len);
+            }
+        }
+        // Past the preallocated region (or no hint given): plain allocation.
+        let runs = alloc.alloc_chunks(self.goal, len);
+        if let Some(&(s, l)) = runs.last() {
+            self.goal = s + l;
+        }
+        runs
+    }
+
+    fn finalize(&mut self, _alloc: &GroupedAllocator, file: FileId) {
+        // fallocate blocks are persistent: they belong to the file now.
+        // (The FS frees them at unlink via the extent tree, not here; we
+        // just drop the policy bookkeeping.)
+        self.files.remove(&file);
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Static
+    }
+}
+
+impl StaticPolicy {
+    /// Blocks persistently preallocated for `file` (diagnostics; the
+    /// prealloc-waste bench measures over-allocation of small files).
+    pub fn preallocated_blocks(&self, file: FileId) -> u64 {
+        self.files.get(&file).map(|p| p.size).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_regardless_of_arrival_order() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = StaticPolicy::default();
+        let f = FileId(1);
+        p.create(&alloc, f, Some(100));
+        let s1 = StreamId::new(1, 1);
+        let s2 = StreamId::new(2, 1);
+        // Interleaved arrivals still map logically.
+        assert_eq!(p.extend(&alloc, f, s1, 0, 2), vec![(0, 2)]);
+        assert_eq!(p.extend(&alloc, f, s2, 50, 2), vec![(50, 2)]);
+        assert_eq!(p.extend(&alloc, f, s1, 2, 2), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn write_past_hint_falls_back() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = StaticPolicy::default();
+        let f = FileId(1);
+        p.create(&alloc, f, Some(10));
+        let runs = p.extend(&alloc, f, StreamId::new(1, 1), 10, 5);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 5);
+        assert!(runs[0].0 >= 10);
+    }
+
+    #[test]
+    fn no_hint_behaves_like_plain_allocation() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = StaticPolicy::default();
+        let f = FileId(1);
+        p.create(&alloc, f, None);
+        let runs = p.extend(&alloc, f, StreamId::new(1, 1), 0, 4);
+        assert_eq!(runs.iter().map(|(_, l)| l).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn preallocation_is_persistent_across_finalize() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = StaticPolicy::default();
+        p.create(&alloc, FileId(1), Some(64));
+        p.finalize(&alloc, FileId(1));
+        // Blocks still allocated (the file owns them).
+        assert_eq!(alloc.free_blocks(), 4096 - 64);
+    }
+
+    #[test]
+    fn resolve_across_split_prealloc_runs() {
+        let alloc = GroupedAllocator::new(64, 1);
+        // Force a split: only two free runs of 8.
+        alloc.alloc_at(8, 8);
+        alloc.alloc_at(24, 40);
+        let mut p = StaticPolicy::default();
+        p.create(&alloc, FileId(1), Some(16));
+        let runs = p.extend(&alloc, FileId(1), StreamId::new(1, 1), 6, 4);
+        assert_eq!(runs.iter().map(|(_, l)| l).sum::<u64>(), 4);
+        assert_eq!(runs.len(), 2, "straddles the split: {runs:?}");
+    }
+
+    #[test]
+    fn preallocated_blocks_reports_hint() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = StaticPolicy::default();
+        p.create(&alloc, FileId(9), Some(64));
+        assert_eq!(p.preallocated_blocks(FileId(9)), 64);
+        assert_eq!(p.preallocated_blocks(FileId(1)), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! No preallocation: allocate each write where the goal pointer happens to
+//! be (Table I's "Vanilla" mode — "no preallocation is used and the files
+//! are severely fragmented").
+
+use crate::group::GroupedAllocator;
+use crate::policy::{AllocPolicy, FileId, PolicyKind};
+use crate::stream::StreamId;
+
+/// Allocates every extending write at the file system's rolling goal.
+///
+/// Concurrent streams (and concurrent files) interleave their blocks in
+/// arrival order, and nothing protects a file's neighbourhood from other
+/// inodes — both intra-file and inter-file fragmentation ensue.
+#[derive(Debug, Default)]
+pub struct VanillaPolicy {
+    /// Rolling last-allocation pointer (next-fit goal).
+    goal: u64,
+}
+
+impl AllocPolicy for VanillaPolicy {
+    fn extend(
+        &mut self,
+        alloc: &GroupedAllocator,
+        _file: FileId,
+        _stream: StreamId,
+        _logical: u64,
+        len: u64,
+    ) -> Vec<(u64, u64)> {
+        let runs = alloc.alloc_chunks(self.goal, len);
+        if let Some(&(s, l)) = runs.last() {
+            self.goal = s + l;
+        }
+        runs
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Vanilla
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_order_interleaves_streams() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = VanillaPolicy::default();
+        let f = FileId(1);
+        let s1 = StreamId::new(1, 1);
+        let s2 = StreamId::new(2, 1);
+        // Alternating arrivals: physical placement alternates too.
+        let a = p.extend(&alloc, f, s1, 0, 2);
+        let b = p.extend(&alloc, f, s2, 100, 2);
+        let c = p.extend(&alloc, f, s1, 2, 2);
+        assert_eq!(a, vec![(0, 2)]);
+        assert_eq!(b, vec![(2, 2)]);
+        assert_eq!(c, vec![(4, 2)]);
+    }
+
+    #[test]
+    fn interleaves_across_files_too() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = VanillaPolicy::default();
+        let s = StreamId::new(1, 1);
+        let a = p.extend(&alloc, FileId(1), s, 0, 4);
+        let b = p.extend(&alloc, FileId(2), s, 0, 4);
+        let c = p.extend(&alloc, FileId(1), s, 4, 4);
+        assert_eq!(a[0].0 + 4, b[0].0);
+        assert_eq!(b[0].0 + 4, c[0].0, "file 1's second run is displaced");
+    }
+
+    #[test]
+    fn splits_runs_over_fragmented_free_space() {
+        let alloc = GroupedAllocator::new(64, 1);
+        // Punch the free space full of holes.
+        for i in (0..64).step_by(8) {
+            alloc.alloc_at(i, 4);
+        }
+        let mut p = VanillaPolicy::default();
+        let runs = p.extend(&alloc, FileId(1), StreamId::new(1, 1), 0, 10);
+        let total: u64 = runs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 10);
+        assert!(runs.len() >= 3, "had to gather fragments, got {runs:?}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation: aggregated operation pairs (§II-A.2).
+//!
+//! "since a readdir followed by a stat of each file (e.g., ls -l) is a
+//! common access pattern, a readdirplus extension is proposed... By
+//! aggregating the open-getlayout operation, the pNFS protocol and the
+//! Lustre both allows their clients to acquire the file layout on opening
+//! files." Aggregation removes the per-entry round trips; the embedded
+//! directory additionally removes the per-entry *disk* accesses — the two
+//! optimizations compose.
+
+use mif_bench::{expectation, section, Table};
+use mif_mds::{DirMode, Mds, MdsConfig, ROOT_INO};
+
+fn main() {
+    section("Ablation — readdirplus vs readdir + N x stat  (1000-file dir)");
+    expectation(
+        "aggregation removes ~N round trips in both modes; only the embedded \
+         directory also collapses the disk accesses",
+    );
+
+    let t = Table::new(
+        &["mode", "pattern", "client time", "rpc time", "disk accesses"],
+        &[10, 22, 12, 10, 13],
+    );
+    for mode in [DirMode::Normal, DirMode::Embedded] {
+        for aggregated in [false, true] {
+            let mut mds = Mds::new(MdsConfig::with_mode(mode));
+            let dir = mds.mkdir(ROOT_INO, "d");
+            for i in 0..1000 {
+                mds.create(dir, &format!("f{i}"), 1);
+            }
+            mds.sync();
+            mds.drop_caches();
+
+            let a0 = mds.disk_stats().dispatched;
+            let t0 = mds.total_elapsed_ns();
+            let r0 = mds.rpc_elapsed_ns();
+            if aggregated {
+                mds.readdir_stat(dir);
+            } else {
+                mds.readdir(dir);
+                for name in mds.entry_names(dir) {
+                    mds.stat(dir, &name);
+                }
+            }
+            t.row(&[
+                mode.to_string(),
+                if aggregated {
+                    "readdirplus".into()
+                } else {
+                    "readdir + 1000 stats".into()
+                },
+                format!("{:.1} ms", (mds.total_elapsed_ns() - t0) as f64 / 1e6),
+                format!("{:.1} ms", (mds.rpc_elapsed_ns() - r0) as f64 / 1e6),
+                format!("{}", mds.disk_stats().dispatched - a0),
+            ]);
+        }
+    }
+
+    section("Ablation — open-getlayout vs open, then getlayout");
+    expectation("the aggregated open saves one round trip per file open");
+    let t = Table::new(
+        &["mode", "pattern", "client time", "rpc time"],
+        &[10, 22, 12, 10],
+    );
+    for mode in [DirMode::Normal, DirMode::Embedded] {
+        for aggregated in [false, true] {
+            let mut mds = Mds::new(MdsConfig::with_mode(mode));
+            let dir = mds.mkdir(ROOT_INO, "d");
+            for i in 0..1000 {
+                mds.create(dir, &format!("f{i}"), 3);
+            }
+            mds.sync();
+            mds.drop_caches();
+            let t0 = mds.total_elapsed_ns();
+            let r0 = mds.rpc_elapsed_ns();
+            for i in 0..1000 {
+                if aggregated {
+                    mds.getlayout(dir, &format!("f{i}"));
+                } else {
+                    mds.lookup(dir, &format!("f{i}"));
+                    mds.getlayout(dir, &format!("f{i}"));
+                }
+            }
+            t.row(&[
+                mode.to_string(),
+                if aggregated {
+                    "open-getlayout".into()
+                } else {
+                    "open, then getlayout".into()
+                },
+                format!("{:.1} ms", (mds.total_elapsed_ns() - t0) as f64 / 1e6),
+                format!("{:.1} ms", (mds.rpc_elapsed_ns() - r0) as f64 / 1e6),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation: the layout-miss threshold that cuts random streams off
+//! (§III-B: "If the miss number arrives the threshold, we can recognize
+//! operations of this stream as workload other than a sequential one").
+//!
+//! A mixed workload — half sequential streams, half random — shows the
+//! trade-off: threshold too low cuts bursty sequential streams off
+//! (extents rise), threshold too high lets random streams hold reserved
+//! windows (wasted reservations churn the allocator).
+
+use mif_alloc::{FileId, GroupedAllocator, OnDemandConfig, OnDemandPolicy, StreamId};
+use mif_alloc::AllocPolicy;
+use mif_bench::{expectation, section, Table};
+use mif_extent::{Extent, ExtentTree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    section("Ablation — miss threshold under a mixed workload");
+    expectation(
+        "sequential streams should stay ON (few extents in their regions); \
+         random streams should turn OFF quickly (no reservation churn)",
+    );
+
+    let t = Table::new(
+        &[
+            "threshold",
+            "seq extents",
+            "rnd extents",
+            "streams off",
+            "reclaimed",
+        ],
+        &[9, 11, 11, 11, 10],
+    );
+
+    for threshold in [1u32, 2, 3, 5, 8, 16] {
+        let alloc = GroupedAllocator::new(1 << 22, 16);
+        let mut policy = OnDemandPolicy::new(OnDemandConfig {
+            miss_threshold: threshold,
+            ..Default::default()
+        });
+        let file = FileId(1);
+        let mut rng = SmallRng::seed_from_u64(99);
+
+        // 8 bursty-sequential streams (sequential 32-block bursts, then a
+        // jump — the BTIO cell pattern) and 8 random streams, interleaved.
+        let mut seq_trees: Vec<ExtentTree> = (0..8).map(|_| ExtentTree::new()).collect();
+        let mut rnd_extents = 0usize;
+        let mut burst = [0u64; 8]; // burst index per stream
+        let mut within = [0u64; 8];
+        for _round in 0..256 {
+            for i in 0..8u32 {
+                // Bursty stream i: 8 sequential 4-block writes per burst,
+                // then jump to the next (strided) burst region.
+                let s = StreamId::new(i, 0);
+                let ii = i as usize;
+                let logical =
+                    i as u64 * 1_000_000 + burst[ii] * 1000 + within[ii];
+                let runs = policy.extend(&alloc, file, s, logical, 4);
+                let mut lg = logical;
+                for (p, l) in runs {
+                    seq_trees[ii].insert(Extent::new(lg, p, l));
+                    lg += l;
+                }
+                within[ii] += 4;
+                if within[ii] >= 32 {
+                    within[ii] = 0;
+                    burst[ii] += 1;
+                }
+
+                // Random stream writes anywhere in its own logical space.
+                let r = StreamId::new(100 + i, 0);
+                let logical = 100_000_000 + i as u64 * 1_000_000 + rng.gen_range(0..500_000);
+                rnd_extents += policy.extend(&alloc, file, r, logical, 1).len();
+            }
+        }
+        let seq_extents: usize = seq_trees.iter().map(|t| t.extent_count()).sum();
+        let stats = policy.stats();
+        t.row(&[
+            threshold.to_string(),
+            seq_extents.to_string(),
+            rnd_extents.to_string(),
+            stats.streams_turned_off.to_string(),
+            stats.reclaimed_blocks.to_string(),
+        ]);
+    }
+}

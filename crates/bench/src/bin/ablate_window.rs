@@ -1,0 +1,72 @@
+//! Ablation: on-demand window scale and cap (§III-C design choices), plus
+//! the scheduler-merging assumption the whole evaluation rests on.
+//!
+//! The paper fixes `scale` at "2 or 4" and caps the ramp at a tunable
+//! `max_preallocation_size`. This sweep shows why: a larger scale/cap makes
+//! each stream's region more contiguous (fewer extents, faster phase-2
+//! reads) at the cost of more transiently reserved space. The second
+//! section isolates the elevator's share of the benefit from readahead's:
+//! "the scheduler underlying file systems can not merge the fragmentary
+//! requests" is one half of the mechanism, prefetch the other.
+
+use mif_alloc::{OnDemandConfig, PolicyKind};
+use mif_bench::{expectation, section, Table};
+use mif_core::FsConfig;
+use mif_workloads::micro::{run, MicroParams};
+
+fn main() {
+    section("Ablation — on-demand window scale and maximum");
+    expectation(
+        "bigger scale/cap => fewer extents and higher phase-2 throughput, \
+         with diminishing returns near the cap",
+    );
+
+    let params = MicroParams {
+        streams: 32,
+        ..Default::default()
+    };
+
+    let t = Table::new(
+        &["scale", "max window", "phase-2", "extents"],
+        &[6, 10, 12, 9],
+    );
+    for scale in [2u64, 4] {
+        for max_window in [64u64, 256, 1024, 2048, 8192] {
+            let mut cfg = FsConfig::with_policy(PolicyKind::OnDemand, 5);
+            cfg.ondemand = OnDemandConfig {
+                scale,
+                max_window_blocks: max_window,
+                ..Default::default()
+            };
+            let r = run(cfg, &params);
+            t.row(&[
+                scale.to_string(),
+                format!("{} KiB", max_window * 4),
+                format!("{:.1} MiB/s", r.phase2_mib_s),
+                r.extents.to_string(),
+            ]);
+        }
+    }
+
+    section("Ablation — elevator merging off");
+    expectation(
+        "contiguity pays through two mechanisms: elevator merging and \
+         readahead; with merging disabled the readahead pipeline still \
+         exploits contiguous placement, so most of the gain persists",
+    );
+    let t = Table::new(&["merging", "reservation", "on-demand", "gain"], &[8, 12, 12, 7]);
+    for merge in [true, false] {
+        let mut res_cfg = FsConfig::with_policy(PolicyKind::Reservation, 5);
+        res_cfg.scheduler.merge = merge;
+        let mut ond_cfg = FsConfig::with_policy(PolicyKind::OnDemand, 5);
+        ond_cfg.scheduler.merge = merge;
+        let res = run(res_cfg, &params);
+        let ond = run(ond_cfg, &params);
+        t.row(&[
+            if merge { "on" } else { "off" }.into(),
+            format!("{:.1} MiB/s", res.phase2_mib_s),
+            format!("{:.1} MiB/s", ond.phase2_mib_s),
+            mif_bench::pct(ond.phase2_mib_s, res.phase2_mib_s),
+        ]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 10: PostMark and application execution time.
+//!
+//! Paper: "we still observe 4%-13% reduction than Lustre file system in
+//! execution time for file-intensive programs, including PostMark, tar and
+//! make-clean. Make program, on the other hand, generates CPU-intensive
+//! workload... we see a much smaller improvement of only 4%."
+
+use mif_bench::{expectation, section, Table};
+use mif_mds::DirMode;
+use mif_workloads::apps::{run as app_run, AppKind, AppParams};
+use mif_workloads::postmark::{run as pm_run, PostmarkParams};
+
+fn main() {
+    section("Figure 10 — execution-time proportion vs Lustre (htree) baseline");
+    expectation(
+        "embedded reduces execution time of file-intensive programs \
+         (PostMark, tar, make-clean) by ~4-13%; CPU-bound make gains least",
+    );
+
+    let t = Table::new(
+        &["program", "lustre(htree)", "embedded", "proportion", "reduction"],
+        &[12, 13, 12, 10, 9],
+    );
+
+    // PostMark (scaled: the paper's 100K files / 500K transactions shape).
+    let pm = PostmarkParams {
+        clients: 10,
+        files_per_client: 2000,
+        transactions_per_client: 10_000,
+        ..Default::default()
+    };
+    let n = pm_run(DirMode::Htree, &pm);
+    let e = pm_run(DirMode::Embedded, &pm);
+    t.row(&[
+        "PostMark".into(),
+        format!("{:.2}s", n.exec_ns() as f64 / 1e9),
+        format!("{:.2}s", e.exec_ns() as f64 / 1e9),
+        format!("{:.2}", e.exec_ns() as f64 / n.exec_ns() as f64),
+        format!("{:.0}%", (1.0 - e.exec_ns() as f64 / n.exec_ns() as f64) * 100.0),
+    ]);
+
+    // Kernel-tree applications.
+    let params = AppParams::default();
+    for kind in [AppKind::Tar, AppKind::Make, AppKind::MakeClean] {
+        let n = app_run(DirMode::Htree, kind, &params);
+        let e = app_run(DirMode::Embedded, kind, &params);
+        t.row(&[
+            kind.to_string(),
+            format!("{:.2}s", n.exec_ns() as f64 / 1e9),
+            format!("{:.2}s", e.exec_ns() as f64 / 1e9),
+            format!("{:.2}", e.exec_ns() as f64 / n.exec_ns() as f64),
+            format!(
+                "{:.0}%",
+                (1.0 - e.exec_ns() as f64 / n.exec_ns() as f64) * 100.0
+            ),
+        ]);
+    }
+}

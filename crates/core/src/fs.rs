@@ -1,0 +1,959 @@
+//! The file-system facade.
+//!
+//! Concurrency is modelled by *rounds*: the workload driver opens a round,
+//! issues the operations of all concurrent streams in their arrival order
+//! (allocation decisions happen immediately, in that order — exactly the
+//! mechanism behind Figure 1(a)), then closes the round, which submits each
+//! IO server's accumulated requests as one scheduled batch and advances
+//! simulated time by the slowest server's service time.
+
+use crate::config::FsConfig;
+use crate::metrics::FsMetrics;
+use crate::striping::Striping;
+use mif_alloc::{make_policy, AllocPolicy, FileId, GroupedAllocator, StreamId};
+use mif_extent::{Extent, ExtentTree};
+use mif_mds::{InodeNo, Mds, ROOT_INO};
+use mif_simdisk::{BlockRequest, DiskArray, DiskStats, Nanos};
+use std::collections::HashMap;
+
+struct Ost {
+    alloc: GroupedAllocator,
+    policy: Box<dyn AllocPolicy>,
+}
+
+struct FileState {
+    name: String,
+    ino: InodeNo,
+    /// One extent tree per OST (OST-local logical space).
+    trees: Vec<ExtentTree>,
+    size_blocks: u64,
+    /// Starting-OST rotation for this file (files begin on different
+    /// servers so concurrent per-process files spread the load).
+    ost_shift: u32,
+}
+
+/// Handle returned by [`FileSystem::create`] / [`FileSystem::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpenFile(pub FileId);
+
+/// A complete parallel file system instance.
+pub struct FileSystem {
+    pub config: FsConfig,
+    striping: Striping,
+    array: DiskArray,
+    osts: Vec<Ost>,
+    mds: Mds,
+    files: HashMap<FileId, FileState>,
+    next_file: u64,
+    pending: Vec<Vec<BlockRequest>>,
+    /// Write-back cache: dirty data accumulates here and flushes to the
+    /// disks in large sorted sweeps, the way page-cache writeback does —
+    /// synchronous per-round writes would charge the allocator's placement
+    /// decisions with seeks no real buffered write path pays.
+    writeback: Vec<Vec<BlockRequest>>,
+    writeback_blocks: u64,
+    /// Delayed allocation (§II-B): extending writes buffered as unmapped
+    /// logical ranges, allocated in one coalesced request per run at flush
+    /// time. An early sync forces allocation of whatever little has
+    /// accumulated — the fragility the paper contrasts on-demand with.
+    delayed_pending: HashMap<(FileId, usize), Vec<(u64, u64)>>,
+    round_open: bool,
+    data_elapsed_ns: Nanos,
+    mds_cpu_ns: Nanos,
+}
+
+impl FileSystem {
+    pub fn new(config: FsConfig) -> Self {
+        let osts_n = config.osts as usize;
+        let array = DiskArray::with_config(
+            osts_n,
+            config.geometry.clone(),
+            config.scheduler.clone(),
+            config.data_cache_blocks,
+        );
+        let osts = (0..osts_n)
+            .map(|_| Ost {
+                alloc: GroupedAllocator::new(config.geometry.blocks, config.groups_per_ost),
+                policy: match config.policy {
+                    mif_alloc::PolicyKind::OnDemand => Box::new(
+                        mif_alloc::OnDemandPolicy::new(config.ondemand.clone()),
+                    ) as Box<dyn AllocPolicy>,
+                    mif_alloc::PolicyKind::Reservation => Box::new(
+                        mif_alloc::ReservationPolicy::new(config.reservation_window_blocks),
+                    ),
+                    k => make_policy(k),
+                },
+            })
+            .collect();
+        let mds = Mds::new(config.mds.clone());
+        let striping = Striping::new(config.osts, config.stripe_blocks);
+        let pending = vec![Vec::new(); osts_n];
+        let writeback = vec![Vec::new(); osts_n];
+        Self {
+            writeback,
+            writeback_blocks: 0,
+            delayed_pending: HashMap::new(),
+            config,
+            striping,
+            array,
+            osts,
+            mds,
+            files: HashMap::new(),
+            next_file: 1,
+            pending,
+            round_open: false,
+            data_elapsed_ns: 0,
+            mds_cpu_ns: 0,
+        }
+    }
+
+    // ----- lifecycle ------------------------------------------------------
+
+    /// Create a file under the root directory. `size_hint_blocks` is the
+    /// application's declared final size — only the static (`fallocate`)
+    /// policy uses it.
+    pub fn create(&mut self, name: &str, size_hint_blocks: Option<u64>) -> OpenFile {
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        let ino = self.mds.create(ROOT_INO, name, 0);
+        let per_ost_hint =
+            size_hint_blocks.map(|s| s.div_ceil(self.config.osts as u64));
+        for ost in &mut self.osts {
+            ost.policy.create(&ost.alloc, id, per_ost_hint);
+        }
+        let mut trees: Vec<ExtentTree> =
+            (0..self.config.osts).map(|_| ExtentTree::new()).collect();
+        // fallocate semantics: static preallocation maps the whole hinted
+        // range up front (unwritten extents), so the blocks are owned by
+        // the file and freed with it at unlink.
+        if self.config.policy == mif_alloc::PolicyKind::Static {
+            if let Some(hint) = per_ost_hint {
+                let stream = StreamId::new(u32::MAX, u32::MAX);
+                for (ost, tree) in self.osts.iter_mut().zip(&mut trees) {
+                    let mut logical = 0;
+                    for (phys, l) in ost.policy.extend(&ost.alloc, id, stream, 0, hint) {
+                        tree.insert(Extent::new(logical, phys, l));
+                        logical += l;
+                    }
+                }
+            }
+        }
+        self.files.insert(
+            id,
+            FileState {
+                name: name.to_string(),
+                ino,
+                trees,
+                size_blocks: 0,
+                ost_shift: (id.0 % self.config.osts as u64) as u32,
+            },
+        );
+        OpenFile(id)
+    }
+
+    /// Open by name. Models the aggregated open-getlayout of §II-A.2: the
+    /// layout arrives with the open in a single MDS operation.
+    pub fn open(&mut self, name: &str) -> Option<OpenFile> {
+        let id = self
+            .files
+            .iter()
+            .find(|(_, f)| f.name == name)
+            .map(|(&id, _)| id)?;
+        self.mds.getlayout(ROOT_INO, name);
+        Some(OpenFile(id))
+    }
+
+    /// Open by inode number — the path management jobs take (§IV-B:
+    /// "Some file management jobs... rely on the constancy of the file ID").
+    /// In embedded mode the number routes through the global directory
+    /// table and the rename correlation, so pre-rename IDs still resolve.
+    pub fn open_by_ino(&mut self, ino: InodeNo) -> Option<OpenFile> {
+        let current = self.mds.resolve_inode(ino)?;
+        self.files
+            .iter()
+            .find(|(_, f)| f.ino == current)
+            .map(|(&id, _)| OpenFile(id))
+    }
+
+    /// Close: release unconsumed preallocations (windows) on every OST.
+    pub fn close(&mut self, file: OpenFile) {
+        for ost in &mut self.osts {
+            ost.policy.finalize(&ost.alloc, file.0);
+        }
+    }
+
+    /// Truncate the file to `new_size_blocks`, freeing the tail's blocks.
+    pub fn truncate(&mut self, file: OpenFile, new_size_blocks: u64) {
+        self.sync_data();
+        let Some(state) = self.files.get(&file.0) else {
+            return;
+        };
+        let old_size = state.size_blocks;
+        if new_size_blocks >= old_size {
+            return;
+        }
+        let shift = state.ost_shift;
+        for (ost_idx, local, run, _) in
+            self.striping.split(new_size_blocks, old_size - new_size_blocks, shift)
+        {
+            let ost_idx = ost_idx as usize;
+            let state = self.files.get_mut(&file.0).expect("file exists");
+            for (phys, len) in state.trees[ost_idx].remove(local, run) {
+                self.osts[ost_idx].alloc.free(phys, len);
+                self.array.disk_mut(ost_idx).invalidate(phys, len);
+            }
+        }
+        let state = self.files.get_mut(&file.0).expect("file exists");
+        state.size_blocks = new_size_blocks;
+        self.mds.utime(ROOT_INO, &state.name.clone());
+    }
+
+    /// Delete: free all blocks and remove the MDS entry.
+    pub fn unlink(&mut self, file: OpenFile) {
+        self.sync_data();
+        self.close(file);
+        let Some(state) = self.files.remove(&file.0) else {
+            return;
+        };
+        for (i, mut tree) in state.trees.into_iter().enumerate() {
+            for (phys, len) in tree.clear() {
+                self.osts[i].alloc.free(phys, len);
+                self.array.disk_mut(i).invalidate(phys, len);
+            }
+        }
+        self.mds.unlink(ROOT_INO, &state.name);
+    }
+
+    // ----- rounds ----------------------------------------------------------
+
+    /// Open a submission round. Operations issued until [`Self::end_round`]
+    /// arrive "concurrently"; their allocations happen in call order.
+    pub fn begin_round(&mut self) {
+        assert!(!self.round_open, "round already open");
+        self.round_open = true;
+    }
+
+    /// Submit the round to the IO servers; returns its elapsed time (the
+    /// slowest server gates the round). Write-back data flushes when the
+    /// dirty threshold is exceeded.
+    pub fn end_round(&mut self) -> Nanos {
+        assert!(self.round_open, "no open round");
+        self.round_open = false;
+        let batches = std::mem::replace(
+            &mut self.pending,
+            vec![Vec::new(); self.config.osts as usize],
+        );
+        let mut t = self.array.submit_round(batches);
+        if self.writeback_blocks >= self.config.writeback_limit_blocks {
+            t += self.flush_writeback();
+        }
+        self.data_elapsed_ns += t;
+        t
+    }
+
+    /// Flush the write-back cache: one large sorted sweep per IO server.
+    /// Returns the elapsed time of the flush (also added to the data
+    /// clock by the callers that run outside a round).
+    ///
+    /// Under delayed allocation this is the moment allocation happens:
+    /// each file's buffered ranges are sorted, coalesced into maximal runs
+    /// and allocated with one request per run — "the opportunity to
+    /// combine many block allocation requests into a single request"
+    /// (§II-B). Frequent syncs shrink the runs and the benefit.
+    pub fn flush_writeback(&mut self) -> Nanos {
+        self.allocate_delayed();
+        if self.writeback_blocks == 0 {
+            return 0;
+        }
+        self.writeback_blocks = 0;
+        let batches = std::mem::replace(
+            &mut self.writeback,
+            vec![Vec::new(); self.config.osts as usize],
+        );
+        self.array.submit_round(batches)
+    }
+
+    /// Allocate everything the delayed-allocation path has buffered.
+    fn allocate_delayed(&mut self) {
+        let pending = std::mem::take(&mut self.delayed_pending);
+        let stream = StreamId::new(u32::MAX, 0); // allocation is flush-driven
+        for ((file_id, ost_idx), mut ranges) in pending {
+            ranges.sort_unstable();
+            // Coalesce adjacent/overlapping logical ranges into runs.
+            let mut runs: Vec<(u64, u64)> = Vec::new();
+            for (start, len) in ranges {
+                match runs.last_mut() {
+                    Some((s, l)) if *s + *l >= start => {
+                        let end = (*s + *l).max(start + len);
+                        *l = end - *s;
+                    }
+                    _ => runs.push((start, len)),
+                }
+            }
+            let state = self.files.get_mut(&file_id).expect("file exists");
+            for (start, len) in runs {
+                // A range may have been mapped meanwhile (overwrite after
+                // buffering); allocate only what is still a hole.
+                for (gap_start, gap_len) in state.trees[ost_idx].gaps(start, len) {
+                    let ost = &mut self.osts[ost_idx];
+                    let allocated =
+                        ost.policy
+                            .extend(&ost.alloc, file_id, stream, gap_start, gap_len);
+                    let before = state.trees[ost_idx].extent_count();
+                    let mut logical = gap_start;
+                    for (phys, l) in allocated {
+                        state.trees[ost_idx].insert(Extent::new(logical, phys, l));
+                        self.writeback[ost_idx].push(BlockRequest::write(phys, l));
+                        logical += l;
+                    }
+                    let added =
+                        state.trees[ost_idx].extent_count().saturating_sub(before) as u64;
+                    self.mds_cpu_ns += added * self.config.mds_cpu_ns_per_extent;
+                }
+            }
+        }
+    }
+
+    /// Flush dirty data and charge the time (fsync analogue).
+    pub fn sync_data(&mut self) {
+        let t = self.flush_writeback();
+        self.data_elapsed_ns += t;
+    }
+
+    /// Convenience: run `f` inside a round and return the round time.
+    pub fn round<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, Nanos) {
+        self.begin_round();
+        let r = f(self);
+        (r, self.end_round())
+    }
+
+    // ----- data path --------------------------------------------------------
+
+    /// Write `len` blocks at `offset` on behalf of `stream`. Unmapped
+    /// blocks are allocated through the configured policy (this is the
+    /// extending-write path the whole paper is about); mapped blocks are
+    /// overwritten in place.
+    pub fn write(&mut self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
+        assert!(self.round_open, "write outside a round");
+        assert!(len > 0, "zero-length write");
+        let shift = self.files[&file.0].ost_shift;
+        let pieces = self.striping.split(offset, len, shift);
+        let mut new_extents: u64 = 0;
+        let delayed = self.config.policy == mif_alloc::PolicyKind::Delayed;
+        for (ost_idx, local, run, _) in pieces {
+            let ost_idx = ost_idx as usize;
+            let state = self.files.get_mut(&file.0).expect("file exists");
+            let tree = &mut state.trees[ost_idx];
+
+            if delayed {
+                // Delayed allocation: buffer the unmapped ranges; they are
+                // allocated (coalesced) at write-back time. Mapped portions
+                // are overwrites and queue normally below.
+                for (gap_start, gap_len) in tree.gaps(local, run) {
+                    self.delayed_pending
+                        .entry((file.0, ost_idx))
+                        .or_default()
+                        .push((gap_start, gap_len));
+                    self.writeback_blocks += gap_len;
+                }
+                for (phys, l) in state.trees[ost_idx].resolve(local, run) {
+                    self.writeback[ost_idx].push(BlockRequest::write(phys, l));
+                    self.writeback_blocks += l;
+                }
+                continue;
+            }
+
+            // Copy-on-write: already-mapped blocks in the written range
+            // relocate — free the old placement and let the hole-allocation
+            // below place them at the log head. Perfect for the write path;
+            // the reason §II-B says CoW "read traffic can be compromised".
+            if self.config.policy == mif_alloc::PolicyKind::Cow {
+                for (old_phys, old_len) in tree.remove(local, run) {
+                    self.osts[ost_idx].alloc.free(old_phys, old_len);
+                    self.array.disk_mut(ost_idx).invalidate(old_phys, old_len);
+                }
+            }
+
+            let state = self.files.get_mut(&file.0).expect("file exists");
+            let tree = &mut state.trees[ost_idx];
+            // Allocate the holes (extending portion) in arrival order.
+            for (gap_start, gap_len) in tree.gaps(local, run) {
+                let ost = &mut self.osts[ost_idx];
+                let runs =
+                    ost.policy
+                        .extend(&ost.alloc, file.0, stream, gap_start, gap_len);
+                let mut logical = gap_start;
+                let before = tree.extent_count();
+                for (phys, l) in runs {
+                    tree.insert(Extent::new(logical, phys, l));
+                    logical += l;
+                }
+                debug_assert_eq!(logical, gap_start + gap_len, "policy short-allocated");
+                let added = tree.extent_count().saturating_sub(before) as u64;
+                // Layout updates cost MDS CPU proportional to the extents
+                // generated (merging/indexing, Table I).
+                self.mds_cpu_ns += added * self.config.mds_cpu_ns_per_extent;
+                new_extents += added;
+            }
+
+            // Writes land in the write-back cache; they reach the disks in
+            // large sorted flushes.
+            for (phys, l) in state.trees[ost_idx].resolve(local, run) {
+                self.writeback[ost_idx].push(BlockRequest::write(phys, l));
+                self.writeback_blocks += l;
+            }
+        }
+        let state = self.files.get_mut(&file.0).expect("file exists");
+        state.size_blocks = state.size_blocks.max(offset + len);
+        let _ = new_extents;
+    }
+
+    /// Read `len` blocks at `offset` as `stream`. Requests carry a
+    /// per-(stream, file) readahead context, so each sequential reader
+    /// keeps its own ramp even when many readers interleave — the kernel's
+    /// per-`struct file` readahead. Holes are skipped.
+    pub fn read(&mut self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
+        assert!(self.round_open, "read outside a round");
+        let ctx = stream.as_u64() ^ file.0 .0.rotate_left(17);
+        let shift = self.files[&file.0].ost_shift;
+        let pieces = self.striping.split(offset, len, shift);
+        for (ost_idx, local, run, _) in pieces {
+            let ost_idx = ost_idx as usize;
+            let state = self.files.get(&file.0).expect("file exists");
+            for (phys, l) in state.trees[ost_idx].resolve(local, run) {
+                self.pending[ost_idx].push(BlockRequest::read(phys, l).with_ctx(ctx));
+            }
+        }
+    }
+
+    /// Defragment (replicate-and-switch) a logical range: copy each OST's
+    /// fragmented runs into one freshly allocated contiguous run, remap,
+    /// and free the old placement — the data-reorganization approach of
+    /// BORG/FS2/InterferenceRemoval (§II-B). The copy I/O is charged (read
+    /// of the old placement + write of the new), which is exactly the
+    /// "replication is not free at runtime" cost the paper holds against
+    /// this class of solutions. Returns the simulated time spent.
+    pub fn defragment_range(&mut self, file: OpenFile, offset: u64, len: u64) -> Nanos {
+        assert!(!self.round_open, "defragment outside a round");
+        self.sync_data();
+        let t0 = self.data_elapsed_ns();
+        let shift = self.files[&file.0].ost_shift;
+        for (ost_idx, local, run, _) in self.striping.split(offset, len, shift) {
+            let ost_idx = ost_idx as usize;
+            // Mapped logical sub-ranges and their physical runs, in order.
+            type Runs = Vec<(u64, u64)>;
+            let (subs, old_runs): (Runs, Runs) = {
+                let tree = &self.files[&file.0].trees[ost_idx];
+                let subs: Vec<(u64, u64)> = tree
+                    .extents()
+                    .filter(|e| e.logical < local + run && local < e.logical_end())
+                    .map(|e| {
+                        let lo = e.logical.max(local);
+                        let hi = e.logical_end().min(local + run);
+                        (lo, hi - lo)
+                    })
+                    .collect();
+                (subs, tree.resolve(local, run))
+            };
+            if old_runs.len() <= 1 {
+                continue; // already contiguous (or a hole)
+            }
+            let total: u64 = subs.iter().map(|r| r.1).sum();
+            // A contiguous destination near the old data.
+            let Some(dest) = self.osts[ost_idx].alloc.alloc_run(old_runs[0].0, total) else {
+                continue; // no contiguous space: nothing to gain
+            };
+            // Copy: read the old placement, write the new run.
+            self.begin_round();
+            for &(phys, l) in &old_runs {
+                self.pending[ost_idx].push(BlockRequest::read(phys, l));
+            }
+            self.pending[ost_idx].push(BlockRequest::write(dest, total));
+            self.end_round();
+            // Remap and free the old placement.
+            let state = self.files.get_mut(&file.0).expect("file exists");
+            let freed = state.trees[ost_idx].remove(local, run);
+            let mut dpos = dest;
+            for (lstart, l) in subs {
+                state.trees[ost_idx].insert(Extent::new(lstart, dpos, l));
+                dpos += l;
+            }
+            for (phys, l) in freed {
+                self.osts[ost_idx].alloc.free(phys, l);
+                self.array.disk_mut(ost_idx).invalidate(phys, l);
+            }
+        }
+        self.data_elapsed_ns() - t0
+    }
+
+    /// Fragment the OSTs' free space: allocate scattered holes so `frac` of
+    /// every disk is occupied in runs of `hole_blocks`, spaced out evenly.
+    /// Models a deployed file system whose free space is no longer one
+    /// giant run — the condition under which reservation actually protects
+    /// a file from inter-file fragmentation and vanilla allocation splits
+    /// requests across holes (§I).
+    pub fn fragment_free_space(&mut self, frac: f64, hole_blocks: u64) {
+        assert!((0.0..1.0).contains(&frac) && hole_blocks > 0);
+        let total = self.config.geometry.blocks;
+        let holes = ((total as f64 * frac) / hole_blocks as f64) as u64;
+        if holes == 0 {
+            return;
+        }
+        let spacing = total / holes;
+        assert!(spacing > hole_blocks, "fragmentation fraction too high");
+        for ost in &self.osts {
+            for h in 0..holes {
+                // alloc_at keeps the pattern exact; failures (group
+                // boundaries) are skipped.
+                let _ = ost.alloc.alloc_at(h * spacing, hole_blocks);
+            }
+        }
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    /// Total extents of a file across all OSTs (Table I "Seg Counts").
+    pub fn file_extents(&self, file: OpenFile) -> u64 {
+        self.files
+            .get(&file.0)
+            .map(|f| f.trees.iter().map(|t| t.extent_count() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// File size in blocks.
+    pub fn file_size(&self, file: OpenFile) -> u64 {
+        self.files.get(&file.0).map(|f| f.size_blocks).unwrap_or(0)
+    }
+
+    /// Blocks physically allocated to the file (mapped blocks).
+    pub fn file_allocated(&self, file: OpenFile) -> u64 {
+        self.files
+            .get(&file.0)
+            .map(|f| f.trees.iter().map(|t| t.mapped_blocks()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Data-path elapsed time accumulated over all rounds.
+    pub fn data_elapsed_ns(&self) -> Nanos {
+        self.data_elapsed_ns
+    }
+
+    /// Aggregated data-disk statistics.
+    pub fn data_stats(&self) -> DiskStats {
+        self.array.stats_total()
+    }
+
+    /// Aggregated per-command service-time histogram over the data disks.
+    pub fn data_latency(&self) -> mif_simdisk::LatencyHistogram {
+        self.array.latency_total()
+    }
+
+    /// Enable blktrace-style command recording on every data disk.
+    pub fn enable_disk_recording(&mut self, capacity: usize) {
+        for i in 0..self.config.osts as usize {
+            self.array.disk_mut(i).enable_recording(capacity);
+        }
+    }
+
+    /// Recorded commands of one data disk, oldest first.
+    pub fn disk_events(&self, ost: usize) -> Vec<mif_simdisk::DiskEvent> {
+        self.array.disk(ost).recorder().events().copied().collect()
+    }
+
+    /// Free blocks across all OSTs.
+    pub fn free_blocks(&self) -> u64 {
+        self.osts.iter().map(|o| o.alloc.free_blocks()).sum()
+    }
+
+    /// Drop every data-disk cache (between write and read phases, so reads
+    /// hit the platter as in the paper's experiments). Dirty write-back
+    /// data is flushed (and charged) first.
+    pub fn drop_data_caches(&mut self) {
+        self.sync_data();
+        self.array.drop_caches();
+    }
+
+    /// The metadata server (metadata benchmarks drive it directly).
+    pub fn mds(&mut self) -> &mut Mds {
+        &mut self.mds
+    }
+
+    /// Metrics snapshot for the Table I harness.
+    pub fn metrics(&self) -> FsMetrics {
+        let mut m = FsMetrics {
+            elapsed_ns: self.data_elapsed_ns,
+            mds_cpu_ns: self.mds_cpu_ns,
+            files: self.files.len() as u64,
+            ..Default::default()
+        };
+        for f in self.files.values() {
+            for t in &f.trees {
+                m.add_tree(t);
+            }
+        }
+        m
+    }
+
+    /// The inode number the MDS assigned to a file.
+    pub fn ino_of(&self, file: OpenFile) -> Option<InodeNo> {
+        self.files.get(&file.0).map(|f| f.ino)
+    }
+
+    /// The file's extent layout on one OST: `(local logical, physical,
+    /// len)` runs in logical order (visualization / diagnostics).
+    pub fn physical_layout(&self, file: OpenFile, ost: usize) -> Vec<(u64, u64, u64)> {
+        self.files
+            .get(&file.0)
+            .map(|f| {
+                f.trees[ost]
+                    .extents()
+                    .map(|e| (e.logical, e.physical, e.len))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Is a physical block on `ost` currently allocated? (visualization /
+    /// diagnostics — includes preallocation windows.)
+    pub fn block_allocated(&self, ost: usize, block: u64) -> bool {
+        self.osts[ost].alloc.is_allocated(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mif_alloc::PolicyKind;
+
+    fn fs(policy: PolicyKind) -> FileSystem {
+        FileSystem::new(FsConfig::with_policy(policy, 2))
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("a", None);
+        let s = StreamId::new(1, 1);
+        f.begin_round();
+        f.write(file, s, 0, 64);
+        f.end_round();
+        f.sync_data();
+        assert!(f.data_elapsed_ns() > 0);
+        assert_eq!(f.file_size(file), 64);
+        assert_eq!(f.file_allocated(file), 64);
+
+        f.drop_data_caches();
+        f.begin_round();
+        f.read(file, s, 0, 64);
+        f.end_round();
+        assert!(f.data_stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn write_stripes_over_osts() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("a", None);
+        let s = StreamId::new(1, 1);
+        f.begin_round();
+        // 2 stripes worth: both OSTs get data.
+        f.write(file, s, 0, 512);
+        f.end_round();
+        f.sync_data();
+        let per_disk = f.array.stats_per_disk();
+        assert!(per_disk.iter().all(|d| d.bytes_written > 0));
+    }
+
+    #[test]
+    fn overwrite_does_not_reallocate() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("a", None);
+        let s = StreamId::new(1, 1);
+        f.round(|f| f.write(file, s, 0, 32));
+        let allocated = f.file_allocated(file);
+        let free = f.free_blocks();
+        f.round(|f| f.write(file, s, 0, 32));
+        assert_eq!(f.file_allocated(file), allocated);
+        assert_eq!(f.free_blocks(), free);
+    }
+
+    #[test]
+    fn interleaved_streams_fragment_reservation_but_not_ondemand() {
+        let run = |policy| {
+            let mut f = FileSystem::new(FsConfig::with_policy(policy, 1));
+            let file = f.create("shared", None);
+            let streams: Vec<_> = (0..8).map(|i| StreamId::new(i, 0)).collect();
+            for round in 0..16u64 {
+                f.begin_round();
+                for (i, &s) in streams.iter().enumerate() {
+                    // Each stream appends within its own region.
+                    f.write(file, s, i as u64 * 1024 + round * 4, 4);
+                }
+                f.end_round();
+            }
+            let e = f.file_extents(file);
+            f.close(file);
+            e
+        };
+        let reservation = run(PolicyKind::Reservation);
+        let ondemand = run(PolicyKind::OnDemand);
+        assert!(
+            ondemand * 4 <= reservation,
+            "on-demand {ondemand} vs reservation {reservation} extents"
+        );
+    }
+
+    #[test]
+    fn static_policy_uses_hint_for_contiguity() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Static, 1));
+        let file = f.create("shared", Some(8 * 1024));
+        let streams: Vec<_> = (0..8).map(|i| StreamId::new(i, 0)).collect();
+        for round in 0..16u64 {
+            f.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                f.write(file, s, i as u64 * 1024 + round * 4, 4);
+            }
+            f.end_round();
+        }
+        // Identity mapping: at most one extent per written region... in
+        // fact regions coalesce into one whenever adjacent.
+        assert!(f.file_extents(file) <= 8);
+    }
+
+    #[test]
+    fn unlink_returns_space() {
+        let mut f = fs(PolicyKind::OnDemand);
+        let file = f.create("a", None);
+        let s = StreamId::new(1, 1);
+        let total = f.free_blocks();
+        f.round(|f| f.write(file, s, 0, 64));
+        f.close(file);
+        assert!(f.free_blocks() < total);
+        f.unlink(file);
+        assert_eq!(f.free_blocks(), total);
+    }
+
+    #[test]
+    fn metrics_count_extents_and_cpu() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("a", None);
+        let s = StreamId::new(1, 1);
+        f.round(|f| f.write(file, s, 0, 8));
+        let m = f.metrics();
+        assert!(m.extents >= 1);
+        assert!(m.mds_cpu_ns > 0);
+        assert_eq!(m.files, 1);
+    }
+
+    #[test]
+    fn open_finds_created_file() {
+        let mut f = fs(PolicyKind::Reservation);
+        let a = f.create("a", None);
+        assert_eq!(f.open("a"), Some(a));
+        assert_eq!(f.open("missing"), None);
+    }
+
+    #[test]
+    fn open_by_ino_resolves_current_identity() {
+        let mut f = fs(PolicyKind::Reservation);
+        let a = f.create("a", None);
+        let ino = f.ino_of(a).expect("has an inode");
+        assert_eq!(f.open_by_ino(ino), Some(a));
+        assert_eq!(f.open_by_ino(mif_mds::InodeNo(0xDEAD)), None);
+    }
+
+    #[test]
+    fn truncate_frees_the_tail_and_keeps_the_head() {
+        let mut f = fs(PolicyKind::OnDemand);
+        let total = f.free_blocks();
+        let file = f.create("t", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(file, s, 0, 600));
+        f.close(file);
+        assert_eq!(f.file_allocated(file), 600);
+
+        f.truncate(file, 200);
+        assert_eq!(f.file_size(file), 200);
+        assert_eq!(f.file_allocated(file), 200);
+        assert_eq!(f.free_blocks(), total - 200);
+
+        // Head still readable; tail is a hole. Growing again works.
+        f.round(|f| {
+            f.read(file, s, 0, 200);
+            f.write(file, s, 200, 50);
+        });
+        f.sync_data();
+        assert_eq!(f.file_allocated(file), 250);
+        f.unlink(file);
+        assert_eq!(f.free_blocks(), total);
+    }
+
+    #[test]
+    fn truncate_to_larger_size_is_noop() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("t", None);
+        f.round(|f| f.write(file, StreamId::new(1, 0), 0, 32));
+        f.truncate(file, 100);
+        assert_eq!(f.file_size(file), 32);
+        assert_eq!(f.file_allocated(file), 32);
+    }
+
+    #[test]
+    fn delayed_allocation_coalesces_interleaved_streams() {
+        // §II-B: with no syncs, delayed allocation combines an interleaved
+        // round sequence into a few large allocation requests.
+        let run = |sync_every: Option<u64>| {
+            let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Delayed, 1));
+            let file = f.create("d", None);
+            let streams: Vec<_> = (0..8).map(|i| StreamId::new(i, 0)).collect();
+            for round in 0..32u64 {
+                f.begin_round();
+                for (i, &s) in streams.iter().enumerate() {
+                    f.write(file, s, i as u64 * 256 + round * 4, 4);
+                }
+                f.end_round();
+                if let Some(n) = sync_every {
+                    if round % n == n - 1 {
+                        f.sync_data();
+                    }
+                }
+            }
+            f.sync_data();
+            f.file_extents(file)
+        };
+        let buffered = run(None);
+        let synced = run(Some(1));
+        assert!(
+            buffered <= 16,
+            "fully buffered: one run per region, got {buffered}"
+        );
+        assert!(
+            synced > buffered * 4,
+            "per-round fsync forces fragmented allocation: {synced} vs {buffered}"
+        );
+    }
+
+    #[test]
+    fn delayed_allocation_maps_everything_and_conserves_space() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Delayed, 2));
+        let total = f.free_blocks();
+        let file = f.create("d", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(file, s, 0, 64));
+        // Nothing allocated until write-back.
+        assert_eq!(f.file_allocated(file), 0);
+        f.sync_data();
+        assert_eq!(f.file_allocated(file), 64);
+        f.unlink(file);
+        assert_eq!(f.free_blocks(), total);
+    }
+
+    #[test]
+    fn delayed_overwrite_after_flush_writes_in_place() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Delayed, 1));
+        let file = f.create("d", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(file, s, 0, 16));
+        f.sync_data();
+        let allocated = f.file_allocated(file);
+        f.round(|f| f.write(file, s, 0, 16));
+        f.sync_data();
+        assert_eq!(f.file_allocated(file), allocated, "overwrite reallocated");
+    }
+
+    #[test]
+    fn cow_relocates_overwrites_and_conserves_space() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Cow, 1));
+        let total = f.free_blocks();
+        let file = f.create("c", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(file, s, 0, 64));
+        f.sync_data();
+        let first_layout = f.physical_layout(file, 0);
+        assert_eq!(f.file_allocated(file), 64);
+
+        // Overwrite the middle: CoW moves it to the log head.
+        f.round(|f| f.write(file, s, 16, 8));
+        f.sync_data();
+        assert_eq!(f.file_allocated(file), 64, "no net growth");
+        let second_layout = f.physical_layout(file, 0);
+        assert_ne!(first_layout, second_layout, "overwrite relocated");
+        assert!(
+            f.file_extents(file) >= 3,
+            "relocation fragments the mapping: {}",
+            f.file_extents(file)
+        );
+        f.unlink(file);
+        assert_eq!(f.free_blocks(), total);
+    }
+
+    #[test]
+    fn cow_writes_never_overwrite_in_place() {
+        // The defining CoW property: an overwrite's new physical location
+        // differs from the old one.
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Cow, 1));
+        let file = f.create("c", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(file, s, 0, 8));
+        f.sync_data();
+        let old = f.physical_layout(file, 0)[0].1;
+        f.round(|f| f.write(file, s, 0, 8));
+        f.sync_data();
+        let new = f.physical_layout(file, 0)[0].1;
+        assert_ne!(old, new);
+    }
+
+    #[test]
+    fn defragment_collapses_extents_and_preserves_mapping() {
+        // Build a fragmented shared file under reservation, defragment the
+        // regions, verify mapping equivalence and extent collapse.
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 1));
+        let total = f.free_blocks();
+        let file = f.create("frag", None);
+        let streams: Vec<_> = (0..4).map(|i| StreamId::new(i, 0)).collect();
+        for round in 0..16u64 {
+            f.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                f.write(file, s, i as u64 * 64 + round * 4, 4);
+            }
+            f.end_round();
+        }
+        f.sync_data();
+        f.close(file);
+        let before = f.file_extents(file);
+        assert!(before >= 32, "fragmented: {before} extents");
+
+        let t = f.defragment_range(file, 0, 4 * 64);
+        assert!(t > 0, "replication charged time");
+        assert!(
+            f.file_extents(file) <= 4,
+            "defragmented: {} extents",
+            f.file_extents(file)
+        );
+        assert_eq!(f.file_allocated(file), 4 * 64, "mapping preserved");
+        f.unlink(file);
+        assert_eq!(f.free_blocks(), total, "old placement freed");
+    }
+
+    #[test]
+    fn defragment_skips_contiguous_and_holes() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Static, 1));
+        let file = f.create("c", Some(64));
+        f.round(|f| f.write(file, StreamId::new(0, 0), 0, 64));
+        f.sync_data();
+        let layout = f.physical_layout(file, 0);
+        let t = f.defragment_range(file, 0, 64);
+        assert_eq!(t, 0, "already contiguous: no copy");
+        assert_eq!(f.physical_layout(file, 0), layout);
+        // A pure hole is also a no-op.
+        let sparse = f.create("s", None);
+        assert_eq!(f.defragment_range(sparse, 0, 128), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write outside a round")]
+    fn write_requires_round() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("a", None);
+        f.write(file, StreamId::new(1, 1), 0, 4);
+    }
+}

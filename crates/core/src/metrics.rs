@@ -1,0 +1,77 @@
+//! File-system metrics: fragmentation and MDS CPU proxy.
+
+use mif_extent::ExtentTree;
+use mif_simdisk::Nanos;
+
+/// Snapshot of file-system health used by the Table I harness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FsMetrics {
+    /// Total extents across all files and OSTs — the paper's "Seg Counts".
+    pub extents: u64,
+    /// Files measured.
+    pub files: u64,
+    /// Total mapped blocks.
+    pub blocks: u64,
+    /// Simulated elapsed time of the run.
+    pub elapsed_ns: Nanos,
+    /// MDS CPU time consumed handling extents.
+    pub mds_cpu_ns: Nanos,
+}
+
+impl FsMetrics {
+    pub fn add_tree(&mut self, tree: &ExtentTree) {
+        self.extents += tree.extent_count() as u64;
+        self.blocks += tree.mapped_blocks();
+    }
+
+    /// MDS CPU utilization over the run, 0.0–1.0.
+    pub fn cpu_utilization(&self) -> f64 {
+        mds_cpu_utilization(self.mds_cpu_ns, self.elapsed_ns)
+    }
+}
+
+/// MDS CPU-utilization proxy (Table I): extent handling (merging,
+/// indexing) consumes MDS CPU proportional to the extent count — "the less
+/// extents in the parallel file systems to be operated, such as merging and
+/// indexing, the less CPU load involved in MDS".
+pub fn mds_cpu_utilization(cpu_ns: Nanos, elapsed_ns: Nanos) -> f64 {
+    if elapsed_ns == 0 {
+        0.0
+    } else {
+        (cpu_ns as f64 / elapsed_ns as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mif_extent::Extent;
+
+    #[test]
+    fn utilization_is_bounded() {
+        assert_eq!(mds_cpu_utilization(0, 0), 0.0);
+        assert_eq!(mds_cpu_utilization(50, 100), 0.5);
+        assert_eq!(mds_cpu_utilization(500, 100), 1.0);
+    }
+
+    #[test]
+    fn cpu_utilization_uses_elapsed() {
+        let m = FsMetrics {
+            elapsed_ns: 1_000_000,
+            mds_cpu_ns: 250_000,
+            ..Default::default()
+        };
+        assert!((m.cpu_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_accumulate_trees() {
+        let mut m = FsMetrics::default();
+        let mut t = ExtentTree::new();
+        t.insert(Extent::new(0, 0, 4));
+        t.insert(Extent::new(4, 100, 4));
+        m.add_tree(&t);
+        assert_eq!(m.extents, 2);
+        assert_eq!(m.blocks, 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! File striping across IO servers.
+//!
+//! Round-robin striping, the layout used by both Lustre and Redbud: file
+//! logical blocks are cut into stripe units distributed cyclically over the
+//! OSTs. Each OST sees a dense local block space for the file (stripe k of
+//! an OST lands at local offset `k * stripe_blocks`).
+
+/// Striping geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Striping {
+    /// Number of IO servers (disks) the file system stripes over.
+    pub osts: u32,
+    /// Stripe unit in blocks.
+    pub stripe_blocks: u64,
+}
+
+impl Striping {
+    pub fn new(osts: u32, stripe_blocks: u64) -> Self {
+        assert!(osts > 0 && stripe_blocks > 0);
+        Self {
+            osts,
+            stripe_blocks,
+        }
+    }
+
+    /// Map a file logical block to `(ost, ost-local logical block)`.
+    /// `shift` rotates the starting OST — parallel file systems start each
+    /// file on a different server so concurrent per-process files don't
+    /// convoy on one disk.
+    pub fn locate(&self, logical: u64, shift: u32) -> (u32, u64) {
+        let stripe = logical / self.stripe_blocks;
+        let within = logical % self.stripe_blocks;
+        let ost = ((stripe + shift as u64) % self.osts as u64) as u32;
+        let local_stripe = stripe / self.osts as u64;
+        (ost, local_stripe * self.stripe_blocks + within)
+    }
+
+    /// Split a logical range `[logical, logical+len)` into per-OST dense
+    /// runs: `(ost, local_start, run_len, file_logical_start)`.
+    pub fn split(&self, logical: u64, len: u64, shift: u32) -> Vec<(u32, u64, u64, u64)> {
+        let mut out = Vec::new();
+        let mut pos = logical;
+        let end = logical + len;
+        while pos < end {
+            let (ost, local) = self.locate(pos, shift);
+            // Run to the end of this stripe unit.
+            let unit_end = (pos / self.stripe_blocks + 1) * self.stripe_blocks;
+            let run = unit_end.min(end) - pos;
+            // Coalesce with the previous entry when it continues the same
+            // OST-local range (single-OST configs, or len < stripe).
+            match out.last_mut() {
+                Some((o, s, l, _)) if *o == ost && *s + *l == local => *l += run,
+                _ => out.push((ost, local, run, pos)),
+            }
+            pos += run;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_over_osts() {
+        let s = Striping::new(4, 16);
+        assert_eq!(s.locate(0, 0), (0, 0));
+        assert_eq!(s.locate(16, 0), (1, 0));
+        assert_eq!(s.locate(32, 0), (2, 0));
+        assert_eq!(s.locate(48, 0), (3, 0));
+        assert_eq!(s.locate(64, 0), (0, 16));
+    }
+
+    #[test]
+    fn shift_rotates_starting_ost() {
+        let s = Striping::new(4, 16);
+        assert_eq!(s.locate(0, 1), (1, 0));
+        assert_eq!(s.locate(16, 1), (2, 0));
+        assert_eq!(s.locate(48, 1), (0, 0));
+        // Local offsets are unaffected by the shift.
+        assert_eq!(s.locate(64, 1).1, 16);
+    }
+
+    #[test]
+    fn within_stripe_offsets_preserved() {
+        let s = Striping::new(4, 16);
+        assert_eq!(s.locate(17, 0), (1, 1));
+        assert_eq!(s.locate(79, 0), (0, 31));
+    }
+
+    #[test]
+    fn split_respects_stripe_boundaries() {
+        let s = Striping::new(2, 4);
+        // Blocks 2..10: [2,3]→ost0, [4..8)→ost1, [8,9]→ost0 local 4..6.
+        let runs = s.split(2, 8, 0);
+        assert_eq!(runs, vec![(0, 2, 2, 2), (1, 0, 4, 4), (0, 4, 2, 8)]);
+    }
+
+    #[test]
+    fn split_coalesces_on_single_ost() {
+        let s = Striping::new(1, 4);
+        let runs = s.split(0, 64, 0);
+        assert_eq!(runs, vec![(0, 0, 64, 0)]);
+    }
+
+    #[test]
+    fn split_total_len_is_preserved() {
+        let s = Striping::new(5, 16);
+        for shift in [0u32, 2, 4] {
+            for (logical, len) in [(0u64, 1u64), (7, 100), (1000, 4096), (5, 15)] {
+                let total: u64 = s.split(logical, len, shift).iter().map(|r| r.2).sum();
+                assert_eq!(total, len);
+            }
+        }
+    }
+
+    #[test]
+    fn ost_local_space_is_dense() {
+        // Sequential stripes on one OST land back-to-back locally.
+        let s = Striping::new(4, 16);
+        assert_eq!(s.locate(0, 0).1, 0);
+        assert_eq!(s.locate(64, 0).1, 16);
+        assert_eq!(s.locate(128, 0).1, 32);
+    }
+}

@@ -1,0 +1,93 @@
+//! A single contiguous logical→physical mapping run.
+
+/// One extent: `len` blocks of a file starting at logical block `logical`
+/// live on disk at physical block `physical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// File logical block number of the first mapped block.
+    pub logical: u64,
+    /// Physical block number on the owning disk.
+    pub physical: u64,
+    /// Number of blocks (> 0).
+    pub len: u64,
+}
+
+impl Extent {
+    pub fn new(logical: u64, physical: u64, len: u64) -> Self {
+        debug_assert!(len > 0, "zero-length extent");
+        Self {
+            logical,
+            physical,
+            len,
+        }
+    }
+
+    /// One block past the logical end.
+    pub fn logical_end(&self) -> u64 {
+        self.logical + self.len
+    }
+
+    /// One block past the physical end.
+    pub fn physical_end(&self) -> u64 {
+        self.physical + self.len
+    }
+
+    /// Does this extent map `logical_block`?
+    pub fn contains(&self, logical_block: u64) -> bool {
+        (self.logical..self.logical_end()).contains(&logical_block)
+    }
+
+    /// Physical block backing `logical_block`; `None` if outside the extent.
+    pub fn translate(&self, logical_block: u64) -> Option<u64> {
+        self.contains(logical_block)
+            .then(|| self.physical + (logical_block - self.logical))
+    }
+
+    /// True if `other` continues this extent both logically and physically,
+    /// so the two can be stored as one.
+    pub fn abuts(&self, other: &Extent) -> bool {
+        self.logical_end() == other.logical && self.physical_end() == other.physical
+    }
+
+    /// Do the logical ranges of the two extents intersect?
+    pub fn overlaps_logical(&self, other: &Extent) -> bool {
+        self.logical < other.logical_end() && other.logical < self.logical_end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_inside() {
+        let e = Extent::new(10, 100, 5);
+        assert_eq!(e.translate(12), Some(102));
+        assert_eq!(e.translate(10), Some(100));
+        assert_eq!(e.translate(14), Some(104));
+    }
+
+    #[test]
+    fn translate_outside() {
+        let e = Extent::new(10, 100, 5);
+        assert_eq!(e.translate(9), None);
+        assert_eq!(e.translate(15), None);
+    }
+
+    #[test]
+    fn abuts_requires_both_dims() {
+        let e = Extent::new(0, 100, 4);
+        assert!(e.abuts(&Extent::new(4, 104, 2)));
+        assert!(!e.abuts(&Extent::new(4, 200, 2))); // physical gap
+        assert!(!e.abuts(&Extent::new(8, 104, 2))); // logical gap
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let e = Extent::new(10, 0, 5);
+        assert!(e.overlaps_logical(&Extent::new(14, 50, 1)));
+        assert!(!e.overlaps_logical(&Extent::new(15, 50, 1)));
+        assert!(e.overlaps_logical(&Extent::new(0, 0, 11)));
+        assert!(!e.overlaps_logical(&Extent::new(0, 0, 10)));
+    }
+}

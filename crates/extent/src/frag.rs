@@ -1,0 +1,122 @@
+//! Fragmentation metrics over extent trees.
+
+use crate::tree::ExtentTree;
+
+/// Aggregate fragmentation report over a set of files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FragReport {
+    /// Number of files measured.
+    pub files: usize,
+    /// Total extents ("Seg Counts" in the paper's Table I).
+    pub extents: usize,
+    /// Total mapped blocks.
+    pub blocks: u64,
+}
+
+impl FragReport {
+    /// Accumulate one file's tree into the report.
+    pub fn add(&mut self, tree: &ExtentTree) {
+        self.files += 1;
+        self.extents += tree.extent_count();
+        self.blocks += tree.mapped_blocks();
+    }
+
+    /// Mean extents per file — the directory "fragmentation degree" of
+    /// §IV-A ("dividing the number of layout mapping units to the number of
+    /// files").
+    pub fn degree(&self) -> f64 {
+        if self.files == 0 {
+            0.0
+        } else {
+            self.extents as f64 / self.files as f64
+        }
+    }
+
+    /// Mean blocks per extent (higher = more contiguous placement).
+    pub fn avg_run_blocks(&self) -> f64 {
+        if self.extents == 0 {
+            0.0
+        } else {
+            self.blocks as f64 / self.extents as f64
+        }
+    }
+}
+
+/// Fragmentation degree of a directory: extent count over file count.
+pub fn fragmentation_degree<'a>(trees: impl IntoIterator<Item = &'a ExtentTree>) -> f64 {
+    let mut r = FragReport::default();
+    for t in trees {
+        r.add(t);
+    }
+    r.degree()
+}
+
+/// Layout score in `[0, 1]`: 1.0 when the whole file is one extent, tending
+/// to 0 as every block becomes its own extent. Mirrors the metric used by
+/// e2fsprogs' `filefrag`-style analyses.
+pub fn layout_score(tree: &ExtentTree) -> f64 {
+    let blocks = tree.mapped_blocks();
+    if blocks == 0 {
+        return 1.0;
+    }
+    let extents = tree.extent_count() as u64;
+    if blocks == 1 {
+        return 1.0;
+    }
+    1.0 - (extents - 1) as f64 / (blocks - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::Extent;
+
+    fn tree_with_runs(runs: &[(u64, u64, u64)]) -> ExtentTree {
+        let mut t = ExtentTree::new();
+        for &(l, p, n) in runs {
+            t.insert(Extent::new(l, p, n));
+        }
+        t
+    }
+
+    #[test]
+    fn degree_counts_extents_per_file() {
+        let a = tree_with_runs(&[(0, 0, 10)]);
+        let b = tree_with_runs(&[(0, 100, 1), (1, 300, 1), (2, 500, 1)]);
+        assert!((fragmentation_degree([&a, &b]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_of_nothing_is_zero() {
+        assert_eq!(fragmentation_degree(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn perfect_layout_scores_one() {
+        let t = tree_with_runs(&[(0, 0, 100)]);
+        assert_eq!(layout_score(&t), 1.0);
+    }
+
+    #[test]
+    fn worst_layout_scores_zero() {
+        // Every block its own extent.
+        let t = tree_with_runs(&[(0, 0, 1), (1, 10, 1), (2, 20, 1), (3, 30, 1)]);
+        assert_eq!(layout_score(&t), 0.0);
+    }
+
+    #[test]
+    fn empty_tree_scores_one() {
+        assert_eq!(layout_score(&ExtentTree::new()), 1.0);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = FragReport::default();
+        r.add(&tree_with_runs(&[(0, 0, 8)]));
+        r.add(&tree_with_runs(&[(0, 100, 4), (4, 300, 4)]));
+        assert_eq!(r.files, 2);
+        assert_eq!(r.extents, 3);
+        assert_eq!(r.blocks, 16);
+        assert!((r.avg_run_blocks() - 16.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! # mif-extent — file layout mapping and fragmentation metrics
+//!
+//! Block-based parallel file systems express the mapping from file logical
+//! offsets to on-disk blocks with *extents* (the paper's Redbud uses
+//! `[file offset, group offset, length, flags]` tuples, §V-A). The number of
+//! extents a file accumulates is the paper's primary fragmentation measure:
+//! Table I reports "Seg Counts" per preallocation policy, and the embedded
+//! directory maintains a per-directory *fragmentation degree* — extent count
+//! divided by file count (§IV-A).
+//!
+//! This crate provides:
+//! * [`Extent`] — one contiguous logical→physical run;
+//! * [`ExtentTree`] — an ordered, coalescing map of a file's extents with
+//!   range lookup;
+//! * [`frag`] — fragmentation metrics over one or many trees.
+
+pub mod extent;
+pub mod frag;
+pub mod tree;
+
+pub use extent::Extent;
+pub use frag::{fragmentation_degree, layout_score, FragReport};
+pub use tree::ExtentTree;

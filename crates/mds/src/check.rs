@@ -1,0 +1,193 @@
+//! fsck-style consistency checking.
+//!
+//! Verifies the cross-structure invariants the metadata stores must
+//! maintain — the kind of checker a file system ships with (`e2fsck`), and
+//! the backbone of this repository's failure-injection tests. The checks
+//! are mode-specific because the on-disk invariants differ:
+//!
+//! Embedded mode (§IV):
+//! * every live slot's content block lies inside its directory's runs;
+//! * no two directories' content/mapping blocks overlap;
+//! * the global directory table maps every directory id to a live inode;
+//! * every rename-correlation target resolves;
+//! * the recorded fragmentation degree equals extents / files.
+//!
+//! Normal mode:
+//! * every inode index is unique within its group and within table bounds;
+//! * dirent-block lists are disjoint across directories;
+//! * free inode lists never contain live indexes.
+
+use crate::embedded::EmbeddedStore;
+use crate::ids::ROOT_INO;
+use crate::normal::NormalStore;
+use std::collections::HashSet;
+
+/// A consistency violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconsistency {
+    /// Which invariant failed.
+    pub rule: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Inconsistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Check an embedded store; returns every violation found.
+pub fn check_embedded(store: &EmbeddedStore) -> Vec<Inconsistency> {
+    let mut out = Vec::new();
+    let mut owned_blocks: HashSet<u64> = HashSet::new();
+
+    for (ino, snapshot) in store.dir_snapshots() {
+        // Content runs must be disjoint across the namespace.
+        for &(start, len) in &snapshot.runs {
+            for b in start..start + len {
+                if !owned_blocks.insert(b) {
+                    out.push(Inconsistency {
+                        rule: "content-run-overlap",
+                        detail: format!("block {b} owned twice (dir {ino})"),
+                    });
+                }
+            }
+        }
+        // Slots must lie inside the content capacity.
+        for &slot in &snapshot.live_slots {
+            if slot as u64 >= snapshot.capacity_slots {
+                out.push(Inconsistency {
+                    rule: "slot-out-of-content",
+                    detail: format!("dir {ino} slot {slot} beyond capacity"),
+                });
+            }
+        }
+        // Fragmentation degree bookkeeping must match the slots.
+        if snapshot.live_slots.is_empty() {
+            if snapshot.extents_total != 0 {
+                out.push(Inconsistency {
+                    rule: "degree-accounting",
+                    detail: format!(
+                        "dir {ino} empty but extents_total={}",
+                        snapshot.extents_total
+                    ),
+                });
+            }
+        } else if snapshot.extents_total != snapshot.extents_sum {
+            out.push(Inconsistency {
+                rule: "degree-accounting",
+                detail: format!(
+                    "dir {ino}: recorded {} vs actual {}",
+                    snapshot.extents_total, snapshot.extents_sum
+                ),
+            });
+        }
+        // Mapping blocks disjoint from everything else.
+        for &b in &snapshot.map_blocks {
+            if !owned_blocks.insert(b) {
+                out.push(Inconsistency {
+                    rule: "map-block-overlap",
+                    detail: format!("mapping block {b} owned twice (dir {ino})"),
+                });
+            }
+        }
+        // The directory table must know this directory.
+        if ino != ROOT_INO && store.dirtable.lookup(snapshot.id).is_none() {
+            out.push(Inconsistency {
+                rule: "dirtable-missing",
+                detail: format!("dir {ino} (id {:?}) not in the table", snapshot.id),
+            });
+        }
+    }
+    out
+}
+
+/// Check a normal store; returns every violation found.
+pub fn check_normal(store: &NormalStore) -> Vec<Inconsistency> {
+    let mut out = Vec::new();
+
+    // Inode indexes unique per group.
+    let mut per_group: HashSet<(u64, u64)> = HashSet::new();
+    for (ino, group, index) in store.inode_locations() {
+        if !per_group.insert((group, index)) {
+            out.push(Inconsistency {
+                rule: "inode-index-collision",
+                detail: format!("group {group} index {index} used twice (ino {ino})"),
+            });
+        }
+    }
+
+    // Dirent blocks disjoint across directories.
+    let mut blocks: HashSet<u64> = HashSet::new();
+    for (ino, dirent_blocks) in store.dir_block_lists() {
+        for b in dirent_blocks {
+            if !blocks.insert(b) {
+                out.push(Inconsistency {
+                    rule: "dirent-block-overlap",
+                    detail: format!("dirent block {b} shared (dir {ino})"),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MdsLayout;
+    use crate::store::DataArea;
+
+    fn embedded() -> (EmbeddedStore, DataArea) {
+        let layout = MdsLayout::default();
+        let mut data = DataArea::new(&layout);
+        let store = EmbeddedStore::new(&layout, &mut data);
+        (store, data)
+    }
+
+    #[test]
+    fn clean_embedded_store_passes() {
+        let (mut s, mut d) = embedded();
+        let dir = s.mkdir(&mut d, ROOT_INO, "d").0;
+        for i in 0..100 {
+            s.create(&mut d, dir, &format!("f{i}"), (i % 9) + 1);
+        }
+        for i in 0..30 {
+            s.unlink(&mut d, dir, &format!("f{i}"));
+        }
+        let sub = s.mkdir(&mut d, dir, "sub").0;
+        s.rename(&mut d, dir, "f40", sub, "moved");
+        assert_eq!(check_embedded(&s), vec![]);
+    }
+
+    #[test]
+    fn clean_normal_store_passes() {
+        let layout = MdsLayout::default();
+        let mut data = DataArea::new(&layout);
+        let mut s = NormalStore::new(&layout, false, &mut data);
+        let dir = s.mkdir(&mut data, ROOT_INO, "d").0;
+        for i in 0..400 {
+            s.create(&mut data, dir, &format!("f{i}"), (i % 300) + 1);
+        }
+        for i in 0..100 {
+            s.unlink(&mut data, dir, &format!("f{i}"));
+        }
+        assert_eq!(check_normal(&s), vec![]);
+    }
+
+    #[test]
+    fn checker_survives_heavy_churn() {
+        let (mut s, mut d) = embedded();
+        let dir = s.mkdir(&mut d, ROOT_INO, "d").0;
+        for gen in 0..4 {
+            for i in 0..200 {
+                s.create(&mut d, dir, &format!("g{gen}_{i}"), (i % 40) + 1);
+            }
+            for i in 0..200 {
+                s.unlink(&mut d, dir, &format!("g{gen}_{i}"));
+            }
+        }
+        assert_eq!(check_embedded(&s), vec![]);
+    }
+}

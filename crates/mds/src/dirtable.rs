@@ -1,0 +1,191 @@
+//! The global directory table and the rename-correlation table (§IV-B).
+
+use crate::ids::{DirId, InodeNo};
+use std::collections::HashMap;
+
+/// One global-directory-table entry: where a directory lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirTableEntry {
+    /// The directory's own inode number (which encodes *its* parent).
+    pub ino: InodeNo,
+}
+
+/// The global directory table: "On creating a new directory, the new
+/// directory inode number is mapped to a unique directory identification
+/// and this mapping structure is stored into the global directory table."
+///
+/// Resolving an arbitrary inode number uses the directory-identification
+/// half to find the parent directory, then tracks back recursively toward
+/// the root (the caller charges the disk reads; most steps hit cache since
+/// "getting a file's inode number requires first looking up its parent
+/// directory which are cached in the first place").
+#[derive(Debug, Default)]
+pub struct DirTable {
+    entries: Vec<DirTableEntry>,
+}
+
+impl DirTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a directory, assigning the next directory identification.
+    pub fn register(&mut self, ino: InodeNo) -> DirId {
+        let id = DirId(self.entries.len() as u32);
+        self.entries.push(DirTableEntry { ino });
+        id
+    }
+
+    /// The directory inode number registered under `id`.
+    pub fn lookup(&self, id: DirId) -> Option<InodeNo> {
+        self.entries.get(id.0 as usize).map(|e| e.ino)
+    }
+
+    /// Re-point a directory identification at a new inode number (the
+    /// directory itself was renamed and its inode moved).
+    pub fn update(&mut self, id: DirId, ino: InodeNo) {
+        self.entries[id.0 as usize] = DirTableEntry { ino };
+    }
+
+    /// Walk from `ino` back to the root, yielding the chain of parent
+    /// directory inode numbers (nearest first). Used to model the
+    /// recursive track-back of §IV-B.
+    pub fn parent_chain(&self, ino: InodeNo, root: InodeNo) -> Vec<InodeNo> {
+        let mut chain = Vec::new();
+        let mut cur = ino;
+        while cur != root {
+            let Some(parent) = self.lookup(cur.dir_id()) else {
+                break;
+            };
+            chain.push(parent);
+            if parent == cur {
+                break; // defensive: malformed table
+            }
+            cur = parent;
+        }
+        chain
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Rename correlation (§IV-B): embedded-mode rename changes the externally
+/// visible inode number, so "the additional structure to correlate the old
+/// and new inodes is kept... until the management routines exit".
+#[derive(Debug, Default)]
+pub struct RenameCorrelation {
+    old_to_new: HashMap<InodeNo, InodeNo>,
+}
+
+impl RenameCorrelation {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `old` is now `new`. Chains collapse: anything that
+    /// previously mapped to `old` now maps to `new`.
+    pub fn record(&mut self, old: InodeNo, new: InodeNo) {
+        for v in self.old_to_new.values_mut() {
+            if *v == old {
+                *v = new;
+            }
+        }
+        self.old_to_new.insert(old, new);
+    }
+
+    /// Follow an id through any renames: returns the current id
+    /// (changes to the new inode "are also routed to the old one").
+    pub fn resolve(&self, ino: InodeNo) -> InodeNo {
+        self.old_to_new.get(&ino).copied().unwrap_or(ino)
+    }
+
+    /// Drop all correlations ("maintained until the management routines
+    /// exit").
+    pub fn clear(&mut self) {
+        self.old_to_new.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.old_to_new.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ROOT_INO;
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut t = DirTable::new();
+        assert_eq!(t.register(InodeNo(1)), DirId(0));
+        assert_eq!(t.register(InodeNo(2)), DirId(1));
+        assert_eq!(t.lookup(DirId(1)), Some(InodeNo(2)));
+        assert_eq!(t.lookup(DirId(9)), None);
+    }
+
+    #[test]
+    fn parent_chain_tracks_back_to_root() {
+        let mut t = DirTable::new();
+        // Root registers as dir 0.
+        let root_id = t.register(ROOT_INO);
+        // dir A lives in root: ino = (root_id, slot 0).
+        let a_ino = InodeNo::compose(root_id, 0);
+        let a_id = t.register(a_ino);
+        // dir B lives in A.
+        let b_ino = InodeNo::compose(a_id, 3);
+        let b_id = t.register(b_ino);
+        // file F lives in B.
+        let f_ino = InodeNo::compose(b_id, 7);
+
+        let chain = t.parent_chain(f_ino, ROOT_INO);
+        assert_eq!(chain, vec![b_ino, a_ino, ROOT_INO]);
+    }
+
+    #[test]
+    fn correlation_resolves_renames() {
+        let mut c = RenameCorrelation::new();
+        let old = InodeNo(10);
+        let new = InodeNo(20);
+        c.record(old, new);
+        assert_eq!(c.resolve(old), new);
+        assert_eq!(c.resolve(new), new);
+        assert_eq!(c.resolve(InodeNo(99)), InodeNo(99));
+    }
+
+    #[test]
+    fn correlation_chains_collapse() {
+        let mut c = RenameCorrelation::new();
+        c.record(InodeNo(1), InodeNo(2));
+        c.record(InodeNo(2), InodeNo(3));
+        assert_eq!(c.resolve(InodeNo(1)), InodeNo(3));
+        assert_eq!(c.resolve(InodeNo(2)), InodeNo(3));
+    }
+
+    #[test]
+    fn correlation_clear_forgets() {
+        let mut c = RenameCorrelation::new();
+        c.record(InodeNo(1), InodeNo(2));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.resolve(InodeNo(1)), InodeNo(1));
+    }
+
+    #[test]
+    fn dirtable_update_repoints() {
+        let mut t = DirTable::new();
+        let id = t.register(InodeNo(5));
+        t.update(id, InodeNo(9));
+        assert_eq!(t.lookup(id), Some(InodeNo(9)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Inode-number handling (§IV-B).
+//!
+//! Embedded directories allocate inodes dynamically inside directory
+//! content, so the classic "inode number indexes the inode table"
+//! translation is broken. The paper regains it by composing the inode
+//! number from the parent directory's identification and the inode's offset
+//! within the directory: "the normal file inode number is expressed by a
+//! 64-bit number, and the directory identification and offset is sized at
+//! 32-bit."
+
+/// A 64-bit inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeNo(pub u64);
+
+/// A 32-bit directory identification assigned by the global directory
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirId(pub u32);
+
+/// The root directory's inode number. The root is its own well-known
+/// object: its content location is stored in the superblock, not in any
+/// parent directory.
+pub const ROOT_INO: InodeNo = InodeNo(1);
+
+/// High bit tagging composed (embedded-mode) inode numbers, so they can
+/// never collide with the well-known [`ROOT_INO`]. This halves the
+/// directory-identification space to 31 bits — the paper itself notes the
+/// 64-bit design "limits the file count in a directory and total directory
+/// count" and that widening the number solves it.
+const COMPOSED_TAG: u64 = 1 << 63;
+
+impl InodeNo {
+    /// Compose an embedded-mode inode number from the parent directory's
+    /// identification and the slot offset inside the directory content.
+    pub fn compose(dir: DirId, offset: u32) -> Self {
+        debug_assert!(dir.0 < (1 << 31), "directory identification overflow");
+        InodeNo(COMPOSED_TAG | ((dir.0 as u64) << 32) | offset as u64)
+    }
+
+    /// Is this a composed (embedded-mode) inode number?
+    pub fn is_composed(self) -> bool {
+        self.0 & COMPOSED_TAG != 0
+    }
+
+    /// Parent directory identification portion.
+    pub fn dir_id(self) -> DirId {
+        DirId(((self.0 & !COMPOSED_TAG) >> 32) as u32)
+    }
+
+    /// Offset-in-directory portion.
+    pub fn offset(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl std::fmt::Display for InodeNo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// The 128-bit inode number of §IV-B's outlook: "shifting to a 128-bit
+/// inode number with a 64-bit directory number and a 64-bit offset would
+/// overcome any realistic limitations" (the 64-bit format caps both the
+/// per-directory file count and the total directory count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WideInodeNo(pub u128);
+
+impl WideInodeNo {
+    /// The wide root inode.
+    pub const ROOT: WideInodeNo = WideInodeNo(1);
+
+    /// Compose from a 64-bit directory number and a 64-bit offset.
+    pub fn compose(dir: u64, offset: u64) -> Self {
+        debug_assert!(dir < (1 << 63), "directory number overflow");
+        WideInodeNo((1u128 << 127) | ((dir as u128) << 64) | offset as u128)
+    }
+
+    pub fn dir_number(self) -> u64 {
+        ((self.0 >> 64) as u64) & !(1 << 63)
+    }
+
+    pub fn offset(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Widen a 64-bit composed number losslessly.
+    pub fn from_narrow(ino: InodeNo) -> Self {
+        if ino == ROOT_INO {
+            Self::ROOT
+        } else {
+            Self::compose(ino.dir_id().0 as u64, ino.offset() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_round_trips() {
+        let ino = InodeNo::compose(DirId(7), 4242);
+        assert_eq!(ino.dir_id(), DirId(7));
+        assert_eq!(ino.offset(), 4242);
+    }
+
+    #[test]
+    fn compose_is_injective_across_dirs() {
+        let a = InodeNo::compose(DirId(1), 2);
+        let b = InodeNo::compose(DirId(2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn max_values_fit() {
+        let max_dir = DirId((1 << 31) - 1);
+        let ino = InodeNo::compose(max_dir, u32::MAX);
+        assert_eq!(ino.dir_id(), max_dir);
+        assert_eq!(ino.offset(), u32::MAX);
+    }
+
+    #[test]
+    fn composed_never_collides_with_root() {
+        for dir in [0u32, 1, 7] {
+            for off in [0u32, 1, 2] {
+                assert_ne!(InodeNo::compose(DirId(dir), off), ROOT_INO);
+            }
+        }
+        assert!(InodeNo::compose(DirId(0), 1).is_composed());
+        assert!(!ROOT_INO.is_composed());
+    }
+
+    use crate::ids::ROOT_INO;
+
+    #[test]
+    fn wide_compose_round_trips() {
+        let w = WideInodeNo::compose(0xDEAD_BEEF_0000, 0xFFFF_FFFF_FFFF);
+        assert_eq!(w.dir_number(), 0xDEAD_BEEF_0000);
+        assert_eq!(w.offset(), 0xFFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn wide_widens_narrow_numbers_losslessly() {
+        let narrow = InodeNo::compose(DirId(42), 7);
+        let wide = WideInodeNo::from_narrow(narrow);
+        assert_eq!(wide.dir_number(), 42);
+        assert_eq!(wide.offset(), 7);
+        assert_eq!(WideInodeNo::from_narrow(ROOT_INO), WideInodeNo::ROOT);
+    }
+
+    #[test]
+    fn wide_exceeds_narrow_capacity() {
+        // A directory number and offset past the 32-bit limits still fit.
+        let w = WideInodeNo::compose(u32::MAX as u64 + 10, u32::MAX as u64 + 10);
+        assert_eq!(w.dir_number(), u32::MAX as u64 + 10);
+        assert_eq!(w.offset(), u32::MAX as u64 + 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! On-disk layout of the metadata file system (MFS).
+//!
+//! The MDS disk is divided into a superblock, a circular journal region, a
+//! global-directory-table region (used only by embedded mode) and a series
+//! of ext3-style block groups. Each group holds, in order: a block bitmap
+//! block, an inode bitmap block, the inode table, and the data area.
+//! Embedded mode leaves the inode table and inode bitmap unused — inodes
+//! live in directory content inside the data area — which is itself part of
+//! the paper's space argument.
+
+/// Bytes per metadata block.
+pub const BLOCK_SIZE: u64 = 4096;
+/// Classic 128-byte inodes: 32 per inode-table block.
+pub const INODES_PER_BLOCK: u64 = 32;
+/// Compact ext3 dirents (short names): 256 per directory block.
+pub const DIRENTS_PER_BLOCK: u64 = 256;
+/// Embedded entries carry name + inode + stuffed mapping (~128 bytes):
+/// 32 per directory-content block.
+pub const EMB_ENTRIES_PER_BLOCK: u64 = 32;
+/// Inline layout-mapping capacity of an inode tail, in extents (§IV-A).
+pub const INLINE_EXTENTS: u32 = 4;
+/// Extents held by one extra mapping block.
+pub const EXTENTS_PER_MAP_BLOCK: u32 = 128;
+/// Directory-table entries per block.
+pub const DIRTABLE_PER_BLOCK: u64 = 512;
+
+/// Geometry of the metadata file system on its disk.
+#[derive(Debug, Clone)]
+pub struct MdsLayout {
+    /// Journal region size in blocks.
+    pub journal_blocks: u64,
+    /// Global directory table region size in blocks.
+    pub dirtable_blocks: u64,
+    /// Blocks per block group (including its own metadata).
+    pub group_blocks: u64,
+    /// Inode-table blocks per group.
+    pub itable_blocks: u64,
+    /// Number of block groups.
+    pub groups: u64,
+}
+
+impl Default for MdsLayout {
+    fn default() -> Self {
+        Self {
+            journal_blocks: 8192,  // 32 MiB journal
+            dirtable_blocks: 1024, // 2 M directories
+            group_blocks: 32768,   // 128 MiB groups
+            itable_blocks: 512,    // 16 K inodes per group
+            groups: 48,
+        }
+    }
+}
+
+impl MdsLayout {
+    /// Total disk blocks the layout occupies.
+    pub fn total_blocks(&self) -> u64 {
+        1 + self.journal_blocks + self.dirtable_blocks + self.groups * self.group_blocks
+    }
+
+    /// First journal block (block 0 is the superblock).
+    pub fn journal_base(&self) -> u64 {
+        1
+    }
+
+    /// First directory-table block.
+    pub fn dirtable_base(&self) -> u64 {
+        1 + self.journal_blocks
+    }
+
+    /// Directory-table block holding `dir_id`'s entry.
+    pub fn dirtable_block(&self, dir_id: u32) -> u64 {
+        self.dirtable_base() + dir_id as u64 / DIRTABLE_PER_BLOCK
+    }
+
+    /// First block of group `g`.
+    pub fn group_base(&self, g: u64) -> u64 {
+        debug_assert!(g < self.groups);
+        self.dirtable_base() + self.dirtable_blocks + g * self.group_blocks
+    }
+
+    /// Block-bitmap block of group `g`.
+    pub fn block_bitmap(&self, g: u64) -> u64 {
+        self.group_base(g)
+    }
+
+    /// Inode-bitmap block of group `g`.
+    pub fn inode_bitmap(&self, g: u64) -> u64 {
+        self.group_base(g) + 1
+    }
+
+    /// Inode-table block holding inode `index` of group `g`.
+    pub fn itable_block(&self, g: u64, index: u64) -> u64 {
+        debug_assert!(index / INODES_PER_BLOCK < self.itable_blocks);
+        self.group_base(g) + 2 + index / INODES_PER_BLOCK
+    }
+
+    /// Inodes one group's table can hold.
+    pub fn inodes_per_group(&self) -> u64 {
+        self.itable_blocks * INODES_PER_BLOCK
+    }
+
+    /// First data block of group `g`.
+    pub fn data_base(&self, g: u64) -> u64 {
+        self.group_base(g) + 2 + self.itable_blocks
+    }
+
+    /// Data-area blocks per group.
+    pub fn data_blocks(&self) -> u64 {
+        self.group_blocks - 2 - self.itable_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = MdsLayout::default();
+        assert!(l.journal_base() > 0);
+        assert_eq!(l.dirtable_base(), l.journal_base() + l.journal_blocks);
+        assert_eq!(l.group_base(0), l.dirtable_base() + l.dirtable_blocks);
+        assert_eq!(l.group_base(1), l.group_base(0) + l.group_blocks);
+    }
+
+    #[test]
+    fn group_internal_layout() {
+        let l = MdsLayout::default();
+        let g = 3;
+        assert_eq!(l.inode_bitmap(g), l.block_bitmap(g) + 1);
+        assert_eq!(l.itable_block(g, 0), l.inode_bitmap(g) + 1);
+        assert_eq!(l.itable_block(g, 31), l.itable_block(g, 0));
+        assert_eq!(l.itable_block(g, 32), l.itable_block(g, 0) + 1);
+        assert_eq!(l.data_base(g), l.itable_block(g, 0) + l.itable_blocks);
+    }
+
+    #[test]
+    fn data_area_fills_group() {
+        let l = MdsLayout::default();
+        assert_eq!(l.data_blocks(), l.group_blocks - 2 - l.itable_blocks);
+        assert!(l.data_base(0) + l.data_blocks() == l.group_base(1));
+    }
+
+    #[test]
+    fn dirtable_block_mapping() {
+        let l = MdsLayout::default();
+        assert_eq!(l.dirtable_block(0), l.dirtable_base());
+        assert_eq!(l.dirtable_block(511), l.dirtable_base());
+        assert_eq!(l.dirtable_block(512), l.dirtable_base() + 1);
+    }
+
+    #[test]
+    fn total_blocks_consistent() {
+        let l = MdsLayout::default();
+        assert_eq!(
+            l.total_blocks(),
+            l.group_base(l.groups - 1) + l.group_blocks
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Plumbing shared by the directory stores: operation effects and the
+//! per-group data-area allocator.
+//!
+//! A store computes *which blocks* an operation reads and dirties; the
+//! [`crate::Mds`] facade owns the disk and turns the effect into journal
+//! writes, cached reads and checkpointed write-back. Keeping stores free of
+//! I/O makes their placement logic directly unit-testable.
+
+use crate::layout::MdsLayout;
+use mif_alloc::BlockBitmap;
+
+/// One submission of reads. Sets are executed in order, each as its own
+/// disk batch — this models synchronous block-at-a-time metadata reads
+/// (`ra_ctx: None`, like ext3 buffer-cache reads) versus streaming reads
+/// with a per-file readahead context (`ra_ctx: Some(..)`, like the embedded
+/// directory's content scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadSet {
+    pub ra_ctx: Option<u64>,
+    /// (start, len) runs to read.
+    pub blocks: Vec<(u64, u64)>,
+}
+
+impl ReadSet {
+    /// A single raw (no readahead) block read.
+    pub fn raw(block: u64) -> Self {
+        ReadSet {
+            ra_ctx: None,
+            blocks: vec![(block, 1)],
+        }
+    }
+
+    /// A single block read under a readahead context.
+    pub fn ctx(ctx: u64, block: u64) -> Self {
+        ReadSet {
+            ra_ctx: Some(ctx),
+            blocks: vec![(block, 1)],
+        }
+    }
+}
+
+/// Everything a metadata operation does to the disk, in store terms.
+#[derive(Debug, Clone, Default)]
+pub struct OpEffect {
+    /// Reads, in submission order.
+    pub reads: Vec<ReadSet>,
+    /// Blocks dirtied (will be written back at the next checkpoint).
+    pub dirty: Vec<u64>,
+    /// Journal blocks this operation appends (0 for read-only ops).
+    pub journal_blocks: u64,
+    /// Blocks freed by the operation (cache must be invalidated).
+    pub freed: Vec<(u64, u64)>,
+}
+
+impl OpEffect {
+    pub fn read_only() -> Self {
+        OpEffect::default()
+    }
+
+    pub fn mutation() -> Self {
+        OpEffect {
+            journal_blocks: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Append another effect's actions to this one.
+    pub fn merge(&mut self, other: OpEffect) {
+        self.reads.extend(other.reads);
+        self.dirty.extend(other.dirty);
+        self.journal_blocks += other.journal_blocks;
+        self.freed.extend(other.freed);
+    }
+}
+
+/// Per-group data-area allocator over absolute disk block numbers.
+///
+/// Allocation reads block bitmaps: every group examined during a search is
+/// recorded in [`DataArea::touched_groups`] so the caller can charge the
+/// bitmap-block reads. On an aged (fragmented) file system a contiguous-run
+/// search scans many groups — this I/O is the ext3-realistic mechanism
+/// behind the Fig. 9 aging slowdown.
+#[derive(Debug)]
+pub struct DataArea {
+    layout: MdsLayout,
+    bitmaps: Vec<BlockBitmap>,
+    touched: Vec<u64>,
+}
+
+impl DataArea {
+    pub fn new(layout: &MdsLayout) -> Self {
+        let bitmaps = (0..layout.groups)
+            .map(|_| BlockBitmap::new(layout.data_blocks()))
+            .collect();
+        Self {
+            layout: layout.clone(),
+            bitmaps,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Block-bitmap blocks examined by allocations since the last call
+    /// (deduplicated, absolute block numbers). Drains the record.
+    pub fn take_touched_bitmaps(&mut self) -> Vec<u64> {
+        let mut t = std::mem::take(&mut self.touched);
+        t.sort_unstable();
+        t.dedup();
+        t.iter().map(|&g| self.layout.block_bitmap(g)).collect()
+    }
+
+    fn to_abs(&self, group: u64, local: u64) -> u64 {
+        self.layout.data_base(group) + local
+    }
+
+    fn to_local(&self, abs: u64) -> (u64, u64) {
+        for g in 0..self.layout.groups {
+            let base = self.layout.data_base(g);
+            if abs >= base && abs < base + self.layout.data_blocks() {
+                return (g, abs - base);
+            }
+        }
+        panic!("block {abs} is not in any data area");
+    }
+
+    /// Contiguous run of `len` blocks, preferring `group` (near `goal_abs`
+    /// if given), spilling to other groups round-robin.
+    pub fn alloc_run(&mut self, group: u64, goal_abs: Option<u64>, len: u64) -> Option<u64> {
+        let groups = self.layout.groups;
+        for step in 0..groups {
+            let g = (group + step) % groups;
+            self.touched.push(g);
+            let goal = match goal_abs {
+                Some(abs) if step == 0 && abs >= self.layout.data_base(g) => {
+                    (abs - self.layout.data_base(g)).min(self.layout.data_blocks() - 1)
+                }
+                _ => 0,
+            };
+            if let Some(s) = self.bitmaps[g as usize].alloc_run(goal, len) {
+                return Some(self.to_abs(g, s));
+            }
+        }
+        None
+    }
+
+    /// One block near `goal_abs` in `group`, spilling across groups;
+    /// panics only if the whole metadata area is full.
+    pub fn alloc_block(&mut self, group: u64, goal_abs: Option<u64>) -> u64 {
+        self.alloc_run(group, goal_abs, 1)
+            .expect("metadata area out of space")
+    }
+
+    /// Up to `len` blocks in as few runs as possible (absolute runs),
+    /// searching near `goal_abs` in the preferred group first.
+    pub fn alloc_chunks(&mut self, group: u64, goal_abs: Option<u64>, len: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut need = len;
+        let groups = self.layout.groups;
+        for step in 0..groups {
+            if need == 0 {
+                break;
+            }
+            let g = (group + step) % groups;
+            self.touched.push(g);
+            let goal = match goal_abs {
+                Some(abs) if step == 0 && abs >= self.layout.data_base(g) => {
+                    (abs - self.layout.data_base(g)).min(self.layout.data_blocks() - 1)
+                }
+                _ => 0,
+            };
+            for (s, l) in self.bitmaps[g as usize].alloc_chunks(goal, need) {
+                out.push((self.to_abs(g, s), l));
+                need -= l;
+            }
+        }
+        assert!(need < len || len == 0, "metadata area out of space");
+        out
+    }
+
+    /// Free an absolute run (must lie inside one group's data area).
+    pub fn free(&mut self, abs: u64, len: u64) {
+        let (g, local) = self.to_local(abs);
+        self.bitmaps[g as usize].free_range(local, len);
+    }
+
+    /// Fraction of the data area allocated, 0.0–1.0.
+    pub fn utilization(&self) -> f64 {
+        let total: u64 = self.bitmaps.iter().map(|b| b.capacity()).sum();
+        let free: u64 = self.bitmaps.iter().map(|b| b.free_count()).sum();
+        1.0 - free as f64 / total as f64
+    }
+
+    /// Total free blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.bitmaps.iter().map(|b| b.free_count()).sum()
+    }
+
+    /// Group that owns absolute block `abs` (diagnostics).
+    pub fn group_of(&self, abs: u64) -> u64 {
+        self.to_local(abs).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_layout() -> MdsLayout {
+        MdsLayout {
+            journal_blocks: 64,
+            dirtable_blocks: 8,
+            group_blocks: 1024,
+            itable_blocks: 32,
+            groups: 4,
+        }
+    }
+
+    #[test]
+    fn alloc_stays_in_preferred_group() {
+        let l = small_layout();
+        let mut d = DataArea::new(&l);
+        let b = d.alloc_block(2, None);
+        assert_eq!(d.group_of(b), 2);
+        assert!(b >= l.data_base(2));
+    }
+
+    #[test]
+    fn spills_when_group_full() {
+        let l = small_layout();
+        let mut d = DataArea::new(&l);
+        let cap = l.data_blocks();
+        assert!(d.alloc_run(0, None, cap).is_some());
+        let b = d.alloc_block(0, None);
+        assert_ne!(d.group_of(b), 0);
+    }
+
+    #[test]
+    fn goal_hint_places_adjacent() {
+        let l = small_layout();
+        let mut d = DataArea::new(&l);
+        let a = d.alloc_run(1, None, 4).unwrap();
+        let b = d.alloc_run(1, Some(a + 4), 4).unwrap();
+        assert_eq!(b, a + 4);
+    }
+
+    #[test]
+    fn free_and_utilization_round_trip() {
+        let l = small_layout();
+        let mut d = DataArea::new(&l);
+        let a = d.alloc_run(0, None, 100).unwrap();
+        assert!(d.utilization() > 0.0);
+        d.free(a, 100);
+        assert_eq!(d.utilization(), 0.0);
+    }
+
+    #[test]
+    fn chunks_cross_groups() {
+        let l = small_layout();
+        let mut d = DataArea::new(&l);
+        let cap = l.data_blocks();
+        d.alloc_run(0, None, cap - 2);
+        let runs = d.alloc_chunks(0, None, 10);
+        assert_eq!(runs.iter().map(|(_, l)| l).sum::<u64>(), 10);
+        assert!(runs.len() >= 2);
+    }
+
+    #[test]
+    fn effect_merge_concatenates() {
+        let mut a = OpEffect::mutation();
+        a.dirty.push(5);
+        let mut b = OpEffect::mutation();
+        b.dirty.push(7);
+        b.reads.push(ReadSet::raw(9));
+        a.merge(b);
+        assert_eq!(a.dirty, vec![5, 7]);
+        assert_eq!(a.journal_blocks, 2);
+        assert_eq!(a.reads.len(), 1);
+    }
+}

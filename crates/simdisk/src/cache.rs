@@ -1,0 +1,161 @@
+//! A bounded block cache with LRU eviction.
+//!
+//! Caches whole blocks brought in by reads and readahead; a read fully
+//! covered by cached blocks is a memory hit and costs no disk time. Writes
+//! update the cache (the MDS in the paper runs synchronous writes, so dirty
+//! data still goes to the platter — the cache only short-circuits reads).
+
+use crate::BlockNo;
+use std::collections::HashMap;
+
+/// Fixed-capacity LRU block cache.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity: usize,
+    /// block -> LRU tick of last touch.
+    blocks: HashMap<BlockNo, u64>,
+    tick: u64,
+}
+
+impl BlockCache {
+    /// `capacity` is in blocks; 0 disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            blocks: HashMap::with_capacity(capacity.min(1 << 20)),
+            tick: 0,
+        }
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// True if every block of `start..start+len` is cached. Touches the
+    /// blocks (LRU refresh) when they all hit.
+    pub fn contains_range(&mut self, start: BlockNo, len: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if !(start..start + len).all(|b| self.blocks.contains_key(&b)) {
+            return false;
+        }
+        self.tick += 1;
+        let t = self.tick;
+        for b in start..start + len {
+            self.blocks.insert(b, t);
+        }
+        true
+    }
+
+    /// Length of the contiguously-cached run starting at `start`, capped at
+    /// `max` (the readahead pipeline's "runway").
+    pub fn cached_run_len(&self, start: BlockNo, max: u64) -> u64 {
+        let mut n = 0;
+        while n < max && self.blocks.contains_key(&(start + n)) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Insert a run of blocks, evicting least-recently-used blocks beyond
+    /// capacity.
+    pub fn insert_range(&mut self, start: BlockNo, len: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let t = self.tick;
+        for b in start..start + len {
+            self.blocks.insert(b, t);
+        }
+        self.evict();
+    }
+
+    /// Drop a run of blocks (e.g. after they are freed on disk).
+    pub fn invalidate_range(&mut self, start: BlockNo, len: u64) {
+        for b in start..start + len {
+            self.blocks.remove(&b);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    fn evict(&mut self) {
+        while self.blocks.len() > self.capacity {
+            // O(n) scan is fine: eviction happens on insert bursts and the
+            // simulator's caches are small (tens of thousands of entries).
+            if let Some((&victim, _)) = self.blocks.iter().min_by_key(|(_, &t)| t) {
+                self.blocks.remove(&victim);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = BlockCache::new(16);
+        c.insert_range(10, 4);
+        assert!(c.contains_range(10, 4));
+        assert!(c.contains_range(11, 2));
+    }
+
+    #[test]
+    fn partial_coverage_is_a_miss() {
+        let mut c = BlockCache::new(16);
+        c.insert_range(10, 4);
+        assert!(!c.contains_range(12, 4));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut c = BlockCache::new(0);
+        c.insert_range(0, 4);
+        assert!(!c.contains_range(0, 1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        let mut c = BlockCache::new(4);
+        c.insert_range(0, 4); // blocks 0..4
+        assert!(c.contains_range(0, 2)); // refresh 0,1
+        c.insert_range(100, 2); // evicts 2,3 (least recently used)
+        assert!(c.contains_range(0, 2));
+        assert!(!c.contains_range(2, 1));
+        assert!(c.contains_range(100, 2));
+    }
+
+    #[test]
+    fn invalidate_removes_blocks() {
+        let mut c = BlockCache::new(16);
+        c.insert_range(0, 8);
+        c.invalidate_range(2, 2);
+        assert!(!c.contains_range(0, 8));
+        assert!(c.contains_range(0, 2));
+        assert!(c.contains_range(4, 4));
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut c = BlockCache::new(8);
+        for i in 0..10 {
+            c.insert_range(i * 10, 3);
+        }
+        assert!(c.len() <= 8);
+    }
+}

@@ -1,0 +1,116 @@
+//! Block-level I/O requests submitted to a [`crate::Disk`].
+
+use crate::BlockNo;
+
+/// Direction of a block request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IoOp {
+    /// Read blocks from the platter (may be satisfied by cache/readahead).
+    Read,
+    /// Write blocks to the platter.
+    Write,
+}
+
+/// A request for `len` contiguous physical blocks starting at `start`.
+///
+/// Requests are what the file system layers hand to the scheduler; after
+/// merging, one request may represent several original operations (the
+/// original count is preserved in [`BlockRequest::merged`] so access-count
+/// accounting can distinguish issued operations from dispatched commands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRequest {
+    pub op: IoOp,
+    pub start: BlockNo,
+    pub len: u64,
+    /// Number of original requests folded into this one (>= 1).
+    pub merged: u32,
+    /// Per-request readahead context (overrides the batch context): the
+    /// open file / stream this read belongs to, so interleaved sequential
+    /// streams each keep their own readahead ramp.
+    pub ra: Option<u64>,
+}
+
+impl BlockRequest {
+    /// A fresh (unmerged) request.
+    pub fn new(op: IoOp, start: BlockNo, len: u64) -> Self {
+        debug_assert!(len > 0, "zero-length block request");
+        Self {
+            op,
+            start,
+            len,
+            merged: 1,
+            ra: None,
+        }
+    }
+
+    /// Attach a readahead context to this request.
+    pub fn with_ctx(mut self, ctx: u64) -> Self {
+        self.ra = Some(ctx);
+        self
+    }
+
+    /// Convenience constructor for reads.
+    pub fn read(start: BlockNo, len: u64) -> Self {
+        Self::new(IoOp::Read, start, len)
+    }
+
+    /// Convenience constructor for writes.
+    pub fn write(start: BlockNo, len: u64) -> Self {
+        Self::new(IoOp::Write, start, len)
+    }
+
+    /// First block past the end of this request.
+    pub fn end(&self) -> BlockNo {
+        self.start + self.len
+    }
+
+    /// Whether `other` starts exactly where `self` ends and has the same
+    /// direction, i.e. the two can be coalesced into one disk command.
+    pub fn can_merge(&self, other: &BlockRequest) -> bool {
+        self.op == other.op && self.end() == other.start
+    }
+
+    /// Extend `self` to also cover `other`. Caller must check
+    /// [`BlockRequest::can_merge`] first.
+    pub fn merge(&mut self, other: &BlockRequest) {
+        debug_assert!(self.can_merge(other));
+        self.len += other.len;
+        self.merged += other.merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adjacent_same_op() {
+        let mut a = BlockRequest::write(10, 4);
+        let b = BlockRequest::write(14, 2);
+        assert!(a.can_merge(&b));
+        a.merge(&b);
+        assert_eq!(a.start, 10);
+        assert_eq!(a.len, 6);
+        assert_eq!(a.merged, 2);
+    }
+
+    #[test]
+    fn no_merge_across_ops() {
+        let a = BlockRequest::write(10, 4);
+        let b = BlockRequest::read(14, 2);
+        assert!(!a.can_merge(&b));
+    }
+
+    #[test]
+    fn no_merge_with_gap() {
+        let a = BlockRequest::read(10, 4);
+        let b = BlockRequest::read(15, 2);
+        assert!(!a.can_merge(&b));
+    }
+
+    #[test]
+    fn end_is_exclusive() {
+        let a = BlockRequest::read(10, 4);
+        assert_eq!(a.end(), 14);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-disk operation statistics.
+//!
+//! The paper's Figure 8 reports *disk access counts* captured "by
+//! intercepting the disk access in the general block layer in the kernel" —
+//! i.e. after scheduler merging. [`DiskStats::dispatched`] is that number;
+//! [`DiskStats::submitted`] counts requests before merging.
+
+use crate::Nanos;
+
+/// Counters accumulated by a [`crate::Disk`] over its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Requests handed to the scheduler (before merging).
+    pub submitted: u64,
+    /// Disk commands actually dispatched to the platter (after merging and
+    /// cache hits are removed). This is the paper's "disk access count".
+    pub dispatched: u64,
+    /// Requests fully satisfied from the block cache / readahead window.
+    pub cache_hits: u64,
+    /// Dispatched commands that required head repositioning.
+    pub seeks: u64,
+    /// Total cylinder distance travelled by the head.
+    pub seek_distance_cyl: u64,
+    /// Bytes read from the platter (including readahead overshoot).
+    pub bytes_read: u64,
+    /// Bytes written to the platter.
+    pub bytes_written: u64,
+    /// Total simulated time the disk spent busy, in ns.
+    pub busy_ns: Nanos,
+}
+
+impl DiskStats {
+    /// Total bytes moved to/from the platter.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of dispatched commands that needed a head reposition.
+    pub fn seek_ratio(&self) -> f64 {
+        if self.dispatched == 0 {
+            0.0
+        } else {
+            self.seeks as f64 / self.dispatched as f64
+        }
+    }
+
+    /// Merge another stats block into this one (used by [`crate::DiskArray`]
+    /// to aggregate).
+    pub fn absorb(&mut self, other: &DiskStats) {
+        self.submitted += other.submitted;
+        self.dispatched += other.dispatched;
+        self.cache_hits += other.cache_hits;
+        self.seeks += other.seeks;
+        self.seek_distance_cyl += other.seek_distance_cyl;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// Difference since an earlier snapshot of the same counter set.
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &DiskStats) -> DiskStats {
+        debug_assert!(self.busy_ns >= earlier.busy_ns);
+        DiskStats {
+            submitted: self.submitted - earlier.submitted,
+            dispatched: self.dispatched - earlier.dispatched,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            seeks: self.seeks - earlier.seeks,
+            seek_distance_cyl: self.seek_distance_cyl - earlier.seek_distance_cyl,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_fields() {
+        let mut a = DiskStats {
+            dispatched: 3,
+            busy_ns: 10,
+            ..Default::default()
+        };
+        let b = DiskStats {
+            dispatched: 2,
+            busy_ns: 5,
+            seeks: 1,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.dispatched, 5);
+        assert_eq!(a.busy_ns, 15);
+        assert_eq!(a.seeks, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = DiskStats {
+            dispatched: 2,
+            busy_ns: 5,
+            ..Default::default()
+        };
+        let late = DiskStats {
+            dispatched: 7,
+            busy_ns: 25,
+            ..Default::default()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.dispatched, 5);
+        assert_eq!(d.busy_ns, 20);
+    }
+
+    #[test]
+    fn seek_ratio_handles_idle_disk() {
+        assert_eq!(DiskStats::default().seek_ratio(), 0.0);
+    }
+}

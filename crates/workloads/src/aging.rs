@@ -1,0 +1,250 @@
+//! File-system aging (§V-D.2, Fig. 9).
+//!
+//! "To achieve aging, our program created and deleted a large number of
+//! files. After reaching the desired file system utilization for the first
+//! time, our program executed a number of metadata access with the same
+//! distribution" — the method of the NetApp workload study the paper cites.
+//! Aging fragments the metadata area's free space, so embedded-directory
+//! content preallocation degrades to scattered blocks and linear dirent
+//! scans touch scattered blocks.
+
+use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, MdsLayout, ROOT_INO};
+use mif_simdisk::Nanos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one aging run.
+#[derive(Debug, Clone)]
+pub struct AgingParams {
+    /// Target metadata-area utilization (Fig. 9 sweeps up to 0.8).
+    pub target_utilization: f64,
+    /// Directories the churn cycles through.
+    pub churn_dirs: u32,
+    /// Mean extents per churned file (drives indirect/extra-mapping block
+    /// consumption, which is what fills the data area).
+    pub extents_mean: u32,
+    /// Fraction of created files deleted each churn cycle.
+    pub delete_fraction: f64,
+    /// Mean extents of the files created in the measurement phase (the
+    /// NetApp-style population is dominated by small files).
+    pub measure_extents_mean: u32,
+    /// Files created/deleted/readdir-stat'ed in the measurement phase.
+    pub measure_files: u32,
+    /// Measurement directories.
+    pub measure_dirs: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// MDS layout (small by default so high utilization is reachable).
+    pub layout: MdsLayout,
+    /// MDS cache in blocks — scaled down with the layout so the aged
+    /// working set exceeds it, as a production MDS's does.
+    pub cache_blocks: usize,
+}
+
+impl Default for AgingParams {
+    fn default() -> Self {
+        Self {
+            target_utilization: 0.8,
+            churn_dirs: 8,
+            extents_mean: 300,
+            delete_fraction: 0.5,
+            measure_extents_mean: 8,
+            measure_files: 400,
+            measure_dirs: 4,
+            seed: 7,
+            layout: MdsLayout {
+                journal_blocks: 512,
+                dirtable_blocks: 64,
+                group_blocks: 8192,
+                itable_blocks: 128,
+                groups: 8,
+            },
+            cache_blocks: 128,
+        }
+    }
+}
+
+/// Outcome of one aged measurement.
+#[derive(Debug, Clone)]
+pub struct AgingResult {
+    /// Utilization actually reached before measuring.
+    pub utilization: f64,
+    pub create_ns: Nanos,
+    pub delete_ns: Nanos,
+    pub readdir_stat_ns: Nanos,
+    pub create_ops: u64,
+    pub delete_ops: u64,
+    pub readdir_ops: u64,
+}
+
+impl AgingResult {
+    pub fn create_ops_per_sec(&self) -> f64 {
+        ops_per_sec(self.create_ops, self.create_ns)
+    }
+
+    pub fn delete_ops_per_sec(&self) -> f64 {
+        ops_per_sec(self.delete_ops, self.delete_ns)
+    }
+
+    pub fn readdir_ops_per_sec(&self) -> f64 {
+        ops_per_sec(self.readdir_ops, self.readdir_stat_ns)
+    }
+}
+
+fn ops_per_sec(ops: u64, ns: Nanos) -> f64 {
+    if ns == 0 {
+        f64::INFINITY
+    } else {
+        ops as f64 / (ns as f64 / 1e9)
+    }
+}
+
+/// Churn the file system to the target utilization, then measure
+/// create/delete/readdir-stat in fresh directories.
+pub fn run(mode: DirMode, params: &AgingParams) -> AgingResult {
+    let mut cfg = MdsConfig::with_mode(mode);
+    cfg.layout = params.layout.clone();
+    cfg.cache_blocks = params.cache_blocks;
+    let mut mds = Mds::new(cfg);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // ---- churn ---------------------------------------------------------
+    let dirs: Vec<InodeNo> = (0..params.churn_dirs)
+        .map(|i| mds.mkdir(ROOT_INO, &format!("churn{i}")))
+        .collect();
+    let mut serial: u64 = 0;
+    let mut live: Vec<(InodeNo, String)> = Vec::new();
+    while mds.utilization() < params.target_utilization {
+        // Create a burst.
+        for _ in 0..64 {
+            let dir = dirs[rng.gen_range(0..dirs.len())];
+            let name = format!("c{serial}");
+            serial += 1;
+            let extents = rng.gen_range(1..=params.extents_mean * 2);
+            mds.create(dir, &name, extents);
+            live.push((dir, name));
+        }
+        // Delete a fraction, at random, leaving holes behind.
+        let deletions = (64.0 * params.delete_fraction) as usize;
+        for _ in 0..deletions {
+            if live.is_empty() {
+                break;
+            }
+            let idx = rng.gen_range(0..live.len());
+            let (dir, name) = live.swap_remove(idx);
+            mds.unlink(dir, &name);
+        }
+    }
+    mds.sync();
+    mds.drop_caches();
+    let utilization = mds.utilization();
+
+    // ---- measurement: "executed a number of metadata access with the
+    // same distribution" — the measured operations run in the aged
+    // directories themselves, with the same extent distribution, so both
+    // the fragmented free space and the grown directories are exercised.
+    let mdirs: Vec<InodeNo> = dirs
+        .iter()
+        .copied()
+        .take(params.measure_dirs as usize)
+        .collect();
+
+    let t0 = mds.elapsed_ns();
+    for i in 0..params.measure_files {
+        for &dir in &mdirs {
+            let extents = rng.gen_range(1..=params.measure_extents_mean * 2);
+            mds.create(dir, &format!("m{i}"), extents);
+        }
+    }
+    mds.sync();
+    let create_ns = mds.elapsed_ns() - t0;
+
+    mds.drop_caches();
+    let t1 = mds.elapsed_ns();
+    for &dir in &mdirs {
+        mds.readdir_stat(dir);
+    }
+    let readdir_stat_ns = mds.elapsed_ns() - t1;
+
+    let t2 = mds.elapsed_ns();
+    for i in 0..params.measure_files {
+        for &dir in &mdirs {
+            mds.unlink(dir, &format!("m{i}"));
+        }
+    }
+    mds.sync();
+    let delete_ns = mds.elapsed_ns() - t2;
+
+    let per_phase_ops = params.measure_files as u64 * params.measure_dirs as u64;
+    AgingResult {
+        utilization,
+        create_ns,
+        delete_ns,
+        readdir_stat_ns,
+        create_ops: per_phase_ops,
+        delete_ops: per_phase_ops,
+        readdir_ops: params.measure_dirs as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(target: f64) -> AgingParams {
+        AgingParams {
+            target_utilization: target,
+            measure_files: 100,
+            measure_dirs: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reaches_target_utilization() {
+        let r = run(DirMode::Embedded, &quick(0.5));
+        assert!(r.utilization >= 0.5, "got {}", r.utilization);
+        assert!(r.utilization < 0.95);
+    }
+
+    #[test]
+    fn aging_slows_embedded_creation() {
+        let fresh = run(DirMode::Embedded, &quick(0.05));
+        let aged = run(DirMode::Embedded, &quick(0.8));
+        assert!(
+            aged.create_ops_per_sec() < fresh.create_ops_per_sec(),
+            "aged {:.0} vs fresh {:.0} creates/s",
+            aged.create_ops_per_sec(),
+            fresh.create_ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn delete_is_less_affected_than_create() {
+        // §V-D.2: "Performance of deletion, on the other hand, is not
+        // severely compromised."
+        let fresh = run(DirMode::Embedded, &quick(0.05));
+        let aged = run(DirMode::Embedded, &quick(0.8));
+        let create_drop = aged.create_ops_per_sec() / fresh.create_ops_per_sec();
+        let delete_drop = aged.delete_ops_per_sec() / fresh.delete_ops_per_sec();
+        assert!(
+            delete_drop > create_drop,
+            "delete kept {delete_drop:.2} of its speed, create {create_drop:.2}"
+        );
+    }
+
+    #[test]
+    fn embedded_still_beats_normal_when_aged() {
+        let e = run(DirMode::Embedded, &quick(0.8));
+        let n = run(DirMode::Normal, &quick(0.8));
+        assert!(e.create_ops_per_sec() > n.create_ops_per_sec());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(DirMode::Normal, &quick(0.3));
+        let b = run(DirMode::Normal, &quick(0.3));
+        assert_eq!(a.create_ns, b.create_ns);
+        assert_eq!(a.utilization, b.utilization);
+    }
+}

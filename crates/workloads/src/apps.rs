@@ -1,0 +1,275 @@
+//! Kernel-source-tree application workloads (§V-D.3, Fig. 10).
+//!
+//! The paper runs `tar`, `make` and `make clean` over linux kernel code
+//! (v2.6.30) in per-client directories, "intended to approximate some of
+//! the activities common to small scale software development
+//! environments". The three traces here replay the metadata and data
+//! access mix of each application; `make` additionally charges compile CPU
+//! time, which is why its file-system gain is small ("a much smaller
+//! improvement of only 4%").
+
+use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, ROOT_INO};
+use mif_simdisk::Nanos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which application trace to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Archive the tree: enumerate everything, read every file.
+    Tar,
+    /// Build: stat everything, read sources, create objects, burn CPU.
+    Make,
+    /// `make clean`: enumerate and delete the objects.
+    MakeClean,
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AppKind::Tar => "tar",
+            AppKind::Make => "make",
+            AppKind::MakeClean => "make-clean",
+        })
+    }
+}
+
+/// Parameters of one application run.
+#[derive(Debug, Clone)]
+pub struct AppParams {
+    /// Concurrent clients, each with its own tree copy (paper: 10).
+    pub clients: u32,
+    /// Source files per tree (the kernel has ~28k; scaled default).
+    pub files: u32,
+    /// Directories per tree.
+    pub dirs: u32,
+    /// Fraction of sources that produce an object file.
+    pub compile_fraction: f64,
+    /// CPU time per compiled file, in ns (what makes `make` CPU-bound).
+    pub compile_cpu_ns: u64,
+    /// RNG seed for file sizes.
+    pub seed: u64,
+}
+
+impl Default for AppParams {
+    fn default() -> Self {
+        Self {
+            clients: 10,
+            files: 2800,
+            dirs: 120,
+            compile_fraction: 0.4,
+            compile_cpu_ns: 30_000_000, // 30 ms per translation unit
+            seed: 5,
+        }
+    }
+}
+
+/// Outcome of one application run.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    pub kind: AppKind,
+    /// MDS (metadata) time.
+    pub mds_ns: Nanos,
+    /// Flat-model data-transfer time.
+    pub data_ns: Nanos,
+    /// Application CPU time (compilation).
+    pub cpu_ns: Nanos,
+}
+
+impl AppResult {
+    /// Total execution time — the Fig. 10 quantity.
+    pub fn exec_ns(&self) -> Nanos {
+        self.mds_ns + self.data_ns + self.cpu_ns
+    }
+}
+
+/// Kernel-code file sizes in bytes: a heavy-tailed mix calibrated to a
+/// source tree (most files a few KiB, headers smaller, a few generated
+/// monsters). Deterministic for a given seed.
+pub fn kernel_file_sizes(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let class: f64 = rng.gen();
+            if class < 0.5 {
+                rng.gen_range(1..16) * 1024 // headers & small sources
+            } else if class < 0.95 {
+                rng.gen_range(16..64) * 1024 // typical .c files
+            } else {
+                rng.gen_range(64..512) * 1024 // generated / tables
+            }
+        })
+        .collect()
+}
+
+/// Lay the trees out (untar): every client creates its directories and
+/// source files. Returns per-client directory inodes.
+fn build_trees(mds: &mut Mds, p: &AppParams) -> Vec<Vec<InodeNo>> {
+    let mut all = Vec::new();
+    for c in 0..p.clients {
+        let root = mds.mkdir(ROOT_INO, &format!("tree{c}"));
+        let mut dirs = vec![root];
+        for d in 1..p.dirs {
+            dirs.push(mds.mkdir(root, &format!("dir{d}")));
+        }
+        for i in 0..p.files {
+            let dir = dirs[(i % p.dirs) as usize];
+            mds.create(dir, &format!("src{i}.c"), 1);
+        }
+        all.push(dirs);
+    }
+    mds.sync();
+    all
+}
+
+/// Flat streaming-data time for `bytes` over the paper's 8-disk array.
+fn data_time(bytes: u64) -> Nanos {
+    (bytes as f64 / (8.0 * 170.0 * 1024.0 * 1024.0) * 1e9) as Nanos
+}
+
+/// Run one application trace on a fresh MDS in the given mode.
+pub fn run(mode: DirMode, kind: AppKind, p: &AppParams) -> AppResult {
+    let mut mds = Mds::new(MdsConfig::with_mode(mode));
+    let trees = build_trees(&mut mds, p);
+    let sizes = kernel_file_sizes(p.files as usize, p.seed);
+    mds.drop_caches();
+    let t0 = mds.elapsed_ns();
+    let mut data_bytes: u64 = 0;
+    let mut cpu_ns: Nanos = 0;
+
+    match kind {
+        AppKind::Tar => {
+            // Enumerate + read everything, per client.
+            for dirs in &trees {
+                for &d in dirs {
+                    mds.readdir_stat(d);
+                }
+                for (i, &size) in sizes.iter().enumerate() {
+                    let dir = dirs[(i as u32 % p.dirs) as usize];
+                    mds.getlayout(dir, &format!("src{i}.c"));
+                    data_bytes += size;
+                }
+            }
+        }
+        AppKind::Make => {
+            let objects = (p.files as f64 * p.compile_fraction) as u32;
+            for dirs in &trees {
+                // Dependency scan: stat every source.
+                for (i, _) in sizes.iter().enumerate() {
+                    let dir = dirs[(i as u32 % p.dirs) as usize];
+                    mds.stat(dir, &format!("src{i}.c"));
+                }
+                // Compile: read source, write object, burn CPU.
+                for i in 0..objects {
+                    let dir = dirs[(i % p.dirs) as usize];
+                    mds.getlayout(dir, &format!("src{i}.c"));
+                    data_bytes += sizes[i as usize];
+                    mds.create(dir, &format!("src{i}.o"), 1);
+                    data_bytes += sizes[i as usize] / 2; // object output
+                    cpu_ns += p.compile_cpu_ns;
+                }
+            }
+        }
+        AppKind::MakeClean => {
+            // Objects must exist first: build them (outside the timed
+            // window is impossible on one MDS clock, so time the whole
+            // build+clean minus the build by running clean right after).
+            let objects = (p.files as f64 * p.compile_fraction) as u32;
+            for dirs in &trees {
+                for i in 0..objects {
+                    let dir = dirs[(i % p.dirs) as usize];
+                    mds.create(dir, &format!("src{i}.o"), 1);
+                }
+            }
+            mds.sync();
+            let clean_start = mds.elapsed_ns();
+            for dirs in &trees {
+                for &d in dirs {
+                    mds.readdir(d);
+                }
+                for i in 0..objects {
+                    let dir = dirs[(i % p.dirs) as usize];
+                    mds.unlink(dir, &format!("src{i}.o"));
+                }
+            }
+            mds.sync();
+            return AppResult {
+                kind,
+                mds_ns: mds.elapsed_ns() - clean_start,
+                data_ns: 0,
+                cpu_ns: 0,
+            };
+        }
+    }
+    mds.sync();
+    AppResult {
+        kind,
+        mds_ns: mds.elapsed_ns() - t0,
+        data_ns: data_time(data_bytes),
+        cpu_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AppParams {
+        AppParams {
+            clients: 2,
+            files: 400,
+            dirs: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn size_distribution_is_heavy_tailed_and_deterministic() {
+        let a = kernel_file_sizes(1000, 1);
+        let b = kernel_file_sizes(1000, 1);
+        assert_eq!(a, b);
+        let small = a.iter().filter(|&&s| s < 16 * 1024).count();
+        let large = a.iter().filter(|&&s| s >= 64 * 1024).count();
+        assert!(small > large * 3, "small {small} large {large}");
+    }
+
+    #[test]
+    fn all_apps_complete_in_both_modes() {
+        for kind in [AppKind::Tar, AppKind::Make, AppKind::MakeClean] {
+            for mode in [DirMode::Htree, DirMode::Embedded] {
+                let r = run(mode, kind, &small());
+                assert!(r.exec_ns() > 0, "{kind}/{mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_speeds_up_tar() {
+        let n = run(DirMode::Htree, AppKind::Tar, &small());
+        let e = run(DirMode::Embedded, AppKind::Tar, &small());
+        assert!(e.exec_ns() < n.exec_ns());
+    }
+
+    #[test]
+    fn make_gain_is_smaller_than_tar_gain() {
+        // Fig. 10: "Make program... generates CPU-intensive workload...
+        // Therefore, we see a much smaller improvement of only 4%."
+        let gain = |kind| {
+            let n = run(DirMode::Htree, kind, &small());
+            let e = run(DirMode::Embedded, kind, &small());
+            1.0 - e.exec_ns() as f64 / n.exec_ns() as f64
+        };
+        let tar = gain(AppKind::Tar);
+        let make = gain(AppKind::Make);
+        assert!(
+            make < tar,
+            "make gain {make:.3} should be below tar gain {tar:.3}"
+        );
+    }
+
+    #[test]
+    fn make_is_cpu_dominated() {
+        let r = run(DirMode::Embedded, AppKind::Make, &small());
+        assert!(r.cpu_ns > r.mds_ns, "cpu {} vs mds {}", r.cpu_ns, r.mds_ns);
+    }
+}

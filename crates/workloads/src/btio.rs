@@ -1,0 +1,273 @@
+//! NPB BTIO-like workload (§V-C.2).
+//!
+//! BTIO solves the 3D compressible Navier-Stokes equations and appends a
+//! solution checkpoint through MPI-IO every few time steps. The on-disk
+//! pattern is *nested-strided*: each rank owns cells scattered through the
+//! solution array, so a non-collective checkpoint is many small interleaved
+//! writes — the worst case for per-inode reservation and the best case for
+//! MiF's per-stream windows. Collective I/O aggregates each checkpoint into
+//! ~40 MB contiguous requests.
+
+use mif_alloc::StreamId;
+use mif_core::{aggregate_collective, FileSystem, FsConfig};
+use mif_simdisk::{mib_per_sec, Nanos};
+
+/// Parameters of one BTIO run.
+#[derive(Debug, Clone)]
+pub struct BtioParams {
+    /// MPI ranks (square numbers in real BTIO; any count works here).
+    pub ranks: u32,
+    /// Checkpoints (writes of the full solution) per run.
+    pub steps: u32,
+    /// Cells (chunks) per rank per checkpoint.
+    pub cells_per_rank: u32,
+    /// Blocks per cell (one contiguous file region owned by a rank).
+    pub cell_blocks: u64,
+    /// Blocks per individual write request — small (1–2 ≙ 4–8 KiB) in
+    /// non-collective BTIO, which is exactly why it suffers; a rank writes
+    /// a cell as `cell_blocks / request_blocks` sequential requests, then
+    /// jumps to its next (strided) cell.
+    pub request_blocks: u64,
+    /// Use collective I/O.
+    pub collective: bool,
+    /// Collective aggregation chunk (blocks).
+    pub cio_chunk_blocks: u64,
+    /// Probability a rank issues its read in a given round (drift).
+    pub duty: f64,
+    /// RNG seed for the drift.
+    pub seed: u64,
+    /// Pre-fragment the OSTs' free space (deployed-file-system condition).
+    pub aged_free: bool,
+}
+
+impl Default for BtioParams {
+    fn default() -> Self {
+        Self {
+            ranks: 64,
+            steps: 4,
+            cells_per_rank: 16,
+            cell_blocks: 16,
+            request_blocks: 2,
+            collective: false,
+            cio_chunk_blocks: 10240,
+            duty: 0.7,
+            seed: 23,
+            aged_free: false,
+        }
+    }
+}
+
+impl BtioParams {
+    /// Blocks one checkpoint appends.
+    pub fn step_blocks(&self) -> u64 {
+        self.ranks as u64 * self.cells_per_rank as u64 * self.cell_blocks
+    }
+
+    pub fn file_blocks(&self) -> u64 {
+        self.step_blocks() * self.steps as u64
+    }
+}
+
+/// Result of one BTIO run.
+#[derive(Debug, Clone)]
+pub struct BtioResult {
+    pub write_mib_s: f64,
+    pub read_mib_s: f64,
+    pub extents: u64,
+    pub write_ns: Nanos,
+    pub read_ns: Nanos,
+}
+
+/// Logical offset of rank `r`, cell `c`, checkpoint `step`: the nested
+/// stride — cells of all ranks interleave within each checkpoint region.
+fn cell_offset(p: &BtioParams, step: u32, c: u32, r: u32) -> u64 {
+    let step_base = step as u64 * p.step_blocks();
+    let row = c as u64 * p.ranks as u64 + r as u64;
+    step_base + row * p.cell_blocks
+}
+
+/// Run BTIO against a fresh file system.
+pub fn run(config: FsConfig, params: &BtioParams) -> BtioResult {
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    let mut fs = FileSystem::new(config);
+    if params.aged_free {
+        fs.fragment_free_space(0.3, 8);
+    }
+    let file = fs.create("btio.out", Some(params.file_blocks()));
+    let streams: Vec<StreamId> = (0..params.ranks)
+        .map(|r| StreamId::new(r / 4, r % 4))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // ---- checkpoint (write) phase --------------------------------------
+    let t0 = fs.data_elapsed_ns();
+    for step in 0..params.steps {
+        if params.collective {
+            let mut pieces = Vec::new();
+            for c in 0..params.cells_per_rank {
+                for r in 0..params.ranks {
+                    pieces.push((cell_offset(params, step, c, r), params.cell_blocks));
+                }
+            }
+            let chunks = aggregate_collective(&pieces, &streams, params.cio_chunk_blocks);
+            fs.begin_round();
+            for (agg, off, len) in chunks {
+                fs.write(file, agg, off, len);
+            }
+            fs.end_round();
+        } else {
+            // Each rank writes its cells in order, one small request at a
+            // time; ranks drift and their requests reach the servers in
+            // network arrival order, not rank order — the order the
+            // allocator sees (Fig. 1a).
+            let mut cell: Vec<u32> = vec![0; params.ranks as usize];
+            let mut within: Vec<u64> = vec![0; params.ranks as usize];
+            while cell.iter().any(|&c| c < params.cells_per_rank) {
+                let mut order: Vec<usize> = (0..params.ranks as usize).collect();
+                order.shuffle(&mut rng);
+                fs.begin_round();
+                for r in order {
+                    if cell[r] >= params.cells_per_rank || rng.gen::<f64>() > params.duty {
+                        continue;
+                    }
+                    let base = cell_offset(params, step, cell[r], r as u32);
+                    let len = params.request_blocks.min(params.cell_blocks - within[r]);
+                    fs.write(file, streams[r], base + within[r], len);
+                    within[r] += len;
+                    if within[r] >= params.cell_blocks {
+                        within[r] = 0;
+                        cell[r] += 1;
+                    }
+                }
+                fs.end_round();
+            }
+        }
+    }
+    fs.sync_data();
+    let write_ns = fs.data_elapsed_ns() - t0;
+    fs.close(file);
+
+    // ---- verification (read-back) phase: BTIO re-reads the solution with
+    // the same nested-strided decomposition — every rank reads back its own
+    // cells. Ranks have persistent speed differences (compute imbalance),
+    // so their positions drift apart over the run instead of staying in
+    // lockstep — real clusters do not replay the write-time arrival order.
+    fs.drop_data_caches();
+    let speeds: Vec<f64> = (0..params.ranks)
+        .map(|_| 0.4 + 0.6 * rng.gen::<f64>() * params.duty)
+        .collect();
+    let t1 = fs.data_elapsed_ns();
+    for step in 0..params.steps {
+        let mut cell: Vec<u32> = vec![0; params.ranks as usize];
+        let mut within: Vec<u64> = vec![0; params.ranks as usize];
+        while cell.iter().any(|&c| c < params.cells_per_rank) {
+            let mut order: Vec<usize> = (0..params.ranks as usize).collect();
+            order.shuffle(&mut rng);
+            fs.begin_round();
+            for r in order {
+                if cell[r] >= params.cells_per_rank || rng.gen::<f64>() > speeds[r] {
+                    continue;
+                }
+                let base = cell_offset(params, step, cell[r], r as u32);
+                let len = params.request_blocks.min(params.cell_blocks - within[r]);
+                fs.read(file, streams[r], base + within[r], len);
+                within[r] += len;
+                if within[r] >= params.cell_blocks {
+                    within[r] = 0;
+                    cell[r] += 1;
+                }
+            }
+            fs.end_round();
+        }
+    }
+    let read_ns = fs.data_elapsed_ns() - t1;
+
+    let bytes = params.file_blocks() * 4096;
+    BtioResult {
+        write_mib_s: mib_per_sec(bytes, write_ns),
+        read_mib_s: mib_per_sec(bytes, read_ns),
+        extents: fs.file_extents(file),
+        write_ns,
+        read_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mif_alloc::PolicyKind;
+
+    fn params() -> BtioParams {
+        // Large enough for the window ramp to reach steady state (the
+        // paper's runs are GBs; windows cover many cells there).
+        BtioParams {
+            ranks: 16,
+            steps: 1,
+            cells_per_rank: 24,
+            cell_blocks: 32,
+            request_blocks: 2,
+            ..Default::default()
+        }
+    }
+
+    fn cfg(policy: PolicyKind) -> FsConfig {
+        FsConfig::with_policy(policy, 8)
+    }
+
+    #[test]
+    fn nested_stride_offsets_are_disjoint_and_dense() {
+        let p = params();
+        let mut offs = Vec::new();
+        for step in 0..p.steps {
+            for c in 0..p.cells_per_rank {
+                for r in 0..p.ranks {
+                    offs.push(cell_offset(&p, step, c, r));
+                }
+            }
+        }
+        offs.sort_unstable();
+        for (i, w) in offs.windows(2).enumerate() {
+            assert_eq!(w[1] - w[0], p.cell_blocks, "gap at {i}");
+        }
+        assert_eq!(offs.len() as u64 * p.cell_blocks, p.file_blocks());
+    }
+
+    #[test]
+    fn completes_for_all_policies() {
+        for pk in [
+            PolicyKind::Vanilla,
+            PolicyKind::Reservation,
+            PolicyKind::OnDemand,
+        ] {
+            let r = run(cfg(pk), &params());
+            assert!(r.write_mib_s > 0.0 && r.read_mib_s > 0.0, "{pk}");
+        }
+    }
+
+    #[test]
+    fn ondemand_improves_more_than_for_ior() {
+        // The paper: BTIO's small interleaved requests benefit more from
+        // on-demand preallocation than IOR's large contiguous ones.
+        let res = run(cfg(PolicyKind::Reservation), &params());
+        let ond = run(cfg(PolicyKind::OnDemand), &params());
+        assert!(ond.read_mib_s > res.read_mib_s);
+        assert!(ond.extents < res.extents / 4);
+    }
+
+    #[test]
+    fn collective_aggregation_dominates() {
+        let nc = run(cfg(PolicyKind::Reservation), &params());
+        let mut p = params();
+        p.collective = true;
+        let c = run(cfg(PolicyKind::Reservation), &p);
+        assert!(
+            c.write_mib_s > nc.write_mib_s,
+            "collective {:.1} vs {:.1}",
+            c.write_mib_s,
+            nc.write_mib_s
+        );
+        assert!(c.extents <= nc.extents);
+    }
+}

@@ -1,0 +1,226 @@
+//! The two-phase micro-benchmark of §V-C.1 (Fig. 6).
+//!
+//! Phase 1 — *placement*: "The program started 4 threads on each client in
+//! the parallel file system, and all of them wrote different regions of a
+//! shared file concurrently." Streams issue fixed-size extending writes to
+//! their own region; arrivals interleave round-robin, which is precisely
+//! what fragments the logical→physical mapping under per-inode reservation
+//! (Fig. 1a).
+//!
+//! Phase 2 — *measurement*: "the shared file was split into 1024 segments
+//! and each one was sequentially read... by a thread in cluster." Reader
+//! threads drift relative to each other (seeded skip probability), so the
+//! elevator can only partially re-merge interleaved placements.
+
+use mif_alloc::StreamId;
+use mif_core::{FileSystem, FsConfig};
+use mif_simdisk::{mib_per_sec, Nanos};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one micro-benchmark run.
+#[derive(Debug, Clone)]
+pub struct MicroParams {
+    /// Concurrent writer streams in phase 1 (the paper runs 32/48/64).
+    pub streams: u32,
+    /// Blocks per phase-1 write request.
+    pub request_blocks: u64,
+    /// Region (file span) per stream, in blocks.
+    pub region_blocks: u64,
+    /// Phase-2 segment count (1024 in the paper).
+    pub segments: u64,
+    /// Concurrent phase-2 reader threads.
+    pub readers: u32,
+    /// Blocks per phase-2 read request.
+    pub read_blocks: u64,
+    /// Probability a reader issues its request in a given round — below
+    /// 1.0 the readers drift out of lockstep like real cluster threads.
+    pub reader_duty: f64,
+    /// RNG seed for the reader drift.
+    pub seed: u64,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        Self {
+            streams: 32,
+            request_blocks: 4,
+            region_blocks: 1024,
+            segments: 1024,
+            readers: 64,
+            read_blocks: 16,
+            reader_duty: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+impl MicroParams {
+    /// Total file size in blocks.
+    pub fn file_blocks(&self) -> u64 {
+        self.streams as u64 * self.region_blocks
+    }
+}
+
+/// Outcome of one run.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Phase-2 read throughput in MiB/s — the quantity Fig. 6 plots.
+    pub phase2_mib_s: f64,
+    /// Phase-1 write throughput in MiB/s.
+    pub phase1_mib_s: f64,
+    /// Extents of the shared file after phase 1.
+    pub extents: u64,
+    /// Elapsed simulated time of phase 2.
+    pub phase2_ns: Nanos,
+}
+
+/// Run both phases against a freshly-built file system.
+pub fn run(config: FsConfig, params: &MicroParams) -> MicroResult {
+    let mut fs = FileSystem::new(config);
+    run_on(&mut fs, params)
+}
+
+/// Run both phases on an existing file system instance.
+pub fn run_on(fs: &mut FileSystem, params: &MicroParams) -> MicroResult {
+    let file_blocks = params.file_blocks();
+    let file = fs.create("shared.odb", Some(file_blocks));
+
+    // ---- Phase 1: concurrent placement --------------------------------
+    let streams: Vec<StreamId> = (0..params.streams)
+        .map(|i| StreamId::new(i / 4, i % 4)) // 4 threads per client
+        .collect();
+    let rounds = params.region_blocks / params.request_blocks;
+    let t1_start = fs.data_elapsed_ns();
+    for round in 0..rounds {
+        fs.begin_round();
+        for (i, &s) in streams.iter().enumerate() {
+            let offset = i as u64 * params.region_blocks + round * params.request_blocks;
+            fs.write(file, s, offset, params.request_blocks);
+        }
+        fs.end_round();
+    }
+    fs.sync_data();
+    fs.close(file);
+    let phase1_ns = fs.data_elapsed_ns() - t1_start;
+
+    // ---- Phase 2: segmented sequential read-back ------------------------
+    fs.drop_data_caches();
+    let seg_blocks = file_blocks / params.segments;
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    // Reader j serves segments j, j+readers, j+2*readers, ...
+    struct Reader {
+        segment: u64,
+        pos: u64,
+    }
+    let mut readers: Vec<Reader> = (0..params.readers as u64)
+        .map(|j| Reader { segment: j, pos: 0 })
+        .collect();
+    let t2_start = fs.data_elapsed_ns();
+    let mut active = params.readers as usize;
+    while active > 0 {
+        fs.begin_round();
+        let mut any = false;
+        for (j, r) in readers.iter_mut().enumerate() {
+            if r.segment >= params.segments {
+                continue;
+            }
+            if rng.gen::<f64>() > params.reader_duty {
+                continue; // this thread lags this round
+            }
+            let stream = StreamId::new(j as u32, 1000);
+            let offset = r.segment * seg_blocks + r.pos;
+            let len = params.read_blocks.min(seg_blocks - r.pos);
+            fs.read(file, stream, offset, len);
+            any = true;
+            r.pos += len;
+            if r.pos >= seg_blocks {
+                r.pos = 0;
+                r.segment += params.readers as u64;
+                if r.segment >= params.segments {
+                    active -= 1;
+                }
+            }
+        }
+        fs.end_round();
+        if !any && active > 0 {
+            // All lagged simultaneously: loop again (rng advances).
+            continue;
+        }
+    }
+    let phase2_ns = fs.data_elapsed_ns() - t2_start;
+
+    let bytes = file_blocks * 4096;
+    MicroResult {
+        phase2_mib_s: mib_per_sec(bytes, phase2_ns),
+        phase1_mib_s: mib_per_sec(bytes, phase1_ns),
+        extents: fs.file_extents(file),
+        phase2_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mif_alloc::PolicyKind;
+
+    fn small_params() -> MicroParams {
+        MicroParams {
+            streams: 8,
+            request_blocks: 2,
+            region_blocks: 128,
+            segments: 64,
+            readers: 16,
+            read_blocks: 8,
+            ..Default::default()
+        }
+    }
+
+    fn run_policy(policy: PolicyKind) -> MicroResult {
+        let mut cfg = FsConfig::with_policy(policy, 5);
+        cfg.reservation_window_blocks = 64;
+        run(cfg, &small_params())
+    }
+
+    #[test]
+    fn all_policies_complete_and_read_everything() {
+        for p in [
+            PolicyKind::Vanilla,
+            PolicyKind::Reservation,
+            PolicyKind::Static,
+            PolicyKind::OnDemand,
+        ] {
+            let r = run_policy(p);
+            assert!(r.phase2_mib_s > 0.0, "{p}: no throughput");
+            assert!(r.extents >= 1);
+        }
+    }
+
+    #[test]
+    fn ondemand_beats_reservation_on_phase2() {
+        let res = run_policy(PolicyKind::Reservation);
+        let ond = run_policy(PolicyKind::OnDemand);
+        assert!(
+            ond.phase2_mib_s > res.phase2_mib_s,
+            "on-demand {:.1} MiB/s should beat reservation {:.1} MiB/s",
+            ond.phase2_mib_s,
+            res.phase2_mib_s
+        );
+        assert!(ond.extents < res.extents);
+    }
+
+    #[test]
+    fn static_is_the_upper_bound() {
+        let st = run_policy(PolicyKind::Static);
+        let ond = run_policy(PolicyKind::OnDemand);
+        assert!(st.phase2_mib_s >= ond.phase2_mib_s * 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_policy(PolicyKind::Reservation);
+        let b = run_policy(PolicyKind::Reservation);
+        assert_eq!(a.phase2_ns, b.phase2_ns);
+        assert_eq!(a.extents, b.extents);
+    }
+}

@@ -1,0 +1,365 @@
+//! Trace-driven workloads.
+//!
+//! The paper's micro-benchmark is "based on the trace analysis of
+//! scientific computing environment from previous study [16]" — this
+//! module makes that pipeline available to users: a small text format for
+//! shared-file I/O traces, a parser, a replayer against a
+//! [`FileSystem`], and a generator that emits the built-in micro-benchmark
+//! as a trace (so generated and replayed runs are provably identical).
+//!
+//! Format (one event per line, `#` comments):
+//!
+//! ```text
+//! # client pid offset len   (blocks)
+//! w 0 1 0 4
+//! w 1 0 1024 4
+//! round            # barrier: submit everything queued so far
+//! r 0 1 0 16
+//! sync             # flush write-back (fsync)
+//! drop_caches      # cold-cache boundary between phases
+//! ```
+
+use mif_alloc::StreamId;
+use mif_core::{FileSystem, OpenFile};
+use mif_simdisk::Nanos;
+
+/// One parsed trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    Write {
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    },
+    Read {
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    },
+    /// Barrier: submit the queued round.
+    Round,
+    /// Flush the write-back cache (fsync).
+    Sync,
+    /// Drop the data caches (phase boundary).
+    DropCaches,
+}
+
+/// A parsed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Parse the text format.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| TraceError {
+                line: i + 1,
+                message,
+            };
+            let mut parts = line.split_whitespace();
+            let op = parts.next().expect("nonempty line");
+            let event = match op {
+                "round" => TraceEvent::Round,
+                "sync" => TraceEvent::Sync,
+                "drop_caches" => TraceEvent::DropCaches,
+                "w" | "r" => {
+                    let mut num = || -> Result<u64, TraceError> {
+                        parts
+                            .next()
+                            .ok_or_else(|| err("missing field".into()))?
+                            .parse()
+                            .map_err(|e| err(format!("bad number: {e}")))
+                    };
+                    let client = num()? as u32;
+                    let pid = num()? as u32;
+                    let offset = num()?;
+                    let len = num()?;
+                    if len == 0 {
+                        return Err(err("zero-length request".into()));
+                    }
+                    let stream = StreamId::new(client, pid);
+                    if op == "w" {
+                        TraceEvent::Write {
+                            stream,
+                            offset,
+                            len,
+                        }
+                    } else {
+                        TraceEvent::Read {
+                            stream,
+                            offset,
+                            len,
+                        }
+                    }
+                }
+                other => return Err(err(format!("unknown op '{other}'"))),
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing fields".into()));
+            }
+            events.push(event);
+        }
+        Ok(Trace { events })
+    }
+
+    /// Render back to the text format (parse∘render is the identity).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Write {
+                    stream,
+                    offset,
+                    len,
+                } => out.push_str(&format!(
+                    "w {} {} {offset} {len}\n",
+                    stream.client, stream.pid
+                )),
+                TraceEvent::Read {
+                    stream,
+                    offset,
+                    len,
+                } => out.push_str(&format!(
+                    "r {} {} {offset} {len}\n",
+                    stream.client, stream.pid
+                )),
+                TraceEvent::Round => out.push_str("round\n"),
+                TraceEvent::Sync => out.push_str("sync\n"),
+                TraceEvent::DropCaches => out.push_str("drop_caches\n"),
+            }
+        }
+        out
+    }
+
+    /// Highest block touched + 1 (useful as a size hint).
+    pub fn max_block(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Write { offset, len, .. } | TraceEvent::Read { offset, len, .. } => {
+                    Some(offset + len)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Replay outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    pub blocks_written: u64,
+    pub blocks_read: u64,
+    pub rounds: u64,
+    pub elapsed_ns: Nanos,
+}
+
+/// Replay a trace against one shared file on `fs`.
+pub fn replay(fs: &mut FileSystem, file: OpenFile, trace: &Trace) -> TraceStats {
+    let mut stats = TraceStats::default();
+    let t0 = fs.data_elapsed_ns();
+    let mut open = false;
+    for e in &trace.events {
+        match *e {
+            TraceEvent::Write {
+                stream,
+                offset,
+                len,
+            } => {
+                if !open {
+                    fs.begin_round();
+                    open = true;
+                }
+                fs.write(file, stream, offset, len);
+                stats.blocks_written += len;
+            }
+            TraceEvent::Read {
+                stream,
+                offset,
+                len,
+            } => {
+                if !open {
+                    fs.begin_round();
+                    open = true;
+                }
+                fs.read(file, stream, offset, len);
+                stats.blocks_read += len;
+            }
+            TraceEvent::Round => {
+                if open {
+                    fs.end_round();
+                    open = false;
+                }
+                stats.rounds += 1;
+            }
+            TraceEvent::Sync => {
+                if open {
+                    fs.end_round();
+                    open = false;
+                }
+                fs.sync_data();
+            }
+            TraceEvent::DropCaches => {
+                if open {
+                    fs.end_round();
+                    open = false;
+                }
+                fs.drop_data_caches();
+            }
+        }
+    }
+    if open {
+        fs.end_round();
+    }
+    fs.sync_data();
+    stats.elapsed_ns = fs.data_elapsed_ns() - t0;
+    stats
+}
+
+/// Emit the two-phase micro-benchmark (§V-C.1) as a trace.
+pub fn micro_trace(params: &crate::micro::MicroParams) -> Trace {
+    let mut events = Vec::new();
+    let rounds = params.region_blocks / params.request_blocks;
+    for round in 0..rounds {
+        for i in 0..params.streams {
+            events.push(TraceEvent::Write {
+                stream: StreamId::new(i / 4, i % 4),
+                offset: i as u64 * params.region_blocks + round * params.request_blocks,
+                len: params.request_blocks,
+            });
+        }
+        events.push(TraceEvent::Round);
+    }
+    events.push(TraceEvent::Sync);
+    events.push(TraceEvent::DropCaches);
+    // Phase 2 (lockstep variant: the trace format captures one concrete
+    // interleaving; drift is a generator-side concern).
+    let file_blocks = params.file_blocks();
+    let seg_blocks = file_blocks / params.segments;
+    let mut seg: Vec<u64> = (0..params.readers as u64).collect();
+    let mut pos: Vec<u64> = vec![0; params.readers as usize];
+    let mut active = params.readers as u64;
+    while active > 0 {
+        for j in 0..params.readers as usize {
+            if seg[j] >= params.segments {
+                continue;
+            }
+            let len = params.read_blocks.min(seg_blocks - pos[j]);
+            events.push(TraceEvent::Read {
+                stream: StreamId::new(j as u32, 1000),
+                offset: seg[j] * seg_blocks + pos[j],
+                len,
+            });
+            pos[j] += len;
+            if pos[j] >= seg_blocks {
+                pos[j] = 0;
+                seg[j] += params.readers as u64;
+                if seg[j] >= params.segments {
+                    active -= 1;
+                }
+            }
+        }
+        events.push(TraceEvent::Round);
+    }
+    Trace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::MicroParams;
+    use mif_alloc::PolicyKind;
+    use mif_core::FsConfig;
+
+    #[test]
+    fn parse_render_round_trips() {
+        let text = "\
+# a comment
+w 0 1 0 4
+w 1 0 1024 4   # trailing comment
+round
+sync
+r 0 1 0 16
+drop_caches
+";
+        let t = Trace::parse(text).expect("parses");
+        assert_eq!(t.events.len(), 6);
+        let re = Trace::parse(&t.render()).expect("re-parses");
+        assert_eq!(t, re);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = Trace::parse("w 0 1 0 4\nx 1 2 3 4").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = Trace::parse("w 0 1 0").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = Trace::parse("w 0 1 0 0").unwrap_err();
+        assert!(e.message.contains("zero-length"));
+        let e = Trace::parse("round extra").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn replay_writes_and_reads_everything() {
+        let trace = Trace::parse("w 0 0 0 8\nw 1 0 64 8\nround\nsync\ndrop_caches\nr 0 0 0 8\n")
+            .expect("parses");
+        let mut fs = FileSystem::new(FsConfig::with_policy(PolicyKind::OnDemand, 2));
+        let file = fs.create("t", Some(trace.max_block()));
+        let stats = replay(&mut fs, file, &trace);
+        assert_eq!(stats.blocks_written, 16);
+        assert_eq!(stats.blocks_read, 8);
+        assert_eq!(fs.file_allocated(file), 16);
+        assert!(stats.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn generated_micro_trace_replays_identically() {
+        // The generator and the trace replayer must produce the same
+        // placement (identical extent counts) for the same interleaving.
+        let params = MicroParams {
+            streams: 8,
+            request_blocks: 2,
+            region_blocks: 64,
+            segments: 32,
+            readers: 8,
+            read_blocks: 8,
+            reader_duty: 1.0, // lockstep: the trace is one fixed interleave
+            ..Default::default()
+        };
+        let trace = micro_trace(&params);
+
+        let mut fs1 = FileSystem::new(FsConfig::with_policy(PolicyKind::OnDemand, 2));
+        let f1 = fs1.create("a", Some(params.file_blocks()));
+        replay(&mut fs1, f1, &trace);
+
+        let mut fs2 = FileSystem::new(FsConfig::with_policy(PolicyKind::OnDemand, 2));
+        let r = crate::micro::run_on(&mut fs2, &params);
+        let f2 = fs2.open("shared.odb").expect("created by run_on");
+        assert_eq!(fs1.file_extents(f1), fs2.file_extents(f2));
+        assert_eq!(fs1.file_extents(f1) as u64 > 0, r.extents > 0);
+    }
+}

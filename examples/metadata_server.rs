@@ -1,0 +1,66 @@
+//! Drive the metadata server directly: build a source tree, run `ls -l`
+//! (readdirplus), rename across directories, and resolve embedded inode
+//! numbers through the global directory table (§IV).
+//!
+//! Run with: `cargo run --example metadata_server --release`
+
+use mif::mds::{DirMode, Mds, MdsConfig, ROOT_INO};
+
+fn main() {
+    println!("Metadata server walk-through: normal vs embedded directories\n");
+
+    for mode in [DirMode::Normal, DirMode::Htree, DirMode::Embedded] {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+
+        // A project tree: src/ with 2000 files, build/ empty.
+        let src = mds.mkdir(ROOT_INO, "src");
+        let build = mds.mkdir(ROOT_INO, "build");
+        for i in 0..2000 {
+            mds.create(src, &format!("file{i:04}.c"), 2);
+        }
+        mds.sync();
+        mds.drop_caches();
+
+        // `ls -l src` — the aggregated readdir+stat the paper optimizes.
+        let a0 = mds.disk_stats().dispatched;
+        let t0 = mds.elapsed_ns();
+        mds.readdir_stat(src);
+        let ls_accesses = mds.disk_stats().dispatched - a0;
+        let ls_ms = (mds.elapsed_ns() - t0) as f64 / 1e6;
+
+        // Rename a file into build/: embedded mode moves the inode and the
+        // inode number changes, tracked by the correlation table.
+        let old_ino = mds.lookup(src, "file0000.c").expect("exists");
+        let new_ino = mds
+            .rename(src, "file0000.c", build, "file0000.o")
+            .expect("renamed");
+        let resolved = mds.resolve_inode(old_ino).expect("resolves");
+
+        println!("[{mode}]");
+        println!("  ls -l over 2000 files: {ls_accesses} disk accesses, {ls_ms:.1} ms simulated");
+        println!(
+            "  rename: ino {} -> {} ({})",
+            old_ino.0,
+            new_ino.0,
+            if old_ino == new_ino {
+                "stable, traditional table"
+            } else {
+                "moved with the inode, correlated"
+            }
+        );
+        println!(
+            "  old number still resolves to: {} (== new: {})",
+            resolved.0,
+            resolved == new_ino
+        );
+        println!();
+    }
+
+    println!(
+        "Embedded directories answer `ls -l` from a handful of streaming reads\n\
+         over contiguous content, while the traditional layout alternates\n\
+         between dirent blocks and the inode table (Fig. 1b). Renames in\n\
+         embedded mode move the inode and re-key it — the global directory\n\
+         table plus the rename-correlation keep old file IDs valid (§IV-B)."
+    );
+}

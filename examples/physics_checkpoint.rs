@@ -1,0 +1,63 @@
+//! The paper's motivating scenario (§II-A.1): "in a typical physics
+//! simulation, a set of nodes frequently write collected data to a shared
+//! file, which will be used for further analysis" (the LLNL trace study).
+//!
+//! A cluster of 16 nodes × 4 ranks checkpoints a simulation every few
+//! steps; later an analysis job reads the checkpoints back. The example
+//! compares reservation (the ext4/Lustre baseline) with MiF's on-demand
+//! preallocation, and also shows collective I/O as the orthogonal fix.
+//!
+//! Run with: `cargo run --example physics_checkpoint --release`
+
+use mif::pfs::FsConfig;
+use mif::alloc::PolicyKind;
+use mif::workloads::btio::{run, BtioParams};
+
+fn main() {
+    println!("Physics checkpoint/analysis on 8 shared disks\n");
+
+    let base = BtioParams {
+        ranks: 64,
+        steps: 2,
+        cells_per_rank: 16,
+        cell_blocks: 32,
+        request_blocks: 2,
+        ..Default::default()
+    };
+    let gib = base.file_blocks() as f64 * 4096.0 / (1 << 30) as f64;
+    println!(
+        "64 ranks, {} checkpoints, {:.2} GiB solution file, 8 KiB writes\n",
+        base.steps, gib
+    );
+
+    println!(
+        "{:>22}  {:>12}  {:>12}  {:>9}",
+        "configuration", "write MiB/s", "read MiB/s", "extents"
+    );
+    let configs: Vec<(&str, PolicyKind, bool)> = vec![
+        ("reservation", PolicyKind::Reservation, false),
+        ("on-demand (MiF)", PolicyKind::OnDemand, false),
+        ("reservation + cio", PolicyKind::Reservation, true),
+        ("on-demand + cio", PolicyKind::OnDemand, true),
+    ];
+    for (name, policy, collective) in configs {
+        let params = BtioParams {
+            collective,
+            ..base.clone()
+        };
+        let r = run(FsConfig::with_policy(policy, 8), &params);
+        println!(
+            "{:>22}  {:>12.1}  {:>12.1}  {:>9}",
+            name, r.write_mib_s, r.read_mib_s, r.extents
+        );
+    }
+
+    println!(
+        "\nNon-collective checkpoints interleave 64 ranks' small writes; the\n\
+         per-inode reservation places them in arrival order and the analysis\n\
+         read pays a seek per fragment. On-demand preallocation gives every\n\
+         rank its own window, so each rank's cells stay contiguous. Collective\n\
+         I/O sidesteps the interleave entirely by aggregating ~40 MB requests\n\
+         — the two techniques compose."
+    );
+}

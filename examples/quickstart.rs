@@ -1,0 +1,84 @@
+//! Quickstart: build a parallel file system, write a shared file from
+//! concurrent streams under each allocation policy, and see why MiF's
+//! on-demand preallocation exists.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use mif::alloc::{PolicyKind, StreamId};
+use mif::pfs::{FileSystem, FsConfig};
+use mif::simdisk::mib_per_sec;
+
+fn main() {
+    println!("MiF quickstart — 16 streams extend one shared file concurrently\n");
+    println!(
+        "{:>12}  {:>8}  {:>14}  {:>14}",
+        "policy", "extents", "write MiB/s", "read-back MiB/s"
+    );
+
+    for policy in [
+        PolicyKind::Vanilla,
+        PolicyKind::Reservation,
+        PolicyKind::OnDemand,
+        PolicyKind::Static,
+    ] {
+        // A 5-disk file system, like the paper's micro-benchmark setup.
+        let mut fs = FileSystem::new(FsConfig::with_policy(policy, 5));
+
+        // Each stream owns a 4 MiB region of the shared file and extends it
+        // with 16 KiB writes; arrivals interleave round-robin.
+        let streams: Vec<StreamId> = (0..16).map(|i| StreamId::new(i, 0)).collect();
+        let region = 1024u64; // blocks
+        let file = fs.create("checkpoint.odb", Some(16 * region));
+
+        let t0 = fs.data_elapsed_ns();
+        for round in 0..(region / 4) {
+            fs.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                fs.write(file, s, i as u64 * region + round * 4, 4);
+            }
+            fs.end_round();
+        }
+        fs.sync_data();
+        fs.close(file);
+        let write_ns = fs.data_elapsed_ns() - t0;
+
+        // Read the file back sequentially, 8 concurrent readers.
+        fs.drop_data_caches();
+        let t1 = fs.data_elapsed_ns();
+        let readers: Vec<StreamId> = (0..8).map(|i| StreamId::new(100 + i, 0)).collect();
+        let chunk = 16 * region / 8;
+        let mut pos = [0u64; 8];
+        let mut round = 0u64;
+        while pos.iter().any(|&p| p < chunk) {
+            fs.begin_round();
+            for (j, &r) in readers.iter().enumerate() {
+                // Readers drift out of lockstep (each skips 1 round in 8),
+                // like real cluster threads.
+                if (round + j as u64) % 8 == 0 || pos[j] >= chunk {
+                    continue;
+                }
+                fs.read(file, r, j as u64 * chunk + pos[j], 16);
+                pos[j] += 16;
+            }
+            fs.end_round();
+            round += 1;
+        }
+        let read_ns = fs.data_elapsed_ns() - t1;
+
+        let bytes = 16 * region * 4096;
+        println!(
+            "{:>12}  {:>8}  {:>14.1}  {:>14.1}",
+            policy.to_string(),
+            fs.file_extents(file),
+            mib_per_sec(bytes, write_ns),
+            mib_per_sec(bytes, read_ns),
+        );
+    }
+
+    println!(
+        "\nThe interleaved arrivals fragment the logical→physical mapping under\n\
+         vanilla/reservation allocation (many extents); on-demand's per-stream\n\
+         windows keep each region contiguous, approaching fallocate (static)\n\
+         without knowing file sizes in advance."
+    );
+}

@@ -1,0 +1,21 @@
+//! # mif — Mitigating Intra-file Fragmentation in Parallel File Systems
+//!
+//! Umbrella crate re-exporting the whole MiF reproduction stack
+//! (Yi et al., ICPP 2011). See the README for a tour and `DESIGN.md` for the
+//! system inventory.
+//!
+//! * [`simdisk`] — mechanical disk / disk-array simulator
+//! * [`extent`] — extents, extent trees, fragmentation metrics
+//! * [`alloc`] — block allocators: vanilla, reservation, static (fallocate)
+//!   and the paper's on-demand preallocation
+//! * [`mds`] — metadata storage: normal, Htree-indexed and embedded
+//!   directories, journal, global directory table
+//! * [`pfs`] — the block-based parallel file system (Redbud analogue)
+//! * [`workloads`] — generators for every benchmark in the paper
+
+pub use mif_alloc as alloc;
+pub use mif_core as pfs;
+pub use mif_extent as extent;
+pub use mif_mds as mds;
+pub use mif_simdisk as simdisk;
+pub use mif_workloads as workloads;

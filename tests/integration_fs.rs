@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: allocator ↔ extent trees ↔ disks ↔ the
+//! file-system facade.
+
+use mif::alloc::{PolicyKind, StreamId};
+use mif::pfs::{aggregate_collective, FileSystem, FsConfig};
+
+fn all_policies() -> [PolicyKind; 4] {
+    [
+        PolicyKind::Vanilla,
+        PolicyKind::Reservation,
+        PolicyKind::Static,
+        PolicyKind::OnDemand,
+    ]
+}
+
+/// Write a shared file from interleaved streams; every policy must map
+/// every block exactly once and conserve free space at unlink.
+#[test]
+fn write_read_unlink_conserves_space_under_every_policy() {
+    for policy in all_policies() {
+        let mut fs = FileSystem::new(FsConfig::with_policy(policy, 3));
+        let total_free = fs.free_blocks();
+        let file = fs.create("f", Some(8 * 256));
+        let streams: Vec<StreamId> = (0..8).map(|i| StreamId::new(i, 0)).collect();
+
+        for round in 0..64u64 {
+            fs.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                fs.write(file, s, i as u64 * 256 + round * 4, 4);
+            }
+            fs.end_round();
+        }
+        fs.sync_data();
+        fs.close(file);
+
+        // Static maps its whole (rounded-up) preallocation; the others map
+        // exactly the written blocks.
+        assert!(fs.file_allocated(file) >= 8 * 256, "{policy}: all mapped");
+        assert_eq!(fs.file_size(file), 8 * 256);
+        assert!(fs.file_extents(file) >= 1);
+
+        // Read everything back; the simulation must resolve every block.
+        fs.drop_data_caches();
+        let before = fs.data_stats().bytes_read;
+        fs.begin_round();
+        for &s in &streams {
+            fs.read(file, s, 0, 8 * 256);
+        }
+        fs.end_round();
+        assert!(fs.data_stats().bytes_read > before, "{policy}: read hit disk");
+
+        fs.unlink(file);
+        assert_eq!(fs.free_blocks(), total_free, "{policy}: space conserved");
+    }
+}
+
+/// The Figure 1(a) scenario: per-inode reservation fragments the mapping in
+/// arrival order; on-demand keeps regions contiguous; static is perfect.
+#[test]
+fn figure_1a_fragmentation_ordering() {
+    let mut extents = std::collections::HashMap::new();
+    for policy in all_policies() {
+        let mut fs = FileSystem::new(FsConfig::with_policy(policy, 1));
+        let file = fs.create("shared", Some(64 * 64));
+        let streams: Vec<StreamId> = (0..64).map(|i| StreamId::new(i, 0)).collect();
+        for round in 0..64u64 {
+            fs.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                fs.write(file, s, i as u64 * 64 + round, 1);
+            }
+            fs.end_round();
+        }
+        fs.close(file);
+        extents.insert(policy, fs.file_extents(file));
+    }
+    assert!(extents[&PolicyKind::Static] <= 8);
+    assert!(extents[&PolicyKind::OnDemand] < extents[&PolicyKind::Reservation] / 4);
+    assert!(extents[&PolicyKind::Reservation] <= extents[&PolicyKind::Vanilla]);
+    // Reservation in arrival order: essentially one extent per request.
+    assert!(extents[&PolicyKind::Reservation] as f64 >= 64.0 * 64.0 * 0.9);
+}
+
+/// Collective aggregation covers exactly the union of the pieces, and
+/// writing through it maps the same blocks as non-collective writes.
+#[test]
+fn collective_and_noncollective_map_identical_ranges() {
+    let pieces: Vec<(u64, u64)> = (0..32).map(|r| (r * 16, 16)).collect();
+    let aggs: Vec<StreamId> = (0..4).map(|i| StreamId::new(i, 0)).collect();
+    let chunks = aggregate_collective(&pieces, &aggs, 64);
+    let covered: u64 = chunks.iter().map(|c| c.2).sum();
+    assert_eq!(covered, 32 * 16);
+
+    let mut fs = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 2));
+    let file = fs.create("c", None);
+    fs.begin_round();
+    for (agg, off, len) in chunks {
+        fs.write(file, agg, off, len);
+    }
+    fs.end_round();
+    assert_eq!(fs.file_allocated(file), 32 * 16);
+}
+
+/// Striping distributes a large file's blocks over every OST.
+#[test]
+fn striping_uses_every_disk() {
+    let mut fs = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 5));
+    let file = fs.create("wide", None);
+    fs.begin_round();
+    fs.write(file, StreamId::new(0, 0), 0, 5 * 256 * 2);
+    fs.end_round();
+    fs.sync_data();
+    let per_disk = fs.data_stats();
+    assert_eq!(per_disk.bytes_written, 5 * 256 * 2 * 4096);
+}
+
+/// Overwrites never allocate; sparse files keep holes.
+#[test]
+fn overwrite_and_holes() {
+    let mut fs = FileSystem::new(FsConfig::with_policy(PolicyKind::OnDemand, 2));
+    let file = fs.create("sparse", None);
+    let s = StreamId::new(1, 0);
+    // Write blocks 0..8 and 100..108 only.
+    fs.begin_round();
+    fs.write(file, s, 0, 8);
+    fs.write(file, s, 100, 8);
+    fs.end_round();
+    fs.close(file);
+    assert_eq!(fs.file_allocated(file), 16);
+    assert_eq!(fs.file_size(file), 108);
+
+    let free = fs.free_blocks();
+    fs.begin_round();
+    fs.write(file, s, 0, 8); // overwrite
+    fs.end_round();
+    assert_eq!(fs.free_blocks(), free, "overwrite must not allocate");
+}
+
+/// The whole pipeline is deterministic: same inputs, same simulated time.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut fs = FileSystem::new(FsConfig::with_policy(PolicyKind::OnDemand, 3));
+        let file = fs.create("d", None);
+        for round in 0..32u64 {
+            fs.begin_round();
+            for i in 0..8u32 {
+                fs.write(file, StreamId::new(i, 0), i as u64 * 512 + round * 4, 4);
+            }
+            fs.end_round();
+        }
+        fs.sync_data();
+        (fs.data_elapsed_ns(), fs.file_extents(file))
+    };
+    assert_eq!(run(), run());
+}
+
+/// MDS CPU proxy grows with fragmentation (Table I relation).
+#[test]
+fn mds_cpu_tracks_extent_count() {
+    let run = |policy| {
+        let mut fs = FileSystem::new(FsConfig::with_policy(policy, 1));
+        let file = fs.create("f", None);
+        for round in 0..32u64 {
+            fs.begin_round();
+            for i in 0..16u32 {
+                fs.write(file, StreamId::new(i, 0), i as u64 * 128 + round * 4, 4);
+            }
+            fs.end_round();
+        }
+        fs.metrics()
+    };
+    let res = run(PolicyKind::Reservation);
+    let ond = run(PolicyKind::OnDemand);
+    assert!(res.extents > ond.extents);
+    assert!(res.mds_cpu_ns > ond.mds_cpu_ns);
+}

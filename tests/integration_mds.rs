@@ -1,0 +1,158 @@
+//! Cross-mode metadata integration tests: every directory mode must
+//! implement the same namespace semantics; only the disk traffic differs.
+
+use mif::mds::{DirMode, Mds, MdsConfig, ROOT_INO};
+
+const MODES: [DirMode; 3] = [DirMode::Normal, DirMode::Htree, DirMode::Embedded];
+
+/// The same operation sequence produces the same namespace in all modes.
+#[test]
+fn namespace_semantics_are_mode_independent() {
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let a = mds.mkdir(ROOT_INO, "a");
+        let b = mds.mkdir(ROOT_INO, "b");
+        let sub = mds.mkdir(a, "sub");
+
+        for i in 0..300 {
+            mds.create(a, &format!("f{i}"), 1);
+        }
+        mds.create(sub, "deep", 2);
+
+        // Lookups resolve in every mode.
+        assert!(mds.lookup(a, "f0").is_some(), "{mode}");
+        assert!(mds.lookup(a, "f299").is_some(), "{mode}");
+        assert!(mds.lookup(a, "missing").is_none(), "{mode}");
+        assert!(mds.lookup(sub, "deep").is_some(), "{mode}");
+
+        // Unlink removes exactly the named file.
+        mds.unlink(a, "f0");
+        assert!(mds.lookup(a, "f0").is_none(), "{mode}");
+        assert!(mds.lookup(a, "f1").is_some(), "{mode}");
+
+        // Rename across directories keeps the file reachable.
+        let ino = mds.rename(a, "f1", b, "g1").expect("renamed");
+        assert!(mds.lookup(a, "f1").is_none(), "{mode}");
+        assert_eq!(mds.lookup(b, "g1"), Some(ino), "{mode}");
+    }
+}
+
+/// Resolving an inode number works in every mode, including after renames
+/// (the embedded mode goes through the global directory table and the
+/// rename correlation; traditional inos are stable).
+#[test]
+fn inode_resolution_survives_renames() {
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let a = mds.mkdir(ROOT_INO, "a");
+        let b = mds.mkdir(ROOT_INO, "b");
+        let old = mds.create(a, "x", 1);
+        assert_eq!(mds.resolve_inode(old), Some(old), "{mode}: fresh resolves");
+
+        let new = mds.rename(a, "x", b, "y").expect("renamed");
+        let resolved = mds.resolve_inode(old).expect("old id still resolves");
+        assert_eq!(resolved, new, "{mode}: old id routes to the new inode");
+    }
+}
+
+/// Directory renames keep descendants resolvable in embedded mode.
+#[test]
+fn directory_rename_keeps_descendants() {
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let a = mds.mkdir(ROOT_INO, "a");
+        let dst = mds.mkdir(ROOT_INO, "dst");
+        let child = mds.create(a, "child", 1);
+
+        let new_a = mds.rename(ROOT_INO, "a", dst, "a2").expect("dir renamed");
+        assert_eq!(mds.lookup(new_a, "child"), Some(child), "{mode}");
+        assert_eq!(mds.resolve_inode(child), Some(child), "{mode}");
+    }
+}
+
+/// readdir-stat touches the disk in every mode after a cache drop, and the
+/// embedded mode dispatches strictly fewer commands.
+#[test]
+fn readdir_stat_access_ordering() {
+    let mut accesses = std::collections::HashMap::new();
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let d = mds.mkdir(ROOT_INO, "d");
+        for i in 0..1000 {
+            mds.create(d, &format!("f{i}"), 1);
+        }
+        mds.sync();
+        mds.drop_caches();
+        let a0 = mds.disk_stats().dispatched;
+        mds.readdir_stat(d);
+        accesses.insert(mode, mds.disk_stats().dispatched - a0);
+    }
+    assert!(accesses[&DirMode::Embedded] * 3 < accesses[&DirMode::Normal]);
+    assert!(accesses[&DirMode::Embedded] * 3 < accesses[&DirMode::Htree]);
+}
+
+/// Deleting everything returns the directory to a reusable state in every
+/// mode (slot/blocks recycling must not corrupt the namespace).
+#[test]
+fn churn_create_delete_create() {
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let d = mds.mkdir(ROOT_INO, "d");
+        for gen in 0..3 {
+            for i in 0..200 {
+                mds.create(d, &format!("g{gen}_{i}"), 1);
+            }
+            for i in 0..200 {
+                mds.unlink(d, &format!("g{gen}_{i}"));
+            }
+        }
+        for i in 0..200 {
+            mds.create(d, &format!("final{i}"), 1);
+        }
+        for i in 0..200 {
+            assert!(mds.lookup(d, &format!("final{i}")).is_some(), "{mode}");
+        }
+        assert!(mds.lookup(d, "g0_0").is_none(), "{mode}");
+    }
+}
+
+/// The fsck-style checker passes after aging-level churn in every mode.
+#[test]
+fn checker_passes_after_churn() {
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let dirs: Vec<_> = (0..4).map(|i| mds.mkdir(ROOT_INO, &format!("d{i}"))).collect();
+        for gen in 0..3 {
+            for i in 0..150 {
+                let d = dirs[i % dirs.len()];
+                mds.create(d, &format!("g{gen}_{i}"), (i as u32 % 200) + 1);
+            }
+            for i in (0..150).step_by(2) {
+                let d = dirs[i % dirs.len()];
+                mds.unlink(d, &format!("g{gen}_{i}"));
+            }
+        }
+        mds.rename(dirs[0], "g2_4", dirs[1], "moved");
+        let problems = mds.check();
+        assert!(problems.is_empty(), "{mode}: {problems:?}");
+    }
+}
+
+/// Journal records accumulate only for mutations; checkpoints flush dirt.
+#[test]
+fn journal_and_checkpoint_accounting() {
+    for mode in MODES {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let d = mds.mkdir(ROOT_INO, "d");
+        let records_before = mds.journal_records();
+        for i in 0..100 {
+            mds.create(d, &format!("f{i}"), 1);
+        }
+        assert_eq!(mds.journal_records() - records_before, 100, "{mode}");
+        mds.stat(d, "f5");
+        mds.readdir(d);
+        assert_eq!(mds.journal_records() - records_before, 100, "{mode}");
+        mds.sync();
+        assert!(mds.op_stats().checkpoints >= 1, "{mode}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for extent trees and striping.
+
+use mif::extent::{Extent, ExtentTree};
+use mif::pfs::Striping;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Generate disjoint logical runs by walking forward with gaps.
+fn disjoint_runs() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..16, 1u64..12, any::<u64>()), 1..80).prop_map(|steps| {
+        let mut runs = Vec::new();
+        let mut pos = 0u64;
+        for (i, (gap, len, seed)) in steps.into_iter().enumerate() {
+            pos += gap;
+            // Physical placement pseudo-random but collision-free.
+            let phys = (i as u64) * 1_000 + seed % 500;
+            runs.push((pos, phys, len));
+            pos += len;
+        }
+        runs
+    })
+}
+
+proptest! {
+    /// The tree agrees with a naive block map on every translation.
+    #[test]
+    fn tree_matches_naive_model(runs in disjoint_runs()) {
+        let mut tree = ExtentTree::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(logical, phys, len) in &runs {
+            tree.insert(Extent::new(logical, phys, len));
+            for i in 0..len {
+                model.insert(logical + i, phys + i);
+            }
+        }
+        prop_assert_eq!(tree.mapped_blocks(), model.len() as u64);
+        let max = runs.iter().map(|r| r.0 + r.2).max().unwrap_or(0);
+        for b in 0..max + 2 {
+            prop_assert_eq!(tree.translate(b), model.get(&b).copied(), "block {}", b);
+        }
+    }
+
+    /// resolve() + gaps() partition any queried range exactly.
+    #[test]
+    fn resolve_and_gaps_partition_ranges(
+        runs in disjoint_runs(),
+        query_start in 0u64..400,
+        query_len in 1u64..300,
+    ) {
+        let mut tree = ExtentTree::new();
+        for &(logical, phys, len) in &runs {
+            tree.insert(Extent::new(logical, phys, len));
+        }
+        let mapped: u64 = tree.resolve(query_start, query_len).iter().map(|r| r.1).sum();
+        let holes: u64 = tree.gaps(query_start, query_len).iter().map(|g| g.1).sum();
+        prop_assert_eq!(mapped + holes, query_len);
+
+        // Gaps really are unmapped and in-range.
+        for (g, l) in tree.gaps(query_start, query_len) {
+            prop_assert!(g >= query_start && g + l <= query_start + query_len);
+            for b in g..g + l {
+                prop_assert_eq!(tree.translate(b), None);
+            }
+        }
+    }
+
+    /// Coalescing never changes the mapping, only the extent count.
+    #[test]
+    fn coalescing_preserves_mapping(n in 1u64..200) {
+        let mut tree = ExtentTree::new();
+        // Insert in a shuffled-ish order (odd first then even) to force
+        // out-of-order coalescing.
+        for i in (1..n).step_by(2) {
+            tree.insert(Extent::new(i * 4, 1000 + i * 4, 4));
+        }
+        for i in (0..n).step_by(2) {
+            tree.insert(Extent::new(i * 4, 1000 + i * 4, 4));
+        }
+        prop_assert_eq!(tree.extent_count(), 1, "fully adjacent runs coalesce");
+        for b in 0..n * 4 {
+            prop_assert_eq!(tree.translate(b), Some(1000 + b));
+        }
+    }
+
+    /// Striping: locate() is a bijection block-by-block and split() covers
+    /// ranges exactly, for any starting-OST shift.
+    #[test]
+    fn striping_is_a_bijection(
+        osts in 1u32..9,
+        stripe in 1u64..64,
+        offset in 0u64..5000,
+        len in 1u64..500,
+        shift in 0u32..9,
+    ) {
+        let s = Striping::new(osts, stripe);
+        // Injective over a window.
+        let mut seen = std::collections::HashSet::new();
+        for b in offset..offset + len {
+            prop_assert!(seen.insert(s.locate(b, shift)), "collision at {}", b);
+        }
+        // split() covers exactly [offset, offset+len).
+        let pieces = s.split(offset, len, shift);
+        let total: u64 = pieces.iter().map(|p| p.2).sum();
+        prop_assert_eq!(total, len);
+        // Every piece locates consistently with locate().
+        for (ost, local, run, file_off) in pieces {
+            for i in 0..run {
+                prop_assert_eq!(s.locate(file_off + i, shift), (ost, local + i));
+            }
+        }
+    }
+}

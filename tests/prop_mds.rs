@@ -1,0 +1,142 @@
+//! Property-based tests over the metadata stores: random operation scripts
+//! must keep every directory mode's namespace consistent with a naive
+//! model, and embedded-mode inode numbers must stay resolvable.
+
+use mif::mds::{DirMode, Mds, MdsConfig, ROOT_INO};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum NsOp {
+    Create(u8),
+    Unlink(u8),
+    Rename(u8, u8),
+    Stat(u8),
+    ReaddirStat,
+}
+
+fn scripts() -> impl Strategy<Value = Vec<NsOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(NsOp::Create),
+            any::<u8>().prop_map(NsOp::Unlink),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| NsOp::Rename(a, b)),
+            any::<u8>().prop_map(NsOp::Stat),
+            Just(NsOp::ReaddirStat),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay a random script in two directories against a naive model;
+    /// lookups must agree at every step, in every mode.
+    #[test]
+    fn namespace_matches_model(script in scripts(), mode_idx in 0usize..3) {
+        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded][mode_idx];
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let d1 = mds.mkdir(ROOT_INO, "d1");
+        let d2 = mds.mkdir(ROOT_INO, "d2");
+        // model: name -> present in d1 (renames move to d2 under "r<name>")
+        let mut model_d1: HashMap<String, ()> = HashMap::new();
+        let mut model_d2: HashMap<String, ()> = HashMap::new();
+
+        for op in script {
+            match op {
+                NsOp::Create(n) => {
+                    let name = format!("f{n}");
+                    if !model_d1.contains_key(&name) {
+                        mds.create(d1, &name, (n % 8) as u32 + 1);
+                        model_d1.insert(name, ());
+                    }
+                }
+                NsOp::Unlink(n) => {
+                    let name = format!("f{n}");
+                    if model_d1.remove(&name).is_some() {
+                        mds.unlink(d1, &name);
+                    }
+                }
+                NsOp::Rename(n, m) => {
+                    let src = format!("f{n}");
+                    let dst = format!("r{m}");
+                    if model_d1.contains_key(&src) && !model_d2.contains_key(&dst) {
+                        model_d1.remove(&src);
+                        let ino = mds.rename(d1, &src, d2, &dst);
+                        prop_assert!(ino.is_some());
+                        model_d2.insert(dst, ());
+                    }
+                }
+                NsOp::Stat(n) => {
+                    let name = format!("f{n}");
+                    let found = mds.lookup(d1, &name).is_some();
+                    prop_assert_eq!(found, model_d1.contains_key(&name), "{}", mode);
+                }
+                NsOp::ReaddirStat => {
+                    mds.readdir_stat(d1);
+                }
+            }
+        }
+
+        // Final sweep: every model entry resolves, nothing extra does.
+        for name in model_d1.keys() {
+            prop_assert!(mds.lookup(d1, name).is_some(), "{}: lost {}", mode, name);
+        }
+        for name in model_d2.keys() {
+            prop_assert!(mds.lookup(d2, name).is_some(), "{}: lost {}", mode, name);
+        }
+        for n in 0u16..=255 {
+            let name = format!("f{n}");
+            if !model_d1.contains_key(&name) {
+                prop_assert!(mds.lookup(d1, &name).is_none(), "{}: ghost {}", mode, name);
+            }
+        }
+
+        // The on-disk structures stay internally consistent throughout.
+        let problems = mds.check();
+        prop_assert!(problems.is_empty(), "{}: {:?}", mode, problems);
+    }
+
+    /// Embedded inode numbers (including pre-rename aliases) always resolve
+    /// to the file's current identity.
+    #[test]
+    fn embedded_inode_numbers_always_resolve(
+        renames in prop::collection::vec((0u8..16, any::<bool>()), 1..40)
+    ) {
+        let mut mds = Mds::new(MdsConfig::with_mode(DirMode::Embedded));
+        let d1 = mds.mkdir(ROOT_INO, "d1");
+        let d2 = mds.mkdir(ROOT_INO, "d2");
+        // Every file remembers every ino it has ever had.
+        let mut history: Vec<(u8, Vec<mif::mds::InodeNo>)> = Vec::new();
+        for n in 0u8..16 {
+            let ino = mds.create(d1, &format!("f{n}"), 1);
+            history.push((n, vec![ino]));
+        }
+        let mut in_d1 = [true; 16];
+        let mut gen = 0u32;
+        for (n, _) in renames {
+            let idx = (n % 16) as usize;
+            gen += 1;
+            let (src, dst) = if in_d1[idx] { (d1, d2) } else { (d2, d1) };
+            let old_name = history[idx].1.len() - 1;
+            let src_name = if old_name == 0 && in_d1[idx] && history[idx].1.len() == 1 {
+                format!("f{idx}")
+            } else {
+                format!("f{idx}_{}", history[idx].1.len() - 1)
+            };
+            let dst_name = format!("f{idx}_{}", history[idx].1.len());
+            let _ = gen;
+            if let Some(new_ino) = mds.rename(src, &src_name, dst, &dst_name) {
+                history[idx].1.push(new_ino);
+                in_d1[idx] = !in_d1[idx];
+            }
+        }
+        for (_, inos) in &history {
+            let current = *inos.last().expect("nonempty");
+            for &old in inos {
+                prop_assert_eq!(mds.resolve_inode(old), Some(current));
+            }
+        }
+    }
+}

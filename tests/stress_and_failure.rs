@@ -1,0 +1,148 @@
+//! Failure injection and concurrency stress across the stack.
+
+use mif::alloc::{
+    AllocPolicy, FileId, GroupedAllocator, OnDemandPolicy, ReservationPolicy, StreamId,
+};
+use mif::mds::{DirMode, Mds, MdsConfig, MdsLayout, ROOT_INO};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+// ---- disk-full behaviour ---------------------------------------------------
+
+/// On-demand degrades gracefully as the disk fills: windows shrink, then
+/// vanish, but every requested block is still delivered until the disk is
+/// truly full.
+#[test]
+fn ondemand_degrades_on_nearly_full_disk() {
+    let alloc = GroupedAllocator::new(4096, 4);
+    // Pre-fill 90% with scattered runs.
+    let mut filled = 0;
+    while filled < 3686 {
+        let len = 7.min(4096 - filled);
+        if alloc.alloc_run(filled * 13 % 4096, len).is_none() {
+            break;
+        }
+        filled += len;
+    }
+    let mut p = OnDemandPolicy::default();
+    let f = FileId(1);
+    let s = StreamId::new(1, 0);
+    let free = alloc.free_blocks();
+    let mut got = 0u64;
+    for i in 0..(free / 2) {
+        let runs = p.extend(&alloc, f, s, i * 2, 2);
+        got += runs.iter().map(|r| r.1).sum::<u64>();
+    }
+    assert_eq!(got, (free / 2) * 2, "every block delivered despite pressure");
+    p.finalize(&alloc, f);
+    // Nothing leaked: free space = initial free - data handed out.
+    assert_eq!(alloc.free_blocks(), free - got);
+}
+
+/// Reservation keeps its promise on a fragmented, nearly-full disk too.
+#[test]
+fn reservation_degrades_on_fragmented_disk() {
+    let alloc = GroupedAllocator::new(1024, 2);
+    for i in (0..1024).step_by(4) {
+        alloc.alloc_at(i, 2);
+    }
+    let mut p = ReservationPolicy::new(256);
+    let runs = p.extend(&alloc, FileId(1), StreamId::new(1, 0), 0, 100);
+    assert_eq!(runs.iter().map(|r| r.1).sum::<u64>(), 100);
+}
+
+/// The allocator refuses to over-commit: a truly full disk panics loudly
+/// rather than corrupting state.
+#[test]
+#[should_panic(expected = "out of space")]
+fn full_disk_panics_not_corrupts() {
+    let alloc = GroupedAllocator::new(64, 1);
+    alloc.alloc_run(0, 64);
+    alloc.alloc_chunks(0, 1);
+}
+
+// ---- metadata failure paths --------------------------------------------------
+
+/// A tiny journal wraps many times under sustained load without corrupting
+/// anything (the checker still passes).
+#[test]
+fn journal_wrap_under_sustained_load() {
+    let mut cfg = MdsConfig::with_mode(DirMode::Embedded);
+    cfg.layout = MdsLayout {
+        journal_blocks: 8, // wraps every 256 records
+        dirtable_blocks: 8,
+        group_blocks: 4096,
+        itable_blocks: 64,
+        groups: 4,
+        ..MdsLayout::default()
+    };
+    let mut mds = Mds::new(cfg);
+    let d = mds.mkdir(ROOT_INO, "d");
+    for i in 0..2000 {
+        mds.create(d, &format!("f{i}"), 1);
+        if i % 3 == 0 {
+            mds.utime(d, &format!("f{i}"));
+        }
+    }
+    mds.sync();
+    assert!(mds.journal_records() > 2600);
+    assert!(mds.check().is_empty());
+}
+
+/// Ops on a missing name are harmless in every mode.
+#[test]
+fn missing_name_operations_are_noops() {
+    for mode in [DirMode::Normal, DirMode::Htree, DirMode::Embedded] {
+        let mut mds = Mds::new(MdsConfig::with_mode(mode));
+        let d = mds.mkdir(ROOT_INO, "d");
+        mds.create(d, "real", 1);
+        mds.utime(d, "ghost");
+        mds.unlink(d, "ghost");
+        mds.stat(d, "ghost");
+        assert!(mds.rename(d, "ghost", d, "ghost2").is_none(), "{mode}");
+        assert!(mds.lookup(d, "real").is_some(), "{mode}");
+        assert!(mds.check().is_empty(), "{mode}");
+    }
+}
+
+// ---- concurrency stress ------------------------------------------------------
+
+/// Many threads hammer one allocator through independent policies (one per
+/// thread, as IO-server worker threads would) — crossbeam scoped threads,
+/// shared PAG underneath. No overlap, full accounting.
+#[test]
+fn concurrent_policies_share_one_allocator() {
+    let alloc = Arc::new(GroupedAllocator::new(1 << 20, 32));
+    let total_before = alloc.free_blocks();
+    let runs = Mutex::new(Vec::<(u64, u64)>::new());
+
+    crossbeam::scope(|scope| {
+        for t in 0..8u32 {
+            let alloc = Arc::clone(&alloc);
+            let runs = &runs;
+            scope.spawn(move |_| {
+                let mut policy = OnDemandPolicy::default();
+                let file = FileId(t as u64); // one file per worker
+                let mut local = Vec::new();
+                for i in 0..5_000u64 {
+                    let s = StreamId::new(t, (i % 4) as u32);
+                    let logical = (i % 4) * 100_000 + (i / 4) * 4;
+                    local.extend(policy.extend(&alloc, file, s, logical, 4));
+                }
+                policy.finalize(&alloc, file);
+                runs.lock().extend(local);
+            });
+        }
+    })
+    .expect("no thread panicked");
+
+    let mut all = runs.into_inner();
+    let total: u64 = all.iter().map(|r| r.1).sum();
+    assert_eq!(total, 8 * 5_000 * 4);
+    all.sort_unstable();
+    for w in all.windows(2) {
+        assert!(w[0].0 + w[0].1 <= w[1].0, "overlap {:?} {:?}", w[0], w[1]);
+    }
+    // All windows reclaimed at finalize: only data remains allocated.
+    assert_eq!(alloc.free_blocks(), total_before - total);
+}
