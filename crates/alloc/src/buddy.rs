@@ -4,7 +4,7 @@
 //! tracks free space as buddy bitmaps so contiguous power-of-two runs can
 //! be found in O(log n) instead of scanning. This module provides that
 //! structure as an alternative to [`crate::BlockBitmap`]'s linear scan —
-//! the `allocator` criterion bench compares the two, and the buddy's
+//! the `allocator` micro-bench compares the two, and the buddy's
 //! split/merge discipline is itself a useful fragmentation-resistance
 //! baseline.
 

@@ -7,8 +7,8 @@
 //! groups. Runs never span a group boundary, exactly like ext block groups.
 
 use crate::bitmap::BlockBitmap;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 struct Group {
     bitmap: Mutex<BlockBitmap>,
@@ -101,7 +101,7 @@ impl GroupedAllocator {
             } else {
                 0
             };
-            let mut bm = g.bitmap.lock();
+            let mut bm = g.bitmap.lock().unwrap();
             if let Some(s) = bm.alloc_run(local_goal, len) {
                 g.free.store(bm.free_count(), Ordering::Relaxed);
                 return Some(self.group_base(gi) + s);
@@ -117,7 +117,7 @@ impl GroupedAllocator {
             return false;
         }
         let g = &self.groups[gi];
-        let mut bm = g.bitmap.lock();
+        let mut bm = g.bitmap.lock().unwrap();
         let ok = bm.alloc_at(start - self.group_base(gi), len);
         if ok {
             g.free.store(bm.free_count(), Ordering::Relaxed);
@@ -146,7 +146,7 @@ impl GroupedAllocator {
             } else {
                 0
             };
-            let mut bm = g.bitmap.lock();
+            let mut bm = g.bitmap.lock().unwrap();
             for (s, l) in bm.alloc_chunks(local_goal, need) {
                 out.push((self.group_base(gi) + s, l));
                 need -= l;
@@ -171,7 +171,7 @@ impl GroupedAllocator {
             };
             let run = end.min(group_end) - pos;
             let g = &self.groups[gi];
-            let mut bm = g.bitmap.lock();
+            let mut bm = g.bitmap.lock().unwrap();
             bm.free_range(pos - base, run);
             g.free.store(bm.free_count(), Ordering::Relaxed);
             pos += run;
@@ -184,6 +184,7 @@ impl GroupedAllocator {
         self.groups[gi]
             .bitmap
             .lock()
+            .unwrap()
             .is_allocated(block - self.group_base(gi))
     }
 }

@@ -1,114 +1,122 @@
-//! Criterion micro-benches for the allocation substrate: the per-extend
-//! cost of each policy and the bitmap search primitives.
+//! Micro-benches for the allocation substrate: the per-extend cost of each
+//! policy and the bitmap search primitives.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mif_alloc::{
     AllocPolicy, BlockBitmap, BuddyAllocator, FileId, GroupedAllocator, OnDemandPolicy,
     ReservationPolicy, StreamId, VanillaPolicy,
 };
+use mif_bench::micro::bench;
 
-fn bitmap(c: &mut Criterion) {
-    c.bench_function("bitmap/alloc_run 64 blocks in 1M", |b| {
-        b.iter_batched(
-            || BlockBitmap::new(1 << 20),
-            |mut bm| {
-                for i in 0..512u64 {
-                    bm.alloc_run(i * 128, 64).unwrap();
-                }
-                bm
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("bitmap/alloc_chunks on swiss cheese", |b| {
-        b.iter_batched(
-            || {
-                let mut bm = BlockBitmap::new(1 << 16);
-                for i in (0..(1 << 16)).step_by(8) {
-                    bm.set_range(i, 5);
-                }
-                bm
-            },
-            |mut bm| bm.alloc_chunks(0, 1024),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy/extend 8 streams x 128 appends");
-    let streams: Vec<StreamId> = (0..8).map(|i| StreamId::new(i, 0)).collect();
-    let drive = |policy: &mut dyn AllocPolicy, alloc: &GroupedAllocator| {
-        for round in 0..128u64 {
-            for (i, &s) in streams.iter().enumerate() {
-                policy.extend(alloc, FileId(1), s, i as u64 * 10_000 + round * 4, 4);
+fn bitmap() {
+    bench(
+        "bitmap/alloc_run 64 blocks in 1M",
+        || BlockBitmap::new(1 << 20),
+        |mut bm| {
+            for i in 0..512u64 {
+                bm.alloc_run(i * 128, 64).unwrap();
             }
+            bm
+        },
+    );
+    bench(
+        "bitmap/alloc_chunks on swiss cheese",
+        || {
+            let mut bm = BlockBitmap::new(1 << 16);
+            for i in (0..(1 << 16)).step_by(8) {
+                bm.set_range(i, 5);
+            }
+            bm
+        },
+        |mut bm| {
+            bm.alloc_chunks(0, 1024);
+            bm
+        },
+    );
+}
+
+fn drive(policy: &mut dyn AllocPolicy, alloc: &GroupedAllocator, streams: &[StreamId]) {
+    for round in 0..128u64 {
+        for (i, &s) in streams.iter().enumerate() {
+            policy.extend(alloc, FileId(1), s, i as u64 * 10_000 + round * 4, 4);
         }
-    };
-    group.bench_function("vanilla", |b| {
-        b.iter_batched(
-            || (GroupedAllocator::new(1 << 20, 16), VanillaPolicy::default()),
-            |(alloc, mut p)| drive(&mut p, &alloc),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("reservation", |b| {
-        b.iter_batched(
-            || (GroupedAllocator::new(1 << 20, 16), ReservationPolicy::default()),
-            |(alloc, mut p)| drive(&mut p, &alloc),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("on-demand", |b| {
-        b.iter_batched(
-            || (GroupedAllocator::new(1 << 20, 16), OnDemandPolicy::default()),
-            |(alloc, mut p)| drive(&mut p, &alloc),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    }
 }
 
-fn buddy_vs_bitmap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("free-space/512 alloc-free cycles of 64 blocks");
-    group.bench_function("bitmap linear scan", |b| {
-        b.iter_batched(
-            || BlockBitmap::new(1 << 20),
-            |mut bm| {
-                let mut live = Vec::new();
-                for i in 0..512u64 {
-                    if let Some(s) = bm.alloc_run(i * 391 % (1 << 20), 64) {
-                        live.push(s);
-                    }
-                    if i % 2 == 1 {
-                        bm.free_range(live.remove(0), 64);
-                    }
-                }
-                bm
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("buddy (mballoc-style)", |b| {
-        b.iter_batched(
-            || BuddyAllocator::new(1 << 20),
-            |mut bd| {
-                let mut live = Vec::new();
-                for i in 0..512u64 {
-                    if let Some((s, _)) = bd.alloc(i * 391 % (1 << 20), 64) {
-                        live.push(s);
-                    }
-                    if i % 2 == 1 {
-                        bd.free(live.remove(0));
-                    }
-                }
-                bd
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+fn policies() {
+    let streams: Vec<StreamId> = (0..8).map(|i| StreamId::new(i, 0)).collect();
+    bench(
+        "policy/extend 8 streams x 128 appends/vanilla",
+        || (GroupedAllocator::new(1 << 20, 16), VanillaPolicy::default()),
+        |(alloc, mut p)| {
+            drive(&mut p, &alloc, &streams);
+            (alloc, p)
+        },
+    );
+    bench(
+        "policy/extend 8 streams x 128 appends/reservation",
+        || {
+            (
+                GroupedAllocator::new(1 << 20, 16),
+                ReservationPolicy::default(),
+            )
+        },
+        |(alloc, mut p)| {
+            drive(&mut p, &alloc, &streams);
+            (alloc, p)
+        },
+    );
+    bench(
+        "policy/extend 8 streams x 128 appends/on-demand",
+        || {
+            (
+                GroupedAllocator::new(1 << 20, 16),
+                OnDemandPolicy::default(),
+            )
+        },
+        |(alloc, mut p)| {
+            drive(&mut p, &alloc, &streams);
+            (alloc, p)
+        },
+    );
 }
 
-criterion_group!(benches, bitmap, policies, buddy_vs_bitmap);
-criterion_main!(benches);
+fn buddy_vs_bitmap() {
+    bench(
+        "free-space/512 cycles of 64 blocks/bitmap linear scan",
+        || BlockBitmap::new(1 << 20),
+        |mut bm| {
+            let mut live = Vec::new();
+            for i in 0..512u64 {
+                if let Some(s) = bm.alloc_run(i * 391 % (1 << 20), 64) {
+                    live.push(s);
+                }
+                if i % 2 == 1 {
+                    bm.free_range(live.remove(0), 64);
+                }
+            }
+            bm
+        },
+    );
+    bench(
+        "free-space/512 cycles of 64 blocks/buddy (mballoc-style)",
+        || BuddyAllocator::new(1 << 20),
+        |mut bd| {
+            let mut live = Vec::new();
+            for i in 0..512u64 {
+                if let Some((s, _)) = bd.alloc(i * 391 % (1 << 20), 64) {
+                    live.push(s);
+                }
+                if i % 2 == 1 {
+                    bd.free(live.remove(0));
+                }
+            }
+            bd
+        },
+    );
+}
+
+fn main() {
+    bitmap();
+    policies();
+    buddy_vs_bitmap();
+}

@@ -1,51 +1,51 @@
-//! Criterion micro-benches for extent trees: coalescing inserts and range
+//! Micro-benches for extent trees: coalescing inserts and range
 //! resolution, the hot path of every simulated read and write.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mif_bench::micro::bench;
 use mif_extent::{Extent, ExtentTree};
 
-fn inserts(c: &mut Criterion) {
-    c.bench_function("extent_tree/4096 coalescing inserts", |b| {
-        b.iter_batched(
-            ExtentTree::new,
-            |mut t| {
-                for i in 0..4096u64 {
-                    t.insert(Extent::new(i * 4, 100_000 + i * 4, 4));
-                }
-                t
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("extent_tree/4096 fragmented inserts", |b| {
-        b.iter_batched(
-            ExtentTree::new,
-            |mut t| {
-                for i in 0..4096u64 {
-                    t.insert(Extent::new(i * 4, i * 100, 1));
-                }
-                t
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn inserts() {
+    bench(
+        "extent_tree/4096 coalescing inserts",
+        ExtentTree::new,
+        |mut t| {
+            for i in 0..4096u64 {
+                t.insert(Extent::new(i * 4, 100_000 + i * 4, 4));
+            }
+            t
+        },
+    );
+    bench(
+        "extent_tree/4096 fragmented inserts",
+        ExtentTree::new,
+        |mut t| {
+            for i in 0..4096u64 {
+                t.insert(Extent::new(i * 4, i * 100, 1));
+            }
+            t
+        },
+    );
 }
 
-fn resolve(c: &mut Criterion) {
+fn resolve() {
     let mut fragmented = ExtentTree::new();
     for i in 0..4096u64 {
         fragmented.insert(Extent::new(i * 4, i * 100, 4));
     }
-    c.bench_function("extent_tree/resolve 64-block range (fragmented)", |b| {
-        b.iter(|| {
+    bench(
+        "extent_tree/resolve 64-block range (fragmented)",
+        || (),
+        |()| {
             let mut n = 0;
             for i in 0..64u64 {
                 n += fragmented.resolve(i * 256, 64).len();
             }
-            n
-        })
-    });
+            assert!(n > 0);
+        },
+    );
 }
 
-criterion_group!(benches, inserts, resolve);
-criterion_main!(benches);
+fn main() {
+    inserts();
+    resolve();
+}

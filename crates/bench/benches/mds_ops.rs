@@ -1,83 +1,79 @@
-//! Criterion micro-benches for the metadata server: per-op simulation cost
-//! in each directory mode (this measures the *simulator*, complementing
-//! the fig8 harness which measures *simulated time*).
+//! Micro-benches for the metadata server: per-op simulation cost in each
+//! directory mode (this measures the *simulator*, complementing the fig8
+//! harness which measures *simulated time*).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use mif_mds::{DirMode, Mds, MdsConfig, ROOT_INO};
+use mif_bench::micro::bench;
+use mif_mds::{DirMode, HtreeIndex, Mds, MdsConfig, ROOT_INO};
 
-fn creates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mds/1000 creates");
+fn creates() {
     for mode in [DirMode::Normal, DirMode::Htree, DirMode::Embedded] {
-        group.bench_function(mode.to_string(), |b| {
-            b.iter_batched(
-                || {
-                    let mut m = Mds::new(MdsConfig::with_mode(mode));
-                    let dir = m.mkdir(ROOT_INO, "d");
-                    (m, dir)
-                },
-                |(mut m, dir)| {
-                    for i in 0..1000 {
-                        m.create(dir, &format!("f{i}"), 1);
-                    }
-                    m
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn readdir_stat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mds/readdir_stat 1000 files");
-    for mode in [DirMode::Normal, DirMode::Embedded] {
-        group.bench_function(mode.to_string(), |b| {
-            let mut m = Mds::new(MdsConfig::with_mode(mode));
-            let dir = m.mkdir(ROOT_INO, "d");
-            for i in 0..1000 {
-                m.create(dir, &format!("f{i}"), 1);
-            }
-            m.sync();
-            b.iter(|| m.readdir_stat(dir));
-        });
-    }
-    group.finish();
-}
-
-fn htree_index(c: &mut Criterion) {
-    use mif_mds::HtreeIndex;
-    c.bench_function("htree/10k inserts with splits", |b| {
-        b.iter_batched(
-            || HtreeIndex::new(0, 1),
-            |mut h| {
-                let mut next = 1u64;
-                for i in 0..10_000 {
-                    h.insert(&format!("file{i}"), || {
-                        next += 1;
-                        next
-                    });
-                }
-                h
+        bench(
+            &format!("mds/1000 creates/{mode}"),
+            || {
+                let mut m = Mds::new(MdsConfig::with_mode(mode));
+                let dir = m.mkdir(ROOT_INO, "d");
+                (m, dir)
             },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("htree/lookup in 10k dir", |b| {
-        let mut h = HtreeIndex::new(0, 1);
-        let mut next = 1u64;
-        for i in 0..10_000 {
-            h.insert(&format!("file{i}"), || {
-                next += 1;
-                next
-            });
+            |(mut m, dir)| {
+                for i in 0..1000 {
+                    m.create(dir, &format!("f{i}"), 1);
+                }
+                (m, dir)
+            },
+        );
+    }
+}
+
+fn readdir_stat() {
+    for mode in [DirMode::Normal, DirMode::Embedded] {
+        let mut m = Mds::new(MdsConfig::with_mode(mode));
+        let dir = m.mkdir(ROOT_INO, "d");
+        for i in 0..1000 {
+            m.create(dir, &format!("f{i}"), 1);
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 10_000;
-            h.lookup_blocks(&format!("file{i}"))
-        })
+        m.sync();
+        bench(
+            &format!("mds/readdir_stat 1000 files/{mode}"),
+            || (),
+            |()| {
+                m.readdir_stat(dir);
+            },
+        );
+    }
+}
+
+fn htree_index() {
+    bench(
+        "htree/10k inserts with splits",
+        || HtreeIndex::new(0, 1),
+        |mut h| {
+            let mut next = 1u64;
+            for i in 0..10_000 {
+                h.insert(&format!("file{i}"), || {
+                    next += 1;
+                    next
+                });
+            }
+            h
+        },
+    );
+    let mut h = HtreeIndex::new(0, 1);
+    let mut next = 1u64;
+    for i in 0..10_000 {
+        h.insert(&format!("file{i}"), || {
+            next += 1;
+            next
+        });
+    }
+    let mut i = 0u64;
+    bench("htree/lookup in 10k dir", || (), |()| {
+        i = (i + 1) % 10_000;
+        h.lookup_blocks(&format!("file{i}"));
     });
 }
 
-criterion_group!(benches, creates, readdir_stat, htree_index);
-criterion_main!(benches);
+fn main() {
+    creates();
+    readdir_stat();
+    htree_index();
+}

@@ -16,8 +16,7 @@ use mif_alloc::{PolicyKind, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_core::{FileSystem, FsConfig};
 use mif_simdisk::mib_per_sec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 /// Phase 1 with an fsync every `sync_every` rounds (None = never), then the
 /// phase-2 segmented read; returns (phase-2 MiB/s, extents).

@@ -11,8 +11,7 @@ use mif_alloc::{FileId, GroupedAllocator, OnDemandConfig, OnDemandPolicy, Stream
 use mif_alloc::AllocPolicy;
 use mif_bench::{expectation, section, Table};
 use mif_extent::{Extent, ExtentTree};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 fn main() {
     section("Ablation — miss threshold under a mixed workload");
@@ -69,7 +68,7 @@ fn main() {
 
                 // Random stream writes anywhere in its own logical space.
                 let r = StreamId::new(100 + i, 0);
-                let logical = 100_000_000 + i as u64 * 1_000_000 + rng.gen_range(0..500_000);
+                let logical = 100_000_000 + i as u64 * 1_000_000 + rng.gen_range(0u64..500_000);
                 rnd_extents += policy.extend(&alloc, file, r, logical, 1).len();
             }
         }

@@ -18,8 +18,7 @@ use mif_alloc::{PolicyKind, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_core::{FileSystem, FsConfig};
 use mif_simdisk::{mib_per_sec, Nanos};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 const STREAMS: u32 = 16;
 const REGION: u64 = 1024;

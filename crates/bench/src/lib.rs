@@ -24,7 +24,10 @@
 //! | `ablate_replication` | §II-B reorganization cost + false-prediction risk |
 //! | `ablate_aggregation` | §II-A.2 readdirplus / open-getlayout pairs |
 //!
-//! Criterion micro-benches live under `benches/`.
+//! Micro-benches live under `benches/` and use the tiny wall-clock
+//! harness in [`micro`] (`cargo bench` — no external harness needed).
+
+pub mod micro;
 
 /// Print a section header.
 pub fn section(title: &str) {

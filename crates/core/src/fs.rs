@@ -13,7 +13,7 @@ use crate::striping::Striping;
 use mif_alloc::{make_policy, AllocPolicy, FileId, GroupedAllocator, StreamId};
 use mif_extent::{Extent, ExtentTree};
 use mif_mds::{InodeNo, Mds, ROOT_INO};
-use mif_simdisk::{BlockRequest, DiskArray, DiskStats, Nanos};
+use mif_simdisk::{BlockRequest, DiskArray, DiskStats, FaultPlan, FaultStats, IoFault, Nanos};
 use std::collections::HashMap;
 
 struct Ost {
@@ -237,18 +237,29 @@ impl FileSystem {
     /// slowest server gates the round). Write-back data flushes when the
     /// dirty threshold is exceeded.
     pub fn end_round(&mut self) -> Nanos {
+        self.try_end_round()
+            .unwrap_or_else(|(ost, f)| panic!("unhandled fault on OST {ost}: {f}"))
+    }
+
+    /// Fallible [`FileSystem::end_round`]: an injected fault on any IO
+    /// server surfaces as `Err((ost index, fault))` instead of panicking.
+    /// The other servers' batches have been serviced — the fault kills one
+    /// server's batch tail, not the round — and the round is closed either
+    /// way. Elapsed-time accounting on the fault path is best-effort (the
+    /// surviving servers' time is still charged).
+    pub fn try_end_round(&mut self) -> Result<Nanos, (usize, IoFault)> {
         assert!(self.round_open, "no open round");
         self.round_open = false;
         let batches = std::mem::replace(
             &mut self.pending,
             vec![Vec::new(); self.config.osts as usize],
         );
-        let mut t = self.array.submit_round(batches);
+        let mut t = self.array.try_submit_round(batches)?;
         if self.writeback_blocks >= self.config.writeback_limit_blocks {
-            t += self.flush_writeback();
+            t += self.try_flush_writeback()?;
         }
         self.data_elapsed_ns += t;
-        t
+        Ok(t)
     }
 
     /// Flush the write-back cache: one large sorted sweep per IO server.
@@ -261,16 +272,24 @@ impl FileSystem {
     /// combine many block allocation requests into a single request"
     /// (§II-B). Frequent syncs shrink the runs and the benefit.
     pub fn flush_writeback(&mut self) -> Nanos {
+        self.try_flush_writeback()
+            .unwrap_or_else(|(ost, f)| panic!("unhandled fault on OST {ost}: {f}"))
+    }
+
+    /// Fallible [`FileSystem::flush_writeback`]. On a fault, the faulted
+    /// server's unserviced tail is lost (as on a real crash) — the logical
+    /// mapping survives in memory, so a recovery pass can rewrite it.
+    pub fn try_flush_writeback(&mut self) -> Result<Nanos, (usize, IoFault)> {
         self.allocate_delayed();
         if self.writeback_blocks == 0 {
-            return 0;
+            return Ok(0);
         }
         self.writeback_blocks = 0;
         let batches = std::mem::replace(
             &mut self.writeback,
             vec![Vec::new(); self.config.osts as usize],
         );
-        self.array.submit_round(batches)
+        self.array.try_submit_round(batches)
     }
 
     /// Allocate everything the delayed-allocation path has buffered.
@@ -320,6 +339,43 @@ impl FileSystem {
         self.data_elapsed_ns += t;
     }
 
+    /// Fallible [`FileSystem::sync_data`].
+    pub fn try_sync_data(&mut self) -> Result<(), (usize, IoFault)> {
+        let t = self.try_flush_writeback()?;
+        self.data_elapsed_ns += t;
+        Ok(())
+    }
+
+    // ----- fault injection --------------------------------------------------
+
+    /// Install a seeded fault plan on every IO server (reseeded per disk).
+    /// Use the `try_*` entry points afterwards — the infallible ones panic
+    /// when a fault fires.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.array.install_faults(plan);
+    }
+
+    /// Remove all fault injectors.
+    pub fn clear_faults(&mut self) {
+        self.array.clear_faults();
+    }
+
+    /// Restore power to every IO server after injected power cuts (their
+    /// volatile caches are lost).
+    pub fn power_restore(&mut self) {
+        self.array.power_restore();
+    }
+
+    /// One IO server's fault counters, when a plan is installed.
+    pub fn fault_stats(&self, ost: usize) -> Option<&FaultStats> {
+        self.array.disk(ost).fault_stats()
+    }
+
+    /// Is any IO server dead from an injected power cut?
+    pub fn any_powered_off(&self) -> bool {
+        (0..self.config.osts as usize).any(|i| self.array.disk(i).powered_off())
+    }
+
     /// Convenience: run `f` inside a round and return the round time.
     pub fn round<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, Nanos) {
         self.begin_round();
@@ -334,6 +390,39 @@ impl FileSystem {
     /// extending-write path the whole paper is about); mapped blocks are
     /// overwritten in place.
     pub fn write(&mut self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
+        self.try_write(file, stream, offset, len)
+            .unwrap_or_else(|(ost, f)| panic!("unhandled fault on OST {ost}: {f}"));
+    }
+
+    /// Fallible [`FileSystem::write`]. Writes buffer in the write-back
+    /// cache, so the only fault observable *at write time* is a dead
+    /// server: buffering data toward an OST that lost power fails
+    /// immediately, the way a real client's dirty pages would error once
+    /// the server is unreachable. All other faults surface at submission
+    /// time ([`FileSystem::try_end_round`] / [`FileSystem::try_sync_data`]).
+    pub fn try_write(
+        &mut self,
+        file: OpenFile,
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), (usize, IoFault)> {
+        for i in 0..self.config.osts as usize {
+            if self.array.disk(i).powered_off() {
+                let writes = self
+                    .fault_stats(i)
+                    .map(|s| s.writes_seen)
+                    .unwrap_or_default();
+                return Err((i, IoFault::PowerCut {
+                    after_writes: writes,
+                }));
+            }
+        }
+        self.write_inner(file, stream, offset, len);
+        Ok(())
+    }
+
+    fn write_inner(&mut self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
         assert!(self.round_open, "write outside a round");
         assert!(len > 0, "zero-length write");
         let shift = self.files[&file.0].ost_shift;

@@ -147,4 +147,57 @@ mod tests {
         assert_eq!(reqs.len(), 3);
         assert_eq!(j.flush().len(), 1);
     }
+
+    #[test]
+    fn single_append_wraps_across_the_region_boundary() {
+        // Fill up to the last block, then commit two blocks in ONE call:
+        // the first write lands on the final block, the second wraps to the
+        // region base — the circular boundary crossed mid-append.
+        let l = MdsLayout::default();
+        let mut j = journal();
+        for _ in 0..l.journal_blocks - 1 {
+            j.append(RECORDS_PER_BLOCK);
+        }
+        let reqs = j.append(2 * RECORDS_PER_BLOCK);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(
+            reqs[0].start,
+            l.journal_base() + l.journal_blocks - 1,
+            "first commit fills the region's last block"
+        );
+        assert_eq!(
+            reqs[1].start,
+            l.journal_base(),
+            "second commit wraps to the region start"
+        );
+        assert_eq!(j.blocks_written(), l.journal_blocks + 1);
+    }
+
+    #[test]
+    fn flush_at_the_last_block_wraps_the_head() {
+        let l = MdsLayout::default();
+        let mut j = journal();
+        for _ in 0..l.journal_blocks - 1 {
+            j.append(RECORDS_PER_BLOCK);
+        }
+        // Partial fill of the final block, then flush it.
+        assert!(j.append(1).is_empty());
+        let reqs = j.flush();
+        assert_eq!(reqs[0].start, l.journal_base() + l.journal_blocks - 1);
+        // The next full block lands back at the base.
+        let reqs = j.append(RECORDS_PER_BLOCK);
+        assert_eq!(reqs[0].start, l.journal_base(), "head wrapped after flush");
+    }
+
+    #[test]
+    fn record_and_block_counters_survive_many_laps() {
+        let l = MdsLayout::default();
+        let mut j = journal();
+        let laps = 5;
+        for _ in 0..laps * l.journal_blocks {
+            j.append(RECORDS_PER_BLOCK);
+        }
+        assert_eq!(j.records(), laps * l.journal_blocks * RECORDS_PER_BLOCK);
+        assert_eq!(j.blocks_written(), laps * l.journal_blocks);
+    }
 }

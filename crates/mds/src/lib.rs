@@ -56,6 +56,7 @@ pub mod mds;
 pub mod normal;
 pub mod replay;
 pub mod store;
+pub mod wal;
 
 pub use check::{check_embedded, check_normal, Inconsistency};
 pub use cluster::{ClusterStats, Distribution, MdsCluster};
@@ -69,3 +70,4 @@ pub use mds::{DirMode, Mds, MdsConfig, MdsStats};
 pub use normal::NormalStore;
 pub use replay::{LoggedOp, OpLog};
 pub use store::{DataArea, OpEffect, ReadSet};
+pub use wal::{Recovery, RecoveryStop, WalWriter, WAL_RECORD_BYTES};

@@ -17,7 +17,10 @@ use crate::layout::MdsLayout;
 use crate::journal::Journal;
 use crate::normal::NormalStore;
 use crate::store::{DataArea, OpEffect};
-use mif_simdisk::{BlockRequest, Disk, DiskGeometry, DiskStats, Nanos, SchedulerConfig};
+use mif_simdisk::{
+    BlockRequest, Disk, DiskGeometry, DiskStats, FaultPlan, FaultStats, IoFault, Nanos,
+    SchedulerConfig,
+};
 use std::collections::BTreeSet;
 
 /// Directory placement mode.
@@ -166,12 +169,24 @@ impl Mds {
     /// Apply an effect: execute reads in order, journal, track dirty
     /// blocks, checkpoint when due.
     fn apply(&mut self, eff: OpEffect) {
+        if let Err(f) = self.try_apply(eff) {
+            panic!("unhandled MDS disk fault on infallible path: {f}");
+        }
+    }
+
+    /// Fallible [`Mds::apply`]: any injected fault on the MDS disk is
+    /// surfaced instead of panicking. On a fault the in-memory stores have
+    /// already executed the operation — what failed is *durability* (the
+    /// journal or checkpoint write) — so recovery means replaying a redo
+    /// log into a fresh MDS, exactly what [`crate::replay::OpLog`] and
+    /// [`crate::wal::recover`] provide.
+    fn try_apply(&mut self, eff: OpEffect) -> Result<(), IoFault> {
         // Block bitmaps examined by allocations are read (cache-absorbed
         // when hot, real I/O on an aged search).
         let bitmaps = self.data.take_touched_bitmaps();
         if !bitmaps.is_empty() {
             let batch = bitmaps.into_iter().map(|b| BlockRequest::read(b, 1)).collect();
-            self.disk.submit_batch_raw(batch);
+            self.disk.try_submit_batch_raw(batch)?;
         }
         for set in &eff.reads {
             let batch: Vec<BlockRequest> = set
@@ -180,8 +195,8 @@ impl Mds {
                 .map(|&(s, l)| BlockRequest::read(s, l))
                 .collect();
             match set.ra_ctx {
-                Some(ctx) => self.disk.submit_batch_ctx(ctx, batch),
-                None => self.disk.submit_batch_raw(batch),
+                Some(ctx) => self.disk.try_submit_batch_ctx(ctx, batch)?,
+                None => self.disk.try_submit_batch_raw(batch)?,
             };
         }
         for &(s, l) in &eff.freed {
@@ -190,40 +205,171 @@ impl Mds {
         if eff.journal_blocks > 0 {
             let reqs = self.journal.append(eff.journal_blocks);
             if !reqs.is_empty() {
-                self.disk.submit_batch_raw(reqs);
+                self.disk.try_submit_batch_raw(reqs)?;
             }
             self.dirty.extend(eff.dirty.iter().copied());
             self.muts_since_checkpoint += 1;
             if self.muts_since_checkpoint >= self.config.checkpoint_every {
-                self.checkpoint();
+                self.try_checkpoint()?;
             }
         } else {
             debug_assert!(eff.dirty.is_empty(), "read-only op dirtied blocks");
         }
+        Ok(())
     }
 
     /// Write back all dirty metadata blocks as one scheduled batch.
     pub fn checkpoint(&mut self) {
+        if let Err(f) = self.try_checkpoint() {
+            panic!("unhandled MDS disk fault on infallible path: {f}");
+        }
+    }
+
+    /// Fallible [`Mds::checkpoint`]. On a fault the *entire* dirty set is
+    /// retained for the next attempt — a faulted checkpoint batch may have
+    /// been partially serviced, so nothing can be assumed durable.
+    pub fn try_checkpoint(&mut self) -> Result<(), IoFault> {
         if self.dirty.is_empty() {
             self.muts_since_checkpoint = 0;
-            return;
+            return Ok(());
         }
-        let batch: Vec<BlockRequest> = std::mem::take(&mut self.dirty)
-            .into_iter()
-            .map(|b| BlockRequest::write(b, 1))
+        let batch: Vec<BlockRequest> = self
+            .dirty
+            .iter()
+            .map(|&b| BlockRequest::write(b, 1))
             .collect();
-        self.disk.submit_batch_raw(batch);
+        self.disk.try_submit_batch_raw(batch)?;
+        self.dirty.clear();
         self.muts_since_checkpoint = 0;
         self.stats.checkpoints += 1;
+        Ok(())
     }
 
     /// Flush outstanding state (end of a workload phase).
     pub fn sync(&mut self) {
+        if let Err(f) = self.try_sync() {
+            panic!("unhandled MDS disk fault on infallible path: {f}");
+        }
+    }
+
+    /// Fallible [`Mds::sync`].
+    pub fn try_sync(&mut self) -> Result<(), IoFault> {
         let reqs = self.journal.flush();
         if !reqs.is_empty() {
-            self.disk.submit_batch_raw(reqs);
+            self.disk.try_submit_batch_raw(reqs)?;
         }
-        self.checkpoint();
+        self.try_checkpoint()
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Install a seeded fault plan on the MDS disk. Once installed, use the
+    /// `try_*` operation variants — the infallible ones panic on a fault.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.disk.install_faults(plan);
+    }
+
+    /// Remove the fault injector from the MDS disk.
+    pub fn clear_faults(&mut self) {
+        self.disk.clear_faults();
+    }
+
+    /// Fault counters, when a plan is installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.disk.fault_stats()
+    }
+
+    /// Is the MDS disk dead from an injected power cut?
+    pub fn powered_off(&self) -> bool {
+        self.disk.powered_off()
+    }
+
+    /// Restore power to the MDS disk (volatile cache is lost).
+    pub fn power_restore(&mut self) {
+        self.disk.power_restore();
+    }
+
+    // ----- fallible operations -------------------------------------------
+    //
+    // Same semantics as the infallible variants below, but an injected
+    // disk fault is returned instead of panicking. The in-memory store has
+    // executed the operation either way; `Err` means the journal (or a
+    // triggered checkpoint) did not make it durable.
+
+    /// Fallible [`Mds::mkdir`].
+    pub fn try_mkdir(&mut self, parent: InodeNo, name: &str) -> Result<InodeNo, IoFault> {
+        self.stats.mkdirs += 1;
+        self.rpc();
+        let (ino, eff) = match &mut self.store {
+            Store::Normal(s) => s.mkdir(&mut self.data, parent, name),
+            Store::Embedded(s) => s.mkdir(&mut self.data, parent, name),
+        };
+        self.try_apply(eff)?;
+        Ok(ino)
+    }
+
+    /// Fallible [`Mds::create`].
+    pub fn try_create(
+        &mut self,
+        parent: InodeNo,
+        name: &str,
+        extents: u32,
+    ) -> Result<InodeNo, IoFault> {
+        self.stats.creates += 1;
+        self.rpc();
+        let (ino, eff) = match &mut self.store {
+            Store::Normal(s) => s.create(&mut self.data, parent, name, extents),
+            Store::Embedded(s) => s.create(&mut self.data, parent, name, extents),
+        };
+        self.try_apply(eff)?;
+        Ok(ino)
+    }
+
+    /// Fallible [`Mds::utime`].
+    pub fn try_utime(&mut self, parent: InodeNo, name: &str) -> Result<(), IoFault> {
+        self.stats.utimes += 1;
+        self.rpc();
+        let eff = match &mut self.store {
+            Store::Normal(s) => s.utime(parent, name),
+            Store::Embedded(s) => s.utime(parent, name),
+        };
+        self.try_apply(eff)
+    }
+
+    /// Fallible [`Mds::unlink`].
+    pub fn try_unlink(&mut self, parent: InodeNo, name: &str) -> Result<(), IoFault> {
+        self.stats.unlinks += 1;
+        self.rpc();
+        let eff = match &mut self.store {
+            Store::Normal(s) => s.unlink(&mut self.data, parent, name),
+            Store::Embedded(s) => s.unlink(&mut self.data, parent, name),
+        };
+        self.try_apply(eff)
+    }
+
+    /// Fallible [`Mds::rename`].
+    pub fn try_rename(
+        &mut self,
+        src: InodeNo,
+        name: &str,
+        dst: InodeNo,
+        new_name: &str,
+    ) -> Result<Option<InodeNo>, IoFault> {
+        self.stats.renames += 1;
+        self.rpc();
+        match &mut self.store {
+            Store::Normal(s) => {
+                let (ino, _) = s.lookup(src, name);
+                let eff = s.rename(&mut self.data, src, name, dst, new_name);
+                self.try_apply(eff)?;
+                Ok(ino)
+            }
+            Store::Embedded(s) => {
+                let (ino, eff) = s.rename(&mut self.data, src, name, dst, new_name);
+                self.try_apply(eff)?;
+                Ok(ino)
+            }
+        }
     }
 
     // ----- operations ---------------------------------------------------

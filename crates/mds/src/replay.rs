@@ -118,7 +118,7 @@ mod tests {
     fn build(mode: DirMode) -> (Mds, OpLog) {
         let mut mds = Mds::new(MdsConfig::with_mode(mode));
         let mut log = OpLog::new();
-        let mut run = |mds: &mut Mds, log: &mut OpLog, op: LoggedOp| {
+        let run = |mds: &mut Mds, log: &mut OpLog, op: LoggedOp| {
             apply(mds, &op);
             log.record(op);
         };

@@ -6,6 +6,7 @@
 //! time over that phase — disks genuinely work in parallel.
 
 use crate::disk::Disk;
+use crate::fault::{FaultPlan, IoFault};
 use crate::geometry::DiskGeometry;
 use crate::request::BlockRequest;
 use crate::scheduler::SchedulerConfig;
@@ -68,6 +69,59 @@ impl DiskArray {
             .map(|(batch, disk)| disk.submit_batch(batch))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Fallible variant of [`DiskArray::submit_round`]: every member disk
+    /// gets its batch (the disks are independent — one member faulting
+    /// does not stop the others), then the first fault is reported with
+    /// the index of the disk that raised it. The surviving members' IO has
+    /// been serviced and persists.
+    pub fn try_submit_round(
+        &mut self,
+        batches: Vec<Vec<BlockRequest>>,
+    ) -> Result<Nanos, (usize, IoFault)> {
+        assert_eq!(batches.len(), self.disks.len(), "one batch per disk");
+        let mut elapsed: Nanos = 0;
+        let mut first_fault = None;
+        for (i, (batch, disk)) in batches.into_iter().zip(self.disks.iter_mut()).enumerate() {
+            match disk.try_submit_batch(batch) {
+                Ok(t) => elapsed = elapsed.max(t),
+                Err(f) => {
+                    if first_fault.is_none() {
+                        first_fault = Some((i, f));
+                    }
+                }
+            }
+        }
+        match first_fault {
+            Some(f) => Err(f),
+            None => Ok(elapsed),
+        }
+    }
+
+    /// Install the same fault plan on every member disk, reseeded per disk
+    /// (`seed + disk index`) so members fault independently but the whole
+    /// array replays from one `u64`.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            let mut p = plan.clone();
+            p.seed = plan.seed.wrapping_add(i as u64);
+            d.install_faults(p);
+        }
+    }
+
+    /// Remove fault injectors from every member disk.
+    pub fn clear_faults(&mut self) {
+        for d in &mut self.disks {
+            d.clear_faults();
+        }
+    }
+
+    /// Restore power on every member disk after injected power cuts.
+    pub fn power_restore(&mut self) {
+        for d in &mut self.disks {
+            d.power_restore();
+        }
     }
 
     /// Aggregate statistics over all member disks.

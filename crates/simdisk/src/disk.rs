@@ -2,6 +2,7 @@
 
 use crate::cache::BlockCache;
 use crate::events::{DiskEvent, EventRecorder};
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats, IoFault};
 use crate::geometry::DiskGeometry;
 use crate::latency::LatencyHistogram;
 use crate::readahead::Readahead;
@@ -35,6 +36,7 @@ pub struct Disk {
     stats: DiskStats,
     latency: LatencyHistogram,
     recorder: EventRecorder,
+    faults: Option<FaultInjector>,
 }
 
 impl Disk {
@@ -59,7 +61,40 @@ impl Disk {
             stats: DiskStats::default(),
             latency: LatencyHistogram::new(),
             recorder: EventRecorder::new(0),
+            faults: None,
         }
+    }
+
+    /// Install a seeded fault-injection plan. Faults only surface through
+    /// the `try_submit*` entry points; the infallible wrappers panic if a
+    /// fault fires, so callers that installed faults must use `try_*`.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Remove the fault injector (subsequent IO is fault-free).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Counters for the faults injected so far (`None` when no plan is
+    /// installed).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Is the disk dead from an injected power cut?
+    pub fn powered_off(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.powered_off())
+    }
+
+    /// Power the disk back on after an injected power cut. The volatile
+    /// cache and readahead state are gone, as on a real restart.
+    pub fn power_restore(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.power_restore();
+        }
+        self.drop_caches();
     }
 
     /// Enable command recording (blktrace analogue) with a bounded ring.
@@ -76,13 +111,13 @@ impl Disk {
     /// took to service (the disk clock advances by the same amount).
     /// Readahead context 0 is used.
     pub fn submit_batch(&mut self, batch: Vec<BlockRequest>) -> Nanos {
-        self.submit_batch_inner(Some(0), batch)
+        Self::expect_no_fault(self.try_submit_batch(batch))
     }
 
     /// Submit one batch under an explicit readahead context (one context
     /// per open file / sequential stream).
     pub fn submit_batch_ctx(&mut self, ctx: u64, batch: Vec<BlockRequest>) -> Nanos {
-        self.submit_batch_inner(Some(ctx), batch)
+        Self::expect_no_fault(self.try_submit_batch_ctx(ctx, batch))
     }
 
     /// Submit one batch with readahead disabled — models block-at-a-time
@@ -90,7 +125,84 @@ impl Disk {
     /// no prefetch; this is precisely the behaviour the paper's embedded
     /// directory escapes by reading directory content as one stream).
     pub fn submit_batch_raw(&mut self, batch: Vec<BlockRequest>) -> Nanos {
-        self.submit_batch_inner(None, batch)
+        Self::expect_no_fault(self.try_submit_batch_raw(batch))
+    }
+
+    /// Fallible variant of [`Disk::submit_batch`]: on an injected fault,
+    /// requests *before* the faulted one have been serviced (and persist),
+    /// the faulted request is dropped — or truncated, for a torn write —
+    /// and the rest of the batch is lost. The disk clock still advances by
+    /// whatever was serviced.
+    pub fn try_submit_batch(&mut self, batch: Vec<BlockRequest>) -> Result<Nanos, IoFault> {
+        self.try_submit_batch_inner(Some(0), batch)
+    }
+
+    /// Fallible variant of [`Disk::submit_batch_ctx`].
+    pub fn try_submit_batch_ctx(
+        &mut self,
+        ctx: u64,
+        batch: Vec<BlockRequest>,
+    ) -> Result<Nanos, IoFault> {
+        self.try_submit_batch_inner(Some(ctx), batch)
+    }
+
+    /// Fallible variant of [`Disk::submit_batch_raw`].
+    pub fn try_submit_batch_raw(&mut self, batch: Vec<BlockRequest>) -> Result<Nanos, IoFault> {
+        self.try_submit_batch_inner(None, batch)
+    }
+
+    fn expect_no_fault(r: Result<Nanos, IoFault>) -> Nanos {
+        r.unwrap_or_else(|f| panic!("unhandled disk fault on infallible submit path: {f}"))
+    }
+
+    /// Screen the batch through the fault injector (if any), service the
+    /// surviving prefix, then report the first fault.
+    fn try_submit_batch_inner(
+        &mut self,
+        ctx: Option<u64>,
+        batch: Vec<BlockRequest>,
+    ) -> Result<Nanos, IoFault> {
+        let Some(mut inj) = self.faults.take() else {
+            return Ok(self.submit_batch_inner(ctx, batch));
+        };
+        let mut survivors = Vec::with_capacity(batch.len());
+        let mut spike_ns: Nanos = 0;
+        let mut fault = None;
+        for req in batch {
+            match inj.decide(&req) {
+                FaultDecision::Allow => survivors.push(req),
+                FaultDecision::Delay(ns) => {
+                    spike_ns += ns;
+                    survivors.push(req);
+                }
+                FaultDecision::Fail(f) => {
+                    fault = Some(f);
+                    break;
+                }
+                FaultDecision::Tear { persisted } => {
+                    fault = Some(IoFault::TornWrite {
+                        start: req.start,
+                        persisted,
+                        requested: req.len,
+                    });
+                    if persisted > 0 {
+                        let mut head = req;
+                        head.len = persisted;
+                        survivors.push(head);
+                    }
+                    break;
+                }
+            }
+        }
+        self.faults = Some(inj);
+        let mut elapsed = self.submit_batch_inner(ctx, survivors);
+        elapsed += spike_ns;
+        self.clock += spike_ns;
+        self.stats.busy_ns += spike_ns;
+        match fault {
+            Some(f) => Err(f),
+            None => Ok(elapsed),
+        }
     }
 
     fn submit_batch_inner(&mut self, ctx: Option<u64>, batch: Vec<BlockRequest>) -> Nanos {
@@ -164,6 +276,16 @@ impl Disk {
     /// Convenience: submit a single request under a readahead context.
     pub fn submit_ctx(&mut self, ctx: u64, req: BlockRequest) -> Nanos {
         self.submit_batch_ctx(ctx, vec![req])
+    }
+
+    /// Fallible variant of [`Disk::submit`].
+    pub fn try_submit(&mut self, req: BlockRequest) -> Result<Nanos, IoFault> {
+        self.try_submit_batch(vec![req])
+    }
+
+    /// Fallible variant of [`Disk::submit_ctx`].
+    pub fn try_submit_ctx(&mut self, ctx: u64, req: BlockRequest) -> Result<Nanos, IoFault> {
+        self.try_submit_batch_ctx(ctx, vec![req])
     }
 
     fn service(&mut self, ctx: Option<u64>, req: BlockRequest) -> Nanos {

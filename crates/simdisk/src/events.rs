@@ -123,4 +123,41 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.dropped(), 0);
     }
+
+    #[test]
+    fn dropped_counter_stays_accurate_over_many_overflows() {
+        let mut r = EventRecorder::new(4);
+        for i in 0..1000 {
+            r.record(ev(i, i));
+        }
+        assert_eq!(r.len(), 4, "ring never exceeds capacity");
+        assert_eq!(r.dropped(), 996, "everything beyond capacity is counted");
+        let starts: Vec<u64> = r.events().map(|e| e.start).collect();
+        assert_eq!(starts, vec![996, 997, 998, 999], "survivors are the newest");
+    }
+
+    #[test]
+    fn zero_capacity_never_counts_drops() {
+        let mut r = EventRecorder::new(0);
+        for i in 0..100 {
+            r.record(ev(i, i));
+        }
+        assert!(r.is_empty());
+        assert_eq!(
+            r.dropped(),
+            0,
+            "a disabled recorder discards, it does not drop"
+        );
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_latest() {
+        let mut r = EventRecorder::new(1);
+        for i in 0..10 {
+            r.record(ev(i, i));
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 9);
+        assert_eq!(r.events().next().map(|e| e.start), Some(9));
+    }
 }

@@ -1,0 +1,355 @@
+//! Seeded, deterministic fault injection for the simulated disk.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* (IO-error rate, torn-write
+//! rate, latency-spike rate and magnitude, an optional power cut after N
+//! write requests) and carries the `u64` seed that makes every decision
+//! replayable: the same plan over the same request sequence injects the
+//! same faults in the same places. The [`FaultInjector`] consumes a fixed
+//! number of RNG draws per request — three, regardless of which rates are
+//! non-zero — so tweaking one probability never perturbs where the *other*
+//! fault kinds land.
+//!
+//! The injector decides; the [`crate::Disk`] fallible submit path
+//! (`try_submit_batch` and friends) enforces. On a fault, requests earlier
+//! in the batch have already been serviced (they persist), the faulted
+//! request is dropped or truncated, and the rest of the batch is lost —
+//! exactly the prefix semantics a crash-consistency checker wants.
+
+use crate::request::{BlockRequest, IoOp};
+use crate::{BlockNo, Nanos};
+use mif_rng::SmallRng;
+use std::fmt;
+
+/// What went wrong with a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The device reported a hard error; nothing from this request (or the
+    /// rest of its batch) reached the media.
+    IoError { start: BlockNo, len: u64, op: IoOp },
+    /// A write was interrupted mid-transfer: the first `persisted` of
+    /// `requested` blocks reached the media, the tail did not.
+    TornWrite {
+        start: BlockNo,
+        persisted: u64,
+        requested: u64,
+    },
+    /// The disk lost power. `after_writes` write requests were serviced in
+    /// total before the cut; everything after it fails with this fault
+    /// until [`crate::Disk::power_restore`] is called.
+    PowerCut { after_writes: u64 },
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoFault::IoError { start, len, op } => {
+                write!(f, "io error: {op:?} [{start}, +{len})")
+            }
+            IoFault::TornWrite {
+                start,
+                persisted,
+                requested,
+            } => write!(
+                f,
+                "torn write at {start}: {persisted}/{requested} blocks persisted"
+            ),
+            IoFault::PowerCut { after_writes } => {
+                write!(f, "power cut after {after_writes} writes")
+            }
+        }
+    }
+}
+
+/// A replayable description of the faults a disk should inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision below.
+    pub seed: u64,
+    /// Per-request probability of a hard IO error (reads and writes).
+    pub io_error_rate: f64,
+    /// Per-write-request probability of persisting only a prefix.
+    pub torn_write_rate: f64,
+    /// Per-request probability of a service-time spike.
+    pub latency_spike_rate: f64,
+    /// Extra service time charged by one spike.
+    pub latency_spike_ns: Nanos,
+    /// Cut power after this many write requests have been serviced.
+    pub power_cut_after_writes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (but still burns RNG draws, so layering
+    /// faults on later keeps earlier decisions in place).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            io_error_rate: 0.0,
+            torn_write_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_ns: 0,
+            power_cut_after_writes: None,
+        }
+    }
+
+    /// A randomized-but-replayable plan derived entirely from `seed`:
+    /// small error/torn rates, occasional latency spikes, and (half the
+    /// time) a power cut within the first couple hundred writes.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x00FA_017F_A017);
+        Self {
+            seed,
+            io_error_rate: rng.gen::<f64>() * 0.02,
+            torn_write_rate: rng.gen::<f64>() * 0.02,
+            latency_spike_rate: rng.gen::<f64>() * 0.05,
+            latency_spike_ns: rng.gen_range(100_000u64..20_000_000),
+            power_cut_after_writes: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(1u64..256))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Builder-style: set the IO-error rate.
+    pub fn with_io_errors(mut self, rate: f64) -> Self {
+        self.io_error_rate = rate;
+        self
+    }
+
+    /// Builder-style: set the torn-write rate.
+    pub fn with_torn_writes(mut self, rate: f64) -> Self {
+        self.torn_write_rate = rate;
+        self
+    }
+
+    /// Builder-style: set the latency-spike rate and magnitude.
+    pub fn with_latency_spikes(mut self, rate: f64, spike_ns: Nanos) -> Self {
+        self.latency_spike_rate = rate;
+        self.latency_spike_ns = spike_ns;
+        self
+    }
+
+    /// Builder-style: cut power after `n` serviced write requests.
+    pub fn with_power_cut_after(mut self, n: u64) -> Self {
+        self.power_cut_after_writes = Some(n);
+        self
+    }
+}
+
+/// Counters for every fault the injector has fired.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FaultStats {
+    pub io_errors: u64,
+    pub torn_writes: u64,
+    pub latency_spikes: u64,
+    pub spike_ns_total: Nanos,
+    pub power_cuts: u64,
+    /// Write requests that reached the fault check (serviced or not).
+    pub writes_seen: u64,
+}
+
+/// The per-request verdict the injector hands the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Service normally.
+    Allow,
+    /// Service normally, but charge this much extra time.
+    Delay(Nanos),
+    /// Fail the request (and the rest of its batch).
+    Fail(IoFault),
+    /// Persist only the first `persisted` blocks, then fail the batch.
+    Tear { persisted: u64 },
+}
+
+/// Stateful fault source: a [`FaultPlan`] plus the RNG stream and
+/// power-state it implies.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    powered_off: bool,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        Self {
+            plan,
+            rng,
+            powered_off: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Is the simulated device currently without power?
+    pub fn powered_off(&self) -> bool {
+        self.powered_off
+    }
+
+    /// Restore power after a [`IoFault::PowerCut`].
+    pub fn power_restore(&mut self) {
+        self.powered_off = false;
+    }
+
+    /// Decide the fate of one request. Consumes exactly four RNG draws
+    /// (error, tear, spike, tear length) for every request so decision
+    /// streams stay aligned across plan variations.
+    pub fn decide(&mut self, req: &BlockRequest) -> FaultDecision {
+        if self.powered_off {
+            return FaultDecision::Fail(IoFault::PowerCut {
+                after_writes: self.stats.writes_seen,
+            });
+        }
+        let err_draw = self.rng.gen::<f64>();
+        let tear_draw = self.rng.gen::<f64>();
+        let spike_draw = self.rng.gen::<f64>();
+        let tear_len_draw = self.rng.next_u64();
+
+        if req.op == IoOp::Write {
+            if let Some(n) = self.plan.power_cut_after_writes {
+                if self.stats.writes_seen >= n {
+                    self.powered_off = true;
+                    self.stats.power_cuts += 1;
+                    return FaultDecision::Fail(IoFault::PowerCut {
+                        after_writes: self.stats.writes_seen,
+                    });
+                }
+            }
+            self.stats.writes_seen += 1;
+        }
+
+        if err_draw < self.plan.io_error_rate {
+            self.stats.io_errors += 1;
+            return FaultDecision::Fail(IoFault::IoError {
+                start: req.start,
+                len: req.len,
+                op: req.op,
+            });
+        }
+        if req.op == IoOp::Write && tear_draw < self.plan.torn_write_rate {
+            self.stats.torn_writes += 1;
+            // Persist a strict prefix: 0..len blocks (never the whole
+            // thing). A raw modulo keeps the draw count fixed (the bias is
+            // negligible for request-sized lengths).
+            let persisted = tear_len_draw % req.len.max(1);
+            return FaultDecision::Tear { persisted };
+        }
+        if spike_draw < self.plan.latency_spike_rate {
+            self.stats.latency_spikes += 1;
+            self.stats.spike_ns_total += self.plan.latency_spike_ns;
+            return FaultDecision::Delay(self.plan.latency_spike_ns);
+        }
+        FaultDecision::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(start: u64) -> BlockRequest {
+        BlockRequest::write(start, 8)
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::none(42)
+            .with_io_errors(0.1)
+            .with_torn_writes(0.1)
+            .with_latency_spikes(0.2, 1_000);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..500 {
+            assert_eq!(a.decide(&w(i)), b.decide(&w(i)), "request {i}");
+        }
+    }
+
+    #[test]
+    fn zero_rates_allow_everything() {
+        let mut inj = FaultInjector::new(FaultPlan::none(7));
+        for i in 0..100 {
+            assert_eq!(inj.decide(&w(i)), FaultDecision::Allow);
+        }
+        assert_eq!(inj.stats().writes_seen, 100);
+    }
+
+    #[test]
+    fn power_cut_fires_exactly_after_n_writes() {
+        let mut inj = FaultInjector::new(FaultPlan::none(7).with_power_cut_after(3));
+        for i in 0..3 {
+            assert_eq!(inj.decide(&w(i)), FaultDecision::Allow);
+        }
+        assert!(matches!(
+            inj.decide(&w(3)),
+            FaultDecision::Fail(IoFault::PowerCut { after_writes: 3 })
+        ));
+        // And the device stays dead, for reads too.
+        assert!(matches!(
+            inj.decide(&BlockRequest::read(0, 1)),
+            FaultDecision::Fail(IoFault::PowerCut { .. })
+        ));
+        assert!(inj.powered_off());
+        inj.power_restore();
+        assert_eq!(inj.decide(&BlockRequest::read(0, 1)), FaultDecision::Allow);
+    }
+
+    #[test]
+    fn reads_never_tear() {
+        let mut inj = FaultInjector::new(FaultPlan::none(11).with_torn_writes(1.0));
+        for i in 0..50 {
+            assert_eq!(
+                inj.decide(&BlockRequest::read(i, 4)),
+                FaultDecision::Allow,
+                "read {i}"
+            );
+        }
+        assert!(matches!(inj.decide(&w(0)), FaultDecision::Tear { .. }));
+    }
+
+    #[test]
+    fn tear_persists_a_strict_prefix() {
+        let mut inj = FaultInjector::new(FaultPlan::none(3).with_torn_writes(1.0));
+        for i in 0..200 {
+            match inj.decide(&w(i)) {
+                FaultDecision::Tear { persisted } => assert!(persisted < 8),
+                other => panic!("expected tear, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        assert_eq!(FaultPlan::from_seed(99), FaultPlan::from_seed(99));
+        assert_ne!(FaultPlan::from_seed(99), FaultPlan::from_seed(100));
+    }
+
+    #[test]
+    fn rate_changes_do_not_shift_other_fault_sites() {
+        // With tearing disabled, errors land at the same request indices as
+        // with tearing enabled (the three draws per request keep streams
+        // aligned).
+        let base = FaultPlan::none(1234).with_io_errors(0.05);
+        let noisy = base
+            .clone()
+            .with_torn_writes(0.3)
+            .with_latency_spikes(0.9, 5);
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(noisy);
+        for i in 0..1000 {
+            let da = a.decide(&w(i));
+            let db = b.decide(&w(i));
+            let ea = matches!(da, FaultDecision::Fail(IoFault::IoError { .. }));
+            let eb = matches!(db, FaultDecision::Fail(IoFault::IoError { .. }));
+            assert_eq!(ea, eb, "request {i}");
+        }
+    }
+}

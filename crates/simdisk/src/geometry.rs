@@ -217,8 +217,10 @@ mod tests {
 
     #[test]
     fn zbr_slows_inner_cylinders() {
-        let mut g = DiskGeometry::default();
-        g.zbr_inner_rate = 0.5;
+        let mut g = DiskGeometry {
+            zbr_inner_rate: 0.5,
+            ..DiskGeometry::default()
+        };
         let outer = g.transfer_ns_at(0, 256);
         let inner = g.transfer_ns_at(g.blocks - 512, 256);
         assert!(inner > outer, "inner {inner} should exceed outer {outer}");

@@ -106,7 +106,7 @@ mod tests {
         let p50 = h.percentile_ns(0.50);
         let p99 = h.percentile_ns(0.99);
         let p999 = h.percentile_ns(0.999);
-        assert!(p50 >= 100_000 && p50 < 10_000_000, "p50 {p50}");
+        assert!((100_000..10_000_000).contains(&p50), "p50 {p50}");
         assert!(p99 < 10_000_000, "p99 {p99}");
         assert!(p999 >= 8_000_000, "p99.9 {p999}");
     }

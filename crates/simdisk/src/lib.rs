@@ -57,6 +57,7 @@ pub mod array;
 pub mod cache;
 pub mod disk;
 pub mod events;
+pub mod fault;
 pub mod geometry;
 pub mod latency;
 pub mod readahead;
@@ -68,6 +69,7 @@ pub use array::DiskArray;
 pub use cache::BlockCache;
 pub use disk::Disk;
 pub use events::{DiskEvent, EventRecorder};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats, IoFault};
 pub use geometry::DiskGeometry;
 pub use latency::LatencyHistogram;
 pub use readahead::Readahead;

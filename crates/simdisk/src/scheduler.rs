@@ -122,8 +122,10 @@ mod tests {
 
     #[test]
     fn respects_max_merged_size() {
-        let mut cfg = SchedulerConfig::default();
-        cfg.max_merged_blocks = 4;
+        let cfg = SchedulerConfig {
+            max_merged_blocks: 4,
+            ..SchedulerConfig::default()
+        };
         let s = IoScheduler::new(cfg);
         let batch = vec![
             BlockRequest::read(0, 3),
@@ -149,8 +151,10 @@ mod tests {
 
     #[test]
     fn merging_disabled_preserves_requests() {
-        let mut cfg = SchedulerConfig::default();
-        cfg.merge = false;
+        let cfg = SchedulerConfig {
+            merge: false,
+            ..SchedulerConfig::default()
+        };
         let s = IoScheduler::new(cfg);
         let batch = vec![BlockRequest::read(0, 2), BlockRequest::read(2, 2)];
         assert_eq!(s.schedule(0, batch).len(), 2);

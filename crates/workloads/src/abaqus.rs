@@ -11,8 +11,7 @@
 use mif_alloc::StreamId;
 use mif_core::{FileSystem, FsConfig};
 use mif_simdisk::{mib_per_sec, Nanos};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 /// Parameters of one run.
 #[derive(Debug, Clone)]

@@ -10,8 +10,7 @@
 
 use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, MdsLayout, ROOT_INO};
 use mif_simdisk::Nanos;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 /// Parameters of one aging run.
 #[derive(Debug, Clone)]

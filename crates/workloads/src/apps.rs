@@ -10,8 +10,7 @@
 
 use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, ROOT_INO};
 use mif_simdisk::Nanos;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 /// Which application trace to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,11 +91,11 @@ pub fn kernel_file_sizes(n: usize, seed: u64) -> Vec<u64> {
         .map(|_| {
             let class: f64 = rng.gen();
             if class < 0.5 {
-                rng.gen_range(1..16) * 1024 // headers & small sources
+                rng.gen_range(1u64..16) * 1024 // headers & small sources
             } else if class < 0.95 {
-                rng.gen_range(16..64) * 1024 // typical .c files
+                rng.gen_range(16u64..64) * 1024 // typical .c files
             } else {
-                rng.gen_range(64..512) * 1024 // generated / tables
+                rng.gen_range(64u64..512) * 1024 // generated / tables
             }
         })
         .collect()

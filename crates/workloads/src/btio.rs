@@ -88,9 +88,7 @@ fn cell_offset(p: &BtioParams, step: u32, c: u32, r: u32) -> u64 {
 
 /// Run BTIO against a fresh file system.
 pub fn run(config: FsConfig, params: &BtioParams) -> BtioResult {
-    use rand::rngs::SmallRng;
-    use rand::seq::SliceRandom;
-    use rand::{Rng, SeedableRng};
+    use mif_rng::{SliceRandom, SmallRng};
     let mut fs = FileSystem::new(config);
     if params.aged_free {
         fs.fragment_free_space(0.3, 8);

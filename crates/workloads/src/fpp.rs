@@ -15,8 +15,7 @@
 use mif_alloc::StreamId;
 use mif_core::{FileSystem, FsConfig, OpenFile};
 use mif_simdisk::{mib_per_sec, Nanos};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mif_rng::SmallRng;
 
 /// File model under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

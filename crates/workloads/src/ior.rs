@@ -105,9 +105,7 @@ fn write_phase(fs: &mut FileSystem, file: OpenFile, p: &IorParams) -> Nanos {
             fs.end_round();
         }
     } else {
-        use rand::rngs::SmallRng;
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+        use mif_rng::{SliceRandom, SmallRng};
         let rounds = p.partition_blocks.div_ceil(p.request_blocks);
         // Per-rank chunk order: sequential, or shuffled (random mode).
         let mut order: Vec<u64> = (0..rounds).collect();
@@ -141,8 +139,7 @@ fn write_phase(fs: &mut FileSystem, file: OpenFile, p: &IorParams) -> Nanos {
 /// rank drift — real MPI readers do not stay in lockstep, so the elevator
 /// cannot perfectly reassemble an interleaved placement.
 fn read_phase(fs: &mut FileSystem, file: OpenFile, p: &IorParams) -> Nanos {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use mif_rng::SmallRng;
     let streams: Vec<StreamId> = (0..p.ranks).map(|r| StreamId::new(r / 4, r % 4)).collect();
     let mut rng = SmallRng::seed_from_u64(p.seed);
     let mut pos: Vec<u64> = vec![0; p.ranks as usize];

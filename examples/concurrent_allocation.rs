@@ -6,8 +6,7 @@
 //! Run with: `cargo run --example concurrent_allocation --release`
 
 use mif::alloc::{AllocPolicy, FileId, GroupedAllocator, OnDemandPolicy, StreamId};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 fn main() {
@@ -35,7 +34,7 @@ fn main() {
                 let mut runs: Vec<(u64, u64)> = Vec::new();
                 for i in 0..appends_per_thread {
                     let logical = t as u64 * 1_000_000 + i * 4;
-                    runs.extend(policy.lock().extend(
+                    runs.extend(policy.lock().unwrap().extend(
                         &alloc,
                         FileId(1),
                         stream,

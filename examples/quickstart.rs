@@ -54,7 +54,7 @@ fn main() {
             for (j, &r) in readers.iter().enumerate() {
                 // Readers drift out of lockstep (each skips 1 round in 8),
                 // like real cluster threads.
-                if (round + j as u64) % 8 == 0 || pos[j] >= chunk {
+                if (round + j as u64).is_multiple_of(8) || pos[j] >= chunk {
                     continue;
                 }
                 fs.read(file, r, j as u64 * chunk + pos[j], 16);

@@ -1,0 +1,204 @@
+//! Differential oracle across allocation policies.
+//!
+//! The same seeded multi-stream workload runs under Vanilla, Static and
+//! OnDemand allocation. Policies may place blocks anywhere, but the
+//! *logical* file contents must be identical: every written logical block
+//! resolves to exactly one physical block, no two files (or two logical
+//! blocks) share a physical block, and freed space is conserved. Any
+//! divergence is an allocator or striping bug, and the failure message
+//! carries the workload seed.
+
+use mif::alloc::{PolicyKind, StreamId};
+use mif::pfs::{FileSystem, FsConfig, OpenFile, Striping};
+use mif_rng::SmallRng;
+use std::collections::HashMap;
+
+const OSTS: u32 = 3;
+const STRIPE: u64 = 16;
+const FILES: usize = 3;
+const STREAMS: usize = 3;
+const REGION: u64 = 512;
+const ROUNDS: usize = 24;
+
+/// What the workload logically wrote: per (file, stream), the appended
+/// length of that stream's dense region. Identical across policies by
+/// construction; the oracle checks each file system agrees.
+type Model = HashMap<(usize, usize), u64>;
+
+fn config(policy: PolicyKind) -> FsConfig {
+    let mut cfg = FsConfig::with_policy(policy, OSTS);
+    cfg.stripe_blocks = STRIPE;
+    cfg
+}
+
+/// Drive one seeded workload: FILES files, each written by STREAMS
+/// streams appending into disjoint logical regions, with occasional
+/// overwrites of already-written blocks.
+fn run_workload(seed: u64, policy: PolicyKind) -> (FileSystem, Vec<OpenFile>, Model) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut fs = FileSystem::new(config(policy));
+    let hint = REGION * STREAMS as u64;
+    let files: Vec<OpenFile> = (0..FILES)
+        .map(|i| fs.create(&format!("f{i}"), Some(hint)))
+        .collect();
+    let mut model: Model = HashMap::new();
+
+    for _ in 0..ROUNDS {
+        fs.begin_round();
+        for (fi, &file) in files.iter().enumerate() {
+            for si in 0..STREAMS {
+                let stream = StreamId::new(fi as u32, si as u32);
+                let base = si as u64 * REGION;
+                let written = model.entry((fi, si)).or_insert(0);
+                let append = rng.gen_bool(0.8) || *written == 0;
+                if append && *written < REGION {
+                    let len = rng.gen_range(1u64..9).min(REGION - *written);
+                    fs.write(file, stream, base + *written, len);
+                    *written += len;
+                } else {
+                    // Overwrite a range inside the already-written prefix.
+                    let start = rng.gen_range(0u64..*written);
+                    let len = rng.gen_range(1u64..9).min(*written - start);
+                    fs.write(file, stream, base + start, len);
+                }
+            }
+        }
+        fs.end_round();
+    }
+    fs.sync_data();
+    (fs, files, model)
+}
+
+/// Every logical block the model says was written must be mapped, per the
+/// file system's own striping, on the right OST.
+fn assert_written_blocks_mapped(
+    seed: u64,
+    policy: PolicyKind,
+    fs: &FileSystem,
+    files: &[OpenFile],
+    model: &Model,
+) {
+    let striping = Striping::new(OSTS, STRIPE);
+    for (fi, &file) in files.iter().enumerate() {
+        let shift = (file.0 .0 % OSTS as u64) as u32;
+        // Per-OST set of mapped local logical blocks.
+        let mut mapped: Vec<std::collections::HashSet<u64>> =
+            (0..OSTS as usize).map(|_| Default::default()).collect();
+        for (ost, set) in mapped.iter_mut().enumerate() {
+            for (logical, _phys, len) in fs.physical_layout(file, ost) {
+                for b in logical..logical + len {
+                    set.insert(b);
+                }
+            }
+        }
+        for si in 0..STREAMS {
+            let written = model[&(fi, si)];
+            let base = si as u64 * REGION;
+            for logical in base..base + written {
+                let (ost, local) = striping.locate(logical, shift);
+                assert!(
+                    mapped[ost as usize].contains(&local),
+                    "seed {seed} {policy:?}: file {fi} logical block {logical} \
+                     (ost {ost}, local {local}) written but unmapped"
+                );
+            }
+        }
+    }
+}
+
+/// No physical block on any OST belongs to two extents (across all files).
+fn assert_physical_disjoint(seed: u64, policy: PolicyKind, fs: &FileSystem, files: &[OpenFile]) {
+    for ost in 0..OSTS as usize {
+        let mut runs: Vec<(u64, u64, usize)> = Vec::new();
+        for (fi, &file) in files.iter().enumerate() {
+            for (_logical, phys, len) in fs.physical_layout(file, ost) {
+                runs.push((phys, len, fi));
+            }
+        }
+        runs.sort_unstable();
+        for w in runs.windows(2) {
+            let (a_start, a_len, a_f) = w[0];
+            let (b_start, _b_len, b_f) = w[1];
+            assert!(
+                a_start + a_len <= b_start,
+                "seed {seed} {policy:?}: OST {ost} physical overlap: \
+                 file {a_f} [{a_start}, {}) vs file {b_f} [{b_start}, ..)",
+                a_start + a_len
+            );
+        }
+    }
+}
+
+#[test]
+fn policies_agree_on_logical_contents_and_conserve_space() {
+    for seed in [0xD1F_0001u64, 0xD1F_0002, 0xD1F_0003, 0xD1F_0004] {
+        let total_per_system =
+            OSTS as u64 * config(PolicyKind::Vanilla).geometry.blocks;
+        let mut sizes: Vec<Vec<u64>> = Vec::new();
+
+        for policy in [PolicyKind::Vanilla, PolicyKind::Static, PolicyKind::OnDemand] {
+            let (mut fs, files, model) = run_workload(seed, policy);
+
+            // 1. Logical contents: every written block is mapped where the
+            //    striping says it lives.
+            assert_written_blocks_mapped(seed, policy, &fs, &files, &model);
+
+            // 2. No two logical blocks share a physical block.
+            assert_physical_disjoint(seed, policy, &fs, &files);
+
+            // 3. File sizes derive from the model alone.
+            for (fi, &file) in files.iter().enumerate() {
+                let max_end = (0..STREAMS)
+                    .map(|si| si as u64 * REGION + model[&(fi, si)])
+                    .max()
+                    .unwrap();
+                assert_eq!(
+                    fs.file_size(file),
+                    max_end,
+                    "seed {seed} {policy:?}: file {fi} size"
+                );
+                // Allocation covers at least the written blocks; Static
+                // covers the whole hint.
+                let written_total: u64 = (0..STREAMS).map(|si| model[&(fi, si)]).sum();
+                let allocated = fs.file_allocated(file);
+                assert!(
+                    allocated >= written_total,
+                    "seed {seed} {policy:?}: file {fi} allocated {allocated} < written {written_total}"
+                );
+                if policy == PolicyKind::Static {
+                    assert_eq!(
+                        allocated,
+                        REGION * STREAMS as u64,
+                        "seed {seed}: static preallocation must map the full hint"
+                    );
+                }
+            }
+            sizes.push(files.iter().map(|&f| fs.file_size(f)).collect());
+
+            // 4. Conservation after close: free + mapped == total.
+            let mapped: u64 = files.iter().map(|&f| fs.file_allocated(f)).sum();
+            for &f in &files {
+                fs.close(f);
+            }
+            assert_eq!(
+                fs.free_blocks() + mapped,
+                total_per_system,
+                "seed {seed} {policy:?}: blocks leaked or double-freed after close"
+            );
+
+            // 5. Unlink everything: all space returns.
+            for &f in &files {
+                fs.unlink(f);
+            }
+            assert_eq!(
+                fs.free_blocks(),
+                total_per_system,
+                "seed {seed} {policy:?}: unlink-all did not reclaim every block"
+            );
+        }
+
+        // 6. Cross-policy agreement: identical logical sizes everywhere.
+        assert_eq!(sizes[0], sizes[1], "seed {seed}: Vanilla vs Static sizes");
+        assert_eq!(sizes[0], sizes[2], "seed {seed}: Vanilla vs OnDemand sizes");
+    }
+}

@@ -1,0 +1,212 @@
+//! Seeded fault-injection across the stack: the same `u64` seed must
+//! reproduce the same faults at the same sites, faults must propagate as
+//! `Err` (never corrupt state silently), and a power cut must be sticky
+//! until `power_restore`.
+
+use mif::alloc::{PolicyKind, StreamId};
+use mif::pfs::{FileSystem, FsConfig};
+use mif::simdisk::{BlockRequest, Disk, DiskGeometry, FaultPlan, IoFault};
+use mif_rng::SmallRng;
+
+fn noisy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::none(seed)
+        .with_io_errors(0.05)
+        .with_torn_writes(0.05)
+        .with_latency_spikes(0.10, 500_000)
+}
+
+/// Drive a seeded request mix and return a trace of outcomes.
+fn drive(disk: &mut Disk, seed: u64, requests: usize) -> Vec<Result<u64, IoFault>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let start = rng.gen_range(0u64..100_000);
+        let len = rng.gen_range(1u64..32);
+        let req = if rng.gen_bool(0.7) {
+            BlockRequest::write(start, len)
+        } else {
+            BlockRequest::read(start, len)
+        };
+        out.push(disk.try_submit(req));
+    }
+    out
+}
+
+#[test]
+fn same_seed_reproduces_identical_faults_at_disk_level() {
+    let mk = || {
+        let mut d = Disk::new(DiskGeometry::default());
+        d.install_faults(noisy_plan(0xFA_0001));
+        d
+    };
+    let mut a = mk();
+    let mut b = mk();
+    let ta = drive(&mut a, 42, 400);
+    let tb = drive(&mut b, 42, 400);
+    assert_eq!(ta, tb, "same seed must produce identical fault traces");
+    assert_eq!(a.fault_stats(), b.fault_stats());
+    assert_eq!(a.clock(), b.clock(), "even the simulated clocks agree");
+    let stats = a.fault_stats().expect("injector installed");
+    assert!(
+        stats.io_errors > 0 && stats.torn_writes > 0 && stats.latency_spikes > 0,
+        "the noisy plan should have fired every fault kind: {stats:?}"
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = Disk::new(DiskGeometry::default());
+    let mut b = Disk::new(DiskGeometry::default());
+    a.install_faults(noisy_plan(1));
+    b.install_faults(noisy_plan(2));
+    let ta = drive(&mut a, 42, 400);
+    let tb = drive(&mut b, 42, 400);
+    assert_ne!(ta, tb, "distinct fault seeds should differ somewhere in 400 requests");
+}
+
+#[test]
+fn torn_write_reports_a_strict_prefix() {
+    let mut d = Disk::new(DiskGeometry::default());
+    d.install_faults(FaultPlan::none(7).with_torn_writes(1.0));
+    let mut seen_partial = false;
+    for i in 0..50 {
+        match d.try_submit(BlockRequest::write(i * 100, 64)) {
+            Err(IoFault::TornWrite {
+                persisted,
+                requested,
+                ..
+            }) => {
+                assert_eq!(requested, 64);
+                assert!(persisted < requested, "torn write must lose its tail");
+                seen_partial |= persisted > 0;
+            }
+            other => panic!("expected a torn write, got {other:?}"),
+        }
+    }
+    assert!(seen_partial, "some torn writes should persist a nonempty prefix");
+}
+
+#[test]
+fn reads_are_never_torn() {
+    let mut d = Disk::new(DiskGeometry::default());
+    d.install_faults(FaultPlan::none(7).with_torn_writes(1.0));
+    for i in 0..50 {
+        assert!(
+            d.try_submit(BlockRequest::read(i * 100, 64)).is_ok(),
+            "torn writes must not affect reads"
+        );
+    }
+}
+
+#[test]
+fn latency_spikes_only_inflate_the_clock() {
+    let spike = 2_000_000u64;
+    let mut plain = Disk::new(DiskGeometry::default());
+    let mut spiky = Disk::new(DiskGeometry::default());
+    spiky.install_faults(FaultPlan::none(3).with_latency_spikes(1.0, spike));
+    let tp = drive(&mut plain, 9, 100);
+    let ts = drive(&mut spiky, 9, 100);
+    let stats = spiky.fault_stats().expect("injector").clone();
+    assert_eq!(stats.latency_spikes, 100, "rate 1.0 spikes every request");
+    // Same outcomes request by request, just slower.
+    for (a, b) in tp.iter().zip(&ts) {
+        assert!(a.is_ok() && b.is_ok());
+    }
+    assert_eq!(
+        spiky.clock(),
+        plain.clock() + stats.spike_ns_total,
+        "spikes add exactly their delay to the clock"
+    );
+}
+
+#[test]
+fn certain_io_errors_propagate_through_the_mds() {
+    use mif::mds::{DirMode, Mds, MdsConfig, ROOT_INO};
+    let mut mds = Mds::new(MdsConfig::with_mode(DirMode::Normal));
+    mds.install_faults(FaultPlan::none(5).with_io_errors(1.0));
+    let mut failures = 0;
+    for i in 0..10 {
+        if mds.try_create(ROOT_INO, &format!("f{i}"), 1).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(
+        failures > 0,
+        "with every IO failing, metadata ops must surface errors"
+    );
+    mds.clear_faults();
+    mds.try_create(ROOT_INO, "after", 1)
+        .expect("faults cleared: ops succeed again");
+}
+
+#[test]
+fn power_cut_is_sticky_until_restore() {
+    let mut cfg = FsConfig::with_policy(PolicyKind::OnDemand, 2);
+    // Flush every few blocks so the cut actually reaches the disks instead
+    // of idling in the write-back cache.
+    cfg.writeback_limit_blocks = 8;
+    let mut fs = FileSystem::new(cfg);
+    fs.install_faults(FaultPlan::none(11).with_power_cut_after(40));
+    let f = fs.create("victim", None);
+    let s = StreamId::new(0, 0);
+    let mut offset = 0u64;
+    let mut cut_at = None;
+    for round in 0..200 {
+        fs.begin_round();
+        if let Err((_, IoFault::PowerCut { .. })) = fs.try_write(f, s, offset, 4) {
+            cut_at = Some(round);
+            break;
+        }
+        offset += 4;
+        if let Err((_, IoFault::PowerCut { .. })) = fs.try_end_round() {
+            // The cut landed mid-flush; subsequent writes must observe it.
+            fs.begin_round();
+            cut_at = Some(round);
+            break;
+        }
+    }
+    let cut_at = cut_at.expect("power cut never fired");
+    assert!(fs.any_powered_off(), "round {cut_at}: OST should be dark");
+    // Sticky: every subsequent write fails without touching the disk.
+    for _ in 0..5 {
+        assert!(
+            fs.try_write(f, s, offset, 4).is_err(),
+            "writes must keep failing while the OST is down"
+        );
+    }
+    fs.try_end_round().ok();
+
+    fs.power_restore();
+    assert!(!fs.any_powered_off());
+    fs.begin_round();
+    fs.try_write(f, s, offset, 4)
+        .expect("restored OST accepts writes");
+    fs.try_end_round().expect("flush succeeds after restore");
+}
+
+#[test]
+fn cpu_utilization_stays_clamped_under_faulted_rounds() {
+    let mut cfg = FsConfig::with_policy(PolicyKind::Vanilla, 2);
+    cfg.writeback_limit_blocks = 4;
+    let mut fs = FileSystem::new(cfg);
+    // Half the flushes fail: MDS CPU accumulates with every extent while
+    // barely any data-path time is charged — the clamp's worst case.
+    fs.install_faults(FaultPlan::none(21).with_io_errors(0.5));
+    let f = fs.create("frag", None);
+    // Backward writes maximize extent churn (MDS CPU) while every flush
+    // errors out, so almost no data-path time accumulates.
+    for i in (0..64).rev() {
+        fs.begin_round();
+        fs.try_write(f, StreamId::new(0, 0), i * 7, 1).expect("buffered");
+        let _ = fs.try_end_round();
+    }
+    let m = fs.metrics();
+    let u = m.cpu_utilization();
+    assert!(
+        (0.0..=1.0).contains(&u),
+        "cpu_utilization must clamp to [0, 1], got {u} \
+         (cpu {} ns over {} ns)",
+        m.mds_cpu_ns,
+        m.elapsed_ns
+    );
+}

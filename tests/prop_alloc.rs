@@ -1,94 +1,93 @@
-//! Property-based tests over the allocation substrate.
+//! Property-style tests over the allocation substrate.
+//!
+//! Each test replays many seeded random scripts; every assertion message
+//! carries the `u64` seed, so any failure reproduces exactly by rerunning
+//! with that seed (see docs/TESTING.md).
 
 use mif::alloc::{
     AllocPolicy, BlockBitmap, FileId, GroupedAllocator, OnDemandPolicy, PolicyKind,
     ReservationPolicy, StaticPolicy, StreamId, VanillaPolicy,
 };
 use mif::pfs::{FileSystem, FsConfig};
-use proptest::prelude::*;
+use mif_rng::SmallRng;
+
+const CASES: u64 = 64;
 
 /// Replay an arbitrary alloc/free script against a bitmap and a naive
 /// model; they must agree at every step.
-#[derive(Debug, Clone)]
-enum BitmapOp {
-    Alloc { goal: u64, len: u64 },
-    FreeNth(usize),
-}
-
-fn bitmap_ops() -> impl Strategy<Value = Vec<BitmapOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..1024, 1u64..32).prop_map(|(goal, len)| BitmapOp::Alloc { goal, len }),
-            any::<usize>().prop_map(BitmapOp::FreeNth),
-        ],
-        1..200,
-    )
-}
-
-proptest! {
-    #[test]
-    fn bitmap_never_double_books(ops in bitmap_ops()) {
+#[test]
+fn bitmap_never_double_books() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB17_0000 + seed);
         let mut bm = BlockBitmap::new(1024);
         let mut live: Vec<(u64, u64)> = Vec::new();
         let mut model = vec![false; 1024];
 
-        for op in ops {
-            match op {
-                BitmapOp::Alloc { goal, len } => {
-                    if let Some(s) = bm.alloc_run(goal, len) {
-                        for b in s..s + len {
-                            prop_assert!(!model[b as usize], "double-booked {b}");
-                            model[b as usize] = true;
-                        }
-                        live.push((s, len));
+        for _ in 0..rng.gen_range(1usize..200) {
+            if rng.gen_bool(0.6) || live.is_empty() {
+                let goal = rng.gen_range(0u64..1024);
+                let len = rng.gen_range(1u64..32);
+                if let Some(s) = bm.alloc_run(goal, len) {
+                    for b in s..s + len {
+                        assert!(!model[b as usize], "seed {seed}: double-booked {b}");
+                        model[b as usize] = true;
                     }
+                    live.push((s, len));
                 }
-                BitmapOp::FreeNth(i) => {
-                    if !live.is_empty() {
-                        let (s, len) = live.swap_remove(i % live.len());
-                        bm.free_range(s, len);
-                        for b in s..s + len {
-                            model[b as usize] = false;
-                        }
-                    }
+            } else {
+                let i = rng.gen_range(0usize..live.len());
+                let (s, len) = live.swap_remove(i);
+                bm.free_range(s, len);
+                for b in s..s + len {
+                    model[b as usize] = false;
                 }
             }
             let model_free = model.iter().filter(|&&x| !x).count() as u64;
-            prop_assert_eq!(bm.free_count(), model_free);
+            assert_eq!(bm.free_count(), model_free, "seed {seed}: free count drifted");
         }
     }
+}
 
-    #[test]
-    fn grouped_allocator_runs_are_disjoint(
-        requests in prop::collection::vec((0u64..4096, 1u64..64), 1..100)
-    ) {
+#[test]
+fn grouped_allocator_runs_are_disjoint() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6800_0000 + seed);
         let alloc = GroupedAllocator::new(4096, 4);
         let mut runs: Vec<(u64, u64)> = Vec::new();
-        for (goal, len) in requests {
+        for _ in 0..rng.gen_range(1usize..100) {
+            let goal = rng.gen_range(0u64..4096);
+            let len = rng.gen_range(1u64..64);
             if let Some(s) = alloc.alloc_run(goal, len) {
                 runs.push((s, len));
             }
         }
         runs.sort_unstable();
         for w in runs.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {:?} {:?}", w[0], w[1]);
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "seed {seed}: overlap {:?} {:?}",
+                w[0],
+                w[1]
+            );
         }
         let used: u64 = runs.iter().map(|r| r.1).sum();
-        prop_assert_eq!(alloc.free_blocks(), 4096 - used);
+        assert_eq!(alloc.free_blocks(), 4096 - used, "seed {seed}");
     }
+}
 
-    /// Every policy covers each extend request exactly, with disjoint
-    /// physical runs across all requests.
-    #[test]
-    fn policies_cover_requests_exactly(
-        kind in prop::sample::select(vec![
-            PolicyKind::Vanilla,
-            PolicyKind::Reservation,
-            PolicyKind::Static,
-            PolicyKind::OnDemand,
-        ]),
-        script in prop::collection::vec((0u32..6, 0u64..50, 1u64..9), 1..150)
-    ) {
+/// Every policy covers each extend request exactly, with disjoint
+/// physical runs across all requests.
+#[test]
+fn policies_cover_requests_exactly() {
+    let kinds = [
+        PolicyKind::Vanilla,
+        PolicyKind::Reservation,
+        PolicyKind::Static,
+        PolicyKind::OnDemand,
+    ];
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9011C7 + seed);
+        let kind = kinds[rng.gen_range(0usize..kinds.len())];
         let alloc = GroupedAllocator::new(1 << 16, 8);
         let mut policy: Box<dyn AllocPolicy> = match kind {
             PolicyKind::Reservation => Box::new(ReservationPolicy::new(64)),
@@ -107,20 +106,25 @@ proptest! {
         // stream, so requests never overlap logically.
         let mut next_logical = [0u64; 6];
         let mut all_runs: Vec<(u64, u64)> = Vec::new();
-        for (stream, jump, len) in script {
+        for _ in 0..rng.gen_range(1usize..150) {
+            let stream = rng.gen_range(0u32..6);
+            let jump = rng.gen_range(0u64..50);
+            let len = rng.gen_range(1u64..9);
             let s = StreamId::new(stream, 0);
             let logical = stream as u64 * 1_000_000 + next_logical[stream as usize] + jump;
             next_logical[stream as usize] += jump + len;
             let runs = policy.extend(&alloc, file, s, logical, len);
             let covered: u64 = runs.iter().map(|r| r.1).sum();
-            prop_assert_eq!(covered, len, "{}: short allocation", kind);
+            assert_eq!(covered, len, "seed {seed} {kind}: short allocation");
             all_runs.extend(runs);
         }
         all_runs.sort_unstable();
         for w in all_runs.windows(2) {
-            prop_assert!(
+            assert!(
                 w[0].0 + w[0].1 <= w[1].0,
-                "{}: overlapping physical runs {:?} {:?}", kind, w[0], w[1]
+                "seed {seed} {kind}: overlapping physical runs {:?} {:?}",
+                w[0],
+                w[1]
             );
         }
 
@@ -129,59 +133,74 @@ proptest! {
         let data: u64 = all_runs.iter().map(|r| r.1).sum();
         // Static keeps its persistent preallocation; others return extras.
         if kind != PolicyKind::Static {
-            prop_assert_eq!(alloc.free_blocks(), (1u64 << 16) - data);
+            assert_eq!(alloc.free_blocks(), (1u64 << 16) - data, "seed {seed} {kind}");
         } else {
-            prop_assert!(alloc.free_blocks() <= (1u64 << 16) - data);
+            assert!(alloc.free_blocks() <= (1u64 << 16) - data, "seed {seed} {kind}");
         }
     }
+}
 
-    /// On-demand never hands the same physical block to two streams even
-    /// under adversarial interleave, and reclaims every window at finalize.
-    #[test]
-    fn ondemand_window_isolation(
-        script in prop::collection::vec((0u32..8, 0u64..3, 1u64..6), 1..300)
-    ) {
+/// On-demand never hands the same physical block to two streams even
+/// under adversarial interleave, and reclaims every window at finalize.
+#[test]
+fn ondemand_window_isolation() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0D_0000 + seed);
         let alloc = GroupedAllocator::new(1 << 16, 8);
         let mut policy = OnDemandPolicy::default();
         let file = FileId(7);
         let mut next_logical = [0u64; 8];
         let mut blocks = std::collections::HashSet::new();
-        for (stream, jump, len) in script {
+        for _ in 0..rng.gen_range(1usize..300) {
+            let stream = rng.gen_range(0u32..8);
+            let jump = rng.gen_range(0u64..3);
+            let len = rng.gen_range(1u64..6);
             let s = StreamId::new(stream, 0);
             let logical = stream as u64 * 100_000 + next_logical[stream as usize] + jump * 50;
             next_logical[stream as usize] += jump * 50 + len;
             for (p, l) in policy.extend(&alloc, file, s, logical, len) {
                 for b in p..p + l {
-                    prop_assert!(blocks.insert(b), "block {b} handed out twice");
+                    assert!(blocks.insert(b), "seed {seed}: block {b} handed out twice");
                 }
             }
         }
         policy.finalize(&alloc, file);
-        prop_assert_eq!(
+        assert_eq!(
             alloc.free_blocks(),
             (1u64 << 16) - blocks.len() as u64,
-            "windows not fully reclaimed"
+            "seed {seed}: windows not fully reclaimed"
         );
     }
+}
 
-    /// End-to-end mapping injectivity: whatever policy and write pattern,
-    /// no two logical blocks of a file may share a physical block on one
-    /// OST, and every written block must resolve.
-    #[test]
-    fn fs_mapping_is_injective(
-        kind in prop::sample::select(vec![
-            PolicyKind::Vanilla,
-            PolicyKind::Reservation,
-            PolicyKind::Static,
-            PolicyKind::OnDemand,
-            PolicyKind::Delayed,
-            PolicyKind::Cow,
-        ]),
-        writes in prop::collection::vec((0u32..4, 0u64..64, 1u64..9), 1..60)
-    ) {
+/// End-to-end mapping injectivity: whatever policy and write pattern,
+/// no two logical blocks of a file may share a physical block on one
+/// OST, and every written block must resolve.
+#[test]
+fn fs_mapping_is_injective() {
+    let kinds = [
+        PolicyKind::Vanilla,
+        PolicyKind::Reservation,
+        PolicyKind::Static,
+        PolicyKind::OnDemand,
+        PolicyKind::Delayed,
+        PolicyKind::Cow,
+    ];
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1417_0000 + seed);
+        let kind = kinds[rng.gen_range(0usize..kinds.len())];
         let mut fs = FileSystem::new(FsConfig::with_policy(kind, 2));
         let file = fs.create("p", Some(4 * 512));
         let mut written = std::collections::HashSet::new();
+        let writes: Vec<(u32, u64, u64)> = (0..rng.gen_range(1usize..60))
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..4),
+                    rng.gen_range(0u64..64),
+                    rng.gen_range(1u64..9),
+                )
+            })
+            .collect();
         for chunk in writes.chunks(4) {
             fs.begin_round();
             for &(stream, slot, len) in chunk {
@@ -200,23 +219,26 @@ proptest! {
         // Every written block resolves; physical blocks are unique per OST.
         let mut phys_seen = std::collections::HashSet::new();
         for ost in 0..2usize {
-            for (logical, phys, len) in fs.physical_layout(file, ost) {
+            for (_logical, phys, len) in fs.physical_layout(file, ost) {
                 for i in 0..len {
-                    prop_assert!(
+                    assert!(
                         phys_seen.insert((ost, phys + i)),
-                        "{}: physical block {} on ost {} mapped twice",
-                        kind, phys + i, ost
+                        "seed {seed} {kind}: physical block {} on ost {ost} mapped twice",
+                        phys + i
                     );
-                    let _ = logical;
                 }
             }
         }
         let allocated = fs.file_allocated(file);
         if kind == PolicyKind::Static {
             // fallocate maps the whole hint up front (unwritten extents).
-            prop_assert_eq!(allocated, 4 * 512, "{}: full preallocation", kind);
+            assert_eq!(allocated, 4 * 512, "seed {seed} {kind}: full preallocation");
         } else {
-            prop_assert_eq!(allocated, written.len() as u64, "{}: coverage", kind);
+            assert_eq!(
+                allocated,
+                written.len() as u64,
+                "seed {seed} {kind}: coverage"
+            );
         }
     }
 }

@@ -1,30 +1,34 @@
-//! Property-based tests for extent trees and striping.
+//! Property-style tests for extent trees and striping — seeded random
+//! scripts, replayable from the printed seed.
 
 use mif::extent::{Extent, ExtentTree};
 use mif::pfs::Striping;
-use proptest::prelude::*;
+use mif_rng::SmallRng;
 use std::collections::HashMap;
 
+const CASES: u64 = 128;
+
 /// Generate disjoint logical runs by walking forward with gaps.
-fn disjoint_runs() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
-    prop::collection::vec((0u64..16, 1u64..12, any::<u64>()), 1..80).prop_map(|steps| {
-        let mut runs = Vec::new();
-        let mut pos = 0u64;
-        for (i, (gap, len, seed)) in steps.into_iter().enumerate() {
-            pos += gap;
-            // Physical placement pseudo-random but collision-free.
-            let phys = (i as u64) * 1_000 + seed % 500;
-            runs.push((pos, phys, len));
-            pos += len;
-        }
-        runs
-    })
+fn disjoint_runs(rng: &mut SmallRng) -> Vec<(u64, u64, u64)> {
+    let mut runs = Vec::new();
+    let mut pos = 0u64;
+    for i in 0..rng.gen_range(1usize..80) {
+        pos += rng.gen_range(0u64..16);
+        let len = rng.gen_range(1u64..12);
+        // Physical placement pseudo-random but collision-free.
+        let phys = (i as u64) * 1_000 + rng.next_u64() % 500;
+        runs.push((pos, phys, len));
+        pos += len;
+    }
+    runs
 }
 
-proptest! {
-    /// The tree agrees with a naive block map on every translation.
-    #[test]
-    fn tree_matches_naive_model(runs in disjoint_runs()) {
+/// The tree agrees with a naive block map on every translation.
+#[test]
+fn tree_matches_naive_model() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x72EE_0000 + seed);
+        let runs = disjoint_runs(&mut rng);
         let mut tree = ExtentTree::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
         for &(logical, phys, len) in &runs {
@@ -33,40 +37,51 @@ proptest! {
                 model.insert(logical + i, phys + i);
             }
         }
-        prop_assert_eq!(tree.mapped_blocks(), model.len() as u64);
+        assert_eq!(tree.mapped_blocks(), model.len() as u64, "seed {seed}");
         let max = runs.iter().map(|r| r.0 + r.2).max().unwrap_or(0);
         for b in 0..max + 2 {
-            prop_assert_eq!(tree.translate(b), model.get(&b).copied(), "block {}", b);
+            assert_eq!(
+                tree.translate(b),
+                model.get(&b).copied(),
+                "seed {seed}: block {b}"
+            );
         }
     }
+}
 
-    /// resolve() + gaps() partition any queried range exactly.
-    #[test]
-    fn resolve_and_gaps_partition_ranges(
-        runs in disjoint_runs(),
-        query_start in 0u64..400,
-        query_len in 1u64..300,
-    ) {
+/// resolve() + gaps() partition any queried range exactly.
+#[test]
+fn resolve_and_gaps_partition_ranges() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x6A25_0000 + seed);
+        let runs = disjoint_runs(&mut rng);
+        let query_start = rng.gen_range(0u64..400);
+        let query_len = rng.gen_range(1u64..300);
         let mut tree = ExtentTree::new();
         for &(logical, phys, len) in &runs {
             tree.insert(Extent::new(logical, phys, len));
         }
         let mapped: u64 = tree.resolve(query_start, query_len).iter().map(|r| r.1).sum();
         let holes: u64 = tree.gaps(query_start, query_len).iter().map(|g| g.1).sum();
-        prop_assert_eq!(mapped + holes, query_len);
+        assert_eq!(mapped + holes, query_len, "seed {seed}: partition leak");
 
         // Gaps really are unmapped and in-range.
         for (g, l) in tree.gaps(query_start, query_len) {
-            prop_assert!(g >= query_start && g + l <= query_start + query_len);
+            assert!(
+                g >= query_start && g + l <= query_start + query_len,
+                "seed {seed}"
+            );
             for b in g..g + l {
-                prop_assert_eq!(tree.translate(b), None);
+                assert_eq!(tree.translate(b), None, "seed {seed}: mapped gap {b}");
             }
         }
     }
+}
 
-    /// Coalescing never changes the mapping, only the extent count.
-    #[test]
-    fn coalescing_preserves_mapping(n in 1u64..200) {
+/// Coalescing never changes the mapping, only the extent count.
+#[test]
+fn coalescing_preserves_mapping() {
+    for n in 1u64..200 {
         let mut tree = ExtentTree::new();
         // Insert in a shuffled-ish order (odd first then even) to force
         // out-of-order coalescing.
@@ -76,36 +91,45 @@ proptest! {
         for i in (0..n).step_by(2) {
             tree.insert(Extent::new(i * 4, 1000 + i * 4, 4));
         }
-        prop_assert_eq!(tree.extent_count(), 1, "fully adjacent runs coalesce");
+        assert_eq!(tree.extent_count(), 1, "n={n}: fully adjacent runs coalesce");
         for b in 0..n * 4 {
-            prop_assert_eq!(tree.translate(b), Some(1000 + b));
+            assert_eq!(tree.translate(b), Some(1000 + b), "n={n}");
         }
     }
+}
 
-    /// Striping: locate() is a bijection block-by-block and split() covers
-    /// ranges exactly, for any starting-OST shift.
-    #[test]
-    fn striping_is_a_bijection(
-        osts in 1u32..9,
-        stripe in 1u64..64,
-        offset in 0u64..5000,
-        len in 1u64..500,
-        shift in 0u32..9,
-    ) {
+/// Striping: locate() is a bijection block-by-block and split() covers
+/// ranges exactly, for any starting-OST shift.
+#[test]
+fn striping_is_a_bijection() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0057_21FE_0000 + seed);
+        let osts = rng.gen_range(1u32..9);
+        let stripe = rng.gen_range(1u64..64);
+        let offset = rng.gen_range(0u64..5000);
+        let len = rng.gen_range(1u64..500);
+        let shift = rng.gen_range(0u32..9);
         let s = Striping::new(osts, stripe);
         // Injective over a window.
         let mut seen = std::collections::HashSet::new();
         for b in offset..offset + len {
-            prop_assert!(seen.insert(s.locate(b, shift)), "collision at {}", b);
+            assert!(
+                seen.insert(s.locate(b, shift)),
+                "seed {seed}: collision at {b}"
+            );
         }
         // split() covers exactly [offset, offset+len).
         let pieces = s.split(offset, len, shift);
         let total: u64 = pieces.iter().map(|p| p.2).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len, "seed {seed}");
         // Every piece locates consistently with locate().
         for (ost, local, run, file_off) in pieces {
             for i in 0..run {
-                prop_assert_eq!(s.locate(file_off + i, shift), (ost, local + i));
+                assert_eq!(
+                    s.locate(file_off + i, shift),
+                    (ost, local + i),
+                    "seed {seed}"
+                );
             }
         }
     }

@@ -1,109 +1,104 @@
-//! Property-based tests over the metadata stores: random operation scripts
+//! Property-style tests over the metadata stores: random operation scripts
 //! must keep every directory mode's namespace consistent with a naive
-//! model, and embedded-mode inode numbers must stay resolvable.
+//! model, and embedded-mode inode numbers must stay resolvable. Seeded and
+//! replayable from the printed seed.
 
 use mif::mds::{DirMode, Mds, MdsConfig, ROOT_INO};
-use proptest::prelude::*;
-use std::collections::HashMap;
+use mif_rng::SmallRng;
+use std::collections::HashSet;
 
-#[derive(Debug, Clone)]
-enum NsOp {
-    Create(u8),
-    Unlink(u8),
-    Rename(u8, u8),
-    Stat(u8),
-    ReaddirStat,
-}
+const CASES: u64 = 64;
 
-fn scripts() -> impl Strategy<Value = Vec<NsOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            any::<u8>().prop_map(NsOp::Create),
-            any::<u8>().prop_map(NsOp::Unlink),
-            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| NsOp::Rename(a, b)),
-            any::<u8>().prop_map(NsOp::Stat),
-            Just(NsOp::ReaddirStat),
-        ],
-        1..120,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Replay a random script in two directories against a naive model;
-    /// lookups must agree at every step, in every mode.
-    #[test]
-    fn namespace_matches_model(script in scripts(), mode_idx in 0usize..3) {
-        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded][mode_idx];
+/// Replay a random script in two directories against a naive model;
+/// lookups must agree at every step, in every mode.
+#[test]
+fn namespace_matches_model() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0003_A3E5_0000 + seed);
+        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded]
+            [rng.gen_range(0usize..3)];
         let mut mds = Mds::new(MdsConfig::with_mode(mode));
         let d1 = mds.mkdir(ROOT_INO, "d1");
         let d2 = mds.mkdir(ROOT_INO, "d2");
         // model: name -> present in d1 (renames move to d2 under "r<name>")
-        let mut model_d1: HashMap<String, ()> = HashMap::new();
-        let mut model_d2: HashMap<String, ()> = HashMap::new();
+        let mut model_d1: HashSet<String> = HashSet::new();
+        let mut model_d2: HashSet<String> = HashSet::new();
 
-        for op in script {
-            match op {
-                NsOp::Create(n) => {
-                    let name = format!("f{n}");
-                    if !model_d1.contains_key(&name) {
-                        mds.create(d1, &name, (n % 8) as u32 + 1);
-                        model_d1.insert(name, ());
+        for _ in 0..rng.gen_range(1usize..120) {
+            match rng.gen_range(0u32..5) {
+                0 => {
+                    let name = format!("f{}", rng.gen::<u8>());
+                    if !model_d1.contains(&name) {
+                        mds.create(d1, &name, rng.gen_range(1u32..9));
+                        model_d1.insert(name);
                     }
                 }
-                NsOp::Unlink(n) => {
-                    let name = format!("f{n}");
-                    if model_d1.remove(&name).is_some() {
+                1 => {
+                    let name = format!("f{}", rng.gen::<u8>());
+                    if model_d1.remove(&name) {
                         mds.unlink(d1, &name);
                     }
                 }
-                NsOp::Rename(n, m) => {
-                    let src = format!("f{n}");
-                    let dst = format!("r{m}");
-                    if model_d1.contains_key(&src) && !model_d2.contains_key(&dst) {
+                2 => {
+                    let src = format!("f{}", rng.gen::<u8>());
+                    let dst = format!("r{}", rng.gen::<u8>());
+                    if model_d1.contains(&src) && !model_d2.contains(&dst) {
                         model_d1.remove(&src);
                         let ino = mds.rename(d1, &src, d2, &dst);
-                        prop_assert!(ino.is_some());
-                        model_d2.insert(dst, ());
+                        assert!(ino.is_some(), "seed {seed} {mode}: rename lost {src}");
+                        model_d2.insert(dst);
                     }
                 }
-                NsOp::Stat(n) => {
-                    let name = format!("f{n}");
+                3 => {
+                    let name = format!("f{}", rng.gen::<u8>());
                     let found = mds.lookup(d1, &name).is_some();
-                    prop_assert_eq!(found, model_d1.contains_key(&name), "{}", mode);
+                    assert_eq!(
+                        found,
+                        model_d1.contains(&name),
+                        "seed {seed} {mode}: stat({name}) diverged"
+                    );
                 }
-                NsOp::ReaddirStat => {
+                _ => {
                     mds.readdir_stat(d1);
                 }
             }
         }
 
         // Final sweep: every model entry resolves, nothing extra does.
-        for name in model_d1.keys() {
-            prop_assert!(mds.lookup(d1, name).is_some(), "{}: lost {}", mode, name);
+        for name in model_d1.iter() {
+            assert!(
+                mds.lookup(d1, name).is_some(),
+                "seed {seed} {mode}: lost {name}"
+            );
         }
-        for name in model_d2.keys() {
-            prop_assert!(mds.lookup(d2, name).is_some(), "{}: lost {}", mode, name);
+        for name in model_d2.iter() {
+            assert!(
+                mds.lookup(d2, name).is_some(),
+                "seed {seed} {mode}: lost {name}"
+            );
         }
         for n in 0u16..=255 {
             let name = format!("f{n}");
-            if !model_d1.contains_key(&name) {
-                prop_assert!(mds.lookup(d1, &name).is_none(), "{}: ghost {}", mode, name);
+            if !model_d1.contains(&name) {
+                assert!(
+                    mds.lookup(d1, &name).is_none(),
+                    "seed {seed} {mode}: ghost {name}"
+                );
             }
         }
 
         // The on-disk structures stay internally consistent throughout.
         let problems = mds.check();
-        prop_assert!(problems.is_empty(), "{}: {:?}", mode, problems);
+        assert!(problems.is_empty(), "seed {seed} {mode}: {problems:?}");
     }
+}
 
-    /// Embedded inode numbers (including pre-rename aliases) always resolve
-    /// to the file's current identity.
-    #[test]
-    fn embedded_inode_numbers_always_resolve(
-        renames in prop::collection::vec((0u8..16, any::<bool>()), 1..40)
-    ) {
+/// Embedded inode numbers (including pre-rename aliases) always resolve
+/// to the file's current identity.
+#[test]
+fn embedded_inode_numbers_always_resolve() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x13_0DE5_0000 + seed);
         let mut mds = Mds::new(MdsConfig::with_mode(DirMode::Embedded));
         let d1 = mds.mkdir(ROOT_INO, "d1");
         let d2 = mds.mkdir(ROOT_INO, "d2");
@@ -114,19 +109,15 @@ proptest! {
             history.push((n, vec![ino]));
         }
         let mut in_d1 = [true; 16];
-        let mut gen = 0u32;
-        for (n, _) in renames {
-            let idx = (n % 16) as usize;
-            gen += 1;
+        for _ in 0..rng.gen_range(1usize..40) {
+            let idx = rng.gen_range(0usize..16);
             let (src, dst) = if in_d1[idx] { (d1, d2) } else { (d2, d1) };
-            let old_name = history[idx].1.len() - 1;
-            let src_name = if old_name == 0 && in_d1[idx] && history[idx].1.len() == 1 {
+            let src_name = if in_d1[idx] && history[idx].1.len() == 1 {
                 format!("f{idx}")
             } else {
                 format!("f{idx}_{}", history[idx].1.len() - 1)
             };
             let dst_name = format!("f{idx}_{}", history[idx].1.len());
-            let _ = gen;
             if let Some(new_ino) = mds.rename(src, &src_name, dst, &dst_name) {
                 history[idx].1.push(new_ino);
                 in_d1[idx] = !in_d1[idx];
@@ -135,7 +126,11 @@ proptest! {
         for (_, inos) in &history {
             let current = *inos.last().expect("nonempty");
             for &old in inos {
-                prop_assert_eq!(mds.resolve_inode(old), Some(current));
+                assert_eq!(
+                    mds.resolve_inode(old),
+                    Some(current),
+                    "seed {seed}: stale ino {old:?}"
+                );
             }
         }
     }

@@ -1,15 +1,13 @@
-//! Property tests for journal redo-replay and the buddy allocator.
+//! Property-style tests for journal redo-replay and the buddy allocator —
+//! seeded random scripts, replayable from the printed seed.
 
 use mif::alloc::BuddyAllocator;
 use mif::mds::{DirMode, LoggedOp, Mds, MdsConfig, OpLog, ROOT_INO};
-use proptest::prelude::*;
+use mif_rng::SmallRng;
 
-/// A random mutation script over two directories and 32 names.
-fn scripts() -> impl Strategy<Value = Vec<(u8, u8)>> {
-    prop::collection::vec((0u8..4, any::<u8>()), 1..80)
-}
+const CASES: u64 = 48;
 
-/// Apply op `i` of the script to `mds`, mirroring it into `log`.
+/// Apply a random op to `mds`, mirroring it into `log`.
 fn step(mds: &mut Mds, log: &mut OpLog, kind: u8, n: u8, dirs: &[mif::mds::InodeNo; 2]) {
     let d = dirs[(n % 2) as usize];
     let name = format!("f{}", n % 32);
@@ -44,46 +42,48 @@ fn step(mds: &mut Mds, log: &mut OpLog, kind: u8, n: u8, dirs: &[mif::mds::Inode
     log.record(op);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Replaying the recorded log reproduces the namespace, and any prefix
-    /// of it is checker-consistent (crash-at-any-boundary).
-    #[test]
-    fn replay_matches_original(script in scripts(), mode_idx in 0usize..3) {
-        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded][mode_idx];
+/// Replaying the recorded log reproduces the namespace, and any prefix
+/// of it is checker-consistent (crash-at-any-boundary).
+#[test]
+fn replay_matches_original() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x2E_1A70_0000 + seed);
+        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded]
+            [rng.gen_range(0usize..3)];
         let mut mds = Mds::new(MdsConfig::with_mode(mode));
         let mut log = OpLog::new();
-        let d1 = mds.lookup(ROOT_INO, "d1").unwrap_or_else(|| {
-            let op = LoggedOp::Mkdir { parent: ROOT_INO, name: "d1".into() };
+        for dname in ["d1", "d2"] {
+            let op = LoggedOp::Mkdir {
+                parent: ROOT_INO,
+                name: dname.into(),
+            };
             mif::mds::replay::apply(&mut mds, &op);
             log.record(op);
-            mds.lookup(ROOT_INO, "d1").expect("just made")
-        });
-        let op = LoggedOp::Mkdir { parent: ROOT_INO, name: "d2".into() };
-        mif::mds::replay::apply(&mut mds, &op);
-        log.record(op);
-        let d2 = mds.lookup(ROOT_INO, "d2").expect("just made");
+        }
+        let d1 = mds.lookup(ROOT_INO, "d1").expect("d1");
+        let d2 = mds.lookup(ROOT_INO, "d2").expect("d2");
         let dirs = [d1, d2];
 
-        for (kind, n) in &script {
-            step(&mut mds, &mut log, *kind, *n, &dirs);
+        for _ in 0..rng.gen_range(1usize..80) {
+            let kind = rng.gen_range(0u8..4);
+            let n = rng.gen::<u8>();
+            step(&mut mds, &mut log, kind, n, &dirs);
         }
 
         // Full replay equivalence over every possible name.
         let mut recovered = log.replay(mode);
         let rd1 = recovered.lookup(ROOT_INO, "d1").expect("d1");
         let rd2 = recovered.lookup(ROOT_INO, "d2").expect("d2");
-        prop_assert_eq!(rd1, d1);
-        prop_assert_eq!(rd2, d2);
+        assert_eq!(rd1, d1, "seed {seed} {mode}");
+        assert_eq!(rd2, d2, "seed {seed} {mode}");
         for n in 0..32 {
             for (orig_d, rec_d) in [(d1, rd1), (d2, rd2)] {
                 for prefix in ["f", "r"] {
                     let name = format!("{prefix}{n}");
-                    prop_assert_eq!(
+                    assert_eq!(
                         mds.lookup(orig_d, &name),
                         recovered.lookup(rec_d, &name),
-                        "{} {} diverged", mode, name
+                        "seed {seed} {mode}: {name} diverged"
                     );
                 }
             }
@@ -92,22 +92,31 @@ proptest! {
         // Sampled crash points stay consistent.
         for cut in (0..=log.len()).step_by(11) {
             let m = log.replay_prefix(mode, cut);
-            prop_assert!(m.check().is_empty(), "{}: dirty state at op {}", mode, cut);
+            assert!(
+                m.check().is_empty(),
+                "seed {seed} {mode}: dirty state at op {cut}"
+            );
         }
     }
+}
 
-    /// The buddy allocator against a naive block model: never double-books,
-    /// never loses blocks, and always coalesces back to the initial tiling.
-    #[test]
-    fn buddy_matches_model(ops in prop::collection::vec((any::<bool>(), 0u64..4096, 1u64..40), 1..150)) {
+/// The buddy allocator against a naive block model: never double-books,
+/// never loses blocks, and always coalesces back to the initial tiling.
+#[test]
+fn buddy_matches_model() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB0DD_0000 + seed);
         let mut b = BuddyAllocator::new(4096);
         let mut model = vec![false; 4096];
         let mut live: Vec<(u64, u64)> = Vec::new();
-        for (is_alloc, x, len) in ops {
+        for _ in 0..rng.gen_range(1usize..150) {
+            let is_alloc = rng.gen::<bool>();
+            let x = rng.gen_range(0u64..4096);
+            let len = rng.gen_range(1u64..40);
             if is_alloc || live.is_empty() {
                 if let Some((s, l)) = b.alloc(x, len) {
                     for blk in s..s + l {
-                        prop_assert!(!model[blk as usize], "double-book {blk}");
+                        assert!(!model[blk as usize], "seed {seed}: double-book {blk}");
                         model[blk as usize] = true;
                     }
                     live.push((s, l));
@@ -120,13 +129,13 @@ proptest! {
                 }
             }
             let model_free = model.iter().filter(|&&v| !v).count() as u64;
-            prop_assert_eq!(b.free_count(), model_free);
+            assert_eq!(b.free_count(), model_free, "seed {seed}: count drift");
         }
         // Release everything: full coalescing.
         for (s, _) in live {
             b.free(s);
         }
-        prop_assert_eq!(b.free_count(), 4096);
-        prop_assert_eq!(b.largest_free_run(), 4096);
+        assert_eq!(b.free_count(), 4096, "seed {seed}");
+        assert_eq!(b.largest_free_run(), 4096, "seed {seed}");
     }
 }

@@ -1,27 +1,34 @@
-//! Property-based tests for the disk substrate: whatever the scheduler,
+//! Property-style tests for the disk substrate: whatever the scheduler,
 //! cache and readahead do to *performance*, they must never lose, invent
-//! or reorder-incorrectly any I/O.
+//! or reorder-incorrectly any I/O. Seeded and replayable (seeds printed
+//! on failure).
 
 use mif::simdisk::{BlockRequest, Disk, DiskGeometry, IoScheduler, SchedulerConfig};
-use proptest::prelude::*;
+use mif_rng::SmallRng;
 
-fn requests() -> impl Strategy<Value = Vec<BlockRequest>> {
-    prop::collection::vec(
-        (any::<bool>(), 0u64..10_000, 1u64..64).prop_map(|(write, start, len)| {
-            if write {
+const CASES: u64 = 128;
+
+fn requests(rng: &mut SmallRng) -> Vec<BlockRequest> {
+    (0..rng.gen_range(1usize..100))
+        .map(|_| {
+            let start = rng.gen_range(0u64..10_000);
+            let len = rng.gen_range(1u64..64);
+            if rng.gen::<bool>() {
                 BlockRequest::write(start, len)
             } else {
                 BlockRequest::read(start, len)
             }
-        }),
-        1..100,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    /// Scheduling preserves the exact multiset of (op, block) pairs.
-    #[test]
-    fn scheduler_preserves_every_block(batch in requests(), head in 0u64..10_000) {
+/// Scheduling preserves the exact multiset of (op, block) pairs.
+#[test]
+fn scheduler_preserves_every_block() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0005_C4ED_0000 + seed);
+        let batch = requests(&mut rng);
+        let head = rng.gen_range(0u64..10_000);
         let sched = IoScheduler::new(SchedulerConfig::default());
         let mut before: Vec<_> = batch
             .iter()
@@ -34,56 +41,78 @@ proptest! {
             .collect();
         before.sort_unstable();
         after.sort_unstable();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "seed {seed}: block multiset changed");
         // Merged counts add up to the submissions.
         let merged: u32 = out.iter().map(|r| r.merged).sum();
-        prop_assert_eq!(merged as usize, batch.len());
+        assert_eq!(merged as usize, batch.len(), "seed {seed}");
     }
+}
 
-    /// Merged output never contains two adjacent same-direction requests
-    /// that could still merge (the elevator is maximal).
-    #[test]
-    fn merging_is_maximal(batch in requests(), head in 0u64..10_000) {
+/// Merged output never contains two adjacent same-direction requests
+/// that could still merge (the elevator is maximal).
+#[test]
+fn merging_is_maximal() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x0003_E26E_0000 + seed);
+        let batch = requests(&mut rng);
+        let head = rng.gen_range(0u64..10_000);
         let sched = IoScheduler::new(SchedulerConfig::default());
         let out = sched.schedule(head, batch);
         for w in out.windows(2) {
             let can = w[0].can_merge(&w[1])
                 && w[0].len + w[1].len <= SchedulerConfig::default().max_merged_blocks;
-            prop_assert!(!can, "unmerged neighbours {:?} {:?}", w[0], w[1]);
+            assert!(!can, "seed {seed}: unmerged neighbours {:?} {:?}", w[0], w[1]);
         }
     }
+}
 
-    /// The disk clock is monotone and every batch costs what it returns.
-    #[test]
-    fn disk_clock_is_additive(batches in prop::collection::vec(requests(), 1..10)) {
+/// The disk clock is monotone and every batch costs what it returns.
+#[test]
+fn disk_clock_is_additive() {
+    for seed in 0..32 {
+        let mut rng = SmallRng::seed_from_u64(0xC10C_0000 + seed);
         let mut disk = Disk::new(DiskGeometry::default());
         let mut expected = 0;
-        for b in batches {
-            expected += disk.submit_batch(b);
-            prop_assert_eq!(disk.clock(), expected);
+        for _ in 0..rng.gen_range(1usize..10) {
+            expected += disk.submit_batch(requests(&mut rng));
+            assert_eq!(disk.clock(), expected, "seed {seed}");
         }
-        prop_assert_eq!(disk.stats().busy_ns, expected);
+        assert_eq!(disk.stats().busy_ns, expected, "seed {seed}");
     }
+}
 
-    /// Cache-satisfied rereads never dispatch media transfers for the same
-    /// data twice in a row (read determinism under caching).
-    #[test]
-    fn immediate_reread_hits_cache(start in 0u64..100_000, len in 1u64..64) {
+/// Cache-satisfied rereads never dispatch media transfers for the same
+/// data twice in a row (read determinism under caching).
+#[test]
+fn immediate_reread_hits_cache() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x002E_2EAD_0000 + seed);
+        let start = rng.gen_range(0u64..100_000);
+        let len = rng.gen_range(1u64..64);
         let mut disk = Disk::new(DiskGeometry::default());
         disk.submit(BlockRequest::read(start, len));
         let hits_before = disk.stats().cache_hits;
         disk.submit(BlockRequest::read(start, len));
-        prop_assert_eq!(disk.stats().cache_hits, hits_before + 1);
+        assert_eq!(
+            disk.stats().cache_hits,
+            hits_before + 1,
+            "seed {seed}: reread of {start}+{len} missed"
+        );
     }
+}
 
-    /// Positioning cost is bounded: never more than a full seek plus one
-    /// revolution beyond the pure transfer time.
-    #[test]
-    fn service_time_is_bounded(start in 0u64..16_000_000u64, len in 1u64..256) {
+/// Positioning cost is bounded: never more than a full seek plus one
+/// revolution beyond the pure transfer time.
+#[test]
+fn service_time_is_bounded() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB0_0000 + seed);
+        let start = rng.gen_range(0u64..16_000_000u64);
+        let len = rng.gen_range(1u64..256);
         let g = DiskGeometry::default();
         let mut disk = Disk::new(g.clone());
         let t = disk.submit(BlockRequest::write(start.min(g.blocks - 256), len));
         let ceiling = g.seek_ns(0, g.blocks - 1) + 2 * g.revolution_ns() + g.transfer_ns(len);
-        prop_assert!(t <= ceiling, "service {t} > ceiling {ceiling}");
+        assert!(t <= ceiling, "seed {seed}: service {t} > ceiling {ceiling}");
     }
 }

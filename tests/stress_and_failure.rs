@@ -4,8 +4,7 @@ use mif::alloc::{
     AllocPolicy, FileId, GroupedAllocator, OnDemandPolicy, ReservationPolicy, StreamId,
 };
 use mif::mds::{DirMode, Mds, MdsConfig, MdsLayout, ROOT_INO};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 // ---- disk-full behaviour ---------------------------------------------------
 
@@ -74,7 +73,6 @@ fn journal_wrap_under_sustained_load() {
         group_blocks: 4096,
         itable_blocks: 64,
         groups: 4,
-        ..MdsLayout::default()
     };
     let mut mds = Mds::new(cfg);
     let d = mds.mkdir(ROOT_INO, "d");
@@ -108,19 +106,19 @@ fn missing_name_operations_are_noops() {
 // ---- concurrency stress ------------------------------------------------------
 
 /// Many threads hammer one allocator through independent policies (one per
-/// thread, as IO-server worker threads would) — crossbeam scoped threads,
-/// shared PAG underneath. No overlap, full accounting.
+/// thread, as IO-server worker threads would) — std scoped threads, shared
+/// PAG underneath. No overlap, full accounting.
 #[test]
 fn concurrent_policies_share_one_allocator() {
     let alloc = Arc::new(GroupedAllocator::new(1 << 20, 32));
     let total_before = alloc.free_blocks();
     let runs = Mutex::new(Vec::<(u64, u64)>::new());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..8u32 {
             let alloc = Arc::clone(&alloc);
             let runs = &runs;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut policy = OnDemandPolicy::default();
                 let file = FileId(t as u64); // one file per worker
                 let mut local = Vec::new();
@@ -130,13 +128,12 @@ fn concurrent_policies_share_one_allocator() {
                     local.extend(policy.extend(&alloc, file, s, logical, 4));
                 }
                 policy.finalize(&alloc, file);
-                runs.lock().extend(local);
+                runs.lock().unwrap().extend(local);
             });
         }
-    })
-    .expect("no thread panicked");
+    });
 
-    let mut all = runs.into_inner();
+    let mut all = runs.into_inner().unwrap();
     let total: u64 = all.iter().map(|r| r.1).sum();
     assert_eq!(total, 8 * 5_000 * 4);
     all.sort_unstable();
