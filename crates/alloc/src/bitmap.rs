@@ -129,6 +129,44 @@ impl BlockBitmap {
         out
     }
 
+    /// The packed words backing the bitmap (bit set = allocated). The last
+    /// word's bits at and above `capacity() % 64` are always zero. Checkers
+    /// use this for word-at-a-time comparison against an independently
+    /// reconstructed ownership bitmap.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Force `block` to the allocated state regardless of its current
+    /// state, keeping the free count consistent. Returns `true` if the bit
+    /// changed. This bypasses the double-allocation guard: it exists for
+    /// corruption injection and fsck repair, not for allocators.
+    pub fn force_set(&mut self, block: u64) -> bool {
+        assert!(block < self.blocks, "force_set past end of bitmap");
+        let (w, m) = ((block / 64) as usize, 1u64 << (block % 64));
+        if self.words[w] & m != 0 {
+            return false;
+        }
+        self.words[w] |= m;
+        self.free -= 1;
+        true
+    }
+
+    /// Force `block` to the free state regardless of its current state,
+    /// keeping the free count and the next-free hint consistent. Returns
+    /// `true` if the bit changed. Counterpart of [`Self::force_set`].
+    pub fn force_clear(&mut self, block: u64) -> bool {
+        assert!(block < self.blocks, "force_clear past end of bitmap");
+        let (w, m) = ((block / 64) as usize, 1u64 << (block % 64));
+        if self.words[w] & m == 0 {
+            return false;
+        }
+        self.words[w] &= !m;
+        self.free += 1;
+        self.hint = self.hint.min(block);
+        true
+    }
+
     /// First free block at/after `from`, scanning word-wise.
     fn next_free(&self, from: u64) -> Option<u64> {
         if from >= self.blocks {
@@ -281,6 +319,32 @@ mod tests {
         let runs = b.alloc_chunks(0, 10);
         let total: u64 = runs.iter().map(|(_, l)| l).sum();
         assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn force_ops_keep_free_count_and_hint() {
+        let mut b = BlockBitmap::new(128);
+        b.set_range(0, 64);
+        assert!(b.force_clear(10));
+        assert!(!b.force_clear(10), "already clear");
+        assert_eq!(b.free_count(), 65);
+        // The cleared bit is findable again (hint moved back).
+        assert_eq!(b.alloc_run(0, 1), Some(10));
+        assert!(b.force_set(100));
+        assert!(!b.force_set(100), "already set");
+        assert_eq!(b.free_count(), 63);
+        assert!(b.is_allocated(100));
+    }
+
+    #[test]
+    fn as_words_matches_bit_queries() {
+        let mut b = BlockBitmap::new(130);
+        b.set_range(63, 3);
+        let words = b.as_words();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0], 1u64 << 63);
+        assert_eq!(words[1], 0b11);
+        assert_eq!(words[2], 0);
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl BuddyAllocator {
         // Tile the region greedily with aligned power-of-two chunks.
         let mut pos = 0;
         while pos < capacity {
-            let align = if pos == 0 { MAX_ORDER } else { pos.trailing_zeros() as usize };
+            let align = if pos == 0 {
+                MAX_ORDER
+            } else {
+                pos.trailing_zeros() as usize
+            };
             let mut order = align.min(MAX_ORDER);
             while (1u64 << order) > capacity - pos {
                 order -= 1;

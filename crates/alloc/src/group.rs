@@ -187,6 +187,48 @@ impl GroupedAllocator {
             .unwrap()
             .is_allocated(block - self.group_base(gi))
     }
+
+    /// The absolute block range `[base, base+len)` managed by group `gi`.
+    /// The last group absorbs the division remainder, so `len` is not
+    /// uniform across groups.
+    pub fn group_range(&self, gi: usize) -> (u64, u64) {
+        assert!(gi < self.groups.len());
+        let base = self.group_base(gi);
+        let end = if gi == self.groups.len() - 1 {
+            self.blocks
+        } else {
+            base + self.group_blocks
+        };
+        (base, end - base)
+    }
+
+    /// A point-in-time copy of group `gi`'s bitmap. Checkers snapshot every
+    /// group once, then scan the copies without holding any allocator lock.
+    pub fn snapshot_group(&self, gi: usize) -> BlockBitmap {
+        assert!(gi < self.groups.len());
+        self.groups[gi].bitmap.lock().unwrap().clone()
+    }
+
+    /// Force the bit for absolute block `block` to `set`, bypassing the
+    /// double-alloc/double-free guards. Returns `true` if the bit changed.
+    /// For corruption injection and fsck repair only — allocation policy
+    /// code must use `alloc_*`/`free`.
+    pub fn force_bit(&self, block: u64, set: bool) -> bool {
+        assert!(block < self.blocks, "force_bit past end of disk");
+        let gi = self.group_of(block);
+        let g = &self.groups[gi];
+        let mut bm = g.bitmap.lock().unwrap();
+        let local = block - self.group_base(gi);
+        let changed = if set {
+            bm.force_set(local)
+        } else {
+            bm.force_clear(local)
+        };
+        if changed {
+            g.free.store(bm.free_count(), Ordering::Relaxed);
+        }
+        changed
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +315,31 @@ mod tests {
             assert!(w[1] - w[0] >= 7, "overlapping runs {} and {}", w[0], w[1]);
         }
         assert_eq!(a.free_blocks(), 64 * 1024 - 800 * 7);
+    }
+
+    #[test]
+    fn group_introspection_covers_the_disk() {
+        let a = GroupedAllocator::new(1030, 4); // last group absorbs +6
+        let mut covered = 0;
+        for gi in 0..a.group_count() {
+            let (base, len) = a.group_range(gi);
+            assert_eq!(base, covered);
+            assert_eq!(a.snapshot_group(gi).capacity(), len);
+            covered += len;
+        }
+        assert_eq!(covered, 1030);
+        assert_eq!(a.group_range(3), (257 * 3, 257 + 2));
+    }
+
+    #[test]
+    fn force_bit_round_trips_and_updates_free_counts() {
+        let a = GroupedAllocator::new(1024, 4);
+        assert!(a.force_bit(700, true));
+        assert!(!a.force_bit(700, true));
+        assert!(a.is_allocated(700));
+        assert_eq!(a.free_blocks(), 1023);
+        assert!(a.force_bit(700, false));
+        assert_eq!(a.free_blocks(), 1024);
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub mod vanilla;
 pub use bitmap::BlockBitmap;
 pub use buddy::BuddyAllocator;
 pub use group::GroupedAllocator;
-pub use ondemand::{OnDemandConfig, OnDemandPolicy, OnDemandSnapshot, PersistentWindow};
 pub use ondemand::OnDemandStats;
+pub use ondemand::{OnDemandConfig, OnDemandPolicy, OnDemandSnapshot, PersistentWindow};
 pub use policy::{make_policy, AllocPolicy, FileId, PolicyKind};
 pub use reservation::ReservationPolicy;
 pub use static_::StaticPolicy;

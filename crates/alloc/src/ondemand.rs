@@ -273,7 +273,10 @@ impl OnDemandPolicy {
         state: &mut StreamState,
         stats: &mut OnDemandStats,
     ) {
-        for w in [state.current.take(), state.seq.take()].into_iter().flatten() {
+        for w in [state.current.take(), state.seq.take()]
+            .into_iter()
+            .flatten()
+        {
             if w.remaining > 0 {
                 alloc.free(w.phys_next, w.remaining);
                 stats.reclaimed_blocks += w.remaining;
@@ -703,7 +706,11 @@ mod tests {
         let used = 64 * 1024 - alloc.free_blocks();
         let snapshot = p.shutdown(&alloc);
         assert!(snapshot.windows.is_empty());
-        assert_eq!(64 * 1024 - alloc.free_blocks(), used, "nothing double-freed");
+        assert_eq!(
+            64 * 1024 - alloc.free_blocks(),
+            used,
+            "nothing double-freed"
+        );
         let mut p2 = OnDemandPolicy::recover(snapshot);
         // Fresh stream works normally after recovery.
         let runs = p2.extend(&alloc, f, StreamId::new(2, 2), 0, 4);

@@ -66,10 +66,14 @@ fn htree_index() {
         });
     }
     let mut i = 0u64;
-    bench("htree/lookup in 10k dir", || (), |()| {
-        i = (i + 1) % 10_000;
-        h.lookup_blocks(&format!("file{i}"));
-    });
+    bench(
+        "htree/lookup in 10k dir",
+        || (),
+        |()| {
+            i = (i + 1) % 10_000;
+            h.lookup_blocks(&format!("file{i}"));
+        },
+    );
 }
 
 fn main() {

@@ -19,7 +19,13 @@ fn main() {
     );
 
     let t = Table::new(
-        &["mode", "pattern", "client time", "rpc time", "disk accesses"],
+        &[
+            "mode",
+            "pattern",
+            "client time",
+            "rpc time",
+            "disk accesses",
+        ],
         &[10, 22, 12, 10, 13],
     );
     for mode in [DirMode::Normal, DirMode::Embedded] {

@@ -16,8 +16,8 @@
 use mif_alloc::{PolicyKind, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_core::{FileSystem, FsConfig};
-use mif_simdisk::mib_per_sec;
 use mif_rng::SmallRng;
+use mif_simdisk::mib_per_sec;
 
 fn run(policy: PolicyKind, update_rounds: u64) -> (f64, f64, u64) {
     let streams_n = 16u32;

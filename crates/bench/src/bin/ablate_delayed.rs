@@ -15,8 +15,8 @@
 use mif_alloc::{PolicyKind, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_core::{FileSystem, FsConfig};
-use mif_simdisk::mib_per_sec;
 use mif_rng::SmallRng;
+use mif_simdisk::mib_per_sec;
 
 /// Phase 1 with an fsync every `sync_every` rounds (None = never), then the
 /// phase-2 segmented read; returns (phase-2 MiB/s, extents).
@@ -94,7 +94,13 @@ fn main() {
     );
 
     let t = Table::new(
-        &["fsync cadence", "reservation", "delayed", "on-demand", "ext d/o"],
+        &[
+            "fsync cadence",
+            "reservation",
+            "delayed",
+            "on-demand",
+            "ext d/o",
+        ],
         &[14, 12, 12, 12, 12],
     );
     for (label, sync_every) in [

@@ -7,8 +7,8 @@
 //! (extents rise), threshold too high lets random streams hold reserved
 //! windows (wasted reservations churn the allocator).
 
-use mif_alloc::{FileId, GroupedAllocator, OnDemandConfig, OnDemandPolicy, StreamId};
 use mif_alloc::AllocPolicy;
+use mif_alloc::{FileId, GroupedAllocator, OnDemandConfig, OnDemandPolicy, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_extent::{Extent, ExtentTree};
 use mif_rng::SmallRng;
@@ -52,8 +52,7 @@ fn main() {
                 // then jump to the next (strided) burst region.
                 let s = StreamId::new(i, 0);
                 let ii = i as usize;
-                let logical =
-                    i as u64 * 1_000_000 + burst[ii] * 1000 + within[ii];
+                let logical = i as u64 * 1_000_000 + burst[ii] * 1000 + within[ii];
                 let runs = policy.extend(&alloc, file, s, logical, 4);
                 let mut lg = logical;
                 for (p, l) in runs {

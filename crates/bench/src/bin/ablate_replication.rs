@@ -17,8 +17,8 @@
 use mif_alloc::{PolicyKind, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_core::{FileSystem, FsConfig};
-use mif_simdisk::{mib_per_sec, Nanos};
 use mif_rng::SmallRng;
+use mif_simdisk::{mib_per_sec, Nanos};
 
 const STREAMS: u32 = 16;
 const REGION: u64 = 1024;

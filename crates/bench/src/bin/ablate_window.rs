@@ -54,7 +54,10 @@ fn main() {
          readahead; with merging disabled the readahead pipeline still \
          exploits contiguous placement, so most of the gain persists",
     );
-    let t = Table::new(&["merging", "reservation", "on-demand", "gain"], &[8, 12, 12, 7]);
+    let t = Table::new(
+        &["merging", "reservation", "on-demand", "gain"],
+        &[8, 12, 12, 7],
+    );
     for merge in [true, false] {
         let mut res_cfg = FsConfig::with_policy(PolicyKind::Reservation, 5);
         res_cfg.scheduler.merge = merge;

@@ -18,7 +18,13 @@ fn main() {
     );
 
     let t = Table::new(
-        &["program", "lustre(htree)", "embedded", "proportion", "reduction"],
+        &[
+            "program",
+            "lustre(htree)",
+            "embedded",
+            "proportion",
+            "reduction",
+        ],
         &[12, 13, 12, 10, 9],
     );
 
@@ -36,7 +42,10 @@ fn main() {
         format!("{:.2}s", n.exec_ns() as f64 / 1e9),
         format!("{:.2}s", e.exec_ns() as f64 / 1e9),
         format!("{:.2}", e.exec_ns() as f64 / n.exec_ns() as f64),
-        format!("{:.0}%", (1.0 - e.exec_ns() as f64 / n.exec_ns() as f64) * 100.0),
+        format!(
+            "{:.0}%",
+            (1.0 - e.exec_ns() as f64 / n.exec_ns() as f64) * 100.0
+        ),
     ]);
 
     // Kernel-tree applications.

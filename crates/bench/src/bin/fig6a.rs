@@ -7,9 +7,9 @@
 
 use mif_alloc::PolicyKind;
 use mif_bench::{expectation, pct, section, Table};
+use mif_core::FileSystem;
 use mif_core::FsConfig;
 use mif_workloads::micro::{run_on, MicroParams};
-use mif_core::FileSystem;
 
 fn main() {
     section("Figure 6(a) — shared-file micro-benchmark, throughput vs stream count");

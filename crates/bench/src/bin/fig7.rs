@@ -25,7 +25,14 @@ fn main() {
     );
 
     let table = Table::new(
-        &["program", "mode", "reservation", "on-demand", "gain", "extents r/o"],
+        &[
+            "program",
+            "mode",
+            "reservation",
+            "on-demand",
+            "gain",
+            "extents r/o",
+        ],
         &[14, 15, 12, 12, 7, 14],
     );
 

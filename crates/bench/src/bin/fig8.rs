@@ -56,7 +56,13 @@ fn main() {
     println!();
     println!("-- throughput (ops/s) --");
     let t = Table::new(
-        &["phase", "normal", "htree(Lustre)", "embedded", "emb vs normal"],
+        &[
+            "phase",
+            "normal",
+            "htree(Lustre)",
+            "embedded",
+            "emb vs normal",
+        ],
         &[13, 10, 13, 10, 13],
     );
     for phase in [
@@ -79,7 +85,10 @@ fn main() {
 
     println!();
     println!("-- readdir-stat access proportion vs directory size --");
-    let t = Table::new(&["files/dir", "normal", "embedded", "proportion"], &[9, 10, 10, 10]);
+    let t = Table::new(
+        &["files/dir", "normal", "embedded", "proportion"],
+        &[9, 10, 10, 10],
+    );
     for files in [1000u32, 2000, 5000] {
         let p = MetaratesParams {
             clients: 10,

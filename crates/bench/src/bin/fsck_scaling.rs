@@ -1,0 +1,98 @@
+//! fsck scaling: check throughput vs worker count (the pFSCK curve).
+//!
+//! Builds one aged, fragmented file system, captures the fsck image once,
+//! then times the check passes (pass 1 group scans + pass 2 overlap
+//! sweep — image capture excluded) at increasing worker counts. The
+//! per-group bitmap cross-check parallelizes over (OST, group) work
+//! units, so throughput should rise with workers until the unit count or
+//! the memory bus saturates.
+
+use mif_alloc::{PolicyKind, StreamId};
+use mif_bench::{expectation, section, Table};
+use mif_core::{FileSystem, FsConfig};
+use mif_fsck::{check_image, FsckImage, FsckMode};
+use mif_mds::DirMode;
+use mif_rng::SmallRng;
+use std::time::{Duration, Instant};
+
+fn build_fs() -> FileSystem {
+    let mut rng = SmallRng::seed_from_u64(0xF5C4_5CA1u64);
+    // Vanilla allocation + interleaved small writes: heavily fragmented
+    // extent trees, so the scan has realistic per-group work.
+    let mut cfg = FsConfig::with_modes(PolicyKind::Vanilla, 4, DirMode::Embedded);
+    cfg.groups_per_ost = 64;
+    let mut fs = FileSystem::new(cfg);
+    fs.fragment_free_space(0.2, 8);
+    let files: Vec<_> = (0..32).map(|i| fs.create(&format!("f{i}"), None)).collect();
+    for round in 0..24u64 {
+        fs.begin_round();
+        for (i, &f) in files.iter().enumerate() {
+            let off = round * 64 + rng.gen_range(0..16u64);
+            fs.write(
+                f,
+                StreamId::new(i as u32, 0),
+                off,
+                4 + rng.gen_range(0..12u64),
+            );
+        }
+        fs.end_round();
+    }
+    fs.sync_data();
+    fs
+}
+
+fn main() {
+    section("fsck scaling — check throughput vs worker count");
+    expectation(
+        "multi-threaded whole-filesystem check beats 1 worker; speedup \
+         grows with workers over the per-group scan units (pFSCK-style)",
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  host parallelism: {cores} core(s)");
+    if cores == 1 {
+        println!("  (single-core host: worker counts > 1 only measure pool overhead)");
+    }
+
+    let fs = build_fs();
+    let t0 = Instant::now();
+    let image = FsckImage::capture(&fs);
+    let capture = t0.elapsed();
+    let runs: usize = image.runs.iter().map(|r| r.len()).sum();
+    println!(
+        "  image: {} units, {} extent runs, {:.1}M blocks (captured in {:.1} ms)\n",
+        image.units.len(),
+        runs,
+        image.total_blocks() as f64 / 1e6,
+        capture.as_secs_f64() * 1e3
+    );
+
+    let t = Table::new(
+        &["workers", "check time", "blocks/s", "speedup"],
+        &[7, 12, 12, 8],
+    );
+    let mut base = Duration::ZERO;
+    for workers in [1usize, 2, 4, 8] {
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            // Online mode: scan work without classifying the injected
+            // free-space fragmentation as leaks.
+            let findings = check_image(&image, workers, FsckMode::Online);
+            best = best.min(start.elapsed());
+            assert!(findings.is_empty(), "aged image must check clean");
+        }
+        if workers == 1 {
+            base = best;
+        }
+        t.row(&[
+            format!("{workers}"),
+            format!("{:.2} ms", best.as_secs_f64() * 1e3),
+            format!(
+                "{:.0}M",
+                image.total_blocks() as f64 / best.as_secs_f64() / 1e6
+            ),
+            format!("{:.2}x", base.as_secs_f64() / best.as_secs_f64()),
+        ]);
+    }
+}

@@ -57,7 +57,13 @@ fn main() {
     );
 
     let t = Table::new(
-        &["distribution", "mode", "spread", "disk accesses", "readdir time"],
+        &[
+            "distribution",
+            "mode",
+            "spread",
+            "disk accesses",
+            "readdir time",
+        ],
         &[13, 10, 7, 13, 13],
     );
     let mut gains = Vec::new();

@@ -9,9 +9,7 @@
 //! under (a) fixed-size static preallocation at several sizes and (b) the
 //! adaptive on-demand policy, and reports the allocated-vs-used ratio.
 
-use mif_alloc::{
-    AllocPolicy, FileId, GroupedAllocator, OnDemandPolicy, StaticPolicy, StreamId,
-};
+use mif_alloc::{AllocPolicy, FileId, GroupedAllocator, OnDemandPolicy, StaticPolicy, StreamId};
 use mif_bench::{expectation, section, Table};
 use mif_workloads::apps::kernel_file_sizes;
 

@@ -20,7 +20,13 @@ fn main() {
 
     let params = FppParams::default();
     let t = Table::new(
-        &["file model", "policy", "read MiB/s", "extents", "vs shared+res"],
+        &[
+            "file model",
+            "policy",
+            "read MiB/s",
+            "extents",
+            "vs shared+res",
+        ],
         &[18, 12, 11, 9, 13],
     );
     let shared_res = run(

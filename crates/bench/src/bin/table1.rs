@@ -52,8 +52,7 @@ fn main() {
             ..Default::default()
         };
         let ir = ior::run(FsConfig::with_policy(policy, 8), &ip);
-        let ior_cpu =
-            mds_cpu_utilization(ir.extents * CPU_NS_PER_EXTENT, ir.write_ns + ir.read_ns);
+        let ior_cpu = mds_cpu_utilization(ir.extents * CPU_NS_PER_EXTENT, ir.write_ns + ir.read_ns);
         // BTIO, non-collective.
         let bp = btio::BtioParams {
             ranks: 64,
@@ -68,8 +67,7 @@ fn main() {
         let btio_cpu =
             mds_cpu_utilization(br.extents * CPU_NS_PER_EXTENT, br.write_ns + br.read_ns);
 
-        for (app, extents, cpu) in [("IOR", ir.extents, ior_cpu), ("BTIO", br.extents, btio_cpu)]
-        {
+        for (app, extents, cpu) in [("IOR", ir.extents, ior_cpu), ("BTIO", br.extents, btio_cpu)] {
             let (_, _, psegs, pcpu) = paper
                 .iter()
                 .find(|(m, a, _, _)| *m == policy.to_string() && *a == app)

@@ -75,9 +75,10 @@ impl FileSystem {
             .map(|_| Ost {
                 alloc: GroupedAllocator::new(config.geometry.blocks, config.groups_per_ost),
                 policy: match config.policy {
-                    mif_alloc::PolicyKind::OnDemand => Box::new(
-                        mif_alloc::OnDemandPolicy::new(config.ondemand.clone()),
-                    ) as Box<dyn AllocPolicy>,
+                    mif_alloc::PolicyKind::OnDemand => {
+                        Box::new(mif_alloc::OnDemandPolicy::new(config.ondemand.clone()))
+                            as Box<dyn AllocPolicy>
+                    }
                     mif_alloc::PolicyKind::Reservation => Box::new(
                         mif_alloc::ReservationPolicy::new(config.reservation_window_blocks),
                     ),
@@ -116,13 +117,11 @@ impl FileSystem {
         let id = FileId(self.next_file);
         self.next_file += 1;
         let ino = self.mds.create(ROOT_INO, name, 0);
-        let per_ost_hint =
-            size_hint_blocks.map(|s| s.div_ceil(self.config.osts as u64));
+        let per_ost_hint = size_hint_blocks.map(|s| s.div_ceil(self.config.osts as u64));
         for ost in &mut self.osts {
             ost.policy.create(&ost.alloc, id, per_ost_hint);
         }
-        let mut trees: Vec<ExtentTree> =
-            (0..self.config.osts).map(|_| ExtentTree::new()).collect();
+        let mut trees: Vec<ExtentTree> = (0..self.config.osts).map(|_| ExtentTree::new()).collect();
         // fallocate semantics: static preallocation maps the whole hinted
         // range up front (unwritten extents), so the blocks are owned by
         // the file and freed with it at unlink.
@@ -194,7 +193,8 @@ impl FileSystem {
         }
         let shift = state.ost_shift;
         for (ost_idx, local, run, _) in
-            self.striping.split(new_size_blocks, old_size - new_size_blocks, shift)
+            self.striping
+                .split(new_size_blocks, old_size - new_size_blocks, shift)
         {
             let ost_idx = ost_idx as usize;
             let state = self.files.get_mut(&file.0).expect("file exists");
@@ -315,9 +315,9 @@ impl FileSystem {
                 // buffering); allocate only what is still a hole.
                 for (gap_start, gap_len) in state.trees[ost_idx].gaps(start, len) {
                     let ost = &mut self.osts[ost_idx];
-                    let allocated =
-                        ost.policy
-                            .extend(&ost.alloc, file_id, stream, gap_start, gap_len);
+                    let allocated = ost
+                        .policy
+                        .extend(&ost.alloc, file_id, stream, gap_start, gap_len);
                     let before = state.trees[ost_idx].extent_count();
                     let mut logical = gap_start;
                     for (phys, l) in allocated {
@@ -325,8 +325,7 @@ impl FileSystem {
                         self.writeback[ost_idx].push(BlockRequest::write(phys, l));
                         logical += l;
                     }
-                    let added =
-                        state.trees[ost_idx].extent_count().saturating_sub(before) as u64;
+                    let added = state.trees[ost_idx].extent_count().saturating_sub(before) as u64;
                     self.mds_cpu_ns += added * self.config.mds_cpu_ns_per_extent;
                 }
             }
@@ -413,9 +412,12 @@ impl FileSystem {
                     .fault_stats(i)
                     .map(|s| s.writes_seen)
                     .unwrap_or_default();
-                return Err((i, IoFault::PowerCut {
-                    after_writes: writes,
-                }));
+                return Err((
+                    i,
+                    IoFault::PowerCut {
+                        after_writes: writes,
+                    },
+                ));
             }
         }
         self.write_inner(file, stream, offset, len);
@@ -468,9 +470,9 @@ impl FileSystem {
             // Allocate the holes (extending portion) in arrival order.
             for (gap_start, gap_len) in tree.gaps(local, run) {
                 let ost = &mut self.osts[ost_idx];
-                let runs =
-                    ost.policy
-                        .extend(&ost.alloc, file.0, stream, gap_start, gap_len);
+                let runs = ost
+                    .policy
+                    .extend(&ost.alloc, file.0, stream, gap_start, gap_len);
                 let mut logical = gap_start;
                 let before = tree.extent_count();
                 for (phys, l) in runs {
@@ -706,6 +708,116 @@ impl FileSystem {
     /// diagnostics — includes preallocation windows.)
     pub fn block_allocated(&self, ost: usize, block: u64) -> bool {
         self.osts[ost].alloc.is_allocated(block)
+    }
+
+    // ----- fsck hooks -------------------------------------------------------
+    //
+    // The whole-filesystem checker (`mif-fsck`) snapshots allocator and
+    // extent state through the read-only accessors below, and applies its
+    // repairs through the `fsck_*` mutators. Corruption *injection* (the
+    // `corrupt_*` methods) deliberately bypasses the allocator's
+    // double-alloc/double-free guards — they exist so tests and the fsck
+    // harness can plant the exact inconsistency classes the checker must
+    // find, and have no place in the normal write path.
+
+    /// All live file handles, sorted by file id (deterministic iteration
+    /// for the checker's image builder).
+    pub fn file_handles(&self) -> Vec<OpenFile> {
+        let mut ids: Vec<OpenFile> = self.files.keys().map(|&id| OpenFile(id)).collect();
+        ids.sort_by_key(|f| f.0 .0);
+        ids
+    }
+
+    /// The file's starting-OST rotation (checker reconstructs global
+    /// logical offsets from per-OST local ones).
+    pub fn ost_shift_of(&self, file: OpenFile) -> Option<u32> {
+        self.files.get(&file.0).map(|f| f.ost_shift)
+    }
+
+    /// One OST's block allocator (checker bitmap snapshots).
+    pub fn allocator(&self, ost: usize) -> &GroupedAllocator {
+        &self.osts[ost].alloc
+    }
+
+    /// The striping function in force.
+    pub fn striping(&self) -> &Striping {
+        &self.striping
+    }
+
+    /// Release every file's unconsumed preallocations on all OSTs. Offline
+    /// fsck runs this before the leak check — like ext4 discarding
+    /// in-memory preallocation ranges at recovery — so reservation windows
+    /// are not misread as leaked blocks.
+    pub fn release_preallocations(&mut self) {
+        let ids: Vec<FileId> = self.files.keys().copied().collect();
+        for ost in &mut self.osts {
+            for &id in &ids {
+                ost.policy.finalize(&ost.alloc, id);
+            }
+        }
+    }
+
+    /// Corruption injection: force one allocator bitmap bit on `ost` to
+    /// `set`, bypassing the double-op guards. Returns whether it changed.
+    pub fn corrupt_bitmap(&mut self, ost: usize, block: u64, set: bool) -> bool {
+        self.osts[ost].alloc.force_bit(block, set)
+    }
+
+    /// Corruption injection: silently remap the extent covering `logical`
+    /// on `ost` to start at `new_phys` — the on-disk tree now points at
+    /// blocks the bitmap never granted it (or that another file owns).
+    /// Returns the old physical start, or `None` if `logical` is a hole.
+    pub fn corrupt_extent_remap(
+        &mut self,
+        file: OpenFile,
+        ost: usize,
+        logical: u64,
+        new_phys: u64,
+    ) -> Option<u64> {
+        self.files.get_mut(&file.0)?.trees[ost].corrupt_set_physical(logical, new_phys)
+    }
+
+    /// Fsck repair: drop the mapping for a logical range *without freeing
+    /// the physical blocks* — used when two extents claim the same blocks
+    /// and the loser's mapping must be discarded while ownership stays
+    /// with the winner. Returns the number of blocks unmapped.
+    pub fn fsck_discard_mapping(
+        &mut self,
+        file: OpenFile,
+        ost: usize,
+        logical: u64,
+        len: u64,
+    ) -> u64 {
+        let Some(state) = self.files.get_mut(&file.0) else {
+            return 0;
+        };
+        state.trees[ost]
+            .remove(logical, len)
+            .iter()
+            .map(|&(_, l)| l)
+            .sum()
+    }
+
+    /// Fsck repair: adopt orphaned physical runs (allocated in the bitmap
+    /// but owned by no extent) into a `lost+found` file on `ost`. The runs
+    /// are appended to the file's extent tree; the bitmap bits stay set,
+    /// so conservation (free + mapped == total) is restored without
+    /// guessing which file the blocks belonged to. Returns the handle.
+    pub fn fsck_adopt_orphan_runs(&mut self, ost: usize, runs: &[(u64, u64)]) -> OpenFile {
+        let lf = self
+            .files
+            .iter()
+            .find(|(_, f)| f.name == "lost+found")
+            .map(|(&id, _)| OpenFile(id))
+            .unwrap_or_else(|| self.create("lost+found", None));
+        let state = self.files.get_mut(&lf.0).expect("lost+found exists");
+        let tree = &mut state.trees[ost];
+        let mut logical = tree.logical_size();
+        for &(phys, len) in runs {
+            tree.insert(Extent::new(logical, phys, len));
+            logical += len;
+        }
+        lf
     }
 }
 

@@ -35,6 +35,21 @@ impl Striping {
         (ost, local_stripe * self.stripe_blocks + within)
     }
 
+    /// Inverse of [`Self::locate`]: map an `(ost, ost-local logical
+    /// block)` pair back to the file logical block. The checker uses this
+    /// to reconstruct file-global facts (e.g. the written extent of a
+    /// file) from the per-OST extent trees alone.
+    pub fn global_of(&self, ost: u32, local: u64, shift: u32) -> u64 {
+        let local_stripe = local / self.stripe_blocks;
+        let within = local % self.stripe_blocks;
+        // locate() computed: ost = (stripe + shift) % osts and
+        // local_stripe = stripe / osts, so stripe recovers as below.
+        let lane =
+            (ost as u64 + self.osts as u64 - shift as u64 % self.osts as u64) % self.osts as u64;
+        let stripe = local_stripe * self.osts as u64 + lane;
+        stripe * self.stripe_blocks + within
+    }
+
     /// Split a logical range `[logical, logical+len)` into per-OST dense
     /// runs: `(ost, local_start, run_len, file_logical_start)`.
     pub fn split(&self, logical: u64, len: u64, shift: u32) -> Vec<(u32, u64, u64, u64)> {
@@ -111,6 +126,23 @@ mod tests {
             for (logical, len) in [(0u64, 1u64), (7, 100), (1000, 4096), (5, 15)] {
                 let total: u64 = s.split(logical, len, shift).iter().map(|r| r.2).sum();
                 assert_eq!(total, len);
+            }
+        }
+    }
+
+    #[test]
+    fn global_of_inverts_locate() {
+        for osts in [1u32, 2, 3, 5] {
+            let s = Striping::new(osts, 16);
+            for shift in 0..osts + 2 {
+                for logical in (0u64..2000).step_by(7) {
+                    let (ost, local) = s.locate(logical, shift);
+                    assert_eq!(
+                        s.global_of(ost, local, shift),
+                        logical,
+                        "osts {osts} shift {shift} logical {logical}"
+                    );
+                }
             }
         }
     }

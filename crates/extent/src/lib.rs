@@ -12,12 +12,16 @@
 //! * [`Extent`] — one contiguous logical→physical run;
 //! * [`ExtentTree`] — an ordered, coalescing map of a file's extents with
 //!   range lookup;
-//! * [`frag`] — fragmentation metrics over one or many trees.
+//! * [`frag`] — fragmentation metrics over one or many trees;
+//! * [`overlap`] — cross-tree physical overlap detection for the
+//!   whole-filesystem checker (`mif-fsck`).
 
 pub mod extent;
 pub mod frag;
+pub mod overlap;
 pub mod tree;
 
 pub use extent::Extent;
 pub use frag::{fragmentation_degree, layout_score, FragReport};
+pub use overlap::{find_overlaps, OwnedRun, RunOverlap};
 pub use tree::ExtentTree;

@@ -1,0 +1,122 @@
+//! Cross-tree physical overlap detection.
+//!
+//! An extent tree guards against *logical* overlap within one file, but
+//! nothing structural prevents two files' trees — or one tree whose record
+//! was corrupted on disk — from claiming the same *physical* block. The
+//! whole-filesystem checker collects every (physical, length) run on an
+//! OST, tagged with its owner, and sweeps the sorted list here.
+
+/// One physical run with enough provenance to repair it: which owner
+/// (file) it belongs to and where in that owner's logical space it starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnedRun {
+    /// Physical start block.
+    pub phys: u64,
+    /// Run length in blocks.
+    pub len: u64,
+    /// Opaque owner id (the checker maps it back to a file).
+    pub owner: u64,
+    /// Logical start of the run inside the owner's address space.
+    pub logical: u64,
+}
+
+impl OwnedRun {
+    pub fn phys_end(&self) -> u64 {
+        self.phys + self.len
+    }
+}
+
+/// A doubly-claimed physical region: `[phys, phys+len)` is mapped by both
+/// `first` and `second`. `first` is the run that started earlier (ties
+/// broken by owner id), which repair treats as the rightful owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOverlap {
+    pub phys: u64,
+    pub len: u64,
+    pub first: OwnedRun,
+    pub second: OwnedRun,
+}
+
+/// Sweep `runs` (sorted internally) and report every doubly-claimed
+/// region. Overlapping regions *within the same owner* are reported too —
+/// a file whose corrupted tree maps two logical ranges onto one physical
+/// run is just as inconsistent as two files colliding.
+///
+/// The sweep keeps the run with the furthest end as the "active" claimant,
+/// so an N-way pile-up produces N-1 reports, each pairing the active owner
+/// with the newcomer — discarding every `second` mapping resolves the pile
+/// in one repair pass.
+pub fn find_overlaps(runs: &mut [OwnedRun]) -> Vec<RunOverlap> {
+    runs.sort_unstable_by_key(|r| (r.phys, r.owner, r.logical));
+    let mut out = Vec::new();
+    let mut active: Option<OwnedRun> = None;
+    for &r in runs.iter() {
+        match active {
+            None => active = Some(r),
+            Some(a) => {
+                if r.phys < a.phys_end() {
+                    let end = a.phys_end().min(r.phys_end());
+                    out.push(RunOverlap {
+                        phys: r.phys,
+                        len: end - r.phys,
+                        first: a,
+                        second: r,
+                    });
+                }
+                if r.phys_end() > a.phys_end() {
+                    active = Some(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(phys: u64, len: u64, owner: u64) -> OwnedRun {
+        OwnedRun {
+            phys,
+            len,
+            owner,
+            logical: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_runs_are_clean() {
+        let mut rs = vec![run(0, 4, 1), run(4, 4, 2), run(100, 8, 1)];
+        assert!(find_overlaps(&mut rs).is_empty());
+    }
+
+    #[test]
+    fn simple_collision_reports_the_shared_region() {
+        let mut rs = vec![run(10, 8, 1), run(14, 8, 2)];
+        let ov = find_overlaps(&mut rs);
+        assert_eq!(ov.len(), 1);
+        assert_eq!((ov[0].phys, ov[0].len), (14, 4));
+        assert_eq!(ov[0].first.owner, 1);
+        assert_eq!(ov[0].second.owner, 2);
+    }
+
+    #[test]
+    fn containment_and_pileup() {
+        // Run 1 covers [0, 100); runs 2 and 3 sit inside it.
+        let mut rs = vec![run(0, 100, 1), run(10, 5, 2), run(50, 5, 3)];
+        let ov = find_overlaps(&mut rs);
+        assert_eq!(ov.len(), 2);
+        assert!(ov.iter().all(|o| o.first.owner == 1));
+        assert_eq!(ov[0].second.owner, 2);
+        assert_eq!(ov[1].second.owner, 3);
+    }
+
+    #[test]
+    fn same_owner_overlap_is_still_reported() {
+        let mut rs = vec![run(0, 8, 7), run(4, 8, 7)];
+        let ov = find_overlaps(&mut rs);
+        assert_eq!(ov.len(), 1);
+        assert_eq!((ov[0].phys, ov[0].len), (4, 4));
+    }
+}

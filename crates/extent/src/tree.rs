@@ -158,6 +158,24 @@ impl ExtentTree {
         runs
     }
 
+    /// Corruption hook: rewrite the physical start of the extent covering
+    /// `logical` to `new_phys`, bypassing every overlap guard. Returns the
+    /// old physical start, or `None` if `logical` is unmapped. This models
+    /// bit-rot in an on-disk extent record; only fault injectors should
+    /// call it — the checker in `mif-fsck` exists to find what it breaks.
+    pub fn corrupt_set_physical(&mut self, logical: u64, new_phys: u64) -> Option<u64> {
+        let key = self
+            .map
+            .range(..=logical)
+            .next_back()
+            .filter(|(_, e)| e.translate(logical).is_some())
+            .map(|(&k, _)| k)?;
+        let e = self.map.get_mut(&key).unwrap();
+        let old = e.physical;
+        *e = Extent::new(e.logical, new_phys, e.len);
+        Some(old)
+    }
+
     /// Unmap `[logical, logical+len)` (truncate / hole punch), returning
     /// the physical runs that backed it so the allocator can free them.
     /// Extents straddling the boundary are split.

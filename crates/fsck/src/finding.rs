@@ -1,0 +1,81 @@
+//! Findings: everything the check passes can report, data path and
+//! metadata path unified under one type so reports, repair dispatch and
+//! tests speak a single language.
+
+use mif_mds::MetaFinding;
+
+/// One consistency violation found by the checker. Data-path variants
+/// carry enough provenance (OST, physical range, owning file and logical
+/// position) for the repair pass to act without re-deriving anything —
+/// the same design rule [`MetaFinding`] follows on the metadata path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// Blocks marked allocated in an OST's bitmap that no extent owns
+    /// (a leak: lost file, lost free, or a stray bitmap write).
+    BitmapLeak { ost: usize, start: u64, len: u64 },
+    /// Blocks owned by an extent but marked free in the OST's bitmap
+    /// (a lost bitmap write; the allocator could hand them out again).
+    BitmapHole { ost: usize, start: u64, len: u64 },
+    /// A physical range claimed by two extents. `winner` is the rightful
+    /// owner the sweep elected; `loser`/`loser_logical`/`loser_len`
+    /// identify the whole run whose mapping repair discards.
+    ExtentOverlap {
+        ost: usize,
+        phys: u64,
+        len: u64,
+        winner: u64,
+        loser: u64,
+        loser_logical: u64,
+        loser_len: u64,
+    },
+    /// A metadata-path finding from the MDS checker.
+    Meta(MetaFinding),
+}
+
+impl Finding {
+    /// Stable rule slug, usable as a test/reporting key.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            Finding::BitmapLeak { .. } => "bitmap-leak",
+            Finding::BitmapHole { .. } => "bitmap-hole",
+            Finding::ExtentOverlap { .. } => "extent-overlap",
+            Finding::Meta(m) => m.rule(),
+        }
+    }
+
+    /// Human-readable details.
+    pub fn detail(&self) -> String {
+        match self {
+            Finding::BitmapLeak { ost, start, len } => {
+                format!(
+                    "ost {ost}: blocks [{start}, {}) allocated but unowned",
+                    start + len
+                )
+            }
+            Finding::BitmapHole { ost, start, len } => {
+                format!(
+                    "ost {ost}: blocks [{start}, {}) owned but marked free",
+                    start + len
+                )
+            }
+            Finding::ExtentOverlap {
+                ost,
+                phys,
+                len,
+                winner,
+                loser,
+                ..
+            } => format!(
+                "ost {ost}: blocks [{phys}, {}) claimed by files {winner} and {loser}",
+                phys + len
+            ),
+            Finding::Meta(m) => m.detail(),
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule(), self.detail())
+    }
+}

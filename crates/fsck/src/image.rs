@@ -1,0 +1,78 @@
+//! Point-in-time image of the file system's allocation state.
+//!
+//! pFSCK's pattern: snapshot the structures once, single-threaded, into a
+//! plain-data image (`Send + Sync`, no locks, no references back into the
+//! live system), then fan the scan over worker threads. Each block group
+//! becomes one work unit; the extent runs are kept per OST, sorted by
+//! physical start, so both the per-group bitmap cross-check and the global
+//! overlap sweep read the same snapshot.
+
+use mif_alloc::BlockBitmap;
+use mif_core::FileSystem;
+use mif_extent::OwnedRun;
+
+/// One block group of one OST — the unit of parallel work in pass 1.
+#[derive(Debug)]
+pub struct GroupUnit {
+    pub ost: usize,
+    pub group: usize,
+    /// Absolute first block of the group on its OST.
+    pub base: u64,
+    /// Blocks in the group (the last group absorbs the remainder).
+    pub len: u64,
+    /// Snapshot of the group's bitmap, in group-local coordinates.
+    pub bitmap: BlockBitmap,
+}
+
+/// The whole snapshot: every (OST, group) bitmap plus every file's extent
+/// runs. Plain data — safe to share across scan workers by reference.
+#[derive(Debug)]
+pub struct FsckImage {
+    pub osts: usize,
+    pub units: Vec<GroupUnit>,
+    /// Per OST: every file's extent runs, sorted by (phys, owner,
+    /// logical). `owner` is the file id, `logical` the OST-local logical
+    /// start of the run.
+    pub runs: Vec<Vec<OwnedRun>>,
+}
+
+impl FsckImage {
+    /// Capture the current allocation state. Deterministic: files are
+    /// visited in id order, groups in index order.
+    pub fn capture(fs: &FileSystem) -> Self {
+        let osts = fs.config.osts as usize;
+        let files = fs.file_handles();
+        let mut units = Vec::new();
+        let mut runs: Vec<Vec<OwnedRun>> = vec![Vec::new(); osts];
+        for (ost, ost_runs) in runs.iter_mut().enumerate() {
+            let alloc = fs.allocator(ost);
+            for gi in 0..alloc.group_count() {
+                let (base, len) = alloc.group_range(gi);
+                units.push(GroupUnit {
+                    ost,
+                    group: gi,
+                    base,
+                    len,
+                    bitmap: alloc.snapshot_group(gi),
+                });
+            }
+            for &file in &files {
+                for (logical, phys, len) in fs.physical_layout(file, ost) {
+                    ost_runs.push(OwnedRun {
+                        phys,
+                        len,
+                        owner: file.0 .0,
+                        logical,
+                    });
+                }
+            }
+            ost_runs.sort_unstable_by_key(|r| (r.phys, r.owner, r.logical));
+        }
+        FsckImage { osts, units, runs }
+    }
+
+    /// Total blocks covered by the image (all OSTs).
+    pub fn total_blocks(&self) -> u64 {
+        self.units.iter().map(|u| u.len).sum()
+    }
+}

@@ -1,0 +1,106 @@
+//! Pass 1 — per-block-group scans, fanned over the worker pool.
+//!
+//! Each (OST, group) unit cross-checks the group's bitmap snapshot against
+//! an ownership bitmap rebuilt from the extent runs, word by word:
+//! `set & !owned` is a leak (allocated but unowned), `owned & !set` a hole
+//! (owned but marked free). The ownership bitmap is built with raw bit
+//! ops — not [`mif_alloc::BlockBitmap`] — because a doubly-claimed block
+//! (left for pass 2's overlap sweep) must not trip the allocator's
+//! double-set guard here.
+
+use crate::finding::Finding;
+use crate::image::{FsckImage, GroupUnit};
+use crate::pool;
+use crate::FsckMode;
+
+/// Scan every group unit on `workers` threads. Online mode skips leak
+/// classification: a live system legitimately holds allocated-but-unmapped
+/// blocks (preallocation windows, in-flight delayed allocation), so only
+/// offline — after preallocations are released — is a leak a finding.
+pub fn scan(image: &FsckImage, workers: usize, mode: FsckMode) -> Vec<Finding> {
+    let check_leaks = mode == FsckMode::Offline;
+    let units: Vec<&GroupUnit> = image.units.iter().collect();
+    pool::run_units(units, workers, |u| scan_group(image, u, check_leaks))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+fn scan_group(image: &FsckImage, u: &GroupUnit, check_leaks: bool) -> Vec<Finding> {
+    let words = (u.len as usize).div_ceil(64);
+    let mut owned = vec![0u64; words];
+    let end = u.base + u.len;
+    for r in &image.runs[u.ost] {
+        if r.phys >= end || r.phys_end() <= u.base {
+            continue;
+        }
+        let lo = r.phys.max(u.base) - u.base;
+        let hi = r.phys_end().min(end) - u.base;
+        for b in lo..hi {
+            owned[(b / 64) as usize] |= 1 << (b % 64);
+        }
+    }
+    let set = u.bitmap.as_words();
+    let mut leaks = Vec::new();
+    let mut holes = Vec::new();
+    for w in 0..words {
+        let mut leak_bits = if check_leaks { set[w] & !owned[w] } else { 0 };
+        let mut hole_bits = owned[w] & !set[w];
+        while leak_bits != 0 {
+            leaks.push(u.base + w as u64 * 64 + leak_bits.trailing_zeros() as u64);
+            leak_bits &= leak_bits - 1;
+        }
+        while hole_bits != 0 {
+            holes.push(u.base + w as u64 * 64 + hole_bits.trailing_zeros() as u64);
+            hole_bits &= hole_bits - 1;
+        }
+    }
+    let mut findings = Vec::new();
+    if check_leaks {
+        findings.extend(
+            coalesce(&leaks)
+                .into_iter()
+                .map(|(start, len)| Finding::BitmapLeak {
+                    ost: u.ost,
+                    start,
+                    len,
+                }),
+        );
+    }
+    findings.extend(
+        coalesce(&holes)
+            .into_iter()
+            .map(|(start, len)| Finding::BitmapHole {
+                ost: u.ost,
+                start,
+                len,
+            }),
+    );
+    findings
+}
+
+/// Sorted block list -> maximal `(start, len)` runs.
+fn coalesce(blocks: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &b in blocks {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == b => *len += 1,
+            _ => runs.push((b, 1)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_merges_adjacent_blocks() {
+        assert_eq!(
+            coalesce(&[3, 4, 5, 9, 10, 20]),
+            vec![(3, 3), (9, 2), (20, 1)]
+        );
+        assert!(coalesce(&[]).is_empty());
+    }
+}

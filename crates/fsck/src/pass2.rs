@@ -1,0 +1,40 @@
+//! Pass 2 — global cross-reference.
+//!
+//! Pass 1 sees one group at a time; what it *cannot* see is two extents
+//! claiming the same physical range (both claims keep the bitmap bit set,
+//! so word-wise the group looks fine). This pass sweeps every OST's full
+//! sorted run list through [`mif_extent::find_overlaps`] and elects the
+//! first claimant as the rightful owner; the repair pass discards each
+//! `loser` run's mapping without freeing the blocks.
+//!
+//! The metadata-path global rules (directory-table consistency, parent
+//! chains, rename-correlation aliases, lazy-free disjointness) live in
+//! `mif_mds::check` and are folded into the report by [`crate::run`].
+
+use crate::finding::Finding;
+use crate::image::FsckImage;
+use crate::pool;
+use mif_extent::find_overlaps;
+
+/// Overlap sweep, one work unit per OST.
+pub fn cross_reference(image: &FsckImage, workers: usize) -> Vec<Finding> {
+    let osts: Vec<usize> = (0..image.osts).collect();
+    pool::run_units(osts, workers, |&ost| {
+        let mut runs = image.runs[ost].clone();
+        find_overlaps(&mut runs)
+            .into_iter()
+            .map(|o| Finding::ExtentOverlap {
+                ost,
+                phys: o.phys,
+                len: o.len,
+                winner: o.first.owner,
+                loser: o.second.owner,
+                loser_logical: o.second.logical,
+                loser_len: o.second.len,
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}

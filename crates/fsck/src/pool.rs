@@ -1,0 +1,94 @@
+//! A small work-stealing pool over scoped threads.
+//!
+//! Work units are dealt round-robin onto per-worker deques; a worker pops
+//! from the front of its own deque and, when empty, steals from the *back*
+//! of a victim's — the classic split that keeps owner and thief off the
+//! same end. Results carry their unit index and are re-sorted before
+//! returning, so the output order (and therefore every fsck report) is
+//! identical no matter how many workers ran or how the stealing interleaved.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run `f` over every unit, on `workers` threads, returning results in
+/// unit order. `workers <= 1` runs inline on the caller's thread — the
+/// degenerate case crash-recovery tests use for full determinism of any
+/// side effects inside `f` (pure `f` is deterministic at any width).
+pub fn run_units<T, R, F>(units: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if workers <= 1 || units.len() <= 1 {
+        return units.iter().map(&f).collect();
+    }
+    let n = units.len();
+    let workers = workers.min(n);
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, u) in units.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, u));
+    }
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            s.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Own deque first (front), then steal (back). The own
+                    // guard must drop before stealing, or two mutually
+                    // stealing workers deadlock.
+                    let own = queues[w].lock().unwrap().pop_front();
+                    let next = own.or_else(|| {
+                        (1..workers)
+                            .find_map(|k| queues[(w + k) % workers].lock().unwrap().pop_back())
+                    });
+                    match next {
+                        Some((i, u)) => local.push((i, f(&u))),
+                        None => break,
+                    }
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_unit_order() {
+        let units: Vec<u64> = (0..100).collect();
+        let out = run_units(units, 4, |&u| u * 2);
+        assert_eq!(out, (0..100).map(|u| u * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let units: Vec<u64> = (0..57).collect();
+        let seq = run_units(units.clone(), 1, |&u| u.wrapping_mul(0x9E37_79B9));
+        let par = run_units(units, 8, |&u| u.wrapping_mul(0x9E37_79B9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_workers_than_units_is_fine() {
+        let out = run_units(vec![1u32, 2], 16, |&u| u + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_units_yield_empty_results() {
+        let out: Vec<u32> = run_units(Vec::<u32>::new(), 4, |&u| u);
+        assert!(out.is_empty());
+    }
+}

@@ -1,26 +1,34 @@
-//! fsck-style consistency checking.
+//! fsck-style consistency checking — the metadata leg of `mif-fsck`.
 //!
 //! Verifies the cross-structure invariants the metadata stores must
 //! maintain — the kind of checker a file system ships with (`e2fsck`), and
-//! the backbone of this repository's failure-injection tests. The checks
-//! are mode-specific because the on-disk invariants differ:
+//! the backbone of this repository's failure-injection tests. There is one
+//! checker implementation: this module produces structured
+//! [`MetaFinding`]s that the `mif-fsck` subsystem consumes as its pass-1
+//! metadata scan and pass-2 global cross-reference, while the original
+//! [`check_embedded`]/[`check_normal`] entry points remain as thin
+//! adapters over it (so `Mds::check()` and older tests keep working).
 //!
 //! Embedded mode (§IV):
 //! * every live slot's content block lies inside its directory's runs;
 //! * no two directories' content/mapping blocks overlap;
-//! * the global directory table maps every directory id to a live inode;
-//! * every rename-correlation target resolves;
+//! * every owned block is marked allocated in the data-area bitmaps;
+//! * the global directory table maps every directory id to the directory
+//!   that actually holds it, and parent chains are acyclic and resolvable;
+//! * every rename-correlation target is structurally resolvable;
+//! * lazy-free slot lists are disjoint from live slots;
 //! * the recorded fragmentation degree equals extents / files.
 //!
 //! Normal mode:
 //! * every inode index is unique within its group and within table bounds;
-//! * dirent-block lists are disjoint across directories;
-//! * free inode lists never contain live indexes.
+//! * dirent-block lists are disjoint across directories and marked
+//!   allocated in the data-area bitmaps.
 
 use crate::embedded::EmbeddedStore;
-use crate::ids::ROOT_INO;
+use crate::ids::{DirId, InodeNo, ROOT_INO};
 use crate::normal::NormalStore;
-use std::collections::HashSet;
+use crate::store::DataArea;
+use std::collections::{HashMap, HashSet};
 
 /// A consistency violation found by the checker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,100 +45,279 @@ impl std::fmt::Display for Inconsistency {
     }
 }
 
-/// Check an embedded store; returns every violation found.
-pub fn check_embedded(store: &EmbeddedStore) -> Vec<Inconsistency> {
+/// A structured metadata finding. Each variant carries enough provenance
+/// for `mif-fsck`'s repair pass to fix it without re-deriving anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaFinding {
+    /// A content block claimed by two directory runs.
+    ContentRunOverlap { dir: InodeNo, block: u64 },
+    /// A live slot beyond the directory's content capacity.
+    SlotOutOfContent { dir: InodeNo, slot: u32 },
+    /// Recorded fragmentation-degree numerator disagrees with the slots.
+    DegreeDrift {
+        dir: InodeNo,
+        recorded: u64,
+        actual: u64,
+    },
+    /// A mapping block claimed twice.
+    MapBlockOverlap { dir: InodeNo, block: u64 },
+    /// A directory absent from the global directory table.
+    DirtableMissing { dir: InodeNo },
+    /// A directory-table entry pointing at something that is not the
+    /// directory registered under that identification.
+    DirtableStale { id: DirId, ino: InodeNo },
+    /// A directory whose parent chain cycles or fails to reach the root.
+    ChainBroken { dir: InodeNo },
+    /// A rename-correlation alias whose target cannot resolve (its
+    /// directory identification is not in the table).
+    CorrelationDangling { old: InodeNo, new: InodeNo },
+    /// A lazy-free list entry that is live, duplicated, or out of range.
+    LazyFreeAlias { dir: InodeNo, slot: u32 },
+    /// A directory-owned block not marked allocated in the data-area
+    /// bitmap (a lost bitmap write).
+    MetaBitmapHole { dir: InodeNo, block: u64 },
+    /// Two normal-mode inodes sharing one inode-table location.
+    InodeIndexCollision {
+        ino: InodeNo,
+        group: u64,
+        index: u64,
+    },
+    /// A dirent block shared by two directories.
+    DirentBlockOverlap { dir: InodeNo, block: u64 },
+}
+
+impl MetaFinding {
+    /// Stable rule slug (matches the historical `Inconsistency::rule`
+    /// strings where a rule predates the structured checker).
+    pub fn rule(&self) -> &'static str {
+        match self {
+            MetaFinding::ContentRunOverlap { .. } => "content-run-overlap",
+            MetaFinding::SlotOutOfContent { .. } => "slot-out-of-content",
+            MetaFinding::DegreeDrift { .. } => "degree-accounting",
+            MetaFinding::MapBlockOverlap { .. } => "map-block-overlap",
+            MetaFinding::DirtableMissing { .. } => "dirtable-missing",
+            MetaFinding::DirtableStale { .. } => "dirtable-stale",
+            MetaFinding::ChainBroken { .. } => "chain-broken",
+            MetaFinding::CorrelationDangling { .. } => "correlation-dangling",
+            MetaFinding::LazyFreeAlias { .. } => "lazy-free-alias",
+            MetaFinding::MetaBitmapHole { .. } => "meta-bitmap-hole",
+            MetaFinding::InodeIndexCollision { .. } => "inode-index-collision",
+            MetaFinding::DirentBlockOverlap { .. } => "dirent-block-overlap",
+        }
+    }
+
+    /// Human-readable details.
+    pub fn detail(&self) -> String {
+        match self {
+            MetaFinding::ContentRunOverlap { dir, block } => {
+                format!("block {block} owned twice (dir {dir})")
+            }
+            MetaFinding::SlotOutOfContent { dir, slot } => {
+                format!("dir {dir} slot {slot} beyond capacity")
+            }
+            MetaFinding::DegreeDrift {
+                dir,
+                recorded,
+                actual,
+            } => format!("dir {dir}: recorded {recorded} vs actual {actual}"),
+            MetaFinding::MapBlockOverlap { dir, block } => {
+                format!("mapping block {block} owned twice (dir {dir})")
+            }
+            MetaFinding::DirtableMissing { dir } => {
+                format!("dir {dir} not in the table")
+            }
+            MetaFinding::DirtableStale { id, ino } => {
+                format!("table entry {id:?} points at {ino}, which does not hold it")
+            }
+            MetaFinding::ChainBroken { dir } => {
+                format!("dir {dir}: parent chain cycles or dead-ends")
+            }
+            MetaFinding::CorrelationDangling { old, new } => {
+                format!("alias {old} -> {new}: target unresolvable")
+            }
+            MetaFinding::LazyFreeAlias { dir, slot } => {
+                format!("dir {dir}: free-list slot {slot} live, duplicated or out of range")
+            }
+            MetaFinding::MetaBitmapHole { dir, block } => {
+                format!("dir {dir}: owned block {block} not marked allocated")
+            }
+            MetaFinding::InodeIndexCollision { ino, group, index } => {
+                format!("group {group} index {index} used twice (ino {ino})")
+            }
+            MetaFinding::DirentBlockOverlap { dir, block } => {
+                format!("dirent block {block} shared (dir {dir})")
+            }
+        }
+    }
+
+    /// Downgrade to the flat representation `Mds::check()` reports.
+    pub fn to_inconsistency(&self) -> Inconsistency {
+        Inconsistency {
+            rule: self.rule(),
+            detail: self.detail(),
+        }
+    }
+}
+
+/// Full structured check of an embedded store. Pass the data area to also
+/// cross-check block ownership against the allocation bitmaps (the
+/// per-group leg `mif-fsck` parallelizes); without it only structural
+/// invariants are checked. Findings are deterministic: directories are
+/// visited in inode order.
+pub fn meta_findings_embedded(store: &EmbeddedStore, data: Option<&DataArea>) -> Vec<MetaFinding> {
     let mut out = Vec::new();
     let mut owned_blocks: HashSet<u64> = HashSet::new();
+    let mut snapshots = store.dir_snapshots();
+    snapshots.sort_unstable_by_key(|&(ino, _)| ino);
 
-    for (ino, snapshot) in store.dir_snapshots() {
+    // Reverse index for the directory-table cross-reference.
+    let by_id: HashMap<DirId, InodeNo> = snapshots.iter().map(|(ino, s)| (s.id, *ino)).collect();
+
+    for (ino, snapshot) in &snapshots {
+        let ino = *ino;
         // Content runs must be disjoint across the namespace.
         for &(start, len) in &snapshot.runs {
             for b in start..start + len {
                 if !owned_blocks.insert(b) {
-                    out.push(Inconsistency {
-                        rule: "content-run-overlap",
-                        detail: format!("block {b} owned twice (dir {ino})"),
-                    });
+                    out.push(MetaFinding::ContentRunOverlap { dir: ino, block: b });
+                } else if let Some(d) = data {
+                    if !d.is_allocated(b) {
+                        out.push(MetaFinding::MetaBitmapHole { dir: ino, block: b });
+                    }
                 }
             }
         }
         // Slots must lie inside the content capacity.
-        for &slot in &snapshot.live_slots {
+        let mut slots = snapshot.live_slots.clone();
+        slots.sort_unstable();
+        for &slot in &slots {
             if slot as u64 >= snapshot.capacity_slots {
-                out.push(Inconsistency {
-                    rule: "slot-out-of-content",
-                    detail: format!("dir {ino} slot {slot} beyond capacity"),
-                });
+                out.push(MetaFinding::SlotOutOfContent { dir: ino, slot });
             }
         }
         // Fragmentation degree bookkeeping must match the slots.
-        if snapshot.live_slots.is_empty() {
-            if snapshot.extents_total != 0 {
-                out.push(Inconsistency {
-                    rule: "degree-accounting",
-                    detail: format!(
-                        "dir {ino} empty but extents_total={}",
-                        snapshot.extents_total
-                    ),
-                });
-            }
-        } else if snapshot.extents_total != snapshot.extents_sum {
-            out.push(Inconsistency {
-                rule: "degree-accounting",
-                detail: format!(
-                    "dir {ino}: recorded {} vs actual {}",
-                    snapshot.extents_total, snapshot.extents_sum
-                ),
+        if snapshot.extents_total != snapshot.extents_sum {
+            out.push(MetaFinding::DegreeDrift {
+                dir: ino,
+                recorded: snapshot.extents_total,
+                actual: snapshot.extents_sum,
             });
         }
-        // Mapping blocks disjoint from everything else.
+        // Mapping blocks disjoint from everything else, and allocated.
         for &b in &snapshot.map_blocks {
             if !owned_blocks.insert(b) {
-                out.push(Inconsistency {
-                    rule: "map-block-overlap",
-                    detail: format!("mapping block {b} owned twice (dir {ino})"),
-                });
+                out.push(MetaFinding::MapBlockOverlap { dir: ino, block: b });
+            } else if let Some(d) = data {
+                if !d.is_allocated(b) {
+                    out.push(MetaFinding::MetaBitmapHole { dir: ino, block: b });
+                }
             }
         }
         // The directory table must know this directory.
         if ino != ROOT_INO && store.dirtable.lookup(snapshot.id).is_none() {
-            out.push(Inconsistency {
-                rule: "dirtable-missing",
-                detail: format!("dir {ino} (id {:?}) not in the table", snapshot.id),
-            });
+            out.push(MetaFinding::DirtableMissing { dir: ino });
+        }
+        // Lazy-free lists: disjoint from live slots, duplicate-free, and
+        // below the high-water mark.
+        let live: HashSet<u32> = snapshot.live_slots.iter().copied().collect();
+        let mut seen: HashSet<u32> = HashSet::new();
+        for &slot in snapshot.pending_free.iter().chain(&snapshot.free_slots) {
+            if live.contains(&slot) || !seen.insert(slot) || slot >= snapshot.next_slot {
+                out.push(MetaFinding::LazyFreeAlias { dir: ino, slot });
+            }
+        }
+    }
+
+    // Global cross-reference: every table entry must point back at the
+    // directory registered under it.
+    for (id, ino) in store.dirtable.entries() {
+        if by_id.get(&id) != Some(&ino) {
+            out.push(MetaFinding::DirtableStale { id, ino });
+        }
+    }
+    // Parent chains: acyclic and resolvable up to the root.
+    let table_len = store.dirtable.len();
+    for (ino, _) in &snapshots {
+        let mut cur = *ino;
+        let mut visited: HashSet<DirId> = HashSet::new();
+        let mut ok = false;
+        for _ in 0..=table_len {
+            if cur == ROOT_INO {
+                ok = true;
+                break;
+            }
+            let id = cur.dir_id();
+            if !visited.insert(id) {
+                break; // cycle
+            }
+            match store.dirtable.lookup(id) {
+                Some(parent) => cur = parent,
+                None => break, // dead end
+            }
+        }
+        if !ok {
+            out.push(MetaFinding::ChainBroken { dir: *ino });
+        }
+    }
+    // Rename-correlation aliases must be structurally resolvable.
+    for (old, new) in store.correlation.entries() {
+        let valid = new == ROOT_INO || store.dirtable.lookup(new.dir_id()).is_some();
+        if !valid {
+            out.push(MetaFinding::CorrelationDangling { old, new });
         }
     }
     out
 }
 
-/// Check a normal store; returns every violation found.
-pub fn check_normal(store: &NormalStore) -> Vec<Inconsistency> {
+/// Full structured check of a normal store (see
+/// [`meta_findings_embedded`] for the `data` parameter).
+pub fn meta_findings_normal(store: &NormalStore, data: Option<&DataArea>) -> Vec<MetaFinding> {
     let mut out = Vec::new();
 
     // Inode indexes unique per group.
     let mut per_group: HashSet<(u64, u64)> = HashSet::new();
-    for (ino, group, index) in store.inode_locations() {
+    let mut locations = store.inode_locations();
+    locations.sort_unstable();
+    for (ino, group, index) in locations {
         if !per_group.insert((group, index)) {
-            out.push(Inconsistency {
-                rule: "inode-index-collision",
-                detail: format!("group {group} index {index} used twice (ino {ino})"),
-            });
+            out.push(MetaFinding::InodeIndexCollision { ino, group, index });
         }
     }
 
-    // Dirent blocks disjoint across directories.
+    // Dirent blocks disjoint across directories, and marked allocated.
     let mut blocks: HashSet<u64> = HashSet::new();
-    for (ino, dirent_blocks) in store.dir_block_lists() {
+    let mut lists = store.dir_block_lists();
+    lists.sort_unstable();
+    for (ino, dirent_blocks) in lists {
         for b in dirent_blocks {
             if !blocks.insert(b) {
-                out.push(Inconsistency {
-                    rule: "dirent-block-overlap",
-                    detail: format!("dirent block {b} shared (dir {ino})"),
-                });
+                out.push(MetaFinding::DirentBlockOverlap { dir: ino, block: b });
+            } else if let Some(d) = data {
+                if !d.is_allocated(b) {
+                    out.push(MetaFinding::MetaBitmapHole { dir: ino, block: b });
+                }
             }
         }
     }
     out
+}
+
+/// Check an embedded store; returns every violation found. Thin adapter
+/// over [`meta_findings_embedded`] (structural checks only).
+pub fn check_embedded(store: &EmbeddedStore) -> Vec<Inconsistency> {
+    meta_findings_embedded(store, None)
+        .iter()
+        .map(MetaFinding::to_inconsistency)
+        .collect()
+}
+
+/// Check a normal store; returns every violation found. Thin adapter over
+/// [`meta_findings_normal`] (structural checks only).
+pub fn check_normal(store: &NormalStore) -> Vec<Inconsistency> {
+    meta_findings_normal(store, None)
+        .iter()
+        .map(MetaFinding::to_inconsistency)
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,6 +346,8 @@ mod tests {
         let sub = s.mkdir(&mut d, dir, "sub").0;
         s.rename(&mut d, dir, "f40", sub, "moved");
         assert_eq!(check_embedded(&s), vec![]);
+        // The bitmap cross-check finds nothing on a healthy store either.
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
     }
 
     #[test]
@@ -174,6 +363,7 @@ mod tests {
             s.unlink(&mut data, dir, &format!("f{i}"));
         }
         assert_eq!(check_normal(&s), vec![]);
+        assert_eq!(meta_findings_normal(&s, Some(&data)), vec![]);
     }
 
     #[test]
@@ -189,5 +379,88 @@ mod tests {
             }
         }
         assert_eq!(check_embedded(&s), vec![]);
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
+    }
+
+    #[test]
+    fn degree_drift_is_found_and_repaired() {
+        let (mut s, mut d) = embedded();
+        for i in 0..10 {
+            s.create(&mut d, ROOT_INO, &format!("f{i}"), 3);
+        }
+        let old = s.corrupt_degree_total(ROOT_INO, 999);
+        assert_eq!(old, 30);
+        let findings = meta_findings_embedded(&s, Some(&d));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, MetaFinding::DegreeDrift { recorded: 999, .. })));
+        assert!(s.repair_degree_total(ROOT_INO));
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
+        assert!(!s.repair_degree_total(ROOT_INO), "repair is idempotent");
+    }
+
+    #[test]
+    fn stale_dirtable_entry_is_found_and_repaired() {
+        let (mut s, mut d) = embedded();
+        let sub = s.mkdir(&mut d, ROOT_INO, "sub").0;
+        s.create(&mut d, sub, "x", 1);
+        // Re-point sub's table entry at a bogus inode.
+        s.dirtable
+            .update(sub.dir_id(), InodeNo::compose(sub.dir_id(), 999));
+        let findings = meta_findings_embedded(&s, Some(&d));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, MetaFinding::DirtableStale { .. })));
+        assert_eq!(s.rebuild_dirtable(), 1);
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
+        assert_eq!(s.rebuild_dirtable(), 0, "repair is idempotent");
+    }
+
+    #[test]
+    fn dangling_correlation_is_found_and_repaired() {
+        let (mut s, mut d) = embedded();
+        s.create(&mut d, ROOT_INO, "a", 1);
+        let bogus = InodeNo::compose(DirId(9_999), 5);
+        s.correlation.record(InodeNo::compose(DirId(0), 0), bogus);
+        let findings = meta_findings_embedded(&s, Some(&d));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, MetaFinding::CorrelationDangling { .. })));
+        assert_eq!(s.drop_dangling_correlations(), 1);
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
+        assert_eq!(s.drop_dangling_correlations(), 0, "repair is idempotent");
+    }
+
+    #[test]
+    fn lazy_free_alias_is_found_and_repaired() {
+        let (mut s, mut d) = embedded();
+        for i in 0..5 {
+            s.create(&mut d, ROOT_INO, &format!("f{i}"), 1);
+        }
+        let slot = s.corrupt_alias_free_slot(ROOT_INO).unwrap();
+        let findings = meta_findings_embedded(&s, Some(&d));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, MetaFinding::LazyFreeAlias { slot: sl, .. } if *sl == slot)));
+        assert_eq!(s.repair_free_slot_aliases(ROOT_INO), 1);
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
+        assert_eq!(s.repair_free_slot_aliases(ROOT_INO), 0, "idempotent");
+    }
+
+    #[test]
+    fn meta_bitmap_hole_is_found() {
+        let (mut s, mut d) = embedded();
+        s.create(&mut d, ROOT_INO, "a", 1);
+        let run = s.runs_of(ROOT_INO)[0];
+        assert!(d.force_bit(run.0, false));
+        let findings = meta_findings_embedded(&s, Some(&d));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, MetaFinding::MetaBitmapHole { block, .. } if *block == run.0)));
+        // Structural-only checking does not see bitmap damage.
+        assert_eq!(check_embedded(&s), vec![]);
+        // Repair: re-set the bit.
+        assert!(d.force_bit(run.0, true));
+        assert_eq!(meta_findings_embedded(&s, Some(&d)), vec![]);
     }
 }

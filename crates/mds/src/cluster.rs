@@ -99,7 +99,9 @@ impl MdsCluster {
     /// Build a cluster of `n` servers in the given directory mode.
     pub fn new(n: usize, mode: DirMode, distribution: Distribution) -> Self {
         assert!(n > 0);
-        let servers = (0..n).map(|_| Mds::new(MdsConfig::with_mode(mode))).collect();
+        let servers = (0..n)
+            .map(|_| Mds::new(MdsConfig::with_mode(mode)))
+            .collect();
         let mut c = Self {
             servers,
             distribution,

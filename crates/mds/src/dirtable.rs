@@ -73,6 +73,16 @@ impl DirTable {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Every `(id, ino)` pair in the table, in id order. Checker
+    /// introspection: the whole-filesystem checker cross-references these
+    /// against the live directory set.
+    pub fn entries(&self) -> impl Iterator<Item = (DirId, InodeNo)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (DirId(i as u32), e.ino))
+    }
 }
 
 /// Rename correlation (§IV-B): embedded-mode rename changes the externally
@@ -117,6 +127,20 @@ impl RenameCorrelation {
 
     pub fn is_empty(&self) -> bool {
         self.old_to_new.is_empty()
+    }
+
+    /// Every `(old, new)` pair, in deterministic (sorted) order. Checker
+    /// introspection for the alias-consistency pass.
+    pub fn entries(&self) -> Vec<(InodeNo, InodeNo)> {
+        let mut out: Vec<_> = self.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
+        out.sort_unstable_by_key(|&(o, _)| o);
+        out
+    }
+
+    /// Drop one correlation (fsck repair of a dangling alias). Returns
+    /// whether the entry existed.
+    pub fn remove(&mut self, old: InodeNo) -> bool {
+        self.old_to_new.remove(&old).is_some()
     }
 }
 

@@ -119,7 +119,9 @@ impl EmbDir {
     fn used_blocks(&self) -> Vec<u64> {
         let hi = self.next_slot as u64;
         let nblocks = hi.div_ceil(EMB_ENTRIES_PER_BLOCK);
-        (0..nblocks).map(|i| self.block_of((i * EMB_ENTRIES_PER_BLOCK) as u32)).collect()
+        (0..nblocks)
+            .map(|i| self.block_of((i * EMB_ENTRIES_PER_BLOCK) as u32))
+            .collect()
     }
 }
 
@@ -134,6 +136,12 @@ pub struct DirSnapshot {
     pub extents_total: u64,
     pub extents_sum: u64,
     pub map_blocks: Vec<u64>,
+    /// Slots freed but not yet reclaimed (lazy-free batch in flight).
+    pub pending_free: Vec<u32>,
+    /// Slots reclaimed by a lazy-free flush, available for reuse.
+    pub free_slots: Vec<u32>,
+    /// High-water slot mark: every live or freed slot is below this.
+    pub next_slot: u32,
 }
 
 /// The embedded-directory metadata store.
@@ -579,7 +587,8 @@ impl EmbeddedStore {
         let Some(parent_ino) = self.dirtable.lookup(id) else {
             return (None, eff);
         };
-        eff.reads.push(ReadSet::raw(self.layout.dirtable_block(id.0)));
+        eff.reads
+            .push(ReadSet::raw(self.layout.dirtable_block(id.0)));
         let Some(dir) = self.dirs.get(&parent_ino) else {
             return (None, eff);
         };
@@ -592,9 +601,14 @@ impl EmbeddedStore {
     }
 
     /// A consistency snapshot of every directory (drives the fsck-style
-    /// checker in [`crate::check`]).
+    /// checker in [`crate::check`]). The snapshot is canonical — sorted by
+    /// inode number, with sorted slot and block lists — so anything
+    /// derived from it (checker findings, corruption-injection victim
+    /// choices) is identical across processes despite the `HashMap`
+    /// storage underneath.
     pub fn dir_snapshots(&self) -> Vec<(InodeNo, DirSnapshot)> {
-        self.dirs
+        let mut snaps: Vec<(InodeNo, DirSnapshot)> = self
+            .dirs
             .iter()
             .map(|(&ino, d)| {
                 let mut map_blocks: Vec<u64> = d
@@ -607,18 +621,26 @@ impl EmbeddedStore {
                     let from = if i == 0 { d.map_pool_used } else { 0 };
                     map_blocks.extend(start + from..start + len);
                 }
+                map_blocks.sort_unstable();
+                let mut live_slots: Vec<u32> = d.slots.keys().copied().collect();
+                live_slots.sort_unstable();
                 let snapshot = DirSnapshot {
                     id: d.id,
                     runs: d.runs.clone(),
-                    live_slots: d.slots.keys().copied().collect(),
+                    live_slots,
                     capacity_slots: d.capacity(),
                     extents_total: d.extents_total,
                     extents_sum: d.slots.values().map(|f| f.extents as u64).sum(),
                     map_blocks,
+                    pending_free: d.pending_free.clone(),
+                    free_slots: d.free_slots.clone(),
+                    next_slot: d.next_slot,
                 };
                 (ino, snapshot)
             })
-            .collect()
+            .collect();
+        snaps.sort_unstable_by_key(|&(ino, _)| ino);
+        snaps
     }
 
     /// Names of all entries in a directory (in-memory index).
@@ -639,6 +661,86 @@ impl EmbeddedStore {
     /// Content runs of a directory (diagnostics / tests).
     pub fn runs_of(&self, dir: InodeNo) -> Vec<(u64, u64)> {
         self.dir(dir).runs.clone()
+    }
+
+    // ---- corruption hooks and fsck repairs -------------------------------
+    //
+    // The hooks below model on-disk metadata damage (a flipped counter, a
+    // stale free-list record); the repair_* routines are what `mif-fsck`'s
+    // pass 3 drives to put the store back into an invariant-clean state.
+    // Repairs recompute from primary structures (the live slot map), so
+    // running one twice is a no-op.
+
+    /// Corruption hook: overwrite a directory's recorded extent total (the
+    /// numerator of its fragmentation degree). Returns the old value.
+    pub fn corrupt_degree_total(&mut self, dir: InodeNo, total: u64) -> u64 {
+        let d = self.dirs.get_mut(&dir).expect("directory exists");
+        std::mem::replace(&mut d.extents_total, total)
+    }
+
+    /// Corruption hook: push a *live* slot onto the directory's reclaimed
+    /// free list, as if a stale lazy-free record survived a crash. Returns
+    /// the aliased slot, or `None` when the directory has no live slots.
+    pub fn corrupt_alias_free_slot(&mut self, dir: InodeNo) -> Option<u32> {
+        let d = self.dirs.get_mut(&dir).expect("directory exists");
+        let slot = d.slots.keys().copied().min()?;
+        d.free_slots.push(slot);
+        Some(slot)
+    }
+
+    /// Repair: recompute a directory's extent total from its live slots.
+    /// Returns whether the stored value changed.
+    pub fn repair_degree_total(&mut self, dir: InodeNo) -> bool {
+        let d = self.dirs.get_mut(&dir).expect("directory exists");
+        let actual: u64 = d.slots.values().map(|f| f.extents as u64).sum();
+        std::mem::replace(&mut d.extents_total, actual) != actual
+    }
+
+    /// Repair: drop every free-list entry (pending or reclaimed) that
+    /// refers to a live slot, and deduplicate the lists. Returns how many
+    /// entries were removed.
+    pub fn repair_free_slot_aliases(&mut self, dir: InodeNo) -> usize {
+        let d = self.dirs.get_mut(&dir).expect("directory exists");
+        let before = d.pending_free.len() + d.free_slots.len();
+        let live: std::collections::HashSet<u32> = d.slots.keys().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        d.pending_free
+            .retain(|s| !live.contains(s) && seen.insert(*s));
+        d.free_slots
+            .retain(|s| !live.contains(s) && seen.insert(*s));
+        before - (d.pending_free.len() + d.free_slots.len())
+    }
+
+    /// Repair: re-point every directory-table entry at the directory that
+    /// actually holds that identification. Returns how many entries were
+    /// fixed. (The live `dirs` map is primary; the table is a derived
+    /// index, exactly like an ext4 directory htree rebuild.)
+    pub fn rebuild_dirtable(&mut self) -> usize {
+        let mut live: Vec<(DirId, InodeNo)> =
+            self.dirs.iter().map(|(&ino, d)| (d.id, ino)).collect();
+        live.sort_unstable_by_key(|&(id, _)| id);
+        let mut fixed = 0;
+        for (id, ino) in live {
+            if self.dirtable.lookup(id) != Some(ino) {
+                self.dirtable.update(id, ino);
+                fixed += 1;
+            }
+        }
+        fixed
+    }
+
+    /// Repair: drop rename-correlation entries whose target inode number
+    /// cannot be structurally valid (its directory identification is not
+    /// in the table). Returns how many aliases were dropped.
+    pub fn drop_dangling_correlations(&mut self) -> usize {
+        let mut dropped = 0;
+        for (old, new) in self.correlation.entries() {
+            let valid = new == ROOT_INO || self.dirtable.lookup(new.dir_id()).is_some();
+            if !valid && self.correlation.remove(old) {
+                dropped += 1;
+            }
+        }
+        dropped
     }
 }
 
@@ -792,11 +894,8 @@ mod tests {
         let (f, _) = s.create(&mut d, dir, "x", 1);
         let (resolved, eff) = s.resolve_inode(f);
         assert_eq!(resolved, Some(f));
-        assert!(eff
-            .reads
-            .iter()
-            .any(|r| r.blocks[0].0 >= l.dirtable_base()
-                && r.blocks[0].0 < l.dirtable_base() + l.dirtable_blocks));
+        assert!(eff.reads.iter().any(|r| r.blocks[0].0 >= l.dirtable_base()
+            && r.blocks[0].0 < l.dirtable_base() + l.dirtable_blocks));
     }
 
     #[test]

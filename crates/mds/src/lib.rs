@@ -58,7 +58,10 @@ pub mod replay;
 pub mod store;
 pub mod wal;
 
-pub use check::{check_embedded, check_normal, Inconsistency};
+pub use check::{
+    check_embedded, check_normal, meta_findings_embedded, meta_findings_normal, Inconsistency,
+    MetaFinding,
+};
 pub use cluster::{ClusterStats, Distribution, MdsCluster};
 pub use dirtable::{DirTable, RenameCorrelation};
 pub use embedded::EmbeddedStore;

@@ -13,8 +13,8 @@
 
 use crate::embedded::EmbeddedStore;
 use crate::ids::InodeNo;
-use crate::layout::MdsLayout;
 use crate::journal::Journal;
+use crate::layout::MdsLayout;
 use crate::normal::NormalStore;
 use crate::store::{DataArea, OpEffect};
 use mif_simdisk::{
@@ -185,7 +185,10 @@ impl Mds {
         // when hot, real I/O on an aged search).
         let bitmaps = self.data.take_touched_bitmaps();
         if !bitmaps.is_empty() {
-            let batch = bitmaps.into_iter().map(|b| BlockRequest::read(b, 1)).collect();
+            let batch = bitmaps
+                .into_iter()
+                .map(|b| BlockRequest::read(b, 1))
+                .collect();
             self.disk.try_submit_batch_raw(batch)?;
         }
         for set in &eff.reads {
@@ -568,11 +571,21 @@ impl Mds {
         self.disk.drop_caches();
     }
 
-    /// Run the fsck-style consistency checker over the live store.
+    /// Run the fsck-style consistency checker over the live store,
+    /// including the data-area bitmap cross-check.
     pub fn check(&self) -> Vec<crate::check::Inconsistency> {
+        self.meta_findings()
+            .iter()
+            .map(crate::check::MetaFinding::to_inconsistency)
+            .collect()
+    }
+
+    /// Structured findings over the live store (the checker `mif-fsck`
+    /// folds in as its metadata leg).
+    pub fn meta_findings(&self) -> Vec<crate::check::MetaFinding> {
         match &self.store {
-            Store::Normal(s) => crate::check::check_normal(s),
-            Store::Embedded(s) => crate::check::check_embedded(s),
+            Store::Normal(s) => crate::check::meta_findings_normal(s, Some(&self.data)),
+            Store::Embedded(s) => crate::check::meta_findings_embedded(s, Some(&self.data)),
         }
     }
 
@@ -588,6 +601,30 @@ impl Mds {
     pub fn embedded(&self) -> Option<&EmbeddedStore> {
         match &self.store {
             Store::Embedded(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The metadata data area (checker introspection: bitmap snapshots).
+    pub fn data(&self) -> &DataArea {
+        &self.data
+    }
+
+    /// Mutable access to the embedded store together with the data area,
+    /// for fsck corruption injection and repair. `None` outside embedded
+    /// mode.
+    pub fn embedded_mut(&mut self) -> Option<(&mut EmbeddedStore, &mut DataArea)> {
+        match &mut self.store {
+            Store::Embedded(s) => Some((s, &mut self.data)),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the normal store together with the data area
+    /// (normal/htree modes), for fsck corruption injection and repair.
+    pub fn normal_mut(&mut self) -> Option<(&mut NormalStore, &mut DataArea)> {
+        match &mut self.store {
+            Store::Normal(s) => Some((s, &mut self.data)),
             _ => None,
         }
     }

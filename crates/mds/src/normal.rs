@@ -130,7 +130,11 @@ impl NormalStore {
     /// one hashed bucket.
     fn lookup_reads(&self, dir: &Dir, name: &str) -> Vec<ReadSet> {
         if let Some(h) = &dir.htree {
-            return h.lookup_blocks(name).iter().map(|&b| ReadSet::raw(b)).collect();
+            return h
+                .lookup_blocks(name)
+                .iter()
+                .map(|&b| ReadSet::raw(b))
+                .collect();
         }
         let upto = match dir.entries.get(name) {
             Some(&(_, blk)) => dir
@@ -222,7 +226,10 @@ impl NormalStore {
         let mut map_blocks = Vec::new();
         if extents > INLINE_EXTENTS {
             let need = (extents - INLINE_EXTENTS).div_ceil(EXTENTS_PER_MAP_BLOCK) as u64;
-            let goal = self.dirs.get(&parent).and_then(|d| d.blocks.last().map(|&b| b + 1));
+            let goal = self
+                .dirs
+                .get(&parent)
+                .and_then(|d| d.blocks.last().map(|&b| b + 1));
             for run in data.alloc_chunks(group, goal, need) {
                 for b in run.0..run.0 + run.1 {
                     map_blocks.push(b);
@@ -368,7 +375,9 @@ impl NormalStore {
 
         let inode = self.inodes.remove(&ino).expect("inode exists");
         eff.dirty.push(self.layout.inode_bitmap(inode.group));
-        self.groups[inode.group as usize].free_list.push(inode.index);
+        self.groups[inode.group as usize]
+            .free_list
+            .push(inode.index);
         // Indirect mapping blocks are freed with the file.
         let mut i = 0;
         while i < inode.map_blocks.len() {
@@ -514,8 +523,10 @@ mod tests {
         let (mut s, mut d, l) = setup(false);
         let (_, eff) = s.create(&mut d, ROOT_INO, "a", 1);
         assert!(eff.dirty.contains(&l.inode_bitmap(0)));
-        assert!(eff.dirty.iter().any(|&b| b >= l.itable_block(0, 0)
-            && b < l.itable_block(0, 0) + l.itable_blocks));
+        assert!(eff
+            .dirty
+            .iter()
+            .any(|&b| b >= l.itable_block(0, 0) && b < l.itable_block(0, 0) + l.itable_blocks));
         assert!(eff.dirty.iter().any(|&b| b >= l.data_base(0)));
         assert_eq!(eff.journal_blocks, 1);
     }

@@ -122,30 +122,66 @@ mod tests {
             apply(mds, &op);
             log.record(op);
         };
-        run(&mut mds, &mut log, LoggedOp::Mkdir { parent: ROOT_INO, name: "a".into() });
-        run(&mut mds, &mut log, LoggedOp::Mkdir { parent: ROOT_INO, name: "b".into() });
+        run(
+            &mut mds,
+            &mut log,
+            LoggedOp::Mkdir {
+                parent: ROOT_INO,
+                name: "a".into(),
+            },
+        );
+        run(
+            &mut mds,
+            &mut log,
+            LoggedOp::Mkdir {
+                parent: ROOT_INO,
+                name: "b".into(),
+            },
+        );
         let a = mds.lookup(ROOT_INO, "a").expect("a exists");
         let b = mds.lookup(ROOT_INO, "b").expect("b exists");
         for i in 0..50 {
-            run(&mut mds, &mut log, LoggedOp::Create {
-                parent: a,
-                name: format!("f{i}"),
-                extents: (i % 7) + 1,
-            });
+            run(
+                &mut mds,
+                &mut log,
+                LoggedOp::Create {
+                    parent: a,
+                    name: format!("f{i}"),
+                    extents: (i % 7) + 1,
+                },
+            );
         }
         for i in 0..20 {
-            run(&mut mds, &mut log, LoggedOp::Utime { parent: a, name: format!("f{i}") });
+            run(
+                &mut mds,
+                &mut log,
+                LoggedOp::Utime {
+                    parent: a,
+                    name: format!("f{i}"),
+                },
+            );
         }
         for i in 0..10 {
-            run(&mut mds, &mut log, LoggedOp::Unlink { parent: a, name: format!("f{i}") });
+            run(
+                &mut mds,
+                &mut log,
+                LoggedOp::Unlink {
+                    parent: a,
+                    name: format!("f{i}"),
+                },
+            );
         }
         for i in 10..15 {
-            run(&mut mds, &mut log, LoggedOp::Rename {
-                src: a,
-                name: format!("f{i}"),
-                dst: b,
-                new_name: format!("g{i}"),
-            });
+            run(
+                &mut mds,
+                &mut log,
+                LoggedOp::Rename {
+                    src: a,
+                    name: format!("f{i}"),
+                    dst: b,
+                    new_name: format!("g{i}"),
+                },
+            );
         }
         (mds, log)
     }
@@ -175,7 +211,10 @@ mod tests {
                     "{mode}: renamed ino differs"
                 );
             }
-            assert!(recovered.check().is_empty(), "{mode}: recovered state consistent");
+            assert!(
+                recovered.check().is_empty(),
+                "{mode}: recovered state consistent"
+            );
         }
     }
 

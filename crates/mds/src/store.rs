@@ -198,6 +198,36 @@ impl DataArea {
     pub fn group_of(&self, abs: u64) -> u64 {
         self.to_local(abs).0
     }
+
+    /// The layout this data area was built over (checker introspection).
+    pub fn layout(&self) -> &MdsLayout {
+        &self.layout
+    }
+
+    /// Point-in-time copy of one group's bitmap, for lock-free scanning by
+    /// the whole-filesystem checker.
+    pub fn snapshot_group(&self, group: u64) -> BlockBitmap {
+        self.bitmaps[group as usize].clone()
+    }
+
+    /// Is the absolute data block `abs` marked allocated?
+    pub fn is_allocated(&self, abs: u64) -> bool {
+        let (g, local) = self.to_local(abs);
+        self.bitmaps[g as usize].is_allocated(local)
+    }
+
+    /// Force the bitmap bit for absolute block `abs` to `set`, bypassing
+    /// the double-alloc/double-free guards. Returns whether the bit
+    /// changed. Corruption injection and fsck repair only.
+    pub fn force_bit(&mut self, abs: u64, set: bool) -> bool {
+        let (g, local) = self.to_local(abs);
+        let bm = &mut self.bitmaps[g as usize];
+        if set {
+            bm.force_set(local)
+        } else {
+            bm.force_clear(local)
+        }
+    }
 }
 
 #[cfg(test)]

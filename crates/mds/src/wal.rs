@@ -42,7 +42,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 fn push_name(buf: &mut Vec<u8>, name: &str) {
-    assert!(name.len() <= u8::MAX as usize, "name too long for WAL record");
+    assert!(
+        name.len() <= u8::MAX as usize,
+        "name too long for WAL record"
+    );
     buf.push(name.len() as u8);
     buf.extend_from_slice(name.as_bytes());
 }

@@ -1,8 +1,8 @@
 //! Seeded, deterministic fault injection for the simulated disk.
 //!
 //! A [`FaultPlan`] describes *what can go wrong* (IO-error rate, torn-write
-//! rate, latency-spike rate and magnitude, an optional power cut after N
-//! write requests) and carries the `u64` seed that makes every decision
+//! rate, corrupt-read rate, latency-spike rate and magnitude, an optional
+//! power cut after N write requests) and carries the `u64` seed that makes every decision
 //! replayable: the same plan over the same request sequence injects the
 //! same faults in the same places. The [`FaultInjector`] consumes a fixed
 //! number of RNG draws per request — three, regardless of which rates are
@@ -20,12 +20,43 @@ use crate::{BlockNo, Nanos};
 use mif_rng::SmallRng;
 use std::fmt;
 
+/// How a corrupt block read manifested on the media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// A few bits flipped — checksum mismatch, content garbage.
+    BitFlip,
+    /// The block came back all zeroes (dropped write, unmapped sector).
+    ZeroFill,
+    /// The block holds another sector's content (misdirected write).
+    SwappedSector,
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::BitFlip => write!(f, "bit-flip"),
+            CorruptKind::ZeroFill => write!(f, "zero-fill"),
+            CorruptKind::SwappedSector => write!(f, "swapped-sector"),
+        }
+    }
+}
+
 /// What went wrong with a submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoFault {
     /// The device reported a hard error; nothing from this request (or the
     /// rest of its batch) reached the media.
     IoError { start: BlockNo, len: u64, op: IoOp },
+    /// A read returned damaged content: the device serviced the request
+    /// but `block` failed its integrity check. Scrubbers treat this as a
+    /// media-level signal to re-verify the structures mapped over `block`.
+    CorruptRead {
+        start: BlockNo,
+        len: u64,
+        /// The damaged block within `[start, start+len)`.
+        block: BlockNo,
+        kind: CorruptKind,
+    },
     /// A write was interrupted mid-transfer: the first `persisted` of
     /// `requested` blocks reached the media, the tail did not.
     TornWrite {
@@ -45,6 +76,12 @@ impl fmt::Display for IoFault {
             IoFault::IoError { start, len, op } => {
                 write!(f, "io error: {op:?} [{start}, +{len})")
             }
+            IoFault::CorruptRead {
+                start,
+                len,
+                block,
+                kind,
+            } => write!(f, "corrupt read ({kind}) at {block} in [{start}, +{len})"),
             IoFault::TornWrite {
                 start,
                 persisted,
@@ -69,6 +106,10 @@ pub struct FaultPlan {
     pub io_error_rate: f64,
     /// Per-write-request probability of persisting only a prefix.
     pub torn_write_rate: f64,
+    /// Per-read-request probability of the content coming back damaged
+    /// (bit-flip / zero-fill / swapped sector). The "corrupt_block" fault
+    /// class: the device services the read but integrity checking fails.
+    pub corrupt_read_rate: f64,
     /// Per-request probability of a service-time spike.
     pub latency_spike_rate: f64,
     /// Extra service time charged by one spike.
@@ -85,6 +126,7 @@ impl FaultPlan {
             seed,
             io_error_rate: 0.0,
             torn_write_rate: 0.0,
+            corrupt_read_rate: 0.0,
             latency_spike_rate: 0.0,
             latency_spike_ns: 0,
             power_cut_after_writes: None,
@@ -96,17 +138,27 @@ impl FaultPlan {
     /// time) a power cut within the first couple hundred writes.
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x00FA_017F_A017);
+        // Field draws happen in declaration order of the original plan;
+        // the corrupt-read draw was appended *after* them, so plans built
+        // by older seeds keep every other field value unchanged.
+        let io_error_rate = rng.gen::<f64>() * 0.02;
+        let torn_write_rate = rng.gen::<f64>() * 0.02;
+        let latency_spike_rate = rng.gen::<f64>() * 0.05;
+        let latency_spike_ns = rng.gen_range(100_000u64..20_000_000);
+        let power_cut_after_writes = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1u64..256))
+        } else {
+            None
+        };
+        let corrupt_read_rate = rng.gen::<f64>() * 0.02;
         Self {
             seed,
-            io_error_rate: rng.gen::<f64>() * 0.02,
-            torn_write_rate: rng.gen::<f64>() * 0.02,
-            latency_spike_rate: rng.gen::<f64>() * 0.05,
-            latency_spike_ns: rng.gen_range(100_000u64..20_000_000),
-            power_cut_after_writes: if rng.gen_bool(0.5) {
-                Some(rng.gen_range(1u64..256))
-            } else {
-                None
-            },
+            io_error_rate,
+            torn_write_rate,
+            corrupt_read_rate,
+            latency_spike_rate,
+            latency_spike_ns,
+            power_cut_after_writes,
         }
     }
 
@@ -119,6 +171,12 @@ impl FaultPlan {
     /// Builder-style: set the torn-write rate.
     pub fn with_torn_writes(mut self, rate: f64) -> Self {
         self.torn_write_rate = rate;
+        self
+    }
+
+    /// Builder-style: set the corrupt-read rate.
+    pub fn with_corrupt_reads(mut self, rate: f64) -> Self {
+        self.corrupt_read_rate = rate;
         self
     }
 
@@ -141,6 +199,7 @@ impl FaultPlan {
 pub struct FaultStats {
     pub io_errors: u64,
     pub torn_writes: u64,
+    pub corrupt_reads: u64,
     pub latency_spikes: u64,
     pub spike_ns_total: Nanos,
     pub power_cuts: u64,
@@ -243,6 +302,24 @@ impl FaultInjector {
             let persisted = tear_len_draw % req.len.max(1);
             return FaultDecision::Tear { persisted };
         }
+        // Reads reuse the tear draws (writes never corrupt-read, reads
+        // never tear), so this class fits inside the same four-draw budget
+        // and cannot shift where any other fault kind lands.
+        if req.op == IoOp::Read && tear_draw < self.plan.corrupt_read_rate {
+            self.stats.corrupt_reads += 1;
+            let block = req.start + tear_len_draw % req.len.max(1);
+            let kind = match tear_len_draw / req.len.max(1) % 3 {
+                0 => CorruptKind::BitFlip,
+                1 => CorruptKind::ZeroFill,
+                _ => CorruptKind::SwappedSector,
+            };
+            return FaultDecision::Fail(IoFault::CorruptRead {
+                start: req.start,
+                len: req.len,
+                block,
+                kind,
+            });
+        }
         if spike_draw < self.plan.latency_spike_rate {
             self.stats.latency_spikes += 1;
             self.stats.spike_ns_total += self.plan.latency_spike_ns;
@@ -322,6 +399,68 @@ mod tests {
             match inj.decide(&w(i)) {
                 FaultDecision::Tear { persisted } => assert!(persisted < 8),
                 other => panic!("expected tear, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_reads_fire_only_on_reads() {
+        let mut inj = FaultInjector::new(FaultPlan::none(21).with_corrupt_reads(1.0));
+        for i in 0..50 {
+            assert_eq!(inj.decide(&w(i)), FaultDecision::Allow, "write {i}");
+        }
+        let r = BlockRequest::read(40, 8);
+        match inj.decide(&r) {
+            FaultDecision::Fail(IoFault::CorruptRead {
+                start, len, block, ..
+            }) => {
+                assert_eq!((start, len), (40, 8));
+                assert!((40..48).contains(&block));
+            }
+            other => panic!("expected corrupt read, got {other:?}"),
+        }
+        assert_eq!(inj.stats().corrupt_reads, 1);
+    }
+
+    #[test]
+    fn corrupt_reads_cover_every_kind_deterministically() {
+        let plan = FaultPlan::none(5).with_corrupt_reads(1.0);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let mut kinds = std::collections::HashSet::new();
+        for i in 0..100 {
+            let da = a.decide(&BlockRequest::read(i * 8, 8));
+            assert_eq!(da, b.decide(&BlockRequest::read(i * 8, 8)), "read {i}");
+            if let FaultDecision::Fail(IoFault::CorruptRead { kind, .. }) = da {
+                kinds.insert(format!("{kind}"));
+            }
+        }
+        assert_eq!(kinds.len(), 3, "all three corruption kinds appear");
+    }
+
+    #[test]
+    fn corrupt_rate_does_not_shift_other_fault_sites() {
+        // Same stream of mixed reads/writes under (a) errors only and
+        // (b) errors + certain corruption: io-error sites must coincide,
+        // and write decisions must be bit-identical.
+        let base = FaultPlan::none(77).with_io_errors(0.05);
+        let noisy = base.clone().with_corrupt_reads(1.0);
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(noisy);
+        for i in 0..1000 {
+            let req = if i % 2 == 0 {
+                BlockRequest::read(i, 4)
+            } else {
+                w(i)
+            };
+            let da = a.decide(&req);
+            let db = b.decide(&req);
+            if req.op == IoOp::Write {
+                assert_eq!(da, db, "write {i}");
+            } else {
+                let ea = matches!(da, FaultDecision::Fail(IoFault::IoError { .. }));
+                let eb = matches!(db, FaultDecision::Fail(IoFault::IoError { .. }));
+                assert_eq!(ea, eb, "read {i}: io-error site moved");
             }
         }
     }

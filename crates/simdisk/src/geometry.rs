@@ -48,8 +48,8 @@ impl Default for DiskGeometry {
             block_size: 4096,
             blocks: 16 * 1024 * 1024,
             cylinders: 100_000,
-            settle_ns: 800_000,               // 0.8 ms
-            seek_ns_per_sqrt_cyl: 45_000.0,   // ~9 ms average seek
+            settle_ns: 800_000,             // 0.8 ms
+            seek_ns_per_sqrt_cyl: 45_000.0, // ~9 ms average seek
             rpm: 7200,
             media_bytes_per_sec: 170 * 1024 * 1024,
             zbr_inner_rate: 1.0,
@@ -228,7 +228,10 @@ mod tests {
         assert!((inner as f64 / outer as f64) > 1.8);
         // Disabled zoning is exactly uniform.
         g.zbr_inner_rate = 1.0;
-        assert_eq!(g.transfer_ns_at(0, 256), g.transfer_ns_at(g.blocks - 512, 256));
+        assert_eq!(
+            g.transfer_ns_at(0, 256),
+            g.transfer_ns_at(g.blocks - 512, 256)
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use array::DiskArray;
 pub use cache::BlockCache;
 pub use disk::Disk;
 pub use events::{DiskEvent, EventRecorder};
-pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats, IoFault};
+pub use fault::{CorruptKind, FaultDecision, FaultInjector, FaultPlan, FaultStats, IoFault};
 pub use geometry::DiskGeometry;
 pub use latency::LatencyHistogram;
 pub use readahead::Readahead;

@@ -10,8 +10,8 @@
 
 use mif_alloc::StreamId;
 use mif_core::{FileSystem, FsConfig};
-use mif_simdisk::{mib_per_sec, Nanos};
 use mif_rng::SmallRng;
+use mif_simdisk::{mib_per_sec, Nanos};
 
 /// Parameters of one run.
 #[derive(Debug, Clone)]
@@ -95,8 +95,7 @@ pub fn run(config: FsConfig, params: &AbaqusParams) -> AbaqusResult {
                 let span = frontier[target];
                 let len = params.read_blocks.min(span);
                 let off = target as u64 * params.region_blocks
-                    + rng.gen_range(0..=(span - len) / params.write_blocks)
-                        * params.write_blocks;
+                    + rng.gen_range(0..=(span - len) / params.write_blocks) * params.write_blocks;
                 fs.read(file, s, off, len);
                 bytes += len * 4096;
             }

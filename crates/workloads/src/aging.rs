@@ -9,8 +9,8 @@
 //! scans touch scattered blocks.
 
 use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, MdsLayout, ROOT_INO};
-use mif_simdisk::Nanos;
 use mif_rng::SmallRng;
+use mif_simdisk::Nanos;
 
 /// Parameters of one aging run.
 #[derive(Debug, Clone)]

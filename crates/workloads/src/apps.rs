@@ -9,8 +9,8 @@
 //! improvement of only 4%").
 
 use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, ROOT_INO};
-use mif_simdisk::Nanos;
 use mif_rng::SmallRng;
+use mif_simdisk::Nanos;
 
 /// Which application trace to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -14,8 +14,8 @@
 
 use mif_alloc::StreamId;
 use mif_core::{FileSystem, FsConfig, OpenFile};
-use mif_simdisk::{mib_per_sec, Nanos};
 use mif_rng::SmallRng;
+use mif_simdisk::{mib_per_sec, Nanos};
 
 /// File model under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -223,9 +223,8 @@ mod tests {
         // reduction is smallest for delete).
         let n = run(DirMode::Normal, &small());
         let e = run(DirMode::Embedded, &small());
-        let prop = |p: Phase| {
-            e.phase(p).disk_accesses as f64 / n.phase(p).disk_accesses.max(1) as f64
-        };
+        let prop =
+            |p: Phase| e.phase(p).disk_accesses as f64 / n.phase(p).disk_accesses.max(1) as f64;
         let delete = prop(Phase::Delete);
         let create = prop(Phase::Create);
         assert!(

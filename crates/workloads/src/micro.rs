@@ -14,8 +14,8 @@
 
 use mif_alloc::StreamId;
 use mif_core::{FileSystem, FsConfig};
-use mif_simdisk::{mib_per_sec, Nanos};
 use mif_rng::SmallRng;
+use mif_simdisk::{mib_per_sec, Nanos};
 
 /// Parameters of one micro-benchmark run.
 #[derive(Debug, Clone)]

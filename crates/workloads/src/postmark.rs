@@ -9,8 +9,8 @@
 //! streaming model.
 
 use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, ROOT_INO};
-use mif_simdisk::Nanos;
 use mif_rng::SmallRng;
+use mif_simdisk::Nanos;
 
 /// Parameters of one PostMark run.
 #[derive(Debug, Clone)]

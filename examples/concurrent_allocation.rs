@@ -56,10 +56,7 @@ fn main() {
     // Verify: full coverage, no overlaps.
     let total: u64 = all.iter().map(|&(_, l)| l).sum();
     all.sort_unstable();
-    let overlaps = all
-        .windows(2)
-        .filter(|w| w[0].0 + w[0].1 > w[1].0)
-        .count();
+    let overlaps = all.windows(2).filter(|w| w[0].0 + w[0].1 > w[1].0).count();
     // Contiguity: coalesce adjacent allocations, then ask how few physical
     // runs cover the whole workload.
     let mut coalesced: Vec<(u64, u64)> = Vec::new();

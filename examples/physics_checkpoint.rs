@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --example physics_checkpoint --release`
 
-use mif::pfs::FsConfig;
 use mif::alloc::PolicyKind;
+use mif::pfs::FsConfig;
 use mif::workloads::btio::{run, BtioParams};
 
 fn main() {

@@ -11,11 +11,13 @@
 //! * [`mds`] — metadata storage: normal, Htree-indexed and embedded
 //!   directories, journal, global directory table
 //! * [`pfs`] — the block-based parallel file system (Redbud analogue)
+//! * [`fsck`] — parallel whole-filesystem check & repair (pFSCK-style)
 //! * [`workloads`] — generators for every benchmark in the paper
 
 pub use mif_alloc as alloc;
 pub use mif_core as pfs;
 pub use mif_extent as extent;
+pub use mif_fsck as fsck;
 pub use mif_mds as mds;
 pub use mif_simdisk as simdisk;
 pub use mif_workloads as workloads;

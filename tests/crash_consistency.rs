@@ -89,11 +89,24 @@ fn check_crash_point(
          (stop: {:?})",
         r.stop
     );
-    let mds = r.replay(mode);
+    let mut mds = r.replay(mode);
     let problems = mds.check();
     assert!(
         problems.is_empty(),
         "seed {seed} crash {crash_idx}: recovered namespace inconsistent: {problems:?}"
+    );
+    // Every crash point is followed by fsck --repair (workers=1 — repair
+    // runs on the caller's thread for determinism): recovery must hand
+    // fsck a store it has nothing to fix, and the second pass stays clean.
+    let report = mif::fsck::run_mds(&mut mds, true);
+    assert!(
+        report.clean() && report.repaired == 0,
+        "seed {seed} crash {crash_idx}: fsck after recovery: {}",
+        report.summary()
+    );
+    assert!(
+        mif::fsck::run_mds(&mut mds, false).clean(),
+        "seed {seed} crash {crash_idx}: dirty after fsck repair"
     );
 }
 
@@ -105,7 +118,14 @@ fn run_crash_scan(seed: u64, ops_target: usize, torn_offsets: &[usize]) -> usize
 
     // Clean cuts: power loss exactly between two record writes.
     for cut in 0..=records {
-        check_crash_point(seed, crash_points, mode, &log, &image[..cut * WAL_RECORD_BYTES], cut);
+        check_crash_point(
+            seed,
+            crash_points,
+            mode,
+            &log,
+            &image[..cut * WAL_RECORD_BYTES],
+            cut,
+        );
         crash_points += 1;
     }
     // Torn cuts: power loss mid-record — the tail record must be rejected
@@ -162,10 +182,14 @@ fn torn_records_with_stale_tails_are_rejected() {
                 log.ops[..rec.min(r.ops.len())],
                 "seed {seed} crash {crash_idx}: prefix mismatch"
             );
-            let mds = r.replay(mode);
+            let mut mds = r.replay(mode);
             assert!(
                 mds.check().is_empty(),
                 "seed {seed} crash {crash_idx}: inconsistent recovery"
+            );
+            assert!(
+                mif::fsck::run_mds(&mut mds, true).clean(),
+                "seed {seed} crash {crash_idx}: fsck found damage after recovery"
             );
         }
     }
@@ -219,6 +243,16 @@ fn power_cut_workload_recovers_cleanly() {
             );
         }
         assert!(recovered.check().is_empty(), "seed {seed}");
+        let report = mif::fsck::run_mds(&mut recovered, true);
+        assert!(
+            report.clean(),
+            "seed {seed}: fsck after power-cut recovery: {}",
+            report.summary()
+        );
+        assert!(
+            mif::fsck::run_mds(&mut recovered, false).clean(),
+            "seed {seed}: dirty after fsck repair"
+        );
     }
 }
 

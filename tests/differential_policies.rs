@@ -8,8 +8,10 @@
 //! divergence is an allocator or striping bug, and the failure message
 //! carries the workload seed.
 
+mod oracle;
+
 use mif::alloc::{PolicyKind, StreamId};
-use mif::pfs::{FileSystem, FsConfig, OpenFile, Striping};
+use mif::pfs::{FileSystem, FsConfig, OpenFile};
 use mif_rng::SmallRng;
 use std::collections::HashMap;
 
@@ -78,65 +80,26 @@ fn assert_written_blocks_mapped(
     files: &[OpenFile],
     model: &Model,
 ) {
-    let striping = Striping::new(OSTS, STRIPE);
     for (fi, &file) in files.iter().enumerate() {
-        let shift = (file.0 .0 % OSTS as u64) as u32;
-        // Per-OST set of mapped local logical blocks.
-        let mut mapped: Vec<std::collections::HashSet<u64>> =
-            (0..OSTS as usize).map(|_| Default::default()).collect();
-        for (ost, set) in mapped.iter_mut().enumerate() {
-            for (logical, _phys, len) in fs.physical_layout(file, ost) {
-                for b in logical..logical + len {
-                    set.insert(b);
-                }
-            }
-        }
-        for si in 0..STREAMS {
-            let written = model[&(fi, si)];
-            let base = si as u64 * REGION;
-            for logical in base..base + written {
-                let (ost, local) = striping.locate(logical, shift);
-                assert!(
-                    mapped[ost as usize].contains(&local),
-                    "seed {seed} {policy:?}: file {fi} logical block {logical} \
-                     (ost {ost}, local {local}) written but unmapped"
-                );
-            }
-        }
-    }
-}
-
-/// No physical block on any OST belongs to two extents (across all files).
-fn assert_physical_disjoint(seed: u64, policy: PolicyKind, fs: &FileSystem, files: &[OpenFile]) {
-    for ost in 0..OSTS as usize {
-        let mut runs: Vec<(u64, u64, usize)> = Vec::new();
-        for (fi, &file) in files.iter().enumerate() {
-            for (_logical, phys, len) in fs.physical_layout(file, ost) {
-                runs.push((phys, len, fi));
-            }
-        }
-        runs.sort_unstable();
-        for w in runs.windows(2) {
-            let (a_start, a_len, a_f) = w[0];
-            let (b_start, _b_len, b_f) = w[1];
-            assert!(
-                a_start + a_len <= b_start,
-                "seed {seed} {policy:?}: OST {ost} physical overlap: \
-                 file {a_f} [{a_start}, {}) vs file {b_f} [{b_start}, ..)",
-                a_start + a_len
-            );
-        }
+        let ranges: Vec<(u64, u64)> = (0..STREAMS)
+            .map(|si| (si as u64 * REGION, model[&(fi, si)]))
+            .collect();
+        let ctx = format!("seed {seed} {policy:?}: file {fi}");
+        oracle::assert_written_ranges_mapped(&ctx, fs, file, &ranges);
     }
 }
 
 #[test]
 fn policies_agree_on_logical_contents_and_conserve_space() {
     for seed in [0xD1F_0001u64, 0xD1F_0002, 0xD1F_0003, 0xD1F_0004] {
-        let total_per_system =
-            OSTS as u64 * config(PolicyKind::Vanilla).geometry.blocks;
+        let total_per_system = OSTS as u64 * config(PolicyKind::Vanilla).geometry.blocks;
         let mut sizes: Vec<Vec<u64>> = Vec::new();
 
-        for policy in [PolicyKind::Vanilla, PolicyKind::Static, PolicyKind::OnDemand] {
+        for policy in [
+            PolicyKind::Vanilla,
+            PolicyKind::Static,
+            PolicyKind::OnDemand,
+        ] {
             let (mut fs, files, model) = run_workload(seed, policy);
 
             // 1. Logical contents: every written block is mapped where the
@@ -144,7 +107,7 @@ fn policies_agree_on_logical_contents_and_conserve_space() {
             assert_written_blocks_mapped(seed, policy, &fs, &files, &model);
 
             // 2. No two logical blocks share a physical block.
-            assert_physical_disjoint(seed, policy, &fs, &files);
+            oracle::assert_physical_disjoint(&format!("seed {seed} {policy:?}"), &fs, &files);
 
             // 3. File sizes derive from the model alone.
             for (fi, &file) in files.iter().enumerate() {
@@ -176,15 +139,10 @@ fn policies_agree_on_logical_contents_and_conserve_space() {
             sizes.push(files.iter().map(|&f| fs.file_size(f)).collect());
 
             // 4. Conservation after close: free + mapped == total.
-            let mapped: u64 = files.iter().map(|&f| fs.file_allocated(f)).sum();
             for &f in &files {
                 fs.close(f);
             }
-            assert_eq!(
-                fs.free_blocks() + mapped,
-                total_per_system,
-                "seed {seed} {policy:?}: blocks leaked or double-freed after close"
-            );
+            oracle::assert_conservation(&format!("seed {seed} {policy:?} after close"), &fs);
 
             // 5. Unlink everything: all space returns.
             for &f in &files {

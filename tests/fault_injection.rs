@@ -61,7 +61,10 @@ fn different_seeds_diverge() {
     b.install_faults(noisy_plan(2));
     let ta = drive(&mut a, 42, 400);
     let tb = drive(&mut b, 42, 400);
-    assert_ne!(ta, tb, "distinct fault seeds should differ somewhere in 400 requests");
+    assert_ne!(
+        ta, tb,
+        "distinct fault seeds should differ somewhere in 400 requests"
+    );
 }
 
 #[test]
@@ -83,7 +86,10 @@ fn torn_write_reports_a_strict_prefix() {
             other => panic!("expected a torn write, got {other:?}"),
         }
     }
-    assert!(seen_partial, "some torn writes should persist a nonempty prefix");
+    assert!(
+        seen_partial,
+        "some torn writes should persist a nonempty prefix"
+    );
 }
 
 #[test]
@@ -197,7 +203,8 @@ fn cpu_utilization_stays_clamped_under_faulted_rounds() {
     // errors out, so almost no data-path time accumulates.
     for i in (0..64).rev() {
         fs.begin_round();
-        fs.try_write(f, StreamId::new(0, 0), i * 7, 1).expect("buffered");
+        fs.try_write(f, StreamId::new(0, 0), i * 7, 1)
+            .expect("buffered");
         let _ = fs.try_end_round();
     }
     let m = fs.metrics();

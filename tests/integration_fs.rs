@@ -47,7 +47,10 @@ fn write_read_unlink_conserves_space_under_every_policy() {
             fs.read(file, s, 0, 8 * 256);
         }
         fs.end_round();
-        assert!(fs.data_stats().bytes_read > before, "{policy}: read hit disk");
+        assert!(
+            fs.data_stats().bytes_read > before,
+            "{policy}: read hit disk"
+        );
 
         fs.unlink(file);
         assert_eq!(fs.free_blocks(), total_free, "{policy}: space conserved");

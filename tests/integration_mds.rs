@@ -121,7 +121,9 @@ fn churn_create_delete_create() {
 fn checker_passes_after_churn() {
     for mode in MODES {
         let mut mds = Mds::new(MdsConfig::with_mode(mode));
-        let dirs: Vec<_> = (0..4).map(|i| mds.mkdir(ROOT_INO, &format!("d{i}"))).collect();
+        let dirs: Vec<_> = (0..4)
+            .map(|i| mds.mkdir(ROOT_INO, &format!("d{i}")))
+            .collect();
         for gen in 0..3 {
             for i in 0..150 {
                 let d = dirs[i % dirs.len()];

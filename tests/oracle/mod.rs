@@ -1,0 +1,77 @@
+//! Shared differential oracle: invariants every healthy file system
+//! satisfies regardless of allocation policy. Used by the cross-policy
+//! differential test and by the fsck repair matrix (which re-checks them
+//! after corruption + repair to prove repair never damaged intact state).
+
+use mif::pfs::{FileSystem, OpenFile};
+use std::collections::HashSet;
+
+/// Every logical range in `ranges` must be mapped, per the file system's
+/// own striping, on the right OST.
+pub fn assert_written_ranges_mapped(
+    ctx: &str,
+    fs: &FileSystem,
+    file: OpenFile,
+    ranges: &[(u64, u64)],
+) {
+    let osts = fs.config.osts as usize;
+    let shift = fs.ost_shift_of(file).expect("file exists");
+    let mut mapped: Vec<HashSet<u64>> = (0..osts).map(|_| HashSet::new()).collect();
+    for (ost, set) in mapped.iter_mut().enumerate() {
+        for (logical, _phys, len) in fs.physical_layout(file, ost) {
+            for b in logical..logical + len {
+                set.insert(b);
+            }
+        }
+    }
+    for &(start, len) in ranges {
+        for logical in start..start + len {
+            let (ost, local) = fs.striping().locate(logical, shift);
+            assert!(
+                mapped[ost as usize].contains(&local),
+                "{ctx}: logical block {logical} (ost {ost}, local {local}) \
+                 written but unmapped"
+            );
+        }
+    }
+}
+
+/// No physical block on any OST belongs to two extents (across `files`).
+pub fn assert_physical_disjoint(ctx: &str, fs: &FileSystem, files: &[OpenFile]) {
+    for ost in 0..fs.config.osts as usize {
+        let mut runs: Vec<(u64, u64, u64)> = Vec::new();
+        for &file in files {
+            for (_logical, phys, len) in fs.physical_layout(file, ost) {
+                runs.push((phys, len, file.0 .0));
+            }
+        }
+        runs.sort_unstable();
+        for w in runs.windows(2) {
+            let (a_start, a_len, a_f) = w[0];
+            let (b_start, _b_len, b_f) = w[1];
+            assert!(
+                a_start + a_len <= b_start,
+                "{ctx}: OST {ost} physical overlap: file {a_f} [{a_start}, {}) \
+                 vs file {b_f} [{b_start}, ..)",
+                a_start + a_len
+            );
+        }
+    }
+}
+
+/// Conservation: free + mapped == total, over every live file. Only valid
+/// once preallocation windows are released (after close / offline fsck).
+pub fn assert_conservation(ctx: &str, fs: &FileSystem) {
+    let total = fs.config.osts as u64 * fs.config.geometry.blocks;
+    let mapped: u64 = fs
+        .file_handles()
+        .iter()
+        .map(|&f| fs.file_allocated(f))
+        .sum();
+    assert_eq!(
+        fs.free_blocks() + mapped,
+        total,
+        "{ctx}: blocks leaked or double-freed (free {} + mapped {mapped} != total {total})",
+        fs.free_blocks()
+    );
+}

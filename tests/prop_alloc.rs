@@ -43,7 +43,11 @@ fn bitmap_never_double_books() {
                 }
             }
             let model_free = model.iter().filter(|&&x| !x).count() as u64;
-            assert_eq!(bm.free_count(), model_free, "seed {seed}: free count drifted");
+            assert_eq!(
+                bm.free_count(),
+                model_free,
+                "seed {seed}: free count drifted"
+            );
         }
     }
 }
@@ -133,9 +137,16 @@ fn policies_cover_requests_exactly() {
         let data: u64 = all_runs.iter().map(|r| r.1).sum();
         // Static keeps its persistent preallocation; others return extras.
         if kind != PolicyKind::Static {
-            assert_eq!(alloc.free_blocks(), (1u64 << 16) - data, "seed {seed} {kind}");
+            assert_eq!(
+                alloc.free_blocks(),
+                (1u64 << 16) - data,
+                "seed {seed} {kind}"
+            );
         } else {
-            assert!(alloc.free_blocks() <= (1u64 << 16) - data, "seed {seed} {kind}");
+            assert!(
+                alloc.free_blocks() <= (1u64 << 16) - data,
+                "seed {seed} {kind}"
+            );
         }
     }
 }

@@ -61,7 +61,11 @@ fn resolve_and_gaps_partition_ranges() {
         for &(logical, phys, len) in &runs {
             tree.insert(Extent::new(logical, phys, len));
         }
-        let mapped: u64 = tree.resolve(query_start, query_len).iter().map(|r| r.1).sum();
+        let mapped: u64 = tree
+            .resolve(query_start, query_len)
+            .iter()
+            .map(|r| r.1)
+            .sum();
         let holes: u64 = tree.gaps(query_start, query_len).iter().map(|g| g.1).sum();
         assert_eq!(mapped + holes, query_len, "seed {seed}: partition leak");
 
@@ -91,7 +95,11 @@ fn coalescing_preserves_mapping() {
         for i in (0..n).step_by(2) {
             tree.insert(Extent::new(i * 4, 1000 + i * 4, 4));
         }
-        assert_eq!(tree.extent_count(), 1, "n={n}: fully adjacent runs coalesce");
+        assert_eq!(
+            tree.extent_count(),
+            1,
+            "n={n}: fully adjacent runs coalesce"
+        );
         for b in 0..n * 4 {
             assert_eq!(tree.translate(b), Some(1000 + b), "n={n}");
         }

@@ -15,8 +15,7 @@ const CASES: u64 = 64;
 fn namespace_matches_model() {
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0x0003_A3E5_0000 + seed);
-        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded]
-            [rng.gen_range(0usize..3)];
+        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded][rng.gen_range(0usize..3)];
         let mut mds = Mds::new(MdsConfig::with_mode(mode));
         let d1 = mds.mkdir(ROOT_INO, "d1");
         let d2 = mds.mkdir(ROOT_INO, "d2");

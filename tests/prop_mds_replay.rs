@@ -48,8 +48,7 @@ fn step(mds: &mut Mds, log: &mut OpLog, kind: u8, n: u8, dirs: &[mif::mds::Inode
 fn replay_matches_original() {
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0x2E_1A70_0000 + seed);
-        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded]
-            [rng.gen_range(0usize..3)];
+        let mode = [DirMode::Normal, DirMode::Htree, DirMode::Embedded][rng.gen_range(0usize..3)];
         let mut mds = Mds::new(MdsConfig::with_mode(mode));
         let mut log = OpLog::new();
         for dname in ["d1", "d2"] {

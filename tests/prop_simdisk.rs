@@ -61,7 +61,11 @@ fn merging_is_maximal() {
         for w in out.windows(2) {
             let can = w[0].can_merge(&w[1])
                 && w[0].len + w[1].len <= SchedulerConfig::default().max_merged_blocks;
-            assert!(!can, "seed {seed}: unmerged neighbours {:?} {:?}", w[0], w[1]);
+            assert!(
+                !can,
+                "seed {seed}: unmerged neighbours {:?} {:?}",
+                w[0], w[1]
+            );
         }
     }
 }

@@ -32,7 +32,11 @@ fn ondemand_degrades_on_nearly_full_disk() {
         let runs = p.extend(&alloc, f, s, i * 2, 2);
         got += runs.iter().map(|r| r.1).sum::<u64>();
     }
-    assert_eq!(got, (free / 2) * 2, "every block delivered despite pressure");
+    assert_eq!(
+        got,
+        (free / 2) * 2,
+        "every block delivered despite pressure"
+    );
     p.finalize(&alloc, f);
     // Nothing leaked: free space = initial free - data handed out.
     assert_eq!(alloc.free_blocks(), free - got);
