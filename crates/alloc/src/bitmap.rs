@@ -1,5 +1,124 @@
 //! Word-packed block bitmap with contiguous-run search.
 
+/// Histogram of free runs by power-of-two size class: class `i` counts the
+/// free runs whose length falls in `[2^i, 2^(i+1))` blocks. This is the
+/// free-*space* fragmentation metric (Sears & van Ingen): a disk can have
+/// plenty of free blocks yet no run large enough to place a file
+/// contiguously, and every allocation made from such free space is born
+/// fragmented. The defrag scanner scores allocation groups with it and
+/// `mif-fsck` summarizes it per run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FreeRunHistogram {
+    /// counts[i] = free runs with len in [2^i, 2^(i+1)).
+    counts: [u64; 32],
+    runs: u64,
+    free_blocks: u64,
+    largest_run: u64,
+}
+
+impl FreeRunHistogram {
+    /// The power-of-two size class of a run length (floor(log2)).
+    pub fn class_of(len: u64) -> usize {
+        debug_assert!(len > 0);
+        (63 - len.leading_zeros() as usize).min(31)
+    }
+
+    /// Account one free run.
+    pub fn record(&mut self, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.counts[Self::class_of(len)] += 1;
+        self.runs += 1;
+        self.free_blocks += len;
+        self.largest_run = self.largest_run.max(len);
+    }
+
+    /// Merge another histogram (aggregation across groups/OSTs).
+    pub fn absorb(&mut self, other: &FreeRunHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.runs += other.runs;
+        self.free_blocks += other.free_blocks;
+        self.largest_run = self.largest_run.max(other.largest_run);
+    }
+
+    /// Runs counted.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total free blocks over all runs.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Length of the largest free run.
+    pub fn largest_run(&self) -> u64 {
+        self.largest_run
+    }
+
+    /// Runs in class `i` (len in `[2^i, 2^(i+1))`).
+    pub fn count_in_class(&self, class: usize) -> u64 {
+        self.counts[class.min(31)]
+    }
+
+    /// Runs of at least `len` blocks — can a request of `len` be placed
+    /// contiguously? (Conservative: only counts whole classes ≥ len's, so
+    /// the true answer is at least this.)
+    pub fn runs_at_least(&self, len: u64) -> u64 {
+        if len == 0 {
+            return self.runs;
+        }
+        let mut n = 0;
+        let first_whole = if len.is_power_of_two() {
+            Self::class_of(len)
+        } else {
+            Self::class_of(len) + 1
+        };
+        for c in first_whole..32 {
+            n += self.counts[c.min(31)];
+        }
+        if self.largest_run >= len {
+            n = n.max(1);
+        }
+        n
+    }
+
+    /// Mean free-run length (0 for an empty histogram).
+    pub fn mean_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.free_blocks as f64 / self.runs as f64
+        }
+    }
+}
+
+impl std::fmt::Display for FreeRunHistogram {
+    /// One-line summary: `17 free runs, largest 4096, mean 812.3 blk;
+    /// classes 2^5:3 2^12:14` (empty classes omitted).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} free runs, largest {}, mean {:.1} blk;",
+            self.runs,
+            self.largest_run,
+            self.mean_run()
+        )?;
+        if self.runs == 0 {
+            return write!(f, " none");
+        }
+        for (c, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                write!(f, " 2^{c}:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A bitmap over a range of blocks: bit set = allocated.
 ///
 /// Search is word-at-a-time with a rolling next-free hint, so allocation
@@ -127,6 +246,39 @@ impl BlockBitmap {
             }
         }
         out
+    }
+
+    /// Find (but do not allocate) a free run of exactly `len` blocks,
+    /// searching forward from `goal` then wrapping once — the same order
+    /// [`Self::alloc_run`] uses, so a successful probe predicts where
+    /// `alloc_run` would land if the bitmap is not mutated in between.
+    /// Read-only: the defrag relocation engine probes a destination first
+    /// so the WAL intent record can name it *before* any state changes.
+    pub fn probe_run(&self, goal: u64, len: u64) -> Option<u64> {
+        if len == 0 || len > self.free {
+            return None;
+        }
+        let goal = goal.min(self.blocks.saturating_sub(1));
+        if let Some(s) = self.find_run(goal, len) {
+            return Some(s);
+        }
+        if goal > self.hint {
+            return self.find_run(self.hint, len);
+        }
+        None
+    }
+
+    /// Histogram of all free runs (see [`FreeRunHistogram`]). One linear
+    /// word-wise scan over the bitmap.
+    pub fn free_run_histogram(&self) -> FreeRunHistogram {
+        let mut h = FreeRunHistogram::default();
+        let mut pos = 0;
+        while let Some(s) = self.next_free(pos) {
+            let l = self.run_len_at(s, self.blocks);
+            h.record(l);
+            pos = s + l + 1;
+        }
+        h
     }
 
     /// The packed words backing the bitmap (bit set = allocated). The last
@@ -345,6 +497,63 @@ mod tests {
         assert_eq!(words[0], 1u64 << 63);
         assert_eq!(words[1], 0b11);
         assert_eq!(words[2], 0);
+    }
+
+    #[test]
+    fn probe_run_matches_alloc_run_without_mutating() {
+        let mut b = BlockBitmap::new(256);
+        b.set_range(100, 10);
+        let probed = b.probe_run(100, 5);
+        assert_eq!(probed, Some(110));
+        assert_eq!(b.free_count(), 246, "probe must not allocate");
+        assert_eq!(b.alloc_run(100, 5), probed);
+        // Wrap case: goal region exhausted, run found from the hint.
+        let mut w = BlockBitmap::new(128);
+        w.set_range(64, 64);
+        assert_eq!(w.probe_run(100, 10), Some(0));
+        assert_eq!(w.probe_run(0, 65), None);
+    }
+
+    #[test]
+    fn free_run_histogram_counts_runs_by_class() {
+        let mut b = BlockBitmap::new(128);
+        // Free runs: [0..8) len 8 (class 3), [16..17) len 1 (class 0),
+        // [20..128) len 108 (class 6).
+        b.set_range(8, 8);
+        b.set_range(17, 3);
+        let h = b.free_run_histogram();
+        assert_eq!(h.runs(), 3);
+        assert_eq!(h.free_blocks(), b.free_count());
+        assert_eq!(h.largest_run(), 108);
+        assert_eq!(h.count_in_class(3), 1);
+        assert_eq!(h.count_in_class(0), 1);
+        assert_eq!(h.count_in_class(6), 1);
+        assert_eq!(h.runs_at_least(9), 1);
+        assert_eq!(h.runs_at_least(8), 2);
+        assert_eq!(h.runs_at_least(200), 0);
+        let full = BlockBitmap::new(64);
+        let hf = full.free_run_histogram();
+        assert_eq!(hf.runs(), 1);
+        assert_eq!(hf.largest_run(), 64);
+        let mut empty = BlockBitmap::new(64);
+        empty.set_range(0, 64);
+        assert_eq!(empty.free_run_histogram(), FreeRunHistogram::default());
+    }
+
+    #[test]
+    fn histogram_absorb_aggregates() {
+        let mut a = FreeRunHistogram::default();
+        a.record(4);
+        a.record(100);
+        let mut b = FreeRunHistogram::default();
+        b.record(7);
+        a.absorb(&b);
+        assert_eq!(a.runs(), 3);
+        assert_eq!(a.free_blocks(), 111);
+        assert_eq!(a.largest_run(), 100);
+        let line = a.to_string();
+        assert!(line.contains("3 free runs"), "{line}");
+        assert!(line.contains("2^2:2"), "{line}");
     }
 
     #[test]

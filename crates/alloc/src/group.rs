@@ -6,7 +6,7 @@
 //! concurrent streams proceed in parallel as long as they land in different
 //! groups. Runs never span a group boundary, exactly like ext block groups.
 
-use crate::bitmap::BlockBitmap;
+use crate::bitmap::{BlockBitmap, FreeRunHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -108,6 +108,40 @@ impl GroupedAllocator {
             }
         }
         None
+    }
+
+    /// Find (but do not allocate) a contiguous run of `len` blocks,
+    /// searching groups in the same order [`Self::alloc_run`] does.
+    /// Returns the absolute start. The defrag engine probes before logging
+    /// its WAL intent record, then claims the range with [`Self::alloc_at`]
+    /// — which can still fail if a concurrent allocation raced in between,
+    /// in which case the relocation simply aborts.
+    pub fn probe_run(&self, goal: u64, len: u64) -> Option<u64> {
+        let goal = goal.min(self.blocks - 1);
+        let start_gi = self.group_of(goal);
+        for step in 0..self.groups.len() {
+            let gi = (start_gi + step) % self.groups.len();
+            let g = &self.groups[gi];
+            if g.free.load(Ordering::Relaxed) < len {
+                continue;
+            }
+            let local_goal = if gi == start_gi {
+                goal - self.group_base(gi)
+            } else {
+                0
+            };
+            let bm = g.bitmap.lock().unwrap();
+            if let Some(s) = bm.probe_run(local_goal, len) {
+                return Some(self.group_base(gi) + s);
+            }
+        }
+        None
+    }
+
+    /// Free-run histogram of group `gi` (see [`FreeRunHistogram`]).
+    pub fn free_run_histogram(&self, gi: usize) -> FreeRunHistogram {
+        assert!(gi < self.groups.len());
+        self.groups[gi].bitmap.lock().unwrap().free_run_histogram()
     }
 
     /// Allocate exactly `start..start+len` (must not span groups).
@@ -340,6 +374,30 @@ mod tests {
         assert_eq!(a.free_blocks(), 1023);
         assert!(a.force_bit(700, false));
         assert_eq!(a.free_blocks(), 1024);
+    }
+
+    #[test]
+    fn probe_then_alloc_at_round_trips() {
+        let a = GroupedAllocator::new(1024, 4);
+        a.alloc_run(0, 200);
+        let s = a.probe_run(0, 100).unwrap();
+        assert_eq!(s, 256, "200 used in group 0, 100-run must probe group 1");
+        assert_eq!(a.free_blocks(), 1024 - 200, "probe must not allocate");
+        assert!(a.alloc_at(s, 100));
+        assert!(!a.alloc_at(s, 100));
+    }
+
+    #[test]
+    fn per_group_histograms_cover_free_space() {
+        let a = GroupedAllocator::new(1024, 4);
+        a.alloc_run(300, 10);
+        let mut total = FreeRunHistogram::default();
+        for gi in 0..a.group_count() {
+            total.absorb(&a.free_run_histogram(gi));
+        }
+        assert_eq!(total.free_blocks(), a.free_blocks());
+        // 3 untouched groups + 2 runs around the allocation in group 1.
+        assert_eq!(total.runs(), 5);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod static_;
 pub mod stream;
 pub mod vanilla;
 
-pub use bitmap::BlockBitmap;
+pub use bitmap::{BlockBitmap, FreeRunHistogram};
 pub use buddy::BuddyAllocator;
 pub use group::GroupedAllocator;
 pub use ondemand::OnDemandStats;

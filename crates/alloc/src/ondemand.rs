@@ -458,6 +458,16 @@ impl AllocPolicy for OnDemandPolicy {
         }
     }
 
+    fn has_reservation(&self, file: FileId) -> bool {
+        self.streams.iter().any(|((f, _), state)| {
+            *f == file
+                && [state.current.as_ref(), state.seq.as_ref()]
+                    .into_iter()
+                    .flatten()
+                    .any(|w| w.remaining > 0)
+        })
+    }
+
     fn kind(&self) -> PolicyKind {
         PolicyKind::OnDemand
     }
@@ -715,6 +725,18 @@ mod tests {
         // Fresh stream works normally after recovery.
         let runs = p2.extend(&alloc, f, StreamId::new(2, 2), 0, 4);
         assert_eq!(runs.iter().map(|r| r.1).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn has_reservation_tracks_live_windows() {
+        let (alloc, mut p) = setup();
+        let f = FileId(1);
+        assert!(!p.has_reservation(f));
+        p.extend(&alloc, f, StreamId::new(1, 1), 0, 4);
+        assert!(p.has_reservation(f), "seq window live after first extend");
+        assert!(!p.has_reservation(FileId(2)));
+        p.finalize(&alloc, f);
+        assert!(!p.has_reservation(f), "finalize releases the windows");
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub trait AllocPolicy: Send {
         let _ = (alloc, file);
     }
 
+    /// Does the policy still hold a live preallocation window for `file`
+    /// (reserved blocks an in-flight stream may consume)? The defrag
+    /// scheduler skips such files: relocating under an active window would
+    /// race the window's future allocations. Policies without windows
+    /// (vanilla, static-after-create) answer `false`.
+    fn has_reservation(&self, file: FileId) -> bool {
+        let _ = file;
+        false
+    }
+
     /// Policy name for reports.
     fn kind(&self) -> PolicyKind;
 }

@@ -120,6 +120,10 @@ impl AllocPolicy for ReservationPolicy {
         }
     }
 
+    fn has_reservation(&self, file: FileId) -> bool {
+        self.windows.get(&file).is_some_and(|w| w.next < w.end)
+    }
+
     fn kind(&self) -> PolicyKind {
         PolicyKind::Reservation
     }
@@ -188,6 +192,20 @@ mod tests {
         assert_eq!(alloc.free_blocks(), 4096 - 64);
         p.finalize(&alloc, FileId(1));
         assert_eq!(alloc.free_blocks(), 4096 - 4);
+    }
+
+    #[test]
+    fn has_reservation_reflects_window_state() {
+        let alloc = GroupedAllocator::new(4096, 1);
+        let mut p = ReservationPolicy::new(8);
+        let f = FileId(1);
+        assert!(!p.has_reservation(f));
+        p.extend(&alloc, f, StreamId::new(1, 1), 0, 4);
+        assert!(p.has_reservation(f), "4 of 8 window blocks remain");
+        p.extend(&alloc, f, StreamId::new(1, 1), 4, 4);
+        assert!(!p.has_reservation(f), "window fully consumed");
+        p.finalize(&alloc, f);
+        assert!(!p.has_reservation(f));
     }
 
     #[test]

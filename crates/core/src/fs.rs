@@ -30,6 +30,11 @@ struct FileState {
     /// Starting-OST rotation for this file (files begin on different
     /// servers so concurrent per-process files spread the load).
     ost_shift: u32,
+    /// Live handle count: `create`/`open`/`open_by_ino` increment, `close`
+    /// decrements. Policy state (preallocation windows) is finalized only
+    /// when the *last* handle closes, so a file shared by several openers
+    /// keeps its windows until everyone is done.
+    open_handles: u32,
 }
 
 /// Handle returned by [`FileSystem::create`] / [`FileSystem::open`].
@@ -145,6 +150,7 @@ impl FileSystem {
                 trees,
                 size_blocks: 0,
                 ost_shift: (id.0 % self.config.osts as u64) as u32,
+                open_handles: 1,
             },
         );
         OpenFile(id)
@@ -159,6 +165,7 @@ impl FileSystem {
             .find(|(_, f)| f.name == name)
             .map(|(&id, _)| id)?;
         self.mds.getlayout(ROOT_INO, name);
+        self.files.get_mut(&id).expect("just found").open_handles += 1;
         Some(OpenFile(id))
     }
 
@@ -168,17 +175,43 @@ impl FileSystem {
     /// table and the rename correlation, so pre-rename IDs still resolve.
     pub fn open_by_ino(&mut self, ino: InodeNo) -> Option<OpenFile> {
         let current = self.mds.resolve_inode(ino)?;
-        self.files
+        let id = self
+            .files
             .iter()
             .find(|(_, f)| f.ino == current)
-            .map(|(&id, _)| OpenFile(id))
+            .map(|(&id, _)| id)?;
+        self.files.get_mut(&id).expect("just found").open_handles += 1;
+        Some(OpenFile(id))
     }
 
-    /// Close: release unconsumed preallocations (windows) on every OST.
+    /// Close one handle. When the *last* handle closes, unconsumed
+    /// preallocations (reservation/on-demand windows) are released on every
+    /// OST — an idle closed file must not pin reserved-but-unwritten blocks
+    /// out of the free pool (and the defrag scheduler treats it as
+    /// relocatable from then on). Closing with other handles still open
+    /// only drops the count.
     pub fn close(&mut self, file: OpenFile) {
-        for ost in &mut self.osts {
-            ost.policy.finalize(&ost.alloc, file.0);
+        let Some(state) = self.files.get_mut(&file.0) else {
+            return;
+        };
+        state.open_handles = state.open_handles.saturating_sub(1);
+        if state.open_handles == 0 {
+            for ost in &mut self.osts {
+                ost.policy.finalize(&ost.alloc, file.0);
+            }
         }
+    }
+
+    /// Live handles on `file` (0 after the last close or for unknown ids).
+    pub fn open_handle_count(&self, file: OpenFile) -> u32 {
+        self.files.get(&file.0).map(|f| f.open_handles).unwrap_or(0)
+    }
+
+    /// Does any OST's policy still hold a live preallocation window for
+    /// `file`? The defrag scheduler skips such files — relocating them
+    /// would race the window's future allocations.
+    pub fn has_live_preallocation(&self, file: OpenFile) -> bool {
+        self.osts.iter().any(|o| o.policy.has_reservation(file.0))
     }
 
     /// Truncate the file to `new_size_blocks`, freeing the tail's blocks.
@@ -208,10 +241,14 @@ impl FileSystem {
         self.mds.utime(ROOT_INO, &state.name.clone());
     }
 
-    /// Delete: free all blocks and remove the MDS entry.
+    /// Delete: free all blocks and remove the MDS entry. Releases policy
+    /// state unconditionally — an unlinked file has no future writes, so
+    /// remaining open handles cannot keep its windows alive.
     pub fn unlink(&mut self, file: OpenFile) {
         self.sync_data();
-        self.close(file);
+        for ost in &mut self.osts {
+            ost.policy.finalize(&ost.alloc, file.0);
+        }
         let Some(state) = self.files.remove(&file.0) else {
             return;
         };
@@ -575,6 +612,90 @@ impl FileSystem {
             }
         }
         self.data_elapsed_ns() - t0
+    }
+
+    // ----- defrag-engine hooks ---------------------------------------------
+    //
+    // `crates/defrag` drives its crash-safe relocation protocol through the
+    // two hooks below plus the read-only accessors (`physical_layout`,
+    // `allocator`, `block_allocated`). Unlike `defragment_range` above —
+    // the §II-B replicate-and-switch baseline, which copies and remaps in
+    // one non-atomic swoop — the engine separates the copy (fallible IO)
+    // from the remap (a WAL-logged transaction), so a crash between them
+    // leaves a recoverable state.
+
+    /// Copy one relocation's data: read the old physical runs, write the
+    /// contiguous destination run, all on `ost`, charging the IO. The
+    /// caller owns both placements (old mapping still live, `dest` already
+    /// claimed via the allocator) — this only moves bytes. Returns the
+    /// simulated time; a fault surfaces as `Err` with nothing remapped.
+    pub fn defrag_try_copy(
+        &mut self,
+        ost: usize,
+        old_runs: &[(u64, u64)],
+        dest: u64,
+        total: u64,
+    ) -> Result<Nanos, (usize, IoFault)> {
+        assert!(!self.round_open, "defrag copy inside a round");
+        self.try_sync_data()?;
+        self.begin_round();
+        for &(phys, l) in old_runs {
+            self.pending[ost].push(BlockRequest::read(phys, l));
+        }
+        self.pending[ost].push(BlockRequest::write(dest, total));
+        self.try_end_round()
+    }
+
+    /// Apply (or re-apply) a relocation's extent remap: drop the old
+    /// mapping of `logical..logical+len` on `ost`, map its formerly-mapped
+    /// sub-ranges consecutively onto the contiguous run at `dest` (holes
+    /// preserved), free the old blocks and invalidate their cached copies.
+    /// `total` is the mapped-block count — the destination run's length.
+    ///
+    /// Idempotent: if the span already resolves to exactly the destination
+    /// run the remap was applied before the crash; nothing changes and
+    /// `false` comes back. WAL redo after `Commit` relies on this.
+    pub fn defrag_apply_remap(
+        &mut self,
+        file: OpenFile,
+        ost: usize,
+        logical: u64,
+        len: u64,
+        dest: u64,
+        total: u64,
+    ) -> bool {
+        let Some(state) = self.files.get_mut(&file.0) else {
+            return false;
+        };
+        let tree = &mut state.trees[ost];
+        if tree.resolve(logical, len) == [(dest, total)] {
+            return false; // already applied (WAL redo)
+        }
+        let subs: Vec<(u64, u64)> = tree
+            .extents()
+            .filter(|e| e.logical < logical + len && logical < e.logical_end())
+            .map(|e| {
+                let lo = e.logical.max(logical);
+                let hi = e.logical_end().min(logical + len);
+                (lo, hi - lo)
+            })
+            .collect();
+        debug_assert_eq!(
+            subs.iter().map(|r| r.1).sum::<u64>(),
+            total,
+            "remap transaction does not match the live mapping"
+        );
+        let freed = tree.remove(logical, len);
+        let mut dpos = dest;
+        for (lstart, l) in subs {
+            tree.insert(Extent::new(lstart, dpos, l));
+            dpos += l;
+        }
+        for (phys, l) in freed {
+            self.osts[ost].alloc.free(phys, l);
+            self.array.disk_mut(ost).invalidate(phys, l);
+        }
+        true
     }
 
     /// Fragment the OSTs' free space: allocate scattered holes so `frac` of
@@ -1148,6 +1269,89 @@ mod tests {
         // A pure hole is also a no-op.
         let sparse = f.create("s", None);
         assert_eq!(f.defragment_range(sparse, 0, 128), 0);
+    }
+
+    #[test]
+    fn close_of_last_handle_releases_preallocations() {
+        // Regression (defrag satellite): a closed file must not pin
+        // reserved-but-unwritten window blocks out of the free pool.
+        for policy in [PolicyKind::OnDemand, PolicyKind::Reservation] {
+            let mut f = fs(policy);
+            let total = f.free_blocks();
+            let file = f.create("idle", None);
+            f.round(|f| f.write(file, StreamId::new(1, 0), 0, 4));
+            f.sync_data();
+            assert!(
+                total - f.free_blocks() > 4,
+                "{policy}: windows reserved beyond the 4 written blocks"
+            );
+            assert!(f.has_live_preallocation(file), "{policy}");
+            f.close(file);
+            assert_eq!(
+                total - f.free_blocks(),
+                4,
+                "{policy}: close left reserved-but-unwritten blocks pinned"
+            );
+            assert!(!f.has_live_preallocation(file), "{policy}");
+            assert_eq!(f.open_handle_count(file), 0);
+        }
+    }
+
+    #[test]
+    fn windows_survive_until_last_handle_closes() {
+        let mut f = fs(PolicyKind::OnDemand);
+        let file = f.create("shared", None);
+        let second = f.open("shared").expect("exists");
+        assert_eq!(second, file);
+        assert_eq!(f.open_handle_count(file), 2);
+        f.round(|f| f.write(file, StreamId::new(1, 0), 0, 4));
+        f.sync_data();
+        let free_before = f.free_blocks();
+        f.close(file);
+        assert_eq!(f.open_handle_count(file), 1);
+        assert_eq!(
+            f.free_blocks(),
+            free_before,
+            "first close must not release another opener's windows"
+        );
+        assert!(f.has_live_preallocation(file));
+        f.close(second);
+        assert!(f.free_blocks() > free_before, "last close releases windows");
+        assert!(!f.has_live_preallocation(file));
+    }
+
+    #[test]
+    fn defrag_hooks_copy_and_remap_idempotently() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 1));
+        let file = f.create("frag", None);
+        let streams: Vec<_> = (0..4).map(|i| StreamId::new(i, 0)).collect();
+        for round in 0..8u64 {
+            f.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                f.write(file, s, i as u64 * 64 + round * 4, 4);
+            }
+            f.end_round();
+        }
+        f.sync_data();
+        f.close(file);
+        let old_runs = f.files[&file.0].trees[0].resolve(0, 4 * 64);
+        assert!(old_runs.len() > 1, "fragmented on purpose");
+        let total: u64 = old_runs.iter().map(|r| r.1).sum();
+        let dest = f.allocator(0).probe_run(0, total).expect("space exists");
+        assert!(f.allocator(0).alloc_at(dest, total));
+
+        let t = f
+            .defrag_try_copy(0, &old_runs, dest, total)
+            .expect("no faults installed");
+        assert!(t > 0, "copy IO is charged");
+        assert!(f.defrag_apply_remap(file, 0, 0, 4 * 64, dest, total));
+        assert_eq!(
+            f.files[&file.0].trees[0].resolve(0, 4 * 64),
+            vec![(dest, total)]
+        );
+        // Redo (WAL replay after crash-post-commit) is a no-op.
+        assert!(!f.defrag_apply_remap(file, 0, 0, 4 * 64, dest, total));
+        assert_eq!(f.file_allocated(file), total);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Layer 1: the scanner.
+//!
+//! Walks the MDS/extent layer to score every file (extent count against the
+//! ideal of one extent per data-holding OST) and every allocation group
+//! (free-run histogram from the allocator bitmaps), and emits a prioritized
+//! candidate queue for the relocation engine. The per-group histograms are
+//! computed over point-in-time bitmap snapshots on the fsck work-stealing
+//! pool — the scan never holds an allocator lock while it counts runs.
+
+use crate::relocate::is_packed;
+use mif_alloc::FreeRunHistogram;
+use mif_core::{FileSystem, OpenFile};
+use mif_extent::FragReport;
+use mif_fsck::pool;
+
+/// One defragmentation candidate: a file whose mapping has more extents
+/// than its ideal layout needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileCandidate {
+    pub file: OpenFile,
+    /// Total extents across all OSTs.
+    pub extents: u64,
+    /// The ideal extent count: one per OST holding any of the file's data.
+    pub ideal: u64,
+    /// Mapped blocks (relocation cost ceiling).
+    pub blocks: u64,
+}
+
+impl FileCandidate {
+    /// Excess extents — the scanner's priority key.
+    pub fn score(&self) -> u64 {
+        self.extents.saturating_sub(self.ideal)
+    }
+}
+
+/// One allocation group's free-space state.
+#[derive(Debug, Clone)]
+pub struct GroupFreeSummary {
+    pub ost: usize,
+    pub group: usize,
+    pub hist: FreeRunHistogram,
+}
+
+/// Everything one scan pass produces.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Aggregate fragmentation over all scanned files (degree = mean
+    /// extents per file, the paper's §IV-A metric).
+    pub report: FragReport,
+    /// Candidates worth relocating, highest excess first (ties broken by
+    /// file id for determinism).
+    pub candidates: Vec<FileCandidate>,
+    /// Per-(OST, group) free-run histograms, in (ost, group) order.
+    pub free: Vec<GroupFreeSummary>,
+}
+
+impl ScanReport {
+    /// All groups' histograms folded into one.
+    pub fn free_total(&self) -> FreeRunHistogram {
+        let mut total = FreeRunHistogram::default();
+        for g in &self.free {
+            total.absorb(&g.hist);
+        }
+        total
+    }
+}
+
+/// Scan `fs`: score every file and every allocation group. `files` limits
+/// the walk to the given handles; pass `fs.file_handles()` for the whole
+/// system. Read-only — scanning never moves a block.
+pub fn scan_files(fs: &FileSystem, files: &[OpenFile], workers: usize) -> ScanReport {
+    let osts = fs.config.osts as usize;
+    let mut report = FragReport::default();
+    let mut candidates = Vec::new();
+    for &file in files {
+        let mut extents = 0u64;
+        let mut blocks = 0u64;
+        let mut ideal = 0u64;
+        let mut packed = true;
+        for ost in 0..osts {
+            let layout = fs.physical_layout(file, ost);
+            if layout.is_empty() {
+                continue;
+            }
+            ideal += 1;
+            extents += layout.len() as u64;
+            blocks += layout.iter().map(|&(_, _, l)| l).sum::<u64>();
+            packed &= is_packed(&layout);
+        }
+        report.files += 1;
+        report.extents += extents as usize;
+        report.blocks += blocks;
+        let c = FileCandidate {
+            file,
+            extents,
+            ideal,
+            blocks,
+        };
+        // Already-packed files (every OST one physical run in logical
+        // order) gain nothing from relocation, whatever their extent
+        // count says — logical holes keep extents apart forever.
+        if c.score() > 0 && !packed {
+            candidates.push(c);
+        }
+    }
+    candidates.sort_by(|a, b| b.score().cmp(&a.score()).then(a.file.0.cmp(&b.file.0)));
+
+    // Free-space leg: snapshot every group's bitmap, then count runs on the
+    // pool. Snapshots are cheap clones; the histogram scan is the work.
+    let mut units = Vec::new();
+    for ost in 0..osts {
+        let alloc = fs.allocator(ost);
+        for group in 0..alloc.group_count() {
+            units.push((ost, group, alloc.snapshot_group(group)));
+        }
+    }
+    let free = pool::run_units(units, workers, |(ost, group, bitmap)| GroupFreeSummary {
+        ost: *ost,
+        group: *group,
+        hist: bitmap.free_run_histogram(),
+    });
+
+    ScanReport {
+        report,
+        candidates,
+        free,
+    }
+}
+
+/// [`scan_files`] over every live file handle.
+pub fn scan(fs: &FileSystem, workers: usize) -> ScanReport {
+    scan_files(fs, &fs.file_handles(), workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mif_alloc::{PolicyKind, StreamId};
+    use mif_core::FsConfig;
+
+    fn fragmented_fs() -> (FileSystem, OpenFile, OpenFile) {
+        let mut cfg = FsConfig::with_policy(PolicyKind::Reservation, 2);
+        cfg.groups_per_ost = 4;
+        let mut fs = FileSystem::new(cfg);
+        let frag = fs.create("frag", None);
+        let tidy = fs.create("tidy", None);
+        let streams: Vec<_> = (0..4).map(|i| StreamId::new(i, 0)).collect();
+        for round in 0..8u64 {
+            fs.begin_round();
+            for (i, &s) in streams.iter().enumerate() {
+                fs.write(frag, s, i as u64 * 64 + round * 4, 4);
+            }
+            fs.end_round();
+        }
+        fs.round(|f| f.write(tidy, StreamId::new(9, 0), 0, 64));
+        fs.sync_data();
+        fs.close(frag);
+        fs.close(tidy);
+        (fs, frag, tidy)
+    }
+
+    #[test]
+    fn fragmented_file_tops_the_queue() {
+        let (fs, frag, _tidy) = fragmented_fs();
+        let r = scan(&fs, 2);
+        assert!(!r.candidates.is_empty());
+        assert_eq!(r.candidates[0].file, frag);
+        assert!(r.candidates[0].score() > 0);
+        assert!(r.report.degree() > 1.0);
+        // Sorted by descending score.
+        for w in r.candidates.windows(2) {
+            assert!(w[0].score() >= w[1].score());
+        }
+    }
+
+    #[test]
+    fn free_histograms_cover_all_groups_and_free_space() {
+        let (fs, _, _) = fragmented_fs();
+        let r = scan(&fs, 4);
+        assert_eq!(r.free.len(), 2 * 4, "one summary per (ost, group)");
+        assert_eq!(r.free_total().free_blocks(), fs.free_blocks());
+    }
+
+    #[test]
+    fn scan_is_deterministic_across_worker_counts() {
+        let (fs, _, _) = fragmented_fs();
+        let a = scan(&fs, 1);
+        let b = scan(&fs, 8);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.free_total(), b.free_total());
+    }
+
+    #[test]
+    fn contiguous_file_is_not_a_candidate() {
+        let (fs, _, tidy) = fragmented_fs();
+        let r = scan(&fs, 1);
+        assert!(r.candidates.iter().all(|c| c.file != tidy));
+    }
+}

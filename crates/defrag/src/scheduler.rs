@@ -1,0 +1,211 @@
+//! Layer 3: the background scheduler.
+//!
+//! Drives scan → relocate under an IO budget so defragmentation rides in
+//! the background instead of stealing the foreground's disk time. Each
+//! tick moves at most `budget_blocks_per_tick` blocks, then samples the
+//! disks' per-dispatch service time over the tick ([`DiskStats::since`]);
+//! if it exceeds `latency_backoff_ns` the engine backs off — the budget
+//! halves (floored) until latency recovers, then grows back. Files that
+//! are open or still hold a live preallocation window are skipped: their
+//! mapping is still in flux and relocating under a writer both wastes the
+//! copy and races the window.
+
+use crate::relocate::{relocate_ost, Outcome, SkipReason};
+use crate::scanner::{scan, FileCandidate};
+use mif_core::FileSystem;
+use mif_mds::RemapWal;
+use mif_simdisk::Nanos;
+use std::collections::VecDeque;
+
+/// Throttle and sizing knobs for one [`run`].
+#[derive(Debug, Clone, Copy)]
+pub struct DefragConfig {
+    /// Block-move budget per tick (copy cost ceiling).
+    pub budget_blocks_per_tick: u64,
+    /// Hard cap on ticks — one run never monopolizes the system.
+    pub max_ticks: u64,
+    /// Per-dispatch service time above which the engine backs off.
+    pub latency_backoff_ns: Nanos,
+    /// Worker threads for the scan's histogram leg.
+    pub workers: usize,
+}
+
+impl Default for DefragConfig {
+    fn default() -> Self {
+        Self {
+            budget_blocks_per_tick: 4096,
+            max_ticks: 64,
+            latency_backoff_ns: 40_000_000,
+            workers: 4,
+        }
+    }
+}
+
+/// The budget never shrinks below this, so progress cannot stall.
+const MIN_BUDGET_BLOCKS: u64 = 64;
+
+/// What one [`run`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Files with at least one successful relocation.
+    pub files_defragmented: u64,
+    /// Successful relocations (one per (file, OST)).
+    pub relocations: u64,
+    /// Blocks copied to new homes.
+    pub blocks_moved: u64,
+    /// Total extents before / after, over all scanned files.
+    pub extents_before: u64,
+    /// Total extents after the run.
+    pub extents_after: u64,
+    /// Ticks that ended in a latency backoff.
+    pub backoffs: u64,
+    /// Candidates skipped because the file was open or held a live
+    /// preallocation window.
+    pub skipped_busy: u64,
+    /// Relocations skipped for lack of a large-enough free run.
+    pub skipped_no_space: u64,
+    /// Simulated time spent copying data.
+    pub copy_ns: Nanos,
+}
+
+/// One full background pass: scan for candidates, then relocate them in
+/// priority order under the tick budget. Returns what happened; the
+/// caller keeps `wal`'s image for crash recovery.
+pub fn run(fs: &mut FileSystem, wal: &mut RemapWal, cfg: &DefragConfig) -> DefragStats {
+    let report = scan(fs, cfg.workers);
+    let mut stats = DefragStats {
+        extents_before: report.report.extents as u64,
+        ..Default::default()
+    };
+    let mut queue: VecDeque<FileCandidate> = report.candidates.into();
+    let osts = fs.config.osts as usize;
+    let mut budget = cfg.budget_blocks_per_tick.max(MIN_BUDGET_BLOCKS);
+
+    while !queue.is_empty() && stats.ticks < cfg.max_ticks {
+        stats.ticks += 1;
+        let tick_start = fs.data_stats();
+        let mut moved_this_tick = 0u64;
+
+        while moved_this_tick < budget {
+            let Some(cand) = queue.pop_front() else {
+                break;
+            };
+            if fs.open_handle_count(cand.file) > 0 || fs.has_live_preallocation(cand.file) {
+                stats.skipped_busy += 1;
+                continue;
+            }
+            let mut relocated_any = false;
+            for ost in 0..osts {
+                match relocate_ost(fs, wal, cand.file, ost, None) {
+                    Outcome::Done { txn, copy_ns } => {
+                        relocated_any = true;
+                        stats.relocations += 1;
+                        stats.blocks_moved += txn.total;
+                        stats.copy_ns += copy_ns;
+                        moved_this_tick += txn.total;
+                    }
+                    Outcome::Skipped(SkipReason::NoSpace) => stats.skipped_no_space += 1,
+                    Outcome::Skipped(SkipReason::AlreadyContiguous) => {}
+                    // `run` never injects crashes, and a copy fault ends
+                    // this file's pass (the engine moves on).
+                    Outcome::Crashed { .. } | Outcome::Faulted { .. } => break,
+                }
+            }
+            if relocated_any {
+                stats.files_defragmented += 1;
+            }
+        }
+
+        // Foreground-latency sample over the tick: mean busy time per
+        // dispatched request. Back off (halve the budget) when the disks
+        // look saturated; creep back up when they do not.
+        let delta = fs.data_stats().since(&tick_start);
+        let mean_ns = delta.busy_ns.checked_div(delta.dispatched).unwrap_or(0);
+        if mean_ns > cfg.latency_backoff_ns {
+            stats.backoffs += 1;
+            budget = (budget / 2).max(MIN_BUDGET_BLOCKS);
+        } else if budget < cfg.budget_blocks_per_tick {
+            budget = (budget * 2).min(cfg.budget_blocks_per_tick);
+        }
+    }
+
+    stats.extents_after = scan(fs, cfg.workers).report.extents as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mif_workloads::{age_data_fs, DataAgingParams};
+
+    #[test]
+    fn run_reduces_fragmentation_on_an_aged_fs() {
+        let (mut fs, _) = age_data_fs(&DataAgingParams::default());
+        let mut wal = RemapWal::new();
+        let stats = run(&mut fs, &mut wal, &DefragConfig::default());
+        assert!(stats.relocations > 0, "{stats:?}");
+        assert!(
+            stats.extents_after < stats.extents_before,
+            "degree must strictly drop: {stats:?}"
+        );
+        assert!(stats.blocks_moved > 0);
+        assert_eq!(wal.len(), stats.relocations * 2, "intent+commit each");
+    }
+
+    #[test]
+    fn open_files_are_left_alone() {
+        let params = DataAgingParams::default();
+        let (mut fs, survivors) = age_data_fs(&params);
+        // Reopen one survivor: it must be skipped.
+        let held = fs.open("aged-0").expect("survivor exists");
+        let before = fs.physical_layout(held, 0);
+
+        let mut wal = RemapWal::new();
+        let stats = run(&mut fs, &mut wal, &DefragConfig::default());
+        assert!(stats.skipped_busy >= 1, "{stats:?}");
+        assert_eq!(fs.physical_layout(held, 0), before, "open file untouched");
+        fs.close(held);
+        drop(survivors);
+    }
+
+    #[test]
+    fn tiny_budget_throttles_into_more_ticks() {
+        let (mut fs, _) = age_data_fs(&DataAgingParams::default());
+        let mut wal = RemapWal::new();
+        let cfg = DefragConfig {
+            budget_blocks_per_tick: MIN_BUDGET_BLOCKS,
+            max_ticks: 3,
+            ..Default::default()
+        };
+        let stats = run(&mut fs, &mut wal, &cfg);
+        assert_eq!(stats.ticks, 3, "budget caps the pass: {stats:?}");
+        // A second, unthrottled run finishes the job.
+        let stats2 = run(&mut fs, &mut wal, &DefragConfig::default());
+        assert!(stats2.extents_after <= stats.extents_after);
+    }
+
+    #[test]
+    fn saturated_disks_trigger_backoff() {
+        let (mut fs, _) = age_data_fs(&DataAgingParams::default());
+        let mut wal = RemapWal::new();
+        let cfg = DefragConfig {
+            latency_backoff_ns: 0, // any IO at all looks saturated
+            budget_blocks_per_tick: 256,
+            ..Default::default()
+        };
+        let stats = run(&mut fs, &mut wal, &cfg);
+        assert!(stats.backoffs > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn second_run_is_a_no_op() {
+        let (mut fs, _) = age_data_fs(&DataAgingParams::default());
+        let mut wal = RemapWal::new();
+        run(&mut fs, &mut wal, &DefragConfig::default());
+        let again = run(&mut fs, &mut wal, &DefragConfig::default());
+        assert_eq!(again.relocations, 0, "{again:?}");
+        assert_eq!(again.extents_before, again.extents_after);
+    }
+}

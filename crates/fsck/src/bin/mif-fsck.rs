@@ -128,6 +128,17 @@ fn main() -> ExitCode {
         },
         repair: args.repair,
     };
+    // Free-space health alongside the consistency verdict: the defrag
+    // scanner keys off the same per-group histograms.
+    let mut free = mif_alloc::FreeRunHistogram::default();
+    for ost in 0..fs.config.osts as usize {
+        let alloc = fs.allocator(ost);
+        for gi in 0..alloc.group_count() {
+            free.absorb(&alloc.free_run_histogram(gi));
+        }
+    }
+    println!("free space: {free}");
+
     let report = run(&mut fs, &opts);
     println!("check: {}", report.summary());
     for f in report.findings.iter().take(20) {

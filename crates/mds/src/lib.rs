@@ -73,4 +73,7 @@ pub use mds::{DirMode, Mds, MdsConfig, MdsStats};
 pub use normal::NormalStore;
 pub use replay::{LoggedOp, OpLog};
 pub use store::{DataArea, OpEffect, ReadSet};
-pub use wal::{Recovery, RecoveryStop, WalWriter, WAL_RECORD_BYTES};
+pub use wal::{
+    recover_remaps, Recovery, RecoveryStop, RemapOp, RemapRecovery, RemapTxn, RemapWal, WalWriter,
+    WAL_RECORD_BYTES,
+};

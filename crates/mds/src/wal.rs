@@ -31,6 +31,9 @@ const TAG_CREATE: u8 = 2;
 const TAG_UTIME: u8 = 3;
 const TAG_UNLINK: u8 = 4;
 const TAG_RENAME: u8 = 5;
+// 16+ : defrag remap protocol records (separate log stream, same framing).
+const TAG_REMAP_INTENT: u8 = 16;
+const TAG_REMAP_COMMIT: u8 = 17;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -306,6 +309,209 @@ impl WalWriter {
     }
 }
 
+/// One extent-relocation transaction's identity: which logical span of
+/// which (file, OST) moves where. Shared by the intent and commit records
+/// so recovery can pair them field-for-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapTxn {
+    /// File identity (the FS-layer `FileId`).
+    pub file: u64,
+    /// OST index the extents live on.
+    pub ost: u32,
+    /// First logical block of the remapped span.
+    pub logical: u64,
+    /// Length of the logical span (holes included).
+    pub len: u64,
+    /// Physical start of the contiguous destination run.
+    pub dest: u64,
+    /// Mapped blocks in the span == length of the destination run.
+    pub total: u64,
+}
+
+/// A defrag-relocation WAL record. The protocol writes `Intent` *before*
+/// touching any state (naming the probed destination), and `Commit` after
+/// the data copy completes but before the extent remap is applied:
+///
+/// * crash after `Intent` alone → roll back: the destination (if it was
+///   ever claimed) holds no live data; free it.
+/// * crash after `Commit` → roll forward: the copy is durable; re-apply
+///   the remap (idempotently) so the mapping points at the new run.
+///
+/// Either way exactly one of {old mapping, new mapping} survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapOp {
+    Intent(RemapTxn),
+    Commit(RemapTxn),
+}
+
+impl RemapOp {
+    /// The transaction both variants carry.
+    pub fn txn(&self) -> &RemapTxn {
+        match self {
+            RemapOp::Intent(t) | RemapOp::Commit(t) => t,
+        }
+    }
+}
+
+fn encode_remap_payload(op: &RemapOp) -> (u8, Vec<u8>) {
+    let (tag, t) = match op {
+        RemapOp::Intent(t) => (TAG_REMAP_INTENT, t),
+        RemapOp::Commit(t) => (TAG_REMAP_COMMIT, t),
+    };
+    let mut buf = Vec::with_capacity(44);
+    buf.extend_from_slice(&t.file.to_le_bytes());
+    buf.extend_from_slice(&t.ost.to_le_bytes());
+    buf.extend_from_slice(&t.logical.to_le_bytes());
+    buf.extend_from_slice(&t.len.to_le_bytes());
+    buf.extend_from_slice(&t.dest.to_le_bytes());
+    buf.extend_from_slice(&t.total.to_le_bytes());
+    debug_assert!(buf.len() <= MAX_PAYLOAD);
+    (tag, buf)
+}
+
+fn decode_remap_payload(tag: u8, payload: &[u8]) -> Option<RemapOp> {
+    let mut pos = 0usize;
+    let txn = RemapTxn {
+        file: read_u64(payload, &mut pos)?,
+        ost: read_u32(payload, &mut pos)?,
+        logical: read_u64(payload, &mut pos)?,
+        len: read_u64(payload, &mut pos)?,
+        dest: read_u64(payload, &mut pos)?,
+        total: read_u64(payload, &mut pos)?,
+    };
+    if pos != payload.len() {
+        return None;
+    }
+    match tag {
+        TAG_REMAP_INTENT => Some(RemapOp::Intent(txn)),
+        TAG_REMAP_COMMIT => Some(RemapOp::Commit(txn)),
+        _ => None,
+    }
+}
+
+/// Encode one remap record with the standard framing (magic, seqno,
+/// checksum — see [`encode_record`]).
+pub fn encode_remap_record(seqno: u64, op: &RemapOp) -> [u8; WAL_RECORD_BYTES] {
+    let (tag, payload) = encode_remap_payload(op);
+    let mut rec = [0u8; WAL_RECORD_BYTES];
+    rec[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    rec[4..12].copy_from_slice(&seqno.to_le_bytes());
+    rec[12] = tag;
+    rec[13..15].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+    rec[HEADER_BYTES..HEADER_BYTES + payload.len()].copy_from_slice(&payload);
+    let sum = fnv1a(&rec[..CHECKSUM_OFFSET]);
+    rec[CHECKSUM_OFFSET..].copy_from_slice(&sum.to_le_bytes());
+    rec
+}
+
+/// The result of scanning a remap WAL image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapRecovery {
+    /// The longest clean prefix of remap records, in commit order.
+    pub ops: Vec<RemapOp>,
+    /// Why the scan stopped.
+    pub stop: RecoveryStop,
+}
+
+/// Scan a remap WAL image: same acceptance rules as [`recover`] (longest
+/// clean prefix; magic, checksum, seqno and payload all validated), but
+/// decoding the defrag record tags.
+pub fn recover_remaps(image: &[u8], first_seqno: u64) -> RemapRecovery {
+    let mut ops = Vec::new();
+    let mut at = 0u64;
+    let mut pos = 0usize;
+    let stop = loop {
+        if pos == image.len() {
+            break RecoveryStop::CleanEnd;
+        }
+        if image.len() - pos < WAL_RECORD_BYTES {
+            break RecoveryStop::TornTail { at };
+        }
+        let rec = &image[pos..pos + WAL_RECORD_BYTES];
+        if rec[0..4] != MAGIC.to_le_bytes() {
+            break RecoveryStop::BadMagic { at };
+        }
+        let sum = u64::from_le_bytes(rec[CHECKSUM_OFFSET..].try_into().expect("8 bytes"));
+        if fnv1a(&rec[..CHECKSUM_OFFSET]) != sum {
+            break RecoveryStop::BadChecksum { at };
+        }
+        let seqno = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+        let expected = first_seqno + at;
+        if seqno != expected {
+            break RecoveryStop::SeqnoMismatch {
+                at,
+                expected,
+                found: seqno,
+            };
+        }
+        let len = u16::from_le_bytes(rec[13..15].try_into().expect("2 bytes")) as usize;
+        let op = if len <= MAX_PAYLOAD {
+            decode_remap_payload(rec[12], &rec[HEADER_BYTES..HEADER_BYTES + len])
+        } else {
+            None
+        };
+        match op {
+            Some(op) => ops.push(op),
+            None => break RecoveryStop::BadPayload { at },
+        }
+        at += 1;
+        pos += WAL_RECORD_BYTES;
+    };
+    RemapRecovery { ops, stop }
+}
+
+/// An append-only remap-WAL image under construction — the defrag engine's
+/// log stream. Mirrors [`WalWriter`], including first-class torn appends
+/// for crash injection.
+#[derive(Debug, Clone, Default)]
+pub struct RemapWal {
+    image: Vec<u8>,
+    next_seqno: u64,
+}
+
+impl RemapWal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one fully-persisted remap record.
+    pub fn append(&mut self, op: &RemapOp) {
+        let rec = encode_remap_record(self.next_seqno, op);
+        self.image.extend_from_slice(&rec);
+        self.next_seqno += 1;
+    }
+
+    /// Append a *torn* remap record: only the first `persisted` bytes reach
+    /// the image (clamped to a strict prefix, tail zero-filled).
+    pub fn append_torn(&mut self, op: &RemapOp, persisted: usize) {
+        let rec = encode_remap_record(self.next_seqno, op);
+        let persisted = persisted.min(WAL_RECORD_BYTES - 1);
+        self.image.extend_from_slice(&rec[..persisted]);
+        self.image
+            .extend(std::iter::repeat_n(0u8, WAL_RECORD_BYTES - persisted));
+        self.next_seqno += 1;
+    }
+
+    /// Records appended so far (torn ones included).
+    pub fn len(&self) -> u64 {
+        self.next_seqno
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.next_seqno == 0
+    }
+
+    /// The on-media bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Consume the writer, returning the image.
+    pub fn into_image(self) -> Vec<u8> {
+        self.image
+    }
+}
+
 /// Encode a whole redo log as a WAL image (seqnos from 0).
 pub fn encode_log(log: &OpLog) -> Vec<u8> {
     let mut w = WalWriter::new();
@@ -447,6 +653,86 @@ mod tests {
         let r = recover(&img, 0);
         assert_eq!(r.ops.len(), 1);
         assert_eq!(r.stop, RecoveryStop::BadMagic { at: 1 });
+    }
+
+    fn sample_txn() -> RemapTxn {
+        RemapTxn {
+            file: 7,
+            ost: 2,
+            logical: 128,
+            len: 96,
+            dest: 4096,
+            total: 80,
+        }
+    }
+
+    #[test]
+    fn remap_records_round_trip() {
+        let mut w = RemapWal::new();
+        w.append(&RemapOp::Intent(sample_txn()));
+        w.append(&RemapOp::Commit(sample_txn()));
+        let r = recover_remaps(w.image(), 0);
+        assert_eq!(
+            r.ops,
+            vec![RemapOp::Intent(sample_txn()), RemapOp::Commit(sample_txn())]
+        );
+        assert_eq!(r.stop, RecoveryStop::CleanEnd);
+    }
+
+    #[test]
+    fn torn_remap_record_ends_the_prefix() {
+        for persisted in [0usize, 1, 20, 43, 119, 127] {
+            let mut w = RemapWal::new();
+            w.append(&RemapOp::Intent(sample_txn()));
+            w.append_torn(&RemapOp::Commit(sample_txn()), persisted);
+            let r = recover_remaps(w.image(), 0);
+            assert_eq!(
+                r.ops,
+                vec![RemapOp::Intent(sample_txn())],
+                "persisted={persisted}"
+            );
+            assert!(
+                matches!(
+                    r.stop,
+                    RecoveryStop::BadChecksum { at: 1 } | RecoveryStop::BadMagic { at: 1 }
+                ),
+                "persisted={persisted}: {:?}",
+                r.stop
+            );
+        }
+    }
+
+    #[test]
+    fn remap_scan_rejects_metadata_tags_and_vice_versa() {
+        // A metadata record in the remap stream stops the scan (BadPayload),
+        // and a remap record in the metadata stream does the same: the two
+        // log streams cannot silently replay each other's records.
+        let meta = encode_record(0, &sample_ops()[0]);
+        let r = recover_remaps(&meta, 0);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.stop, RecoveryStop::BadPayload { at: 0 });
+
+        let remap = encode_remap_record(0, &RemapOp::Intent(sample_txn()));
+        let r = recover(&remap, 0);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.stop, RecoveryStop::BadPayload { at: 0 });
+    }
+
+    #[test]
+    fn stale_remap_lap_rejected_by_seqno() {
+        let mut img = Vec::new();
+        img.extend_from_slice(&encode_remap_record(9, &RemapOp::Intent(sample_txn())));
+        img.extend_from_slice(&encode_remap_record(4, &RemapOp::Commit(sample_txn())));
+        let r = recover_remaps(&img, 9);
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(
+            r.stop,
+            RecoveryStop::SeqnoMismatch {
+                at: 1,
+                expected: 10,
+                found: 4
+            }
+        );
     }
 
     #[test]

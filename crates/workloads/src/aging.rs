@@ -8,6 +8,8 @@
 //! content preallocation degrades to scattered blocks and linear dirent
 //! scans touch scattered blocks.
 
+use mif_alloc::{PolicyKind, StreamId};
+use mif_core::{FileSystem, FsConfig, OpenFile};
 use mif_mds::{DirMode, InodeNo, Mds, MdsConfig, MdsLayout, ROOT_INO};
 use mif_rng::SmallRng;
 use mif_simdisk::Nanos;
@@ -186,6 +188,128 @@ pub fn run(mode: DirMode, params: &AgingParams) -> AgingResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Data-path aging: fragment the OSTs' file layouts and free space.
+// ---------------------------------------------------------------------------
+
+/// Parameters for aging the *data* file system — the OST block layer —
+/// where [`run`] above ages the metadata store. Interleaved multi-stream
+/// appends fragment each file's mapping (Fig. 1a under the reservation
+/// baseline) while create/delete churn punches holes into the free space,
+/// leaving exactly the aged state the defrag engine exists to reverse.
+#[derive(Debug, Clone)]
+pub struct DataAgingParams {
+    pub osts: u32,
+    pub policy: PolicyKind,
+    /// Files that survive aging (the candidates defrag will score).
+    pub survivors: u32,
+    /// Short-lived files created each cycle; about half are deleted again.
+    pub churn_files: u32,
+    pub cycles: u32,
+    /// Concurrent writer streams per file.
+    pub streams: u32,
+    pub rounds_per_cycle: u32,
+    /// Blocks per write request.
+    pub write_blocks: u64,
+    pub seed: u64,
+    pub groups_per_ost: usize,
+    /// Blocks per OST disk (small, so churn moves real utilization).
+    pub geometry_blocks: u64,
+}
+
+impl Default for DataAgingParams {
+    fn default() -> Self {
+        Self {
+            osts: 3,
+            policy: PolicyKind::Reservation,
+            survivors: 8,
+            churn_files: 4,
+            cycles: 4,
+            streams: 4,
+            rounds_per_cycle: 8,
+            write_blocks: 4,
+            seed: 1,
+            groups_per_ost: 8,
+            geometry_blocks: 64 * 1024,
+        }
+    }
+}
+
+/// Age a data file system: churn cycles of interleaved multi-stream writes
+/// to survivor + short-lived files, with a random fraction of the
+/// short-lived ones deleted per cycle. Survivors end closed (windows
+/// released) and synced; the returned handles identify them. Deterministic
+/// in `params.seed`.
+pub fn age_data_fs(params: &DataAgingParams) -> (FileSystem, Vec<OpenFile>) {
+    let mut cfg = FsConfig::with_policy(params.policy, params.osts);
+    cfg.groups_per_ost = params.groups_per_ost;
+    cfg.geometry.blocks = params.geometry_blocks;
+    let mut fs = FileSystem::new(cfg);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // Each stream appends within its own logical region; regions are sized
+    // so they never collide across cycles.
+    let region = params.cycles as u64 * params.rounds_per_cycle as u64 * params.write_blocks;
+    let survivors: Vec<OpenFile> = (0..params.survivors)
+        .map(|i| fs.create(&format!("aged-{i}"), None))
+        .collect();
+    // Per-survivor, per-stream append progress (blocks written so far).
+    let mut progress = vec![vec![0u64; params.streams as usize]; survivors.len()];
+    let mut junk: Vec<OpenFile> = Vec::new();
+
+    for cycle in 0..params.cycles {
+        let churn: Vec<OpenFile> = (0..params.churn_files)
+            .map(|i| fs.create(&format!("churn-{cycle}-{i}"), None))
+            .collect();
+        for round in 0..params.rounds_per_cycle as u64 {
+            fs.begin_round();
+            for (fi, &f) in survivors.iter().enumerate() {
+                for s in 0..params.streams {
+                    let pos = &mut progress[fi][s as usize];
+                    fs.write(
+                        f,
+                        StreamId::new(s, fi as u32),
+                        s as u64 * region + *pos,
+                        params.write_blocks,
+                    );
+                    *pos += params.write_blocks;
+                }
+            }
+            for (ci, &f) in churn.iter().enumerate() {
+                let s = (ci % params.streams as usize) as u32;
+                fs.write(
+                    f,
+                    StreamId::new(s, 1000 + ci as u32),
+                    round * params.write_blocks,
+                    params.write_blocks,
+                );
+            }
+            fs.end_round();
+        }
+        fs.sync_data();
+        // Delete roughly half of this cycle's churn immediately (free-space
+        // holes between the survivors' just-written runs); park the rest.
+        for f in churn {
+            if rng.gen::<f64>() < 0.5 {
+                fs.unlink(f);
+            } else {
+                fs.close(f);
+                junk.push(f);
+            }
+        }
+        // And occasionally reap an older parked file.
+        if !junk.is_empty() && rng.gen::<f64>() < 0.5 {
+            let idx = rng.gen_range(0..junk.len());
+            fs.unlink(junk.swap_remove(idx));
+        }
+    }
+    for &f in &survivors {
+        fs.close(f);
+    }
+    fs.sync_data();
+    (fs, survivors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +369,36 @@ mod tests {
         let b = run(DirMode::Normal, &quick(0.3));
         assert_eq!(a.create_ns, b.create_ns);
         assert_eq!(a.utilization, b.utilization);
+    }
+
+    #[test]
+    fn data_aging_fragments_survivors() {
+        let (fs, survivors) = age_data_fs(&DataAgingParams::default());
+        assert_eq!(survivors.len(), 8);
+        let total_extents: u64 = survivors.iter().map(|&f| fs.file_extents(f)).sum();
+        // Interleaved reservation-policy streams leave each survivor with
+        // far more extents than its OST count (the "ideal" layout).
+        assert!(
+            total_extents as usize > survivors.len() * 3 * 2,
+            "aging left survivors nearly contiguous: {total_extents} extents"
+        );
+        for &f in &survivors {
+            assert_eq!(fs.open_handle_count(f), 0, "survivors come back closed");
+            assert!(fs.file_allocated(f) > 0);
+        }
+    }
+
+    #[test]
+    fn data_aging_is_deterministic() {
+        let (fs_a, sa) = age_data_fs(&DataAgingParams::default());
+        let (fs_b, sb) = age_data_fs(&DataAgingParams::default());
+        assert_eq!(sa, sb);
+        for (&a, &b) in sa.iter().zip(&sb) {
+            assert_eq!(fs_a.file_extents(a), fs_b.file_extents(b));
+            for ost in 0..3 {
+                assert_eq!(fs_a.physical_layout(a, ost), fs_b.physical_layout(b, ost));
+            }
+        }
+        assert_eq!(fs_a.free_blocks(), fs_b.free_blocks());
     }
 }

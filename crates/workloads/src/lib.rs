@@ -60,7 +60,7 @@ pub mod postmark;
 pub mod trace;
 
 pub use abaqus::{AbaqusParams, AbaqusResult};
-pub use aging::{AgingParams, AgingResult};
+pub use aging::{age_data_fs, AgingParams, AgingResult, DataAgingParams};
 pub use apps::{AppKind, AppParams, AppResult};
 pub use btio::{BtioParams, BtioResult};
 pub use fpp::{FileModel, FppParams, FppResult};

@@ -12,10 +12,12 @@
 //!   directories, journal, global directory table
 //! * [`pfs`] — the block-based parallel file system (Redbud analogue)
 //! * [`fsck`] — parallel whole-filesystem check & repair (pFSCK-style)
+//! * [`defrag`] — online, crash-safe, throttled background defragmentation
 //! * [`workloads`] — generators for every benchmark in the paper
 
 pub use mif_alloc as alloc;
 pub use mif_core as pfs;
+pub use mif_defrag as defrag;
 pub use mif_extent as extent;
 pub use mif_fsck as fsck;
 pub use mif_mds as mds;

@@ -7,9 +7,11 @@
 //! so any failure reproduces with a one-line change.
 
 use mif::mds::wal::{self, RecoveryStop, WAL_RECORD_BYTES};
-use mif::mds::{DirMode, InodeNo, LoggedOp, Mds, MdsConfig, OpLog, ROOT_INO};
+use mif::mds::{DirMode, InodeNo, LoggedOp, Mds, MdsConfig, OpLog, RemapWal, ROOT_INO};
 use mif::simdisk::{FaultPlan, IoFault};
 use mif_rng::SmallRng;
+
+mod oracle;
 
 /// Generate a valid random op against the live namespace, mirroring it
 /// into the log (invalid ops — duplicate creates etc. — are skipped the
@@ -270,4 +272,170 @@ fn crash_matrix_every_byte_offset() {
             check_crash_point(seed, cut, mode, &log, &image[..cut], committed);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Defrag under power cut: the online relocation engine's WAL protocol,
+// crashed at every protocol point (torn records included), must recover to
+// a state where exactly one of {old mapping, new mapping} is live, the
+// shared oracle invariants hold, and `fsck --repair` finds nothing to fix.
+// ---------------------------------------------------------------------------
+
+use mif::defrag::{recover, relocate_ost, scan, CrashPoint, Outcome};
+use mif::fsck::{FsckMode, FsckOptions};
+use mif::pfs::FileSystem;
+use mif::workloads::{age_data_fs, DataAgingParams};
+
+/// Every protocol crash point, including torn WAL appends at byte offsets
+/// spanning the record: inside the magic, the header, the payload, and one
+/// byte short of the checksum's end.
+fn defrag_crash_points() -> Vec<CrashPoint> {
+    let mut points = vec![
+        CrashPoint::AfterIntent,
+        CrashPoint::AfterAlloc,
+        CrashPoint::AfterCopy,
+        CrashPoint::AfterCommit,
+    ];
+    for persisted in [1, 3, 7, 14, 44, 90, WAL_RECORD_BYTES - 1] {
+        points.push(CrashPoint::TornIntent { persisted });
+        points.push(CrashPoint::TornCommit { persisted });
+    }
+    points
+}
+
+/// Aged file system + the ranges every survivor's readers rely on (the
+/// aging generator writes each survivor's full logical span).
+fn aged_fs(seed: u64) -> (FileSystem, Vec<(mif::pfs::OpenFile, u64)>) {
+    let params = DataAgingParams {
+        seed,
+        ..Default::default()
+    };
+    let (fs, survivors) = age_data_fs(&params);
+    let spans = survivors.iter().map(|&f| (f, fs.file_size(f))).collect();
+    (fs, spans)
+}
+
+/// All-invariant check after a recovery: oracle invariants plus a
+/// repair-mode fsck that must have nothing to do.
+fn assert_settled(ctx: &str, fs: &mut FileSystem, spans: &[(mif::pfs::OpenFile, u64)]) {
+    let files = fs.file_handles();
+    oracle::assert_physical_disjoint(ctx, fs, &files);
+    oracle::assert_conservation(ctx, fs);
+    for &(f, size) in spans {
+        oracle::assert_written_ranges_mapped(ctx, fs, f, &[(0, size)]);
+    }
+    let opts = FsckOptions {
+        workers: 1,
+        mode: FsckMode::Offline,
+        repair: true,
+    };
+    let report = mif::fsck::run(fs, &opts);
+    assert!(
+        report.clean() && report.repaired == 0,
+        "{ctx}: fsck after defrag recovery: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn defrag_crash_matrix_recovers_at_every_point() {
+    for seed in [0xDF_0001u64, 0xDF_0002] {
+        for (pi, &point) in defrag_crash_points().iter().enumerate() {
+            // Fresh, deterministic world per crash point; a couple of
+            // clean relocations first so the WAL has a committed prefix.
+            let (mut fs, spans) = aged_fs(seed);
+            let ctx = format!("seed {seed} point {pi} ({point:?})");
+            let candidates = scan(&fs, 1).candidates;
+            assert!(candidates.len() >= 3, "{ctx}: aged fs not fragmented");
+            let mut wal = RemapWal::new();
+            let osts = fs.config.osts as usize;
+            for c in &candidates[..2] {
+                for ost in 0..osts {
+                    relocate_ost(&mut fs, &mut wal, c.file, ost, None);
+                }
+            }
+
+            // Crash the next candidate's first eligible relocation.
+            let victim = candidates[2].file;
+            let mut crashed = false;
+            for ost in 0..osts {
+                match relocate_ost(&mut fs, &mut wal, victim, ost, Some(point)) {
+                    Outcome::Crashed { .. } => {
+                        crashed = true;
+                        break;
+                    }
+                    Outcome::Done { .. } | Outcome::Skipped(_) => {}
+                    other => panic!("{ctx}: unexpected outcome {other:?}"),
+                }
+            }
+            assert!(crashed, "{ctx}: crash point never reached");
+
+            // Reboot: recover from the WAL image, then everything must
+            // hold — and a second recovery must change nothing.
+            let rec = recover(&mut fs, wal.image());
+            assert_settled(&ctx, &mut fs, &spans);
+            let again = recover(&mut fs, wal.image());
+            assert_eq!(
+                (again.redone, again.rolled_back),
+                (0, 0),
+                "{ctx}: recovery not idempotent (first: {rec:?})"
+            );
+            assert_settled(&format!("{ctx} (re-recovered)"), &mut fs, &spans);
+        }
+    }
+}
+
+/// A full background pass crashed mid-run at an arbitrary relocation,
+/// recovered, then *finished* by a second pass: the end state must match
+/// an uninterrupted run's layout quality.
+#[test]
+fn interrupted_defrag_run_finishes_after_recovery() {
+    use mif::defrag::{run, DefragConfig};
+
+    let seed = 0xDF_0003u64;
+    let (mut fs, spans) = aged_fs(seed);
+    let candidates = scan(&fs, 1).candidates;
+    let mut wal = RemapWal::new();
+    let osts = fs.config.osts as usize;
+
+    // Relocate half the queue, then power-cut in the middle of the next.
+    let half = candidates.len() / 2;
+    for c in &candidates[..half] {
+        for ost in 0..osts {
+            relocate_ost(&mut fs, &mut wal, c.file, ost, None);
+        }
+    }
+    let mut crashed = false;
+    for ost in 0..osts {
+        if let Outcome::Crashed { .. } = relocate_ost(
+            &mut fs,
+            &mut wal,
+            candidates[half].file,
+            ost,
+            Some(CrashPoint::AfterCopy),
+        ) {
+            crashed = true;
+            break;
+        }
+    }
+    assert!(crashed, "mid-run crash never fired");
+
+    recover(&mut fs, wal.image());
+    assert_settled("mid-run crash", &mut fs, &spans);
+
+    // Finish the job; compare against an uninterrupted world.
+    let mut wal2 = RemapWal::new();
+    run(&mut fs, &mut wal2, &DefragConfig::default());
+
+    let (mut clean_fs, _) = aged_fs(seed);
+    let mut clean_wal = RemapWal::new();
+    run(&mut clean_fs, &mut clean_wal, &DefragConfig::default());
+
+    let interrupted = scan(&fs, 1).report;
+    let uninterrupted = scan(&clean_fs, 1).report;
+    assert_eq!(
+        interrupted.extents, uninterrupted.extents,
+        "crash + recover + resume must reach the same layout quality"
+    );
+    assert_settled("after resumed run", &mut fs, &spans);
 }
