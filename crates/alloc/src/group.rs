@@ -7,12 +7,23 @@
 //! groups. Runs never span a group boundary, exactly like ext block groups.
 
 use crate::bitmap::{BlockBitmap, FreeRunHistogram};
+use crate::lockorder::{self, LockClass};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 struct Group {
     bitmap: Mutex<BlockBitmap>,
     free: AtomicU64,
+}
+
+impl Group {
+    /// Lock this group's bitmap, registering the acquisition with the
+    /// debug lock-order checker. Group locks are the innermost class; the
+    /// token guarantees nothing of equal or lower rank is already held.
+    fn lock(&self) -> (lockorder::LockToken, MutexGuard<'_, BlockBitmap>) {
+        let token = lockorder::acquire(LockClass::Group);
+        (token, self.bitmap.lock().unwrap())
+    }
 }
 
 /// A disk's free-space manager: `groups` independent allocation groups.
@@ -101,7 +112,7 @@ impl GroupedAllocator {
             } else {
                 0
             };
-            let mut bm = g.bitmap.lock().unwrap();
+            let (_order, mut bm) = g.lock();
             if let Some(s) = bm.alloc_run(local_goal, len) {
                 g.free.store(bm.free_count(), Ordering::Relaxed);
                 return Some(self.group_base(gi) + s);
@@ -130,7 +141,7 @@ impl GroupedAllocator {
             } else {
                 0
             };
-            let bm = g.bitmap.lock().unwrap();
+            let (_order, bm) = g.lock();
             if let Some(s) = bm.probe_run(local_goal, len) {
                 return Some(self.group_base(gi) + s);
             }
@@ -141,7 +152,8 @@ impl GroupedAllocator {
     /// Free-run histogram of group `gi` (see [`FreeRunHistogram`]).
     pub fn free_run_histogram(&self, gi: usize) -> FreeRunHistogram {
         assert!(gi < self.groups.len());
-        self.groups[gi].bitmap.lock().unwrap().free_run_histogram()
+        let (_order, bm) = self.groups[gi].lock();
+        bm.free_run_histogram()
     }
 
     /// Allocate exactly `start..start+len` (must not span groups).
@@ -151,7 +163,7 @@ impl GroupedAllocator {
             return false;
         }
         let g = &self.groups[gi];
-        let mut bm = g.bitmap.lock().unwrap();
+        let (_order, mut bm) = g.lock();
         let ok = bm.alloc_at(start - self.group_base(gi), len);
         if ok {
             g.free.store(bm.free_count(), Ordering::Relaxed);
@@ -180,7 +192,7 @@ impl GroupedAllocator {
             } else {
                 0
             };
-            let mut bm = g.bitmap.lock().unwrap();
+            let (_order, mut bm) = g.lock();
             for (s, l) in bm.alloc_chunks(local_goal, need) {
                 out.push((self.group_base(gi) + s, l));
                 need -= l;
@@ -205,7 +217,7 @@ impl GroupedAllocator {
             };
             let run = end.min(group_end) - pos;
             let g = &self.groups[gi];
-            let mut bm = g.bitmap.lock().unwrap();
+            let (_order, mut bm) = g.lock();
             bm.free_range(pos - base, run);
             g.free.store(bm.free_count(), Ordering::Relaxed);
             pos += run;
@@ -215,11 +227,8 @@ impl GroupedAllocator {
     /// Is `block` currently allocated? (test/diagnostic helper)
     pub fn is_allocated(&self, block: u64) -> bool {
         let gi = self.group_of(block);
-        self.groups[gi]
-            .bitmap
-            .lock()
-            .unwrap()
-            .is_allocated(block - self.group_base(gi))
+        let (_order, bm) = self.groups[gi].lock();
+        bm.is_allocated(block - self.group_base(gi))
     }
 
     /// The absolute block range `[base, base+len)` managed by group `gi`.
@@ -240,7 +249,8 @@ impl GroupedAllocator {
     /// group once, then scan the copies without holding any allocator lock.
     pub fn snapshot_group(&self, gi: usize) -> BlockBitmap {
         assert!(gi < self.groups.len());
-        self.groups[gi].bitmap.lock().unwrap().clone()
+        let (_order, bm) = self.groups[gi].lock();
+        bm.clone()
     }
 
     /// Force the bit for absolute block `block` to `set`, bypassing the
@@ -251,7 +261,7 @@ impl GroupedAllocator {
         assert!(block < self.blocks, "force_bit past end of disk");
         let gi = self.group_of(block);
         let g = &self.groups[gi];
-        let mut bm = g.bitmap.lock().unwrap();
+        let (_order, mut bm) = g.lock();
         let local = block - self.group_base(gi);
         let changed = if set {
             bm.force_set(local)

@@ -53,6 +53,7 @@
 pub mod bitmap;
 pub mod buddy;
 pub mod group;
+pub mod lockorder;
 pub mod ondemand;
 pub mod policy;
 pub mod reservation;

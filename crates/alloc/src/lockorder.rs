@@ -1,0 +1,203 @@
+//! Debug-mode lock-ordering checker for the concurrent engine.
+//!
+//! The concurrent front-end (`mif_core::ConcurrentFs`) shards its mutable
+//! state behind many small locks. Deadlock freedom comes from one global
+//! discipline, documented in `docs/CONCURRENCY.md` and written
+//! `group < file < mds-journal`: lock classes are ranked from the
+//! innermost (allocation-group bitmaps, rank 0) to the outermost (the MDS
+//! namespace stripes, rank 5), and a thread may only acquire a lock whose
+//! rank is *strictly lower* than every lock it already holds — acquisition
+//! always descends from the outside in, so no cycle can form.
+//!
+//! This module lives in `mif-alloc` (the lowest crate in the stack) so the
+//! per-(OST, group) bitmap locks of [`crate::GroupedAllocator`] can
+//! register their own acquisitions; the upper ranks are used by
+//! `mif_core`'s concurrent front-end.
+//!
+//! In debug builds every acquisition pushes its rank onto a thread-local
+//! stack and panics on an inversion. In release builds [`LockToken`] is a
+//! zero-sized type and [`acquire`] compiles to nothing.
+
+/// The lock classes of the stack, and their place in the global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockClass {
+    /// One allocation group's bitmap (innermost; per-(OST, group)).
+    Group,
+    /// One OST's disk (never held together with `Group`).
+    Disk,
+    /// One OST's allocation-policy state (windows, goals).
+    Policy,
+    /// One OST's pending-IO queues, or the delayed-allocation registry.
+    OstQueue,
+    /// One file's extent trees / size / handle count.
+    File,
+    /// The file-registry map itself.
+    FileMap,
+    /// The metadata server (journal, stores) — one short inner lock.
+    MdsJournal,
+    /// One MDS namespace stripe (outermost; serializes same-name ops).
+    MdsStripe,
+}
+
+impl LockClass {
+    /// Rank in the global order; lower = inner = acquired later.
+    /// Classes sharing a rank are never held simultaneously.
+    pub fn rank(self) -> u8 {
+        match self {
+            LockClass::Group | LockClass::Disk => 0,
+            LockClass::Policy | LockClass::OstQueue => 1,
+            LockClass::File => 2,
+            LockClass::FileMap => 3,
+            LockClass::MdsJournal => 4,
+            LockClass::MdsStripe => 5,
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    static HELD: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Witness of one registered acquisition; hold it exactly as long as the
+/// guarded `MutexGuard`. Zero-sized (and [`acquire`] is a no-op) in
+/// release builds.
+#[derive(Debug)]
+#[must_use = "hold the token for as long as the lock guard lives"]
+pub struct LockToken {
+    #[cfg(debug_assertions)]
+    rank: u8,
+}
+
+/// Register acquiring a lock of `class`. Panics in debug builds if a lock
+/// of equal or lower rank is already held by this thread (an inversion of
+/// the documented order); does nothing in release builds.
+#[inline]
+pub fn acquire(class: LockClass) -> LockToken {
+    #[cfg(debug_assertions)]
+    {
+        let rank = class.rank();
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&innermost) = held.last() {
+                assert!(
+                    rank < innermost,
+                    "lock-order inversion: acquiring {class:?} (rank {rank}) while already \
+                     holding rank {innermost}; the documented order is group < file < \
+                     mds-journal (inner < outer) — acquire outer locks first"
+                );
+            }
+            held.push(rank);
+        });
+        LockToken { rank }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = class;
+        LockToken {}
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for LockToken {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            // Tokens usually drop LIFO, but release-order is not part of
+            // the discipline — remove the newest entry of our rank.
+            if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Ranks currently held by this thread, innermost last (test hook;
+/// always empty in release builds).
+pub fn held_ranks() -> Vec<u8> {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|h| h.borrow().clone())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_order_is_silent() {
+        // The full descent, outermost to innermost, exactly as the write
+        // and namespace paths acquire it.
+        let s = acquire(LockClass::MdsStripe);
+        let m = acquire(LockClass::MdsJournal);
+        drop(m);
+        let fm = acquire(LockClass::FileMap);
+        drop(fm);
+        let f = acquire(LockClass::File);
+        let p = acquire(LockClass::Policy);
+        let g = acquire(LockClass::Group);
+        drop(g);
+        drop(p);
+        let q = acquire(LockClass::OstQueue);
+        drop(q);
+        drop(f);
+        drop(s);
+        assert!(held_ranks().is_empty(), "all tokens released");
+    }
+
+    #[test]
+    fn out_of_lifo_release_still_balances() {
+        let g = acquire(LockClass::File);
+        let q = acquire(LockClass::Policy);
+        drop(g); // released before the inner token — allowed
+        drop(q);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn group_then_file_inversion_panics() {
+        let _g = acquire(LockClass::Group);
+        let _f = acquire(LockClass::File); // deliberate inversion
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn equal_rank_nesting_panics() {
+        // Policy and OstQueue share a rank precisely because no path may
+        // hold both; the checker enforces that too.
+        let _p = acquire(LockClass::Policy);
+        let _q = acquire(LockClass::OstQueue);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_build_compiles_the_checker_out() {
+        // In release the token is zero-sized, nothing is tracked, and an
+        // inversion that would panic under debug_assertions is silent.
+        assert_eq!(std::mem::size_of::<LockToken>(), 0);
+        let _g = acquire(LockClass::Group);
+        let _f = acquire(LockClass::File);
+        assert!(held_ranks().is_empty(), "release build tracks nothing");
+    }
+
+    #[test]
+    fn checker_state_is_per_thread() {
+        let _f = acquire(LockClass::File);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // A sibling thread holds nothing: the outermost class is
+                // freely acquirable regardless of this thread's state.
+                let t = acquire(LockClass::MdsStripe);
+                drop(t);
+            });
+        });
+    }
+}

@@ -1,0 +1,212 @@
+//! BENCH 5: concurrent write-stream scaling through `ConcurrentFs`.
+//!
+//! N client *threads* — real OS threads, not simulated arrival rounds —
+//! each drive M write streams that extend disjoint regions of one shared
+//! file, for each allocation policy {vanilla, static, on-demand}. This is
+//! the paper's §V-B shared-file workload lifted onto the sharded
+//! front-end: the point is that true parallelism changes neither the
+//! fragmentation story (on-demand stays near static's extent count,
+//! vanilla fragments) nor correctness (optional `--check` fscks every
+//! run), while wall-clock scales with threads because allocator groups,
+//! file state and disk queues are independently locked.
+//!
+//! Emits `BENCH_5.json` — `{threads, policy, wall_ms, sim MiB/s,
+//! extents, fragmentation degree}` per cell — consumed by
+//! EXPERIMENTS.md.
+//!
+//! Usage: `stream_scaling [--threads N] [--out PATH] [--check]`
+//! (default threads sweep: 1, 2, 4).
+
+use mif_alloc::{PolicyKind, StreamId};
+use mif_bench::{expectation, section, Table};
+use mif_core::{ConcurrentFs, FsConfig};
+use mif_fsck::{run as fsck_run, FsckOptions};
+use mif_simdisk::mib_per_sec;
+use std::sync::Arc;
+use std::time::Instant;
+
+const OSTS: u32 = 4;
+const STREAMS_PER_THREAD: u32 = 4;
+const OPS_PER_STREAM: u64 = 256;
+const CHUNK_BLOCKS: u64 = 16;
+const BLOCK_BYTES: u64 = 4096;
+
+/// One cell of the sweep.
+struct Cell {
+    threads: u32,
+    policy: PolicyKind,
+    wall_ms: f64,
+    sim_mib_s: f64,
+    extents: u64,
+    frag_degree: f64,
+}
+
+fn policy_name(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::Vanilla => "vanilla",
+        PolicyKind::Static => "static",
+        PolicyKind::Reservation => "reservation",
+        PolicyKind::OnDemand => "on-demand",
+        PolicyKind::Delayed => "delayed",
+        PolicyKind::Cow => "cow",
+    }
+}
+
+/// Run one (threads, policy) cell and measure it.
+fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
+    let mut cfg = FsConfig::with_policy(policy, OSTS);
+    cfg.stripe_blocks = 64;
+    let fs = Arc::new(ConcurrentFs::new(cfg));
+
+    let region = OPS_PER_STREAM * CHUNK_BLOCKS;
+    let total_blocks = threads as u64 * STREAMS_PER_THREAD as u64 * region;
+    // Static preallocation gets its fallocate-style full-size hint.
+    let hint = matches!(policy, PolicyKind::Static).then_some(total_blocks);
+    let shared = fs.create("shared", hint);
+
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let fs = Arc::clone(&fs);
+            scope.spawn(move || {
+                for i in 0..OPS_PER_STREAM {
+                    for s in 0..STREAMS_PER_THREAD {
+                        let base = (t * STREAMS_PER_THREAD + s) as u64 * region;
+                        fs.write(
+                            shared,
+                            StreamId::new(t, s),
+                            base + i * CHUNK_BLOCKS,
+                            CHUNK_BLOCKS,
+                        );
+                    }
+                    if i % 64 == 63 {
+                        fs.sync();
+                    }
+                }
+            });
+        }
+    });
+    fs.sync();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    fs.close(shared);
+    let extents = fs.file_extents(shared);
+    // Degree as in `mif_extent::fragmentation_degree`: extents per tree,
+    // here one tree per OST; the contiguous ideal is 1.0.
+    let frag_degree = extents as f64 / OSTS as f64;
+    let sim_mib_s = mib_per_sec(total_blocks * BLOCK_BYTES, fs.data_elapsed_ns());
+
+    if check {
+        let fs = Arc::try_unwrap(fs).ok().expect("threads joined");
+        let mut engine = fs.into_engine();
+        engine.release_preallocations();
+        let report = fsck_run(&mut engine, &FsckOptions::offline_repair());
+        if !report.clean() || report.repaired != 0 {
+            eprintln!("stream_scaling: threads={threads} {policy:?} NOT fsck-clean: {report:?}");
+            std::process::exit(1);
+        }
+    }
+
+    Cell {
+        threads,
+        policy,
+        wall_ms,
+        sim_mib_s,
+        extents,
+        frag_degree,
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde).
+fn write_json(path: &str, cells: &[Cell]) {
+    let mut out = String::from("{\n");
+    out += "  \"bench\": \"stream_scaling\",\n";
+    out += &format!("  \"osts\": {OSTS},\n");
+    out += &format!("  \"streams_per_thread\": {STREAMS_PER_THREAD},\n");
+    out += &format!(
+        "  \"blocks_per_stream\": {},\n",
+        OPS_PER_STREAM * CHUNK_BLOCKS
+    );
+    out += &format!("  \"block_bytes\": {BLOCK_BYTES},\n");
+    out += "  \"results\": [\n";
+    for (i, c) in cells.iter().enumerate() {
+        out += &format!(
+            "    {{\"threads\": {}, \"policy\": \"{}\", \"wall_ms\": {:.2}, \
+             \"mib_per_s\": {:.1}, \"extents\": {}, \"fragmentation_degree\": {:.2}}}{}\n",
+            c.threads,
+            policy_name(c.policy),
+            c.wall_ms,
+            c.sim_mib_s,
+            c.extents,
+            c.frag_degree,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out += "  ]\n}\n";
+    std::fs::write(path, out).expect("write BENCH json");
+}
+
+fn main() {
+    let mut threads_sweep = vec![1u32, 2, 4];
+    let mut out_path = String::from("BENCH_5.json");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let n: u32 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads N");
+                threads_sweep = vec![n];
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown flag {other}; usage: stream_scaling [--threads N] [--out PATH] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    section("BENCH 5 — concurrent stream scaling (threads × policy)");
+    expectation(
+        "on-demand tracks static's extent count under true thread \
+         parallelism while vanilla fragments; fsck stays clean (--check)",
+    );
+
+    let table = Table::new(
+        &[
+            "threads",
+            "policy",
+            "wall ms",
+            "sim MiB/s",
+            "extents",
+            "frag",
+        ],
+        &[7, 10, 9, 10, 8, 6],
+    );
+    let mut cells = Vec::new();
+    for &threads in &threads_sweep {
+        for policy in [
+            PolicyKind::Vanilla,
+            PolicyKind::Static,
+            PolicyKind::OnDemand,
+        ] {
+            let c = run_cell(threads, policy, check);
+            table.row(&[
+                c.threads.to_string(),
+                policy_name(c.policy).into(),
+                format!("{:.1}", c.wall_ms),
+                format!("{:.1}", c.sim_mib_s),
+                c.extents.to_string(),
+                format!("{:.2}", c.frag_degree),
+            ]);
+            cells.push(c);
+        }
+    }
+
+    write_json(&out_path, &cells);
+    println!();
+    println!("wrote {out_path}");
+}

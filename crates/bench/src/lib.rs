@@ -23,6 +23,7 @@
 //! | `ablate_cow` | §II-B copy-on-write writes fast / reads compromised |
 //! | `ablate_replication` | §II-B reorganization cost + false-prediction risk |
 //! | `ablate_aggregation` | §II-A.2 readdirplus / open-getlayout pairs |
+//! | `stream_scaling` | BENCH 5: threads × policy through the concurrent front-end (`BENCH_5.json`) |
 //!
 //! Micro-benches live under `benches/` and use the tiny wall-clock
 //! harness in [`micro`] (`cargo bench` — no external harness needed).

@@ -1,0 +1,983 @@
+//! The concurrent multi-client front-end.
+//!
+//! [`FileSystem`] models concurrency with *rounds*: one caller drives every
+//! stream serially and allocation order stands in for arrival order. That
+//! reproduces the paper's figures, but the allocator's per-stream windows
+//! are never exercised under real thread interleaving. [`ConcurrentFs`]
+//! closes that gap: it owns the same state as the engine, sharded behind
+//! fine-grained locks, so genuinely parallel client threads create, write,
+//! read and close files through a shared `&ConcurrentFs`.
+//!
+//! # Sharding map
+//!
+//! * **per OST** ([`OstShard`]): the parallel-allocation-group allocator
+//!   (already internally locked per group), the allocation-policy state
+//!   (windows, goals) behind one short mutex, the pending/write-back IO
+//!   queues, and the simulated disk behind its own mutex;
+//! * **per file**: name/ino/shift are immutable in an `Arc`ed slot; extent
+//!   trees, size, handle count and delayed-allocation buffers live behind
+//!   the slot's mutex — writers to *different* files never contend;
+//! * **MDS**: a striped lock table ([`mif_mds::Mds::name_stripe`]) guards
+//!   the directory paths, so namespace operations on different names run
+//!   concurrently while same-name races serialize; the `Mds` object itself
+//!   is one short inner lock;
+//! * **counters**: next-file id, write-back watermark, MDS CPU time and
+//!   the aggregated disk statistics ([`SharedDiskStats`]) are lock-free
+//!   atomics feeding [`crate::metrics`].
+//!
+//! # Lock order
+//!
+//! Deadlock freedom comes from the global rank discipline documented in
+//! [`mif_alloc::lockorder`] (`group < file < mds-journal`, inner to
+//! outer): every path acquires locks in strictly descending rank. Debug
+//! builds enforce this with the panic-on-inversion checker; release builds
+//! compile the checks out. See `docs/CONCURRENCY.md` for the full map.
+//!
+//! # Time and quiescing
+//!
+//! There are no rounds here. Writes buffer in per-OST write-back queues and
+//! flush when the configured watermark is crossed (or at [`sync`]); each
+//! shard accumulates its own simulated busy time and the data clock is
+//! gated by the busiest shard, exactly like a [`DiskArray`] round. Tools
+//! that need the whole-system view — fsck, the defrag engine, the oracle
+//! checkers — run against the single-threaded engine: [`into_engine`]
+//! quiesces, reassembles and hands back a plain [`FileSystem`] (and
+//! [`from_engine`] goes the other way), so every existing hook keeps
+//! working unchanged.
+//!
+//! [`sync`]: ConcurrentFs::sync
+//! [`into_engine`]: ConcurrentFs::into_engine
+//! [`from_engine`]: ConcurrentFs::from_engine
+//!
+//! # Example
+//!
+//! ```
+//! use mif_core::{ConcurrentFs, FsConfig};
+//! use mif_alloc::{PolicyKind, StreamId};
+//! use std::sync::Arc;
+//!
+//! let fs = Arc::new(ConcurrentFs::new(FsConfig::with_policy(
+//!     PolicyKind::OnDemand,
+//!     2,
+//! )));
+//! let file = fs.create("shared.out", None);
+//!
+//! // Two real threads extend disjoint regions of the shared file.
+//! std::thread::scope(|s| {
+//!     for t in 0..2u32 {
+//!         let fs = Arc::clone(&fs);
+//!         s.spawn(move || {
+//!             let stream = StreamId::new(t, 0);
+//!             for i in 0..8u64 {
+//!                 fs.write(file, stream, t as u64 * 4096 + i * 4, 4);
+//!             }
+//!         });
+//!     }
+//! });
+//! fs.sync();
+//! assert_eq!(fs.file_allocated(file), 64);
+//!
+//! // Quiesce into the single-threaded engine for fsck/defrag/oracles.
+//! let fs = Arc::try_unwrap(fs).ok().expect("threads joined");
+//! let engine = fs.into_engine();
+//! assert_eq!(engine.file_allocated(file), 64);
+//! ```
+
+use crate::config::FsConfig;
+use crate::fs::{EngineParts, FileState, FileSystem, OpenFile, Ost};
+use crate::metrics::FsMetrics;
+use crate::striping::Striping;
+use mif_alloc::lockorder::{self, LockClass};
+use mif_alloc::{AllocPolicy, FileId, GroupedAllocator, PolicyKind, StreamId};
+use mif_extent::{Extent, ExtentTree};
+use mif_mds::{InodeNo, Mds, ROOT_INO};
+use mif_simdisk::{
+    BlockRequest, Disk, DiskArray, DiskStats, FaultPlan, FaultStats, IoFault, Nanos,
+    SharedDiskStats,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Stripes in the MDS namespace lock table.
+const MDS_STRIPES: usize = 16;
+
+/// IO accumulated toward one OST between flushes.
+#[derive(Default)]
+struct OstQueues {
+    /// Read requests (serviced at the next flush, like a round's batch).
+    pending: Vec<BlockRequest>,
+    /// Dirty write-back data.
+    writeback: Vec<BlockRequest>,
+}
+
+/// One IO server's shard of the mutable state.
+struct OstShard {
+    /// Parallel allocation groups — internally one lock per group, so
+    /// streams hitting different groups allocate concurrently.
+    alloc: GroupedAllocator,
+    /// Policy window state. Held only around `create`/`extend`/`finalize`
+    /// decisions, never around disk IO.
+    policy: Mutex<Box<dyn AllocPolicy>>,
+    queues: Mutex<OstQueues>,
+    disk: Mutex<Disk>,
+    /// Simulated busy time this shard accumulated under the front-end.
+    elapsed_ns: AtomicU64,
+}
+
+/// Mutable per-file state, guarded by the slot's mutex.
+struct FileInner {
+    trees: Vec<ExtentTree>,
+    size_blocks: u64,
+    open_handles: u32,
+    /// Delayed-allocation buffers, one per OST: unmapped logical ranges
+    /// awaiting coalesced allocation at flush time.
+    delayed: Vec<Vec<(u64, u64)>>,
+}
+
+/// One file: immutable identity plus locked mutable state.
+struct FileSlot {
+    id: FileId,
+    name: String,
+    ino: InodeNo,
+    ost_shift: u32,
+    inner: Mutex<FileInner>,
+}
+
+/// A thread-safe front-end over the core file system: the same semantics
+/// as [`FileSystem`], shared by reference across client threads.
+pub struct ConcurrentFs {
+    pub config: FsConfig,
+    striping: Striping,
+    shards: Vec<OstShard>,
+    mds: Mutex<Mds>,
+    mds_stripes: Vec<Mutex<()>>,
+    files: RwLock<HashMap<FileId, Arc<FileSlot>>>,
+    /// Files with non-empty delayed buffers (drained at flush).
+    delayed_dirty: Mutex<HashSet<FileId>>,
+    next_file: AtomicU64,
+    writeback_blocks: AtomicU64,
+    mds_cpu_ns: AtomicU64,
+    /// Data-clock time inherited from the engine at construction.
+    base_elapsed_ns: Nanos,
+    /// Lock-free aggregate of every batch submitted through this front-end
+    /// (seeded with the engine's totals at construction).
+    io: SharedDiskStats,
+}
+
+impl ConcurrentFs {
+    /// A fresh file system ready for parallel clients.
+    pub fn new(config: FsConfig) -> Self {
+        Self::from_engine(FileSystem::new(config))
+    }
+
+    /// Shard a quiesced single-threaded engine. Panics if the engine has
+    /// an open round.
+    pub fn from_engine(fs: FileSystem) -> Self {
+        let parts = fs.into_parts();
+        let io = SharedDiskStats::default();
+        let disks = parts.array.into_disks();
+        let shards: Vec<OstShard> = parts
+            .osts
+            .into_iter()
+            .zip(disks)
+            .map(|(ost, disk)| {
+                io.add(disk.stats());
+                OstShard {
+                    alloc: ost.alloc,
+                    policy: Mutex::new(ost.policy),
+                    queues: Mutex::new(OstQueues::default()),
+                    disk: Mutex::new(disk),
+                    elapsed_ns: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let osts_n = shards.len();
+        let files = parts
+            .files
+            .into_iter()
+            .map(|(id, f)| {
+                (
+                    id,
+                    Arc::new(FileSlot {
+                        id,
+                        name: f.name,
+                        ino: f.ino,
+                        ost_shift: f.ost_shift,
+                        inner: Mutex::new(FileInner {
+                            trees: f.trees,
+                            size_blocks: f.size_blocks,
+                            open_handles: f.open_handles,
+                            delayed: vec![Vec::new(); osts_n],
+                        }),
+                    }),
+                )
+            })
+            .collect();
+        Self {
+            striping: Striping::new(parts.config.osts, parts.config.stripe_blocks),
+            shards,
+            mds: Mutex::new(parts.mds),
+            mds_stripes: (0..MDS_STRIPES).map(|_| Mutex::new(())).collect(),
+            files: RwLock::new(files),
+            delayed_dirty: Mutex::new(HashSet::new()),
+            next_file: AtomicU64::new(parts.next_file),
+            writeback_blocks: AtomicU64::new(0),
+            mds_cpu_ns: AtomicU64::new(parts.mds_cpu_ns),
+            base_elapsed_ns: parts.data_elapsed_ns,
+            io,
+            config: parts.config,
+        }
+    }
+
+    /// Quiesce and reassemble the single-threaded engine: flush all dirty
+    /// state, unwrap every shard, and hand the whole system back for
+    /// fsck, defrag, oracle checks or further serial driving. The caller
+    /// must hold the only reference (all client threads joined).
+    pub fn into_engine(self) -> FileSystem {
+        self.sync();
+        let ConcurrentFs {
+            config,
+            shards,
+            mds,
+            files,
+            next_file,
+            mds_cpu_ns,
+            base_elapsed_ns,
+            ..
+        } = self;
+        let mut disks = Vec::with_capacity(shards.len());
+        let mut osts = Vec::with_capacity(shards.len());
+        let mut busiest: Nanos = 0;
+        for shard in shards {
+            busiest = busiest.max(shard.elapsed_ns.into_inner());
+            disks.push(shard.disk.into_inner().unwrap());
+            osts.push(Ost {
+                alloc: shard.alloc,
+                policy: shard.policy.into_inner().unwrap(),
+            });
+        }
+        let files = files
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|(id, slot)| {
+                let slot = Arc::try_unwrap(slot)
+                    .ok()
+                    .expect("file slot still referenced at quiesce");
+                let inner = slot.inner.into_inner().unwrap();
+                (
+                    id,
+                    FileState {
+                        name: slot.name,
+                        ino: slot.ino,
+                        trees: inner.trees,
+                        size_blocks: inner.size_blocks,
+                        ost_shift: slot.ost_shift,
+                        open_handles: inner.open_handles,
+                    },
+                )
+            })
+            .collect();
+        FileSystem::from_parts(EngineParts {
+            array: DiskArray::from_disks(disks),
+            osts,
+            mds: mds.into_inner().unwrap(),
+            files,
+            next_file: next_file.into_inner(),
+            data_elapsed_ns: base_elapsed_ns + busiest,
+            mds_cpu_ns: mds_cpu_ns.into_inner(),
+            config,
+        })
+    }
+
+    fn slot(&self, file: OpenFile) -> Option<Arc<FileSlot>> {
+        let _order = lockorder::acquire(LockClass::FileMap);
+        self.files.read().unwrap().get(&file.0).cloned()
+    }
+
+    fn stripe_guard(&self, name: &str) -> (lockorder::LockToken, std::sync::MutexGuard<'_, ()>) {
+        let token = lockorder::acquire(LockClass::MdsStripe);
+        let idx = Mds::name_stripe(ROOT_INO, name, self.mds_stripes.len());
+        (token, self.mds_stripes[idx].lock().unwrap())
+    }
+
+    // ----- lifecycle ------------------------------------------------------
+
+    /// Create a file under the root directory (see [`FileSystem::create`]).
+    pub fn create(&self, name: &str, size_hint_blocks: Option<u64>) -> OpenFile {
+        let id = FileId(self.next_file.fetch_add(1, Ordering::Relaxed));
+        let per_ost_hint = size_hint_blocks.map(|s| s.div_ceil(self.config.osts as u64));
+        let _stripe = self.stripe_guard(name);
+        let ino = {
+            let _order = lockorder::acquire(LockClass::MdsJournal);
+            self.mds.lock().unwrap().create(ROOT_INO, name, 0)
+        };
+        for shard in &self.shards {
+            let _order = lockorder::acquire(LockClass::Policy);
+            shard
+                .policy
+                .lock()
+                .unwrap()
+                .create(&shard.alloc, id, per_ost_hint);
+        }
+        let mut trees: Vec<ExtentTree> =
+            (0..self.shards.len()).map(|_| ExtentTree::new()).collect();
+        // fallocate semantics, as in the engine: static preallocation maps
+        // the whole hinted range up front.
+        if self.config.policy == PolicyKind::Static {
+            if let Some(hint) = per_ost_hint {
+                let stream = StreamId::new(u32::MAX, u32::MAX);
+                for (shard, tree) in self.shards.iter().zip(&mut trees) {
+                    let _order = lockorder::acquire(LockClass::Policy);
+                    let mut policy = shard.policy.lock().unwrap();
+                    let mut logical = 0;
+                    for (phys, l) in policy.extend(&shard.alloc, id, stream, 0, hint) {
+                        tree.insert(Extent::new(logical, phys, l));
+                        logical += l;
+                    }
+                }
+            }
+        }
+        let slot = Arc::new(FileSlot {
+            id,
+            name: name.to_string(),
+            ino,
+            ost_shift: (id.0 % self.config.osts as u64) as u32,
+            inner: Mutex::new(FileInner {
+                trees,
+                size_blocks: 0,
+                open_handles: 1,
+                delayed: vec![Vec::new(); self.shards.len()],
+            }),
+        });
+        {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files.write().unwrap().insert(id, slot);
+        }
+        OpenFile(id)
+    }
+
+    /// Open by name (aggregated open-getlayout, as in the engine).
+    pub fn open(&self, name: &str) -> Option<OpenFile> {
+        let _stripe = self.stripe_guard(name);
+        let slot = {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files
+                .read()
+                .unwrap()
+                .values()
+                .find(|s| s.name == name)
+                .cloned()
+        }?;
+        {
+            let _order = lockorder::acquire(LockClass::MdsJournal);
+            self.mds.lock().unwrap().getlayout(ROOT_INO, name);
+        }
+        let _order = lockorder::acquire(LockClass::File);
+        slot.inner.lock().unwrap().open_handles += 1;
+        Some(OpenFile(slot.id))
+    }
+
+    /// Close one handle; the last close finalizes policy windows on every
+    /// OST (see [`FileSystem::close`]). A concurrent reopen racing the
+    /// last close is the caller's serialization duty, exactly as with
+    /// POSIX file descriptors.
+    pub fn close(&self, file: OpenFile) {
+        let Some(slot) = self.slot(file) else {
+            return;
+        };
+        let last = {
+            let _order = lockorder::acquire(LockClass::File);
+            let mut inner = slot.inner.lock().unwrap();
+            inner.open_handles = inner.open_handles.saturating_sub(1);
+            inner.open_handles == 0
+        };
+        if last {
+            for shard in &self.shards {
+                let _order = lockorder::acquire(LockClass::Policy);
+                shard.policy.lock().unwrap().finalize(&shard.alloc, file.0);
+            }
+        }
+    }
+
+    /// Live handles on `file` (0 after the last close or for unknown ids).
+    pub fn open_handle_count(&self, file: OpenFile) -> u32 {
+        let Some(slot) = self.slot(file) else {
+            return 0;
+        };
+        let _order = lockorder::acquire(LockClass::File);
+        let n = slot.inner.lock().unwrap().open_handles;
+        n
+    }
+
+    /// Does any OST's policy still hold a live preallocation window for
+    /// `file`? (The defrag scheduler's skip check.)
+    pub fn has_live_preallocation(&self, file: OpenFile) -> bool {
+        self.shards.iter().any(|shard| {
+            let _order = lockorder::acquire(LockClass::Policy);
+            let held = shard.policy.lock().unwrap().has_reservation(file.0);
+            held
+        })
+    }
+
+    /// Delete: flush, drop the namespace entry, free every block (see
+    /// [`FileSystem::unlink`]). Concurrent writers to the dying file are
+    /// the caller's serialization duty.
+    pub fn unlink(&self, file: OpenFile) {
+        self.sync();
+        let Some(slot) = self.slot(file) else {
+            return;
+        };
+        let name = slot.name.clone();
+        drop(slot);
+        let _stripe = self.stripe_guard(&name);
+        let slot = {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files.write().unwrap().remove(&file.0)
+        };
+        let Some(slot) = slot else {
+            return; // lost the race to another unlink
+        };
+        {
+            let _order = lockorder::acquire(LockClass::MdsJournal);
+            self.mds.lock().unwrap().unlink(ROOT_INO, &name);
+        }
+        for shard in &self.shards {
+            let _order = lockorder::acquire(LockClass::Policy);
+            shard.policy.lock().unwrap().finalize(&shard.alloc, file.0);
+        }
+        let _order = lockorder::acquire(LockClass::File);
+        let mut inner = slot.inner.lock().unwrap();
+        for (i, tree) in inner.trees.iter_mut().enumerate() {
+            let shard = &self.shards[i];
+            for (phys, len) in tree.clear() {
+                shard.alloc.free(phys, len);
+                let _disk = lockorder::acquire(LockClass::Disk);
+                shard.disk.lock().unwrap().invalidate(phys, len);
+            }
+        }
+    }
+
+    // ----- data path ------------------------------------------------------
+
+    /// Write `len` blocks at `offset` on behalf of `stream`; allocation
+    /// runs under the sharded locks, data buffers in the per-OST
+    /// write-back queues (flushed past the watermark or at [`sync`]).
+    ///
+    /// [`sync`]: ConcurrentFs::sync
+    pub fn write(&self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
+        self.try_write(file, stream, offset, len)
+            .unwrap_or_else(|(ost, f)| panic!("unhandled fault on OST {ost}: {f}"));
+    }
+
+    /// Fallible [`ConcurrentFs::write`]: a dead (powered-off) server fails
+    /// the buffering immediately; other faults surface at flush time.
+    pub fn try_write(
+        &self,
+        file: OpenFile,
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), (usize, IoFault)> {
+        assert!(len > 0, "zero-length write");
+        for (i, shard) in self.shards.iter().enumerate() {
+            let _order = lockorder::acquire(LockClass::Disk);
+            let disk = shard.disk.lock().unwrap();
+            if disk.powered_off() {
+                let writes = disk
+                    .fault_stats()
+                    .map(|s| s.writes_seen)
+                    .unwrap_or_default();
+                return Err((
+                    i,
+                    IoFault::PowerCut {
+                        after_writes: writes,
+                    },
+                ));
+            }
+        }
+        let slot = self.slot(file).expect("write to unknown file");
+        {
+            let _order = lockorder::acquire(LockClass::File);
+            let mut inner = slot.inner.lock().unwrap();
+            self.write_locked(&slot, &mut inner, stream, offset, len);
+        }
+        if self.writeback_blocks.load(Ordering::Relaxed) >= self.config.writeback_limit_blocks {
+            self.try_flush()?;
+        }
+        Ok(())
+    }
+
+    /// The write hot path, under this file's lock. Mirrors the engine's
+    /// `write_inner`: delayed buffering, CoW relocation, hole allocation
+    /// through the policy, then write-back queuing. The policy lock is
+    /// scoped to the `extend` call — never held across queue or disk work.
+    fn write_locked(
+        &self,
+        slot: &FileSlot,
+        inner: &mut FileInner,
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    ) {
+        let pieces = self.striping.split(offset, len, slot.ost_shift);
+        let delayed = self.config.policy == PolicyKind::Delayed;
+        for (ost_idx, local, run, _) in pieces {
+            let ost_idx = ost_idx as usize;
+            let shard = &self.shards[ost_idx];
+
+            if delayed {
+                let mut buffered = 0u64;
+                for (gap_start, gap_len) in inner.trees[ost_idx].gaps(local, run) {
+                    inner.delayed[ost_idx].push((gap_start, gap_len));
+                    buffered += gap_len;
+                }
+                if buffered > 0 {
+                    self.writeback_blocks.fetch_add(buffered, Ordering::Relaxed);
+                    let _order = lockorder::acquire(LockClass::OstQueue);
+                    self.delayed_dirty.lock().unwrap().insert(slot.id);
+                }
+                self.queue_writes(ost_idx, inner.trees[ost_idx].resolve(local, run));
+                inner.size_blocks = inner.size_blocks.max(offset + len);
+                continue;
+            }
+
+            if self.config.policy == PolicyKind::Cow {
+                for (old_phys, old_len) in inner.trees[ost_idx].remove(local, run) {
+                    shard.alloc.free(old_phys, old_len);
+                    let _order = lockorder::acquire(LockClass::Disk);
+                    shard.disk.lock().unwrap().invalidate(old_phys, old_len);
+                }
+            }
+
+            let tree = &mut inner.trees[ost_idx];
+            for (gap_start, gap_len) in tree.gaps(local, run) {
+                let runs = {
+                    let _order = lockorder::acquire(LockClass::Policy);
+                    let mut policy = shard.policy.lock().unwrap();
+                    policy.extend(&shard.alloc, slot.id, stream, gap_start, gap_len)
+                };
+                let before = tree.extent_count();
+                let mut logical = gap_start;
+                for (phys, l) in runs {
+                    tree.insert(Extent::new(logical, phys, l));
+                    logical += l;
+                }
+                debug_assert_eq!(logical, gap_start + gap_len, "policy short-allocated");
+                let added = tree.extent_count().saturating_sub(before) as u64;
+                self.mds_cpu_ns
+                    .fetch_add(added * self.config.mds_cpu_ns_per_extent, Ordering::Relaxed);
+            }
+            self.queue_writes(ost_idx, inner.trees[ost_idx].resolve(local, run));
+        }
+        inner.size_blocks = inner.size_blocks.max(offset + len);
+    }
+
+    /// Queue resolved physical runs as dirty write-back data.
+    fn queue_writes(&self, ost_idx: usize, runs: Vec<(u64, u64)>) {
+        if runs.is_empty() {
+            return;
+        }
+        let mut blocks = 0u64;
+        {
+            let _order = lockorder::acquire(LockClass::OstQueue);
+            let mut queues = self.shards[ost_idx].queues.lock().unwrap();
+            for (phys, l) in runs {
+                queues.writeback.push(BlockRequest::write(phys, l));
+                blocks += l;
+            }
+        }
+        self.writeback_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Read `len` blocks at `offset` as `stream`; requests carry the same
+    /// per-(stream, file) readahead context as the engine and are serviced
+    /// at the next flush.
+    pub fn read(&self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
+        let ctx = stream.as_u64() ^ file.0 .0.rotate_left(17);
+        let slot = self.slot(file).expect("read from unknown file");
+        let _order = lockorder::acquire(LockClass::File);
+        let inner = slot.inner.lock().unwrap();
+        for (ost_idx, local, run, _) in self.striping.split(offset, len, slot.ost_shift) {
+            let ost_idx = ost_idx as usize;
+            let resolved = inner.trees[ost_idx].resolve(local, run);
+            if resolved.is_empty() {
+                continue;
+            }
+            let _order = lockorder::acquire(LockClass::OstQueue);
+            let mut queues = self.shards[ost_idx].queues.lock().unwrap();
+            for (phys, l) in resolved {
+                queues
+                    .pending
+                    .push(BlockRequest::read(phys, l).with_ctx(ctx));
+            }
+        }
+    }
+
+    // ----- flushing -------------------------------------------------------
+
+    /// Flush all queued IO to the disks (fsync analogue).
+    pub fn sync(&self) {
+        self.try_sync()
+            .unwrap_or_else(|(ost, f)| panic!("unhandled fault on OST {ost}: {f}"));
+    }
+
+    /// Fallible [`ConcurrentFs::sync`]: the first fault is reported with
+    /// its OST index; the surviving shards' IO has been serviced.
+    pub fn try_sync(&self) -> Result<(), (usize, IoFault)> {
+        self.try_flush()
+    }
+
+    /// Drain every shard's queues into its disk. Batches are taken under
+    /// the queue lock, then submitted under the disk lock only — writes
+    /// buffered by other threads during the flush simply wait for the
+    /// next one.
+    fn try_flush(&self) -> Result<(), (usize, IoFault)> {
+        self.allocate_delayed();
+        self.writeback_blocks.store(0, Ordering::Relaxed);
+        let mut first_fault = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let batch = {
+                let _order = lockorder::acquire(LockClass::OstQueue);
+                let mut queues = shard.queues.lock().unwrap();
+                let mut batch = std::mem::take(&mut queues.pending);
+                batch.append(&mut queues.writeback);
+                batch
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let _order = lockorder::acquire(LockClass::Disk);
+            let mut disk = shard.disk.lock().unwrap();
+            let before = disk.stats().clone();
+            let result = disk.try_submit_batch(batch);
+            let delta = disk.stats().since(&before);
+            drop(disk);
+            self.io.add(&delta);
+            match result {
+                Ok(ns) => {
+                    shard.elapsed_ns.fetch_add(ns, Ordering::Relaxed);
+                }
+                Err(f) => {
+                    if first_fault.is_none() {
+                        first_fault = Some((i, f));
+                    }
+                }
+            }
+        }
+        match first_fault {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    /// Allocate everything the delayed-allocation path has buffered
+    /// (sorted, coalesced, one request per run — §II-B).
+    fn allocate_delayed(&self) {
+        let dirty: Vec<FileId> = {
+            let _order = lockorder::acquire(LockClass::OstQueue);
+            let mut dirty = self.delayed_dirty.lock().unwrap();
+            dirty.drain().collect()
+        };
+        if dirty.is_empty() {
+            return;
+        }
+        let stream = StreamId::new(u32::MAX, 0); // allocation is flush-driven
+        for id in dirty {
+            let slot = {
+                let _order = lockorder::acquire(LockClass::FileMap);
+                self.files.read().unwrap().get(&id).cloned()
+            };
+            let Some(slot) = slot else {
+                continue; // unlinked while dirty
+            };
+            let _order = lockorder::acquire(LockClass::File);
+            let mut inner = slot.inner.lock().unwrap();
+            for ost_idx in 0..self.shards.len() {
+                let mut ranges = std::mem::take(&mut inner.delayed[ost_idx]);
+                if ranges.is_empty() {
+                    continue;
+                }
+                ranges.sort_unstable();
+                let mut runs: Vec<(u64, u64)> = Vec::new();
+                for (start, len) in ranges {
+                    match runs.last_mut() {
+                        Some((s, l)) if *s + *l >= start => {
+                            let end = (*s + *l).max(start + len);
+                            *l = end - *s;
+                        }
+                        _ => runs.push((start, len)),
+                    }
+                }
+                let shard = &self.shards[ost_idx];
+                for (start, len) in runs {
+                    for (gap_start, gap_len) in inner.trees[ost_idx].gaps(start, len) {
+                        let allocated = {
+                            let _order = lockorder::acquire(LockClass::Policy);
+                            let mut policy = shard.policy.lock().unwrap();
+                            policy.extend(&shard.alloc, id, stream, gap_start, gap_len)
+                        };
+                        let tree = &mut inner.trees[ost_idx];
+                        let before = tree.extent_count();
+                        let mut logical = gap_start;
+                        let mut writes = Vec::new();
+                        for (phys, l) in allocated {
+                            tree.insert(Extent::new(logical, phys, l));
+                            writes.push((phys, l));
+                            logical += l;
+                        }
+                        let added = tree.extent_count().saturating_sub(before) as u64;
+                        self.mds_cpu_ns.fetch_add(
+                            added * self.config.mds_cpu_ns_per_extent,
+                            Ordering::Relaxed,
+                        );
+                        self.queue_writes(ost_idx, writes);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Install a seeded fault plan on every IO server, reseeded per disk
+    /// (`seed + index`) exactly like [`DiskArray::install_faults`].
+    pub fn install_faults(&self, plan: FaultPlan) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut p = plan.clone();
+            p.seed = plan.seed.wrapping_add(i as u64);
+            let _order = lockorder::acquire(LockClass::Disk);
+            shard.disk.lock().unwrap().install_faults(p);
+        }
+    }
+
+    /// Remove all fault injectors.
+    pub fn clear_faults(&self) {
+        for shard in &self.shards {
+            let _order = lockorder::acquire(LockClass::Disk);
+            shard.disk.lock().unwrap().clear_faults();
+        }
+    }
+
+    /// Restore power to every IO server after injected power cuts.
+    pub fn power_restore(&self) {
+        for shard in &self.shards {
+            let _order = lockorder::acquire(LockClass::Disk);
+            shard.disk.lock().unwrap().power_restore();
+        }
+    }
+
+    /// Is any IO server dead from an injected power cut?
+    pub fn any_powered_off(&self) -> bool {
+        self.shards.iter().any(|shard| {
+            let _order = lockorder::acquire(LockClass::Disk);
+            let off = shard.disk.lock().unwrap().powered_off();
+            off
+        })
+    }
+
+    /// One IO server's fault counters, when a plan is installed.
+    pub fn fault_stats(&self, ost: usize) -> Option<FaultStats> {
+        let _order = lockorder::acquire(LockClass::Disk);
+        self.shards[ost].disk.lock().unwrap().fault_stats().cloned()
+    }
+
+    // ----- introspection --------------------------------------------------
+
+    /// Total extents of a file across all OSTs.
+    pub fn file_extents(&self, file: OpenFile) -> u64 {
+        self.with_inner(file, |inner| {
+            inner.trees.iter().map(|t| t.extent_count() as u64).sum()
+        })
+        .unwrap_or(0)
+    }
+
+    /// File size in blocks.
+    pub fn file_size(&self, file: OpenFile) -> u64 {
+        self.with_inner(file, |inner| inner.size_blocks)
+            .unwrap_or(0)
+    }
+
+    /// Blocks physically allocated to the file (mapped blocks).
+    pub fn file_allocated(&self, file: OpenFile) -> u64 {
+        self.with_inner(file, |inner| {
+            inner.trees.iter().map(|t| t.mapped_blocks()).sum()
+        })
+        .unwrap_or(0)
+    }
+
+    fn with_inner<R>(&self, file: OpenFile, f: impl FnOnce(&FileInner) -> R) -> Option<R> {
+        let slot = self.slot(file)?;
+        let _order = lockorder::acquire(LockClass::File);
+        let inner = slot.inner.lock().unwrap();
+        Some(f(&inner))
+    }
+
+    /// Free blocks across all OSTs.
+    pub fn free_blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.alloc.free_blocks()).sum()
+    }
+
+    /// Data-path elapsed time: the engine's inherited clock plus the
+    /// busiest shard's accumulated service time (parallel shards overlap,
+    /// so the slowest one gates the front-end, like a round).
+    pub fn data_elapsed_ns(&self) -> Nanos {
+        self.base_elapsed_ns
+            + self
+                .shards
+                .iter()
+                .map(|s| s.elapsed_ns.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0)
+    }
+
+    /// Aggregated data-disk statistics (lock-free snapshot).
+    pub fn data_stats(&self) -> DiskStats {
+        self.io.snapshot()
+    }
+
+    /// Metrics snapshot for the Table I harness.
+    pub fn metrics(&self) -> FsMetrics {
+        let slots: Vec<Arc<FileSlot>> = {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files.read().unwrap().values().cloned().collect()
+        };
+        let mut m = FsMetrics {
+            elapsed_ns: self.data_elapsed_ns(),
+            mds_cpu_ns: self.mds_cpu_ns.load(Ordering::Relaxed),
+            files: slots.len() as u64,
+            ..Default::default()
+        };
+        for slot in slots {
+            let _order = lockorder::acquire(LockClass::File);
+            let inner = slot.inner.lock().unwrap();
+            for t in &inner.trees {
+                m.add_tree(t);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: PolicyKind) -> FsConfig {
+        FsConfig::with_policy(policy, 2)
+    }
+
+    fn unwrap_arc(fs: Arc<ConcurrentFs>) -> ConcurrentFs {
+        Arc::try_unwrap(fs).ok().expect("threads joined")
+    }
+
+    #[test]
+    fn parallel_writers_to_disjoint_files() {
+        let fs = Arc::new(ConcurrentFs::new(cfg(PolicyKind::OnDemand)));
+        let files: Vec<OpenFile> = (0..4).map(|i| fs.create(&format!("f{i}"), None)).collect();
+        std::thread::scope(|s| {
+            for (t, &file) in files.iter().enumerate() {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    let stream = StreamId::new(t as u32, 0);
+                    for i in 0..64u64 {
+                        fs.write(file, stream, i * 4, 4);
+                    }
+                });
+            }
+        });
+        fs.sync();
+        for &file in &files {
+            assert_eq!(fs.file_allocated(file), 256);
+            assert_eq!(fs.file_size(file), 256);
+            fs.close(file); // last close releases preallocation windows
+        }
+        let engine = unwrap_arc(fs).into_engine();
+        let total: u64 = files.iter().map(|&f| engine.file_allocated(f)).sum();
+        assert_eq!(total, 4 * 256);
+        assert_eq!(
+            engine.free_blocks(),
+            2 * engine.config.geometry.blocks - total
+        );
+    }
+
+    #[test]
+    fn engine_round_trips_through_the_front_end() {
+        let mut fs = FileSystem::new(cfg(PolicyKind::OnDemand));
+        let file = fs.create("seeded", None);
+        fs.begin_round();
+        fs.write(file, StreamId::new(1, 0), 0, 32);
+        fs.end_round();
+        fs.sync_data();
+        let size_before = fs.file_size(file);
+        let elapsed_before = fs.data_elapsed_ns();
+
+        let cfs = ConcurrentFs::from_engine(fs);
+        assert_eq!(cfs.file_size(file), size_before);
+        cfs.write(file, StreamId::new(1, 0), 32, 32);
+        cfs.sync();
+
+        let engine = cfs.into_engine();
+        assert_eq!(engine.file_size(file), 64);
+        assert_eq!(engine.file_allocated(file), 64);
+        assert!(engine.data_elapsed_ns() >= elapsed_before);
+    }
+
+    #[test]
+    fn namespace_ops_from_many_threads() {
+        let fs = Arc::new(ConcurrentFs::new(cfg(PolicyKind::Vanilla)));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    for i in 0..16 {
+                        let name = format!("t{t}-f{i}");
+                        let f = fs.create(&name, None);
+                        fs.write(f, StreamId::new(t, 0), 0, 2);
+                        assert_eq!(fs.open(&name), Some(f));
+                        fs.close(f);
+                        fs.close(f);
+                    }
+                });
+            }
+        });
+        fs.sync();
+        let engine = unwrap_arc(fs).into_engine();
+        assert_eq!(engine.metrics().files, 8 * 16);
+    }
+
+    #[test]
+    fn delayed_allocation_coalesces_under_threads() {
+        let fs = Arc::new(ConcurrentFs::new(cfg(PolicyKind::Delayed)));
+        let file = fs.create("delayed", None);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    let stream = StreamId::new(t, 0);
+                    let base = t as u64 * 1024;
+                    for i in 0..32u64 {
+                        fs.write(file, stream, base + i * 4, 4);
+                    }
+                });
+            }
+        });
+        fs.sync();
+        assert_eq!(fs.file_allocated(file), 4 * 128);
+        let engine = unwrap_arc(fs).into_engine();
+        assert_eq!(engine.file_allocated(file), 4 * 128);
+    }
+
+    #[test]
+    fn unlink_reclaims_all_space() {
+        let fs = ConcurrentFs::new(cfg(PolicyKind::OnDemand));
+        let total = fs.free_blocks();
+        let file = fs.create("gone", None);
+        fs.write(file, StreamId::new(1, 0), 0, 128);
+        fs.sync();
+        fs.close(file);
+        fs.unlink(file);
+        assert_eq!(fs.free_blocks(), total);
+    }
+}

@@ -16,25 +16,38 @@ use mif_mds::{InodeNo, Mds, ROOT_INO};
 use mif_simdisk::{BlockRequest, DiskArray, DiskStats, FaultPlan, FaultStats, IoFault, Nanos};
 use std::collections::HashMap;
 
-struct Ost {
-    alloc: GroupedAllocator,
-    policy: Box<dyn AllocPolicy>,
+pub(crate) struct Ost {
+    pub(crate) alloc: GroupedAllocator,
+    pub(crate) policy: Box<dyn AllocPolicy>,
 }
 
-struct FileState {
-    name: String,
-    ino: InodeNo,
+pub(crate) struct FileState {
+    pub(crate) name: String,
+    pub(crate) ino: InodeNo,
     /// One extent tree per OST (OST-local logical space).
-    trees: Vec<ExtentTree>,
-    size_blocks: u64,
+    pub(crate) trees: Vec<ExtentTree>,
+    pub(crate) size_blocks: u64,
     /// Starting-OST rotation for this file (files begin on different
     /// servers so concurrent per-process files spread the load).
-    ost_shift: u32,
+    pub(crate) ost_shift: u32,
     /// Live handle count: `create`/`open`/`open_by_ino` increment, `close`
     /// decrements. Policy state (preallocation windows) is finalized only
     /// when the *last* handle closes, so a file shared by several openers
     /// keeps its windows until everyone is done.
-    open_handles: u32,
+    pub(crate) open_handles: u32,
+}
+
+/// The engine's owned state, taken apart so [`crate::ConcurrentFs`] can
+/// shard it behind per-OST and per-file locks and reassemble on quiesce.
+pub(crate) struct EngineParts {
+    pub(crate) config: FsConfig,
+    pub(crate) array: DiskArray,
+    pub(crate) osts: Vec<Ost>,
+    pub(crate) mds: Mds,
+    pub(crate) files: HashMap<FileId, FileState>,
+    pub(crate) next_file: u64,
+    pub(crate) data_elapsed_ns: Nanos,
+    pub(crate) mds_cpu_ns: Nanos,
 }
 
 /// Handle returned by [`FileSystem::create`] / [`FileSystem::open`].
@@ -110,6 +123,50 @@ impl FileSystem {
             round_open: false,
             data_elapsed_ns: 0,
             mds_cpu_ns: 0,
+        }
+    }
+
+    /// Take the quiesced engine apart for the concurrent front-end. The
+    /// caller must have flushed everything first: no open round, no pending
+    /// or buffered IO, no delayed ranges — sharding a system with in-flight
+    /// state would silently drop it.
+    pub(crate) fn into_parts(mut self) -> EngineParts {
+        assert!(!self.round_open, "into_parts with an open round");
+        self.sync_data();
+        assert!(self.pending.iter().all(|b| b.is_empty()));
+        assert!(self.writeback.iter().all(|b| b.is_empty()));
+        assert!(self.delayed_pending.is_empty());
+        EngineParts {
+            config: self.config,
+            array: self.array,
+            osts: self.osts,
+            mds: self.mds,
+            files: self.files,
+            next_file: self.next_file,
+            data_elapsed_ns: self.data_elapsed_ns,
+            mds_cpu_ns: self.mds_cpu_ns,
+        }
+    }
+
+    /// Rebuild an engine from parts the concurrent front-end sharded.
+    pub(crate) fn from_parts(parts: EngineParts) -> Self {
+        let osts_n = parts.config.osts as usize;
+        let striping = Striping::new(parts.config.osts, parts.config.stripe_blocks);
+        Self {
+            striping,
+            array: parts.array,
+            osts: parts.osts,
+            mds: parts.mds,
+            files: parts.files,
+            next_file: parts.next_file,
+            pending: vec![Vec::new(); osts_n],
+            writeback: vec![Vec::new(); osts_n],
+            writeback_blocks: 0,
+            delayed_pending: HashMap::new(),
+            round_open: false,
+            data_elapsed_ns: parts.data_elapsed_ns,
+            mds_cpu_ns: parts.mds_cpu_ns,
+            config: parts.config,
         }
     }
 
@@ -769,7 +826,7 @@ impl FileSystem {
 
     /// Recorded commands of one data disk, oldest first.
     pub fn disk_events(&self, ost: usize) -> Vec<mif_simdisk::DiskEvent> {
-        self.array.disk(ost).recorder().events().copied().collect()
+        self.array.disk(ost).recorder().events()
     }
 
     /// Free blocks across all OSTs.

@@ -41,12 +41,14 @@
 //! ```
 
 pub mod collective;
+pub mod concurrent;
 pub mod config;
 pub mod fs;
 pub mod metrics;
 pub mod striping;
 
 pub use collective::aggregate_collective;
+pub use concurrent::ConcurrentFs;
 pub use config::FsConfig;
 pub use fs::{FileSystem, OpenFile};
 pub use metrics::{mds_cpu_utilization, FsMetrics};

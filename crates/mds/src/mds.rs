@@ -134,6 +134,23 @@ pub struct Mds {
 }
 
 impl Mds {
+    /// Stable stripe index for a namespace operation on `(parent, name)`.
+    ///
+    /// The concurrent front-end guards the MDS directory paths with a
+    /// striped lock table rather than one big namespace lock; two
+    /// operations contend only when they hash to the same stripe, while
+    /// same-name operations always serialize. FNV-1a keeps the mapping
+    /// deterministic across processes (no seeded hasher).
+    pub fn name_stripe(parent: InodeNo, name: &str, stripes: usize) -> usize {
+        assert!(stripes > 0);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in parent.0.to_le_bytes().iter().chain(name.as_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % stripes as u64) as usize
+    }
+
     pub fn new(config: MdsConfig) -> Self {
         let geometry = DiskGeometry::with_blocks(config.layout.total_blocks());
         let disk = Disk::with_config(geometry, SchedulerConfig::default(), config.cache_blocks);

@@ -59,6 +59,19 @@ impl DiskArray {
         &mut self.disks[i]
     }
 
+    /// Rebuild an array from disks previously taken apart with
+    /// [`DiskArray::into_disks`] (the concurrent front-end shards each
+    /// member disk behind its own lock, then reassembles on quiesce).
+    pub fn from_disks(disks: Vec<Disk>) -> Self {
+        assert!(!disks.is_empty(), "array needs at least one disk");
+        Self { disks }
+    }
+
+    /// Take the array apart into its member disks.
+    pub fn into_disks(self) -> Vec<Disk> {
+        self.disks
+    }
+
     /// Submit one batch per disk (empty batches allowed); returns the
     /// elapsed wall time of the parallel round = max per-disk service time.
     pub fn submit_round(&mut self, batches: Vec<Vec<BlockRequest>>) -> Nanos {

@@ -4,10 +4,17 @@
 //! services — the simulation-side equivalent of `blktrace`, and the data
 //! source for access-timeline visualizations and debugging. Disabled by
 //! default (zero overhead beyond a branch).
+//!
+//! The recorder uses interior mutability (a mutex around the ring, an
+//! atomic drop counter) so it can be shared across the concurrent engine's
+//! client threads: recording takes `&self`, and no event below the
+//! overflow cap is ever lost to a race.
 
 use crate::request::IoOp;
 use crate::{BlockNo, Nanos};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// One serviced disk command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,22 +28,22 @@ pub struct DiskEvent {
     pub service_ns: Nanos,
 }
 
-/// A bounded ring of recent disk events.
+/// A bounded ring of recent disk events, shareable across threads.
 #[derive(Debug, Default)]
 pub struct EventRecorder {
-    events: VecDeque<DiskEvent>,
+    events: Mutex<VecDeque<DiskEvent>>,
     capacity: usize,
     /// Events discarded because the ring was full.
-    dropped: u64,
+    dropped: AtomicU64,
 }
 
 impl EventRecorder {
     /// A recorder holding up to `capacity` events (0 = disabled).
     pub fn new(capacity: usize) -> Self {
         Self {
-            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 20))),
             capacity,
-            dropped: 0,
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -45,45 +52,49 @@ impl EventRecorder {
         self.capacity > 0
     }
 
-    /// Record one event (drops the oldest when full).
-    pub fn record(&mut self, event: DiskEvent) {
+    /// Record one event (drops the oldest when full). The ring mutation
+    /// and the drop count move together under the ring lock, so concurrent
+    /// recorders never lose an event below the overflow cap.
+    pub fn record(&self, event: DiskEvent) {
         if self.capacity == 0 {
             return;
         }
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        self.events.push_back(event);
+        events.push_back(event);
     }
 
-    /// Recorded events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &DiskEvent> {
-        self.events.iter()
+    /// Snapshot of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<DiskEvent> {
+        self.events.lock().unwrap().iter().copied().collect()
     }
 
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.lock().unwrap().is_empty()
     }
 
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Forget everything recorded so far.
-    pub fn clear(&mut self) {
-        self.events.clear();
-        self.dropped = 0;
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn ev(at: Nanos, start: BlockNo) -> DiskEvent {
         DiskEvent {
@@ -97,7 +108,7 @@ mod tests {
 
     #[test]
     fn disabled_recorder_stores_nothing() {
-        let mut r = EventRecorder::new(0);
+        let r = EventRecorder::new(0);
         r.record(ev(1, 1));
         assert!(r.is_empty());
         assert!(!r.enabled());
@@ -105,19 +116,19 @@ mod tests {
 
     #[test]
     fn ring_drops_oldest() {
-        let mut r = EventRecorder::new(3);
+        let r = EventRecorder::new(3);
         for i in 0..5 {
             r.record(ev(i, i));
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.dropped(), 2);
-        let starts: Vec<u64> = r.events().map(|e| e.start).collect();
+        let starts: Vec<u64> = r.events().iter().map(|e| e.start).collect();
         assert_eq!(starts, vec![2, 3, 4]);
     }
 
     #[test]
     fn clear_resets() {
-        let mut r = EventRecorder::new(2);
+        let r = EventRecorder::new(2);
         r.record(ev(1, 1));
         r.clear();
         assert!(r.is_empty());
@@ -126,19 +137,19 @@ mod tests {
 
     #[test]
     fn dropped_counter_stays_accurate_over_many_overflows() {
-        let mut r = EventRecorder::new(4);
+        let r = EventRecorder::new(4);
         for i in 0..1000 {
             r.record(ev(i, i));
         }
         assert_eq!(r.len(), 4, "ring never exceeds capacity");
         assert_eq!(r.dropped(), 996, "everything beyond capacity is counted");
-        let starts: Vec<u64> = r.events().map(|e| e.start).collect();
+        let starts: Vec<u64> = r.events().iter().map(|e| e.start).collect();
         assert_eq!(starts, vec![996, 997, 998, 999], "survivors are the newest");
     }
 
     #[test]
     fn zero_capacity_never_counts_drops() {
-        let mut r = EventRecorder::new(0);
+        let r = EventRecorder::new(0);
         for i in 0..100 {
             r.record(ev(i, i));
         }
@@ -152,12 +163,65 @@ mod tests {
 
     #[test]
     fn capacity_one_keeps_only_the_latest() {
-        let mut r = EventRecorder::new(1);
+        let r = EventRecorder::new(1);
         for i in 0..10 {
             r.record(ev(i, i));
         }
         assert_eq!(r.len(), 1);
         assert_eq!(r.dropped(), 9);
-        assert_eq!(r.events().next().map(|e| e.start), Some(9));
+        assert_eq!(r.events().first().map(|e| e.start), Some(9));
+    }
+
+    /// Regression for the concurrency fix: recording from many threads at
+    /// once must never lose an event while the ring has room.
+    #[test]
+    fn concurrent_recording_loses_nothing_below_capacity() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1000;
+        let r = Arc::new(EventRecorder::new((THREADS * PER_THREAD) as usize));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.record(ev(t * PER_THREAD + i, t));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len() as u64, THREADS * PER_THREAD, "no event lost");
+        assert_eq!(r.dropped(), 0, "nothing below the cap counts as dropped");
+        // Every thread's full contribution is present.
+        let events = r.events();
+        for t in 0..THREADS {
+            let n = events.iter().filter(|e| e.start == t).count() as u64;
+            assert_eq!(n, PER_THREAD, "thread {t} lost records");
+        }
+    }
+
+    /// Above the cap, drops are counted exactly: survivors + dropped
+    /// always equals the number of records submitted.
+    #[test]
+    fn concurrent_overflow_accounts_for_every_record() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        const CAP: usize = 64;
+        let r = Arc::new(EventRecorder::new(CAP));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.record(ev(i, t));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), CAP, "ring pinned at capacity");
+        assert_eq!(
+            r.len() as u64 + r.dropped(),
+            THREADS * PER_THREAD,
+            "survivors + dropped must account for every record"
+        );
     }
 }

@@ -75,7 +75,7 @@ pub use latency::LatencyHistogram;
 pub use readahead::Readahead;
 pub use request::{BlockRequest, IoOp};
 pub use scheduler::{IoScheduler, SchedulerConfig};
-pub use stats::DiskStats;
+pub use stats::{DiskStats, SharedDiskStats};
 
 /// A physical block number on one disk.
 pub type BlockNo = u64;

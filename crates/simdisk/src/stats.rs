@@ -6,6 +6,7 @@
 //! [`DiskStats::submitted`] counts requests before merging.
 
 use crate::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters accumulated by a [`crate::Disk`] over its lifetime.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -75,6 +76,58 @@ impl DiskStats {
     }
 }
 
+/// Lock-free atomic counterpart of [`DiskStats`], for aggregation points
+/// shared between threads (the concurrent engine's IO counters). Threads
+/// [`add`](SharedDiskStats::add) per-round deltas; readers take a
+/// [`snapshot`](SharedDiskStats::snapshot) at any time. Each field is
+/// monotone, so relaxed ordering is sufficient: totals are exact once the
+/// writers are quiescent.
+#[derive(Debug, Default)]
+pub struct SharedDiskStats {
+    submitted: AtomicU64,
+    dispatched: AtomicU64,
+    cache_hits: AtomicU64,
+    seeks: AtomicU64,
+    seek_distance_cyl: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl SharedDiskStats {
+    /// Accumulate a delta (typically `later.since(&earlier)` around one
+    /// batch submission).
+    pub fn add(&self, delta: &DiskStats) {
+        self.submitted.fetch_add(delta.submitted, Ordering::Relaxed);
+        self.dispatched
+            .fetch_add(delta.dispatched, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(delta.cache_hits, Ordering::Relaxed);
+        self.seeks.fetch_add(delta.seeks, Ordering::Relaxed);
+        self.seek_distance_cyl
+            .fetch_add(delta.seek_distance_cyl, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(delta.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(delta.bytes_written, Ordering::Relaxed);
+        self.busy_ns.fetch_add(delta.busy_ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters as a plain [`DiskStats`].
+    pub fn snapshot(&self) -> DiskStats {
+        DiskStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            seek_distance_cyl: self.seek_distance_cyl.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +171,36 @@ mod tests {
     #[test]
     fn seek_ratio_handles_idle_disk() {
         assert_eq!(DiskStats::default().seek_ratio(), 0.0);
+    }
+
+    /// Regression for the concurrency fix: deltas added from many threads
+    /// are counted exactly — no update lost, no double count.
+    #[test]
+    fn shared_stats_concurrent_adds_are_exact() {
+        const THREADS: u64 = 8;
+        const ADDS: u64 = 1000;
+        let shared = std::sync::Arc::new(SharedDiskStats::default());
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let shared = std::sync::Arc::clone(&shared);
+                s.spawn(move || {
+                    let delta = DiskStats {
+                        submitted: 1,
+                        dispatched: 2,
+                        bytes_written: 4096,
+                        busy_ns: 7,
+                        ..Default::default()
+                    };
+                    for _ in 0..ADDS {
+                        shared.add(&delta);
+                    }
+                });
+            }
+        });
+        let total = shared.snapshot();
+        assert_eq!(total.submitted, THREADS * ADDS);
+        assert_eq!(total.dispatched, 2 * THREADS * ADDS);
+        assert_eq!(total.bytes_written, 4096 * THREADS * ADDS);
+        assert_eq!(total.busy_ns, 7 * THREADS * ADDS);
     }
 }

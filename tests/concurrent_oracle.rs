@@ -1,0 +1,269 @@
+//! Concurrency oracle: the parallel front-end agrees with the engine.
+//!
+//! K threads drive seeded write-stream ops through `ConcurrentFs`; the
+//! same per-thread op logs then replay serially through the
+//! single-threaded `FileSystem`. Because every (thread, stream) writes
+//! into its own disjoint logical region, the final *logical* state is
+//! interleaving-independent: file sizes, mapped-block counts and the
+//! per-OST logical layouts must match exactly, whatever order the
+//! scheduler actually ran the threads in. Physical placement is free to
+//! differ — that is the allocator's business — but both systems must
+//! satisfy the shared oracles (written-ranges-mapped, physical
+//! disjointness, block conservation) and the concurrent engine must come
+//! out of offline fsck clean with `repaired == 0`.
+
+mod oracle;
+
+use mif::alloc::{PolicyKind, StreamId};
+use mif::fsck::{run, FsckOptions};
+use mif::pfs::{ConcurrentFs, FileSystem, FsConfig, OpenFile};
+use mif_rng::SmallRng;
+use std::sync::Arc;
+
+const OSTS: u32 = 3;
+const STRIPE: u64 = 8;
+const THREADS: u32 = 4;
+const STREAMS: u32 = 2;
+const REGION: u64 = 360;
+const OPS_PER_STREAM: usize = 120;
+
+/// One logged operation: a write by `stream` into the shared or the
+/// thread's private file.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    shared: bool,
+    stream: u32,
+    offset: u64,
+    len: u64,
+}
+
+fn config(policy: PolicyKind) -> FsConfig {
+    let mut cfg = FsConfig::with_policy(policy, OSTS);
+    cfg.stripe_blocks = STRIPE;
+    cfg
+}
+
+/// Thread `t`'s deterministic op log for `seed`. Appends dominate;
+/// overwrites stay inside the already-written prefix, so the final dense
+/// region per (thread, stream) depends only on the log, never on the
+/// interleaving.
+fn thread_ops(seed: u64, t: u32) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t as u64 + 1),
+    );
+    // Watermarks: per shared stream, plus one for the private file.
+    let mut shared_marks = vec![0u64; STREAMS as usize];
+    let mut private_mark = 0u64;
+    let mut ops = Vec::new();
+    for _ in 0..OPS_PER_STREAM * STREAMS as usize {
+        let shared = rng.gen_bool(0.7);
+        let (stream, mark) = if shared {
+            let s = rng.gen_range(0u32..STREAMS);
+            (s, &mut shared_marks[s as usize])
+        } else {
+            (0, &mut private_mark)
+        };
+        let base = if shared {
+            ((t * STREAMS + stream) as u64) * REGION
+        } else {
+            0
+        };
+        let append = *mark == 0 || (*mark < REGION && rng.gen_bool(0.75));
+        let (offset, len) = if append {
+            let len = rng.gen_range(1u64..7).min(REGION - *mark);
+            let off = base + *mark;
+            *mark += len;
+            (off, len)
+        } else {
+            let start = rng.gen_range(0u64..*mark);
+            let len = rng.gen_range(1u64..7).min(*mark - start);
+            (base + start, len)
+        };
+        ops.push(Op {
+            shared,
+            stream,
+            offset,
+            len,
+        });
+    }
+    ops
+}
+
+/// `(start, len)` block ranges of one file.
+type Ranges = Vec<(u64, u64)>;
+
+/// Final dense regions per file, derived from the logs alone: the model
+/// both runs are checked against.
+fn model_ranges(logs: &[Vec<Op>]) -> (Ranges, Vec<Ranges>) {
+    let mut shared: Vec<(u64, u64)> = Vec::new();
+    let mut privates: Vec<Vec<(u64, u64)>> = Vec::new();
+    for (t, log) in logs.iter().enumerate() {
+        let mut private_end = 0u64;
+        let mut marks = vec![0u64; STREAMS as usize];
+        for op in log {
+            if op.shared {
+                let base = ((t as u32 * STREAMS + op.stream) as u64) * REGION;
+                let end = op.offset + op.len - base;
+                marks[op.stream as usize] = marks[op.stream as usize].max(end);
+            } else {
+                private_end = private_end.max(op.offset + op.len);
+            }
+        }
+        for (s, &m) in marks.iter().enumerate() {
+            if m > 0 {
+                shared.push((((t as u32 * STREAMS + s as u32) as u64) * REGION, m));
+            }
+        }
+        privates.push(if private_end > 0 {
+            vec![(0, private_end)]
+        } else {
+            Vec::new()
+        });
+    }
+    (shared, privates)
+}
+
+/// The per-OST *logical* layout of a file: sorted, coalesced
+/// `(local logical, len)` runs. Physical placement is deliberately
+/// dropped — only the logical shape must agree across runs.
+fn logical_runs(fs: &FileSystem, file: OpenFile) -> Vec<Vec<(u64, u64)>> {
+    (0..fs.config.osts as usize)
+        .map(|ost| {
+            let mut runs: Vec<(u64, u64)> = fs
+                .physical_layout(file, ost)
+                .iter()
+                .map(|&(logical, _phys, len)| (logical, len))
+                .collect();
+            runs.sort_unstable();
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            for (s, l) in runs {
+                match out.last_mut() {
+                    Some((os, ol)) if *os + *ol == s => *ol += l,
+                    _ => out.push((s, l)),
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Run the logs through `ConcurrentFs` on real threads, quiesce, fsck.
+fn run_concurrent(seed: u64, policy: PolicyKind, logs: &[Vec<Op>]) -> (FileSystem, Vec<OpenFile>) {
+    let fs = Arc::new(ConcurrentFs::new(config(policy)));
+    let shared = fs.create("shared", None);
+    let privates: Vec<OpenFile> = (0..THREADS)
+        .map(|t| fs.create(&format!("private-{t}"), None))
+        .collect();
+    std::thread::scope(|scope| {
+        for (t, log) in logs.iter().enumerate() {
+            let fs = Arc::clone(&fs);
+            let private = privates[t];
+            scope.spawn(move || {
+                for (i, op) in log.iter().enumerate() {
+                    let file = if op.shared { shared } else { private };
+                    let stream = StreamId::new(t as u32, op.stream);
+                    fs.write(file, stream, op.offset, op.len);
+                    if i % 64 == 63 {
+                        fs.sync(); // concurrent syncs must be safe too
+                    }
+                }
+            });
+        }
+    });
+    fs.sync();
+    let mut files = vec![shared];
+    files.extend(privates);
+    let fs = Arc::try_unwrap(fs).ok().expect("threads joined");
+    let mut engine = fs.into_engine();
+
+    // The concurrent run must come out of a full offline check clean,
+    // with nothing for repair to do.
+    for &f in &files {
+        engine.close(f);
+    }
+    let report = run(&mut engine, &FsckOptions::offline_repair());
+    assert!(
+        report.clean(),
+        "seed {seed} {policy:?}: concurrent run not fsck-clean: {report:?}"
+    );
+    assert_eq!(
+        report.repaired, 0,
+        "seed {seed} {policy:?}: fsck had to repair a concurrent artifact"
+    );
+    (engine, files)
+}
+
+/// Replay the same logs serially, thread by thread, through the engine.
+fn run_serial(policy: PolicyKind, logs: &[Vec<Op>]) -> (FileSystem, Vec<OpenFile>) {
+    let mut fs = FileSystem::new(config(policy));
+    let shared = fs.create("shared", None);
+    let privates: Vec<OpenFile> = (0..THREADS)
+        .map(|t| fs.create(&format!("private-{t}"), None))
+        .collect();
+    for (t, log) in logs.iter().enumerate() {
+        for chunk in log.chunks(8) {
+            fs.begin_round();
+            for op in chunk {
+                let file = if op.shared { shared } else { privates[t] };
+                fs.write(file, StreamId::new(t as u32, op.stream), op.offset, op.len);
+            }
+            fs.end_round();
+        }
+    }
+    fs.sync_data();
+    let mut files = vec![shared];
+    files.extend(privates);
+    for &f in &files {
+        fs.close(f);
+    }
+    (fs, files)
+}
+
+#[test]
+fn concurrent_run_matches_serial_replay() {
+    for seed in [0xC0_0001u64, 0xC0_0002, 0xC0_0003] {
+        for policy in [PolicyKind::Vanilla, PolicyKind::OnDemand] {
+            let logs: Vec<Vec<Op>> = (0..THREADS).map(|t| thread_ops(seed, t)).collect();
+            let (shared_ranges, private_ranges) = model_ranges(&logs);
+
+            let (conc, conc_files) = run_concurrent(seed, policy, &logs);
+            let (serial, serial_files) = run_serial(policy, &logs);
+
+            // Files were created in the same order, so handles align.
+            assert_eq!(conc_files, serial_files, "seed {seed}: handle mismatch");
+
+            for (i, (&cf, &sf)) in conc_files.iter().zip(&serial_files).enumerate() {
+                let ctx = format!("seed {seed} {policy:?} file {i}");
+                assert_eq!(
+                    conc.file_size(cf),
+                    serial.file_size(sf),
+                    "{ctx}: size diverged"
+                );
+                assert_eq!(
+                    conc.file_allocated(cf),
+                    serial.file_allocated(sf),
+                    "{ctx}: mapped-block count diverged"
+                );
+                assert_eq!(
+                    logical_runs(&conc, cf),
+                    logical_runs(&serial, sf),
+                    "{ctx}: logical layout diverged"
+                );
+            }
+
+            // Both runs satisfy the model: every written range is mapped.
+            for (fs, tag) in [(&conc, "concurrent"), (&serial, "serial")] {
+                let ctx = format!("seed {seed} {policy:?} {tag}");
+                oracle::assert_written_ranges_mapped(&ctx, fs, conc_files[0], &shared_ranges);
+                for (t, ranges) in private_ranges.iter().enumerate() {
+                    if !ranges.is_empty() {
+                        oracle::assert_written_ranges_mapped(&ctx, fs, conc_files[t + 1], ranges);
+                    }
+                }
+                oracle::assert_physical_disjoint(&ctx, fs, &conc_files);
+                oracle::assert_conservation(&ctx, fs);
+            }
+        }
+    }
+}
