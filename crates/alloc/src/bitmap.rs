@@ -342,12 +342,42 @@ impl BlockBitmap {
     }
 
     /// Length of the free run starting exactly at `start`, capped at `cap`.
-    fn run_len_at(&self, start: u64, cap: u64) -> u64 {
+    /// Word-at-a-time: whole free `u64` words are skipped in one step and
+    /// the terminating allocated bit is found with `trailing_zeros`, so the
+    /// scan costs O(run/64) instead of O(run). The bit-at-a-time reference
+    /// ([`Self::free_run_len_bitwise`]) stays as the oracle the property
+    /// suite compares against.
+    pub fn free_run_len(&self, start: u64, cap: u64) -> u64 {
+        if start >= self.blocks {
+            return 0;
+        }
+        let limit = self.blocks.min(start.saturating_add(cap));
+        let mut b = start;
+        while b < limit {
+            // Allocated bits of the current word, shifted so bit 0 is `b`.
+            let masked = self.words[(b / 64) as usize] >> (b % 64);
+            if masked != 0 {
+                // The run ends at the first allocated bit.
+                let z = masked.trailing_zeros() as u64;
+                return (b - start + z).min(cap);
+            }
+            b += 64 - b % 64; // whole remaining word free: skip it
+        }
+        limit - start
+    }
+
+    /// Bit-at-a-time reference for [`Self::free_run_len`] — deliberately
+    /// naive, kept public as the oracle for the equivalence property test.
+    pub fn free_run_len_bitwise(&self, start: u64, cap: u64) -> u64 {
         let mut n = 0;
         while n < cap && start + n < self.blocks && !self.is_allocated(start + n) {
             n += 1;
         }
         n
+    }
+
+    fn run_len_at(&self, start: u64, cap: u64) -> u64 {
+        self.free_run_len(start, cap)
     }
 
     /// Find a free run of exactly `len` blocks at/after `goal`.

@@ -1,0 +1,210 @@
+//! Lock-free bump claims inside an already-reserved window.
+//!
+//! The on-demand policy reserves contiguous physical runs (windows) under
+//! the allocation-group lock, but *consuming* a window is a pure watermark
+//! bump: the next `n` logical blocks map to the next `n` physical blocks.
+//! [`BumpWindow`] makes that bump an atomic operation, so the hot write
+//! path claims blocks from its stream's current window without touching
+//! the per-OST policy mutex — the group lock is only taken again when the
+//! window is exhausted and a new one must be reserved.
+//!
+//! Two races make this more than a `fetch_add`:
+//!
+//! * a claim must *verify* the logical watermark before advancing it — a
+//!   raw `fetch_add` on a mismatched request would burn window blocks
+//!   that no extent ever maps, breaking block conservation at finalize.
+//!   Claims therefore use a verify-then-`compare_exchange` loop and fail
+//!   (fall back to the policy lock) on any mismatch;
+//! * the policy can close the window (promote, miss, finalize, shutdown)
+//!   while a claimer is mid-flight. [`BumpWindow::close`] atomically swaps
+//!   the consumed watermark to the full length, so a racing claim either
+//!   landed before the close (and the closer frees only the true
+//!   remainder) or fails after it (and retries through the policy).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A contiguous physical run serving a contiguous logical range, consumed
+/// front to back by atomic bump claims.
+#[derive(Debug, Default)]
+pub struct BumpWindow {
+    base_logical: u64,
+    base_phys: u64,
+    len: u64,
+    /// Blocks consumed from the front; `len` once closed.
+    consumed: AtomicU64,
+    /// Successful claims against this window (lock-free ones included) —
+    /// the policy folds this into its sequentiality evidence.
+    claims: AtomicU64,
+}
+
+impl BumpWindow {
+    /// A window mapping logical `logical..logical+len` onto physical
+    /// `phys..phys+len`, fully unconsumed.
+    pub fn new(logical: u64, phys: u64, len: u64) -> Self {
+        Self {
+            base_logical: logical,
+            base_phys: phys,
+            len,
+            consumed: AtomicU64::new(0),
+            claims: AtomicU64::new(0),
+        }
+    }
+
+    /// Total window length in blocks.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for a zero-length window (a pure watermark marker).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Blocks not yet consumed (racy snapshot under concurrent claims).
+    pub fn remaining(&self) -> u64 {
+        self.len - self.consumed.load(Ordering::Acquire).min(self.len)
+    }
+
+    /// Next logical block this window would serve.
+    pub fn logical_next(&self) -> u64 {
+        self.base_logical + self.consumed.load(Ordering::Acquire).min(self.len)
+    }
+
+    /// Physical block backing [`Self::logical_next`].
+    pub fn phys_next(&self) -> u64 {
+        self.base_phys + self.consumed.load(Ordering::Acquire).min(self.len)
+    }
+
+    /// Successful claims so far.
+    pub fn claim_count(&self) -> u64 {
+        self.claims.load(Ordering::Acquire)
+    }
+
+    /// Claim up to `len` blocks if `logical` continues the watermark.
+    /// Returns `(phys, n)` with `n = min(len, remaining)`, or `None` when
+    /// the request does not continue the watermark or the window is spent.
+    ///
+    /// Lock-free: concurrent claimers race on a `compare_exchange` of the
+    /// consumed watermark; exactly one wins each position, so claims never
+    /// overlap and never exceed the window.
+    pub fn claim(&self, logical: u64, len: u64) -> Option<(u64, u64)> {
+        if len == 0 {
+            return None;
+        }
+        loop {
+            let c = self.consumed.load(Ordering::Acquire);
+            if c >= self.len {
+                return None; // spent or closed
+            }
+            if logical != self.base_logical + c {
+                return None; // not the watermark: a policy decision is due
+            }
+            let n = len.min(self.len - c);
+            match self
+                .consumed
+                .compare_exchange_weak(c, c + n, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.claims.fetch_add(1, Ordering::AcqRel);
+                    return Some((self.base_phys + c, n));
+                }
+                Err(_) => continue, // lost the race; re-verify
+            }
+        }
+    }
+
+    /// Close the window: atomically mark everything consumed and return
+    /// `(phys_start, len)` of the *unconsumed* tail the caller must free
+    /// (`len == 0` when the window was spent or already closed). Claims
+    /// racing the close either complete before it (their blocks are not in
+    /// the returned tail) or fail after it.
+    pub fn close(&self) -> (u64, u64) {
+        let prev = self.consumed.swap(self.len, Ordering::AcqRel).min(self.len);
+        (self.base_phys + prev, self.len - prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_claims_bump_the_watermark() {
+        let w = BumpWindow::new(100, 5000, 10);
+        assert_eq!(w.claim(100, 4), Some((5000, 4)));
+        assert_eq!(w.claim(104, 4), Some((5004, 4)));
+        assert_eq!(w.remaining(), 2);
+        assert_eq!(w.logical_next(), 108);
+        assert_eq!(w.phys_next(), 5008);
+        // Over-ask is clamped to the remainder.
+        assert_eq!(w.claim(108, 4), Some((5008, 2)));
+        assert_eq!(w.claim(110, 1), None, "window spent");
+        assert_eq!(w.claim_count(), 3);
+    }
+
+    #[test]
+    fn non_watermark_requests_fail_without_consuming() {
+        let w = BumpWindow::new(0, 64, 8);
+        assert_eq!(w.claim(3, 1), None, "ahead of the watermark");
+        w.claim(0, 2).unwrap();
+        assert_eq!(w.claim(0, 2), None, "behind the watermark");
+        assert_eq!(w.remaining(), 6, "failed claims consume nothing");
+    }
+
+    #[test]
+    fn zero_length_window_serves_nothing() {
+        let w = BumpWindow::new(42, 9000, 0);
+        assert!(w.is_empty());
+        assert_eq!(w.claim(42, 1), None);
+        assert_eq!(w.close(), (9000, 0));
+    }
+
+    #[test]
+    fn close_returns_only_the_unconsumed_tail() {
+        let w = BumpWindow::new(0, 200, 16);
+        w.claim(0, 5).unwrap();
+        assert_eq!(w.close(), (205, 11));
+        assert_eq!(w.close(), (216, 0), "second close frees nothing");
+        assert_eq!(w.claim(5, 1), None, "closed window rejects claims");
+    }
+
+    #[test]
+    fn racing_claims_partition_the_window() {
+        // N threads hammer one window with watermark-continuing requests;
+        // the union of successful claims must tile the window exactly.
+        let w = Arc::new(BumpWindow::new(0, 10_000, 4096));
+        let claims: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let w = Arc::clone(&w);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            let logical = w.logical_next();
+                            match w.claim(logical, 3) {
+                                Some(run) => got.push(run),
+                                None if w.remaining() == 0 => break,
+                                None => continue, // lost the race; retry
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let total: u64 = claims.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 4096);
+        let mut sorted = claims;
+        sorted.sort_unstable();
+        let mut expect = 10_000u64;
+        for (phys, n) in sorted {
+            assert_eq!(phys, expect, "claims must tile without gap or overlap");
+            expect += n;
+        }
+    }
+}

@@ -52,6 +52,7 @@
 
 pub mod bitmap;
 pub mod buddy;
+pub mod bump;
 pub mod group;
 pub mod lockorder;
 pub mod ondemand;
@@ -63,6 +64,7 @@ pub mod vanilla;
 
 pub use bitmap::{BlockBitmap, FreeRunHistogram};
 pub use buddy::BuddyAllocator;
+pub use bump::BumpWindow;
 pub use group::GroupedAllocator;
 pub use ondemand::OnDemandStats;
 pub use ondemand::{OnDemandConfig, OnDemandPolicy, OnDemandSnapshot, PersistentWindow};

@@ -35,8 +35,14 @@ pub enum LockClass {
     FileMap,
     /// The metadata server (journal, stores) — one short inner lock.
     MdsJournal,
-    /// One MDS namespace stripe (outermost; serializes same-name ops).
+    /// One MDS namespace stripe (serializes same-name ops).
     MdsStripe,
+    /// The group-commit WAL's flush leadership (outermost): the leader
+    /// coalesces the staged records and persists one merged flush. Held
+    /// with **no other lock**: appenders reserve slab slots lock-free, and
+    /// the flush path runs after every data-path lock is released, so the
+    /// leader can never wait on (or be waited on by) a lock holder.
+    WalFlush,
 }
 
 impl LockClass {
@@ -50,6 +56,7 @@ impl LockClass {
             LockClass::FileMap => 3,
             LockClass::MdsJournal => 4,
             LockClass::MdsStripe => 5,
+            LockClass::WalFlush => 6,
         }
     }
 }
@@ -165,6 +172,23 @@ mod tests {
     fn group_then_file_inversion_panics() {
         let _g = acquire(LockClass::Group);
         let _f = acquire(LockClass::File); // deliberate inversion
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn wal_flush_cannot_nest_under_anything() {
+        // The flush leader must hold no other lock; ranking WalFlush
+        // outermost makes acquiring it under any held lock an inversion.
+        let _f = acquire(LockClass::File);
+        let _w = acquire(LockClass::WalFlush);
+    }
+
+    #[test]
+    fn wal_flush_stands_alone() {
+        let w = acquire(LockClass::WalFlush);
+        drop(w);
+        assert!(held_ranks().is_empty());
     }
 
     #[cfg(debug_assertions)]

@@ -28,10 +28,12 @@
 //! of the sequential stream interposed by random streams is not
 //! interrupted".
 
+use crate::bump::BumpWindow;
 use crate::group::GroupedAllocator;
 use crate::policy::{AllocPolicy, FileId, PolicyKind};
 use crate::stream::StreamId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tuning parameters for on-demand preallocation.
 #[derive(Debug, Clone)]
@@ -56,37 +58,13 @@ impl Default for OnDemandConfig {
 }
 
 /// A window over contiguous physical blocks mapping a logical range.
-#[derive(Debug, Clone, Copy)]
-struct Window {
-    /// Next logical block this window will serve (watermark).
-    logical_next: u64,
-    /// Physical block backing `logical_next`.
-    phys_next: u64,
-    /// Blocks remaining in the window.
-    remaining: u64,
-}
+/// Shared: the concurrent front-end holds clones of the `Arc` and claims
+/// from the window lock-free ([`BumpWindow::claim`]); the policy sees
+/// those claims through the shared consumed watermark and claim counter.
+type Window = Arc<BumpWindow>;
 
-impl Window {
-    fn new(logical: u64, phys: u64, len: u64) -> Self {
-        Self {
-            logical_next: logical,
-            phys_next: phys,
-            remaining: len,
-        }
-    }
-
-    /// Consume up to `len` blocks if the request continues the watermark.
-    fn take(&mut self, logical: u64, len: u64) -> Option<(u64, u64)> {
-        if logical != self.logical_next || self.remaining == 0 {
-            return None;
-        }
-        let n = len.min(self.remaining);
-        let phys = self.phys_next;
-        self.logical_next += n;
-        self.phys_next += n;
-        self.remaining -= n;
-        Some((phys, n))
-    }
+fn window(logical: u64, phys: u64, len: u64) -> Window {
+    Arc::new(BumpWindow::new(logical, phys, len))
 }
 
 #[derive(Debug, Default)]
@@ -96,10 +74,11 @@ struct StreamState {
     /// Misses since the last demonstrated sequentiality;
     /// `pre_alloc_layout` requires 0.
     miss_count: u32,
-    /// Consecutive in-window serves since the last miss — evidence the
-    /// stream is sequential again (bursty-but-sequential streams like
-    /// BTIO's per-cell writes jump between regions without being random).
-    window_hits: u32,
+    /// In-window claims on windows *retired* (promoted over) since the
+    /// last miss. Added to the current window's live claim count this
+    /// yields the stream's sequentiality evidence — including lock-free
+    /// claims made outside the policy lock.
+    hits_base: u64,
     /// Next sequential-window size in blocks.
     window_size: u64,
     /// Physical end of this stream's last allocation: window
@@ -114,7 +93,7 @@ struct StreamState {
 
 /// In-window serves that clear the miss counter: the stream has proven it
 /// extends sequentially within its (re)initialised window.
-const SEQUENTIAL_EVIDENCE_HITS: u32 = 2;
+const SEQUENTIAL_EVIDENCE_HITS: u64 = 2;
 
 /// One persisted current window (see [`OnDemandPolicy::shutdown`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,19 +196,20 @@ impl OnDemandPolicy {
         let mut windows = Vec::new();
         for ((file, stream), state) in self.streams.iter_mut() {
             if let Some(sw) = state.seq.take() {
-                if sw.remaining > 0 {
-                    alloc.free(sw.phys_next, sw.remaining);
-                    self.stats.reclaimed_blocks += sw.remaining;
+                let (phys, rem) = sw.close();
+                if rem > 0 {
+                    alloc.free(phys, rem);
+                    self.stats.reclaimed_blocks += rem;
                 }
             }
-            if let Some(cw) = state.current {
-                if cw.remaining > 0 {
+            if let Some(cw) = state.current.take() {
+                if cw.remaining() > 0 {
                     windows.push(PersistentWindow {
                         file: *file,
                         stream: *stream,
-                        logical_next: cw.logical_next,
-                        phys_next: cw.phys_next,
-                        remaining: cw.remaining,
+                        logical_next: cw.logical_next(),
+                        phys_next: cw.phys_next(),
+                        remaining: cw.remaining(),
                         window_size: state.window_size,
                     });
                 }
@@ -252,10 +232,10 @@ impl OnDemandPolicy {
             policy.streams.insert(
                 (w.file, w.stream),
                 StreamState {
-                    current: Some(Window::new(w.logical_next, w.phys_next, w.remaining)),
+                    current: Some(window(w.logical_next, w.phys_next, w.remaining)),
                     seq: None,
                     miss_count: 0,
-                    window_hits: 0,
+                    hits_base: 0,
                     window_size: w.window_size,
                     goal: Some(w.phys_next + w.remaining),
                     initialized: true,
@@ -267,7 +247,10 @@ impl OnDemandPolicy {
     }
 
     /// Release a stream's windows back to the allocator (the unconsumed
-    /// parts), counting reclaimed blocks.
+    /// parts), counting reclaimed blocks. [`BumpWindow::close`] makes the
+    /// release atomic against racing lock-free claimers: a claim either
+    /// completed before the close (its blocks are not freed) or fails
+    /// after it (and falls back through the policy lock).
     fn release_windows(
         alloc: &GroupedAllocator,
         state: &mut StreamState,
@@ -277,9 +260,10 @@ impl OnDemandPolicy {
             .into_iter()
             .flatten()
         {
-            if w.remaining > 0 {
-                alloc.free(w.phys_next, w.remaining);
-                stats.reclaimed_blocks += w.remaining;
+            let (phys, rem) = w.close();
+            if rem > 0 {
+                alloc.free(phys, rem);
+                stats.reclaimed_blocks += rem;
             }
         }
     }
@@ -311,21 +295,30 @@ impl AllocPolicy for OnDemandPolicy {
         }
 
         while need > 0 {
-            // 1. Serve from the current window (no trigger).
-            if let Some(cw) = state.current.as_mut() {
-                if let Some((phys, n)) = cw.take(logical, need) {
+            // 1. Serve from the current window (no trigger). The claim is
+            // the same atomic bump the concurrent front-end performs
+            // lock-free, so both paths consume one shared watermark.
+            if let Some(cw) = state.current.as_ref() {
+                if let Some((phys, n)) = cw.claim(logical, need) {
                     match out.last_mut() {
                         Some((s, l)) if *s + *l == phys => *l += n,
                         _ => out.push((phys, n)),
                     }
                     logical += n;
                     need -= n;
-                    state.window_hits += 1;
-                    if state.window_hits >= SEQUENTIAL_EVIDENCE_HITS {
-                        state.miss_count = 0;
-                    }
                     continue;
                 }
+            }
+
+            // Sequentiality evidence: in-window claims since the last miss
+            // (lock-free ones included, via the shared claim counters).
+            // Enough evidence clears the miss counter — evaluated lazily
+            // right before every trigger decision, which is the only place
+            // the counter is read.
+            let hits =
+                state.hits_base + state.current.as_ref().map(|w| w.claim_count()).unwrap_or(0);
+            if hits >= SEQUENTIAL_EVIDENCE_HITS {
+                state.miss_count = 0;
             }
 
             // 2. pre_alloc_layout: the request continues at the head of the
@@ -339,18 +332,21 @@ impl AllocPolicy for OnDemandPolicy {
             let seq_head = state
                 .seq
                 .as_ref()
-                .map(|sw| sw.logical_next == logical && sw.remaining > 0)
+                .map(|sw| sw.logical_next() == logical && sw.remaining() > 0)
                 .unwrap_or(false);
             if seq_head && state.miss_count < self.config.miss_threshold {
                 self.stats.pre_alloc_hits += 1;
                 // Promote: sequential window becomes the current window.
                 let promoted = state.seq.take().expect("checked above");
                 // Any unconsumed current-window tail is stale (the stream
-                // has moved on); return it.
+                // has moved on); return it. Its claims stay part of the
+                // stream's evidence.
                 if let Some(cw) = state.current.take() {
-                    if cw.remaining > 0 {
-                        alloc.free(cw.phys_next, cw.remaining);
-                        self.stats.reclaimed_blocks += cw.remaining;
+                    state.hits_base += cw.claim_count();
+                    let (phys, rem) = cw.close();
+                    if rem > 0 {
+                        alloc.free(phys, rem);
+                        self.stats.reclaimed_blocks += rem;
                     }
                 }
                 state.current = Some(promoted);
@@ -360,16 +356,16 @@ impl AllocPolicy for OnDemandPolicy {
                     .min(self.config.max_window_blocks)
                     .max(1);
                 let cw = state.current.as_ref().expect("just set");
-                let next_logical = cw.logical_next + cw.remaining;
-                let phys_goal = cw.phys_next + cw.remaining;
+                let next_logical = cw.logical_next() + cw.remaining();
+                let phys_goal = cw.phys_next() + cw.remaining();
                 state.seq = Self::reserve_run(alloc, phys_goal, state.window_size)
-                    .map(|(s, l)| Window::new(next_logical, s, l));
+                    .map(|(s, l)| window(next_logical, s, l));
                 continue; // serve from the new current window
             }
 
             // 3. layout_miss.
             self.stats.layout_misses += 1;
-            state.window_hits = 0;
+            state.hits_base = 0;
             if state.initialized {
                 state.miss_count += 1;
                 if state.miss_count >= self.config.miss_threshold {
@@ -394,9 +390,9 @@ impl AllocPolicy for OnDemandPolicy {
             let resume = state
                 .current
                 .as_ref()
-                .filter(|w| w.remaining > 0)
+                .filter(|w| w.remaining() > 0)
                 .or(state.seq.as_ref())
-                .map(|w| w.phys_next);
+                .map(|w| w.phys_next());
             if resume.is_some() {
                 state.goal = resume;
             }
@@ -428,14 +424,14 @@ impl AllocPolicy for OnDemandPolicy {
             need = 0;
 
             // Current window: fully consumed, watermark at the request end.
-            state.current = Some(Window::new(logical, run_end, 0));
+            state.current = Some(window(logical, run_end, 0));
             state.seq = Self::reserve_run(alloc, run_end, state.window_size)
-                .map(|(s, l)| Window::new(logical, s, l));
+                .map(|(s, l)| window(logical, s, l));
             state.goal = Some(
                 state
                     .seq
                     .as_ref()
-                    .map(|w| w.phys_next + w.remaining)
+                    .map(|w| w.phys_next() + w.remaining())
                     .unwrap_or(run_end),
             );
         }
@@ -464,8 +460,16 @@ impl AllocPolicy for OnDemandPolicy {
                 && [state.current.as_ref(), state.seq.as_ref()]
                     .into_iter()
                     .flatten()
-                    .any(|w| w.remaining > 0)
+                    .any(|w| w.remaining() > 0)
         })
+    }
+
+    fn stream_window(&self, file: FileId, stream: StreamId) -> Option<Arc<BumpWindow>> {
+        let state = self.streams.get(&(file, stream))?;
+        if state.off {
+            return None;
+        }
+        state.current.clone().filter(|w| w.remaining() > 0)
     }
 
     fn kind(&self) -> PolicyKind {

@@ -1,7 +1,9 @@
 //! The allocation-policy abstraction shared by all four strategies.
 
+use crate::bump::BumpWindow;
 use crate::group::GroupedAllocator;
 use crate::stream::StreamId;
+use std::sync::Arc;
 
 /// File identity on one IO server (Redbud inode number analogue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +89,17 @@ pub trait AllocPolicy: Send {
     fn has_reservation(&self, file: FileId) -> bool {
         let _ = file;
         false
+    }
+
+    /// The live [`BumpWindow`] serving `stream`'s next extends of `file`,
+    /// if the policy keeps one. The concurrent front-end caches the handle
+    /// and claims from it lock-free; a claim that fails (watermark moved,
+    /// window spent or closed) falls back to [`Self::extend`] under the
+    /// policy lock, which reserves fresh windows and hands back the new
+    /// handle. Policies without windows return `None`.
+    fn stream_window(&self, file: FileId, stream: StreamId) -> Option<Arc<BumpWindow>> {
+        let _ = (file, stream);
+        None
     }
 
     /// Policy name for reports.

@@ -1,28 +1,35 @@
-//! BENCH 5: concurrent write-stream scaling through `ConcurrentFs`.
+//! BENCH 6: concurrent write-stream scaling through `ConcurrentFs`, with
+//! per-op latency percentiles and lock-contention counters.
 //!
 //! N client *threads* — real OS threads, not simulated arrival rounds —
 //! each drive M write streams that extend disjoint regions of one shared
-//! file, for each allocation policy {vanilla, static, on-demand}. This is
-//! the paper's §V-B shared-file workload lifted onto the sharded
-//! front-end: the point is that true parallelism changes neither the
-//! fragmentation story (on-demand stays near static's extent count,
-//! vanilla fragments) nor correctness (optional `--check` fscks every
-//! run), while wall-clock scales with threads because allocator groups,
-//! file state and disk queues are independently locked.
+//! file, for each allocation policy {vanilla, static, on-demand}. BENCH 5
+//! established that true parallelism changes neither the fragmentation
+//! story nor correctness; BENCH 6 adds the *scaling* evidence for the
+//! lock-free hot paths and WAL group commit:
 //!
-//! Emits `BENCH_5.json` — `{threads, policy, wall_ms, sim MiB/s,
-//! extents, fragmentation degree}` per cell — consumed by
-//! EXPERIMENTS.md.
+//! * every write op's wall-clock latency lands in a log-spaced histogram
+//!   (`mif_bench::hist`), reported as p50/p99/p999 per cell;
+//! * every cell also runs the `group_commit = false` baseline (the PR-5
+//!   code paths: per-op disk-lock sweep, one journal flush per record)
+//!   and reports the per-op reduction in disk-lock acquisitions and WAL
+//!   flushes — ≥ 4x is the pass bar, chosen because wall-clock scaling is
+//!   invisible on single-core CI while lock pressure is not.
+//!
+//! Emits `BENCH_6.json` and then re-reads and self-parses it, exiting
+//! non-zero if the file is malformed or the scaling evidence (vanilla
+//! MiB/s strictly increasing with threads, OR both contention ratios
+//! ≥ 4x in every cell) is missing. Optional `--check` fscks every run.
 //!
 //! Usage: `stream_scaling [--threads N] [--out PATH] [--check]`
 //! (default threads sweep: 1, 2, 4).
 
 use mif_alloc::{PolicyKind, StreamId};
-use mif_bench::{expectation, section, Table};
-use mif_core::{ConcurrentFs, FsConfig};
+use mif_bench::{expectation, section, LatencyHist, Percentiles, Table};
+use mif_core::{ConcurrentFs, ContentionSnapshot, FsConfig};
 use mif_fsck::{run as fsck_run, FsckOptions};
 use mif_simdisk::mib_per_sec;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const OSTS: u32 = 4;
@@ -30,6 +37,9 @@ const STREAMS_PER_THREAD: u32 = 4;
 const OPS_PER_STREAM: u64 = 256;
 const CHUNK_BLOCKS: u64 = 16;
 const BLOCK_BYTES: u64 = 4096;
+
+/// The contention pass bar (per-op reduction vs the PR-5 baseline).
+const MIN_REDUCTION: f64 = 4.0;
 
 /// One cell of the sweep.
 struct Cell {
@@ -39,6 +49,39 @@ struct Cell {
     sim_mib_s: f64,
     extents: u64,
     frag_degree: f64,
+    lat: Percentiles,
+    fast: ContentionSnapshot,
+    baseline: ContentionSnapshot,
+}
+
+impl Cell {
+    /// Baseline-vs-fast per-op reduction in disk-lock acquisitions.
+    fn lock_reduction(&self) -> f64 {
+        per_op_ratio(
+            self.baseline.disk_lock_acquisitions,
+            self.baseline.write_ops,
+            self.fast.disk_lock_acquisitions,
+            self.fast.write_ops,
+        )
+    }
+
+    /// Baseline-vs-fast per-op reduction in WAL flushes.
+    fn flush_reduction(&self) -> f64 {
+        per_op_ratio(
+            self.baseline.wal_flushes,
+            self.baseline.write_ops,
+            self.fast.wal_flushes,
+            self.fast.write_ops,
+        )
+    }
+}
+
+fn per_op_ratio(base_events: u64, base_ops: u64, fast_events: u64, fast_ops: u64) -> f64 {
+    let base = base_events as f64 / base_ops.max(1) as f64;
+    // A fully lock-free fast path can hit zero events; report the ratio
+    // against one event over the whole run rather than dividing by zero.
+    let fast = fast_events.max(1) as f64 / fast_ops.max(1) as f64;
+    base / fast
 }
 
 fn policy_name(p: PolicyKind) -> &'static str {
@@ -52,10 +95,16 @@ fn policy_name(p: PolicyKind) -> &'static str {
     }
 }
 
-/// Run one (threads, policy) cell and measure it.
-fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
+/// Drive one full workload; returns the front-end (quiesced via `sync`),
+/// the merged per-op latency histogram, and the wall time.
+fn drive(
+    threads: u32,
+    policy: PolicyKind,
+    group_commit: bool,
+) -> (Arc<ConcurrentFs>, LatencyHist, f64) {
     let mut cfg = FsConfig::with_policy(policy, OSTS);
     cfg.stripe_blocks = 64;
+    cfg.group_commit = group_commit;
     let fs = Arc::new(ConcurrentFs::new(cfg));
 
     let region = OPS_PER_STREAM * CHUNK_BLOCKS;
@@ -64,36 +113,53 @@ fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
     let hint = matches!(policy, PolicyKind::Static).then_some(total_blocks);
     let shared = fs.create("shared", hint);
 
+    let merged = Mutex::new(LatencyHist::new());
     let wall = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let fs = Arc::clone(&fs);
+            let merged = &merged;
             scope.spawn(move || {
+                let mut hist = LatencyHist::new();
                 for i in 0..OPS_PER_STREAM {
                     for s in 0..STREAMS_PER_THREAD {
                         let base = (t * STREAMS_PER_THREAD + s) as u64 * region;
+                        let op = Instant::now();
                         fs.write(
                             shared,
                             StreamId::new(t, s),
                             base + i * CHUNK_BLOCKS,
                             CHUNK_BLOCKS,
                         );
+                        hist.record(op.elapsed().as_nanos() as u64);
                     }
                     if i % 64 == 63 {
                         fs.sync();
                     }
                 }
+                merged.lock().unwrap().merge(&hist);
             });
         }
     });
     fs.sync();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    fs.close(shared);
+    (fs, merged.into_inner().unwrap(), wall_ms)
+}
 
+/// Run one (threads, policy) cell: the measured group-commit run plus the
+/// PR-5 baseline for the contention ratios.
+fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
+    let (fs, hist, wall_ms) = drive(threads, policy, true);
+    let fast = fs.contention();
+    let shared = fs.open("shared").expect("shared file exists");
     fs.close(shared);
     let extents = fs.file_extents(shared);
     // Degree as in `mif_extent::fragmentation_degree`: extents per tree,
     // here one tree per OST; the contiguous ideal is 1.0.
     let frag_degree = extents as f64 / OSTS as f64;
+    let region = OPS_PER_STREAM * CHUNK_BLOCKS;
+    let total_blocks = threads as u64 * STREAMS_PER_THREAD as u64 * region;
     let sim_mib_s = mib_per_sec(total_blocks * BLOCK_BYTES, fs.data_elapsed_ns());
 
     if check {
@@ -107,6 +173,11 @@ fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
         }
     }
 
+    // The same workload down the PR-5 paths: per-op disk-lock sweep, one
+    // WAL flush per record. Only its counters matter.
+    let (base_fs, _, _) = drive(threads, policy, false);
+    let baseline = base_fs.contention();
+
     Cell {
         threads,
         policy,
@@ -114,6 +185,9 @@ fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
         sim_mib_s,
         extents,
         frag_degree,
+        lat: hist.percentiles(),
+        fast,
+        baseline,
     }
 }
 
@@ -128,17 +202,39 @@ fn write_json(path: &str, cells: &[Cell]) {
         OPS_PER_STREAM * CHUNK_BLOCKS
     );
     out += &format!("  \"block_bytes\": {BLOCK_BYTES},\n");
+    out += &format!("  \"min_reduction_x\": {MIN_REDUCTION},\n");
     out += "  \"results\": [\n";
     for (i, c) in cells.iter().enumerate() {
         out += &format!(
             "    {{\"threads\": {}, \"policy\": \"{}\", \"wall_ms\": {:.2}, \
-             \"mib_per_s\": {:.1}, \"extents\": {}, \"fragmentation_degree\": {:.2}}}{}\n",
+             \"mib_per_s\": {:.1}, \"extents\": {}, \"fragmentation_degree\": {:.2}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"write_ops\": {}, \"disk_locks\": {}, \"baseline_disk_locks\": {}, \
+             \"wal_records\": {}, \"wal_flushes\": {}, \"baseline_wal_flushes\": {}, \
+             \"wal_max_batch\": {}, \"wal_backpressure_parks\": {}, \
+             \"lockfree_claims\": {}, \"policy_extends\": {}, \
+             \"lock_reduction_x\": {:.1}, \"flush_reduction_x\": {:.1}}}{}\n",
             c.threads,
             policy_name(c.policy),
             c.wall_ms,
             c.sim_mib_s,
             c.extents,
             c.frag_degree,
+            c.lat.p50,
+            c.lat.p99,
+            c.lat.p999,
+            c.fast.write_ops,
+            c.fast.disk_lock_acquisitions,
+            c.baseline.disk_lock_acquisitions,
+            c.fast.wal_records,
+            c.fast.wal_flushes,
+            c.baseline.wal_flushes,
+            c.fast.wal_max_batch,
+            c.fast.wal_backpressure_parks,
+            c.fast.lockfree_window_claims,
+            c.fast.locked_policy_extends,
+            c.lock_reduction(),
+            c.flush_reduction(),
             if i + 1 < cells.len() { "," } else { "" }
         );
     }
@@ -146,9 +242,66 @@ fn write_json(path: &str, cells: &[Cell]) {
     std::fs::write(path, out).expect("write BENCH json");
 }
 
+/// Re-read the emitted JSON and verify it carries the scaling evidence.
+/// This is the CI gate: a malformed file or a cell without either form of
+/// proof fails the bench.
+fn verify_json(path: &str, cells: &[Cell]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if !text.contains("\"bench\": \"stream_scaling\"") {
+        return Err("missing bench identifier".into());
+    }
+    let result_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"threads\""))
+        .collect();
+    if result_lines.len() != cells.len() {
+        return Err(format!(
+            "expected {} result rows, parsed {}",
+            cells.len(),
+            result_lines.len()
+        ));
+    }
+    for key in [
+        "\"p50_ns\"",
+        "\"p99_ns\"",
+        "\"p999_ns\"",
+        "\"lock_reduction_x\"",
+        "\"flush_reduction_x\"",
+    ] {
+        for (i, line) in result_lines.iter().enumerate() {
+            if !line.contains(key) {
+                return Err(format!("result row {i} lacks {key}"));
+            }
+        }
+    }
+    // Evidence of scaling: vanilla throughput strictly increasing with
+    // threads (multi-core), OR both contention ratios >= the bar in every
+    // cell (single-core CI).
+    let vanilla: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.policy == PolicyKind::Vanilla)
+        .collect();
+    let mib_increasing =
+        vanilla.len() > 1 && vanilla.windows(2).all(|w| w[1].sim_mib_s > w[0].sim_mib_s);
+    let contention_ok = cells
+        .iter()
+        .all(|c| c.lock_reduction() >= MIN_REDUCTION && c.flush_reduction() >= MIN_REDUCTION);
+    if !mib_increasing && !contention_ok {
+        let worst = cells
+            .iter()
+            .map(|c| c.lock_reduction().min(c.flush_reduction()))
+            .fold(f64::INFINITY, f64::min);
+        return Err(format!(
+            "no scaling evidence: vanilla MiB/s not strictly increasing and \
+             worst contention reduction {worst:.1}x < {MIN_REDUCTION}x"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let mut threads_sweep = vec![1u32, 2, 4];
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -169,22 +322,19 @@ fn main() {
         }
     }
 
-    section("BENCH 5 — concurrent stream scaling (threads × policy)");
+    section("BENCH 6 — stream scaling: latency percentiles + lock contention");
     expectation(
         "on-demand tracks static's extent count under true thread \
-         parallelism while vanilla fragments; fsck stays clean (--check)",
+         parallelism; group commit + lock-free claims cut disk-lock \
+         acquisitions and WAL flushes per op by >= 4x vs the PR-5 baseline",
     );
 
     let table = Table::new(
         &[
-            "threads",
-            "policy",
-            "wall ms",
-            "sim MiB/s",
-            "extents",
-            "frag",
+            "threads", "policy", "wall ms", "MiB/s", "extents", "p50 µs", "p99 µs", "p999 µs",
+            "locks/op", "flush -x", "lock -x",
         ],
-        &[7, 10, 9, 10, 8, 6],
+        &[7, 10, 8, 8, 8, 8, 8, 8, 9, 8, 8],
     );
     let mut cells = Vec::new();
     for &threads in &threads_sweep {
@@ -200,7 +350,15 @@ fn main() {
                 format!("{:.1}", c.wall_ms),
                 format!("{:.1}", c.sim_mib_s),
                 c.extents.to_string(),
-                format!("{:.2}", c.frag_degree),
+                format!("{:.1}", c.lat.p50 as f64 / 1e3),
+                format!("{:.1}", c.lat.p99 as f64 / 1e3),
+                format!("{:.1}", c.lat.p999 as f64 / 1e3),
+                format!(
+                    "{:.2}",
+                    c.fast.disk_lock_acquisitions as f64 / c.fast.write_ops.max(1) as f64
+                ),
+                format!("{:.0}", c.flush_reduction()),
+                format!("{:.0}", c.lock_reduction()),
             ]);
             cells.push(c);
         }
@@ -208,5 +366,11 @@ fn main() {
 
     write_json(&out_path, &cells);
     println!();
-    println!("wrote {out_path}");
+    match verify_json(&out_path, &cells) {
+        Ok(()) => println!("wrote {out_path} (parsed back clean, scaling evidence present)"),
+        Err(e) => {
+            eprintln!("stream_scaling: {out_path} failed verification: {e}");
+            std::process::exit(1);
+        }
+    }
 }

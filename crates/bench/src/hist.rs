@@ -1,0 +1,209 @@
+//! Fixed-footprint log-spaced latency histograms for the bench binaries.
+//!
+//! `BENCH 6` reports per-op latency percentiles (p50/p99/p999) per
+//! (threads, policy) cell. A sorted-vector quantile over a million ops
+//! per cell would dominate the bench's own memory traffic, so this is the
+//! standard HDR-style compromise: 256 buckets, exact below 16 ns, then
+//! four sub-buckets per power of two — worst-case relative error 25%,
+//! constant memory, O(1) record, O(buckets) quantile.
+//!
+//! Threads record into private histograms and [`LatencyHist::merge`] them
+//! after joining; no atomics on the hot path.
+
+/// Bucket count: 16 exact + 4 × 60 log buckets (values up to `u64::MAX`).
+pub const BUCKETS: usize = 256;
+
+/// A log-spaced histogram of `u64` samples (nanoseconds, by convention).
+#[derive(Clone)]
+pub struct LatencyHist {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a sample: identity below 16, then
+/// `(octave, 2-bit mantissa)`.
+fn bucket(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as u64; // >= 4
+    let sub = (v >> (octave - 2)) & 3;
+    (16 + (octave - 4) * 4 + sub) as usize
+}
+
+/// Representative value of a bucket (its lower bound — quantiles are
+/// reported conservatively, never above a sample that landed there).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let rel = (idx - 16) as u64;
+    let octave = rel / 4 + 4;
+    let sub = rel % 4;
+    (4 + sub) << (octave - 2)
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The value at quantile `q` in [0, 1]: the smallest bucket floor such
+    /// that at least `q` of the samples are at or below the bucket.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+
+    /// The standard trio for the latency tables.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// p50/p99/p999, in the sample unit (nanoseconds by convention).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    pub p50: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_in_range() {
+        let mut samples: Vec<u64> = (0..64)
+            .flat_map(|s| [1u64 << s, (1u64 << s).saturating_add(1)])
+            .chain((0..1000).map(|i| i * 37))
+            .chain([u64::MAX])
+            .collect();
+        samples.sort_unstable();
+        let mut last = 0usize;
+        for v in samples {
+            let b = bucket(v);
+            assert!(b < BUCKETS, "v={v} b={b}");
+            assert!(b >= last, "bucket not monotone at v={v}");
+            last = b;
+        }
+        assert_eq!(bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn floor_is_at_most_the_sample() {
+        for v in [0u64, 1, 15, 16, 17, 1000, 123_456_789, u64::MAX] {
+            let f = bucket_floor(bucket(v));
+            assert!(f <= v, "floor {f} > sample {v}");
+            // ...and within the 25% relative-error bound (above 16).
+            if v >= 16 {
+                assert!(f >= v - v / 4, "floor {f} too far below {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut h = LatencyHist::new();
+        // 988 fast ops at ~1µs, 10 at ~1ms, 2 at ~100ms: the quantile
+        // ranks 500/990/999 land in the three tiers respectively.
+        for _ in 0..988 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        h.record(100_000_000);
+        h.record(100_000_000);
+        assert_eq!(h.count(), 1000);
+        let p = h.percentiles();
+        assert!(p.p50 <= 1_000 && p.p50 > 500);
+        assert!(p.p99 <= 1_000_000 && p.p99 > 500_000);
+        assert!(p.p999 <= 100_000_000 && p.p999 > 50_000_000);
+        assert!(p.p50 <= p.p99 && p.p99 <= p.p999);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut whole = LatencyHist::new();
+        for i in 0..1000u64 {
+            let v = i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentiles(), Percentiles::default());
+    }
+}

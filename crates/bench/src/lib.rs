@@ -23,12 +23,16 @@
 //! | `ablate_cow` | §II-B copy-on-write writes fast / reads compromised |
 //! | `ablate_replication` | §II-B reorganization cost + false-prediction risk |
 //! | `ablate_aggregation` | §II-A.2 readdirplus / open-getlayout pairs |
-//! | `stream_scaling` | BENCH 5: threads × policy through the concurrent front-end (`BENCH_5.json`) |
+//! | `stream_scaling` | BENCH 6: threads × policy through the concurrent front-end, with per-op latency percentiles and contention counters (`BENCH_6.json`) |
 //!
 //! Micro-benches live under `benches/` and use the tiny wall-clock
 //! harness in [`micro`] (`cargo bench` — no external harness needed).
+//! Latency percentiles come from the log-spaced histograms in [`hist`].
 
+pub mod hist;
 pub mod micro;
+
+pub use hist::{LatencyHist, Percentiles};
 
 /// Print a section header.
 pub fn section(title: &str) {

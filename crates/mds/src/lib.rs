@@ -48,6 +48,7 @@ pub mod check;
 pub mod cluster;
 pub mod dirtable;
 pub mod embedded;
+pub mod groupcommit;
 pub mod htree;
 pub mod ids;
 pub mod journal;
@@ -65,6 +66,7 @@ pub use check::{
 pub use cluster::{ClusterStats, Distribution, MdsCluster};
 pub use dirtable::{DirTable, RenameCorrelation};
 pub use embedded::EmbeddedStore;
+pub use groupcommit::{FlushFaultPlan, GroupCommitStats, GroupCommitWal};
 pub use htree::HtreeIndex;
 pub use ids::{DirId, InodeNo, WideInodeNo, ROOT_INO};
 pub use journal::Journal;
@@ -74,6 +76,6 @@ pub use normal::NormalStore;
 pub use replay::{LoggedOp, OpLog};
 pub use store::{DataArea, OpEffect, ReadSet};
 pub use wal::{
-    recover_remaps, Recovery, RecoveryStop, RemapOp, RemapRecovery, RemapTxn, RemapWal, WalWriter,
-    WAL_RECORD_BYTES,
+    encode_write_record, recover_remaps, recover_writes, Recovery, RecoveryStop, RemapOp,
+    RemapRecovery, RemapTxn, RemapWal, WalWriter, WriteCommit, WriteRecovery, WAL_RECORD_BYTES,
 };

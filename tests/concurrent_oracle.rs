@@ -16,6 +16,8 @@ mod oracle;
 
 use mif::alloc::{PolicyKind, StreamId};
 use mif::fsck::{run, FsckOptions};
+use mif::mds::recover_writes;
+use mif::mds::wal::RecoveryStop;
 use mif::pfs::{ConcurrentFs, FileSystem, FsConfig, OpenFile};
 use mif_rng::SmallRng;
 use std::sync::Arc;
@@ -172,6 +174,73 @@ fn run_concurrent(seed: u64, policy: PolicyKind, logs: &[Vec<Op>]) -> (FileSyste
         }
     });
     fs.sync();
+
+    // Group commit is on by default, so this run exercised the coalesced
+    // WAL: every write journaled exactly once, flushes strictly fewer
+    // than records (batching actually happened), and the journal must
+    // replay every record in order — per thread, the journal's
+    // subsequence for that thread's streams IS the thread's op log.
+    let total_ops: u64 = logs.iter().map(|l| l.len() as u64).sum();
+    let c = fs.contention();
+    assert_eq!(
+        c.wal_records, total_ops,
+        "seed {seed} {policy:?}: writes and journal records disagree"
+    );
+    assert!(
+        c.wal_flushes > 0 && c.wal_flushes < c.wal_records,
+        "seed {seed} {policy:?}: no coalescing ({} flushes / {} records)",
+        c.wal_flushes,
+        c.wal_records
+    );
+    // Only window-bearing policies can satisfy claims lock-free; vanilla
+    // takes the policy lock for every fresh extent by design.
+    if policy == PolicyKind::OnDemand {
+        assert!(
+            c.lockfree_window_claims > 0,
+            "seed {seed} {policy:?}: hot path never took a lock-free claim"
+        );
+    }
+    let r = recover_writes(&fs.wal_image(), 0);
+    assert!(
+        matches!(r.stop, RecoveryStop::CleanEnd),
+        "seed {seed} {policy:?}: quiesced journal not clean: {:?}",
+        r.stop
+    );
+    assert_eq!(
+        r.ops.len() as u64,
+        total_ops,
+        "seed {seed} {policy:?}: journal lost records"
+    );
+    for (t, log) in logs.iter().enumerate() {
+        let mine: Vec<(u64, u64, u64)> = r
+            .ops
+            .iter()
+            .filter(|w| {
+                log.iter().any(|op| {
+                    StreamId::new(t as u32, op.stream).as_u64() == w.stream
+                        && w.file
+                            == if op.shared {
+                                shared.0 .0
+                            } else {
+                                privates[t].0 .0
+                            }
+                })
+            })
+            .map(|w| (w.file, w.offset, w.len))
+            .collect();
+        let expect: Vec<(u64, u64, u64)> = log
+            .iter()
+            .map(|op| {
+                let f = if op.shared { shared } else { privates[t] };
+                (f.0 .0, op.offset, op.len)
+            })
+            .collect();
+        assert_eq!(
+            mine, expect,
+            "seed {seed} {policy:?}: thread {t}'s journal order diverged from program order"
+        );
+    }
+
     let mut files = vec![shared];
     files.extend(privates);
     let fs = Arc::try_unwrap(fs).ok().expect("threads joined");

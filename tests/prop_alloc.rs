@@ -5,7 +5,7 @@
 //! with that seed (see docs/TESTING.md).
 
 use mif::alloc::{
-    AllocPolicy, BlockBitmap, FileId, GroupedAllocator, OnDemandPolicy, PolicyKind,
+    AllocPolicy, BlockBitmap, BumpWindow, FileId, GroupedAllocator, OnDemandPolicy, PolicyKind,
     ReservationPolicy, StaticPolicy, StreamId, VanillaPolicy,
 };
 use mif::pfs::{FileSystem, FsConfig};
@@ -181,6 +181,177 @@ fn ondemand_window_isolation() {
             (1u64 << 16) - blocks.len() as u64,
             "seed {seed}: windows not fully reclaimed"
         );
+    }
+}
+
+/// Lock-free bump claims: any number of threads hammering one window
+/// with watermark-continuing claims must tile it exactly — every block
+/// claimed once, nothing past the window, claim count telemetry matches.
+#[test]
+fn concurrent_bump_claims_tile_the_window() {
+    use std::sync::Arc;
+    for seed in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(0xB0B0_0000 + seed);
+        let base_logical = rng.gen_range(0u64..1 << 20);
+        let base_phys = rng.gen_range(0u64..1 << 20);
+        let len = rng.gen_range(64u64..512);
+        let threads = rng.gen_range(2usize..9);
+        let w = Arc::new(BumpWindow::new(base_logical, base_phys, len));
+
+        let claims: Vec<Vec<(u64, u64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let w = Arc::clone(&w);
+                    let mut rng = SmallRng::seed_from_u64(seed * 31 + t as u64);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while w.remaining() > 0 {
+                            // Re-read the watermark each attempt; stale
+                            // logicals must fail, not misplace blocks.
+                            let logical = w.logical_next();
+                            let ask = rng.gen_range(1u64..8);
+                            if let Some((phys, n)) = w.claim(logical, ask) {
+                                assert!(n >= 1 && n <= ask, "seed {seed}: claim size");
+                                mine.push((phys, n));
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut runs: Vec<(u64, u64)> = claims.into_iter().flatten().collect();
+        runs.sort_unstable();
+        let mut cursor = base_phys;
+        for (phys, n) in &runs {
+            assert_eq!(
+                *phys, cursor,
+                "seed {seed}: gap or overlap at physical {cursor}"
+            );
+            cursor += n;
+        }
+        assert_eq!(
+            cursor,
+            base_phys + len,
+            "seed {seed}: claims do not cover the window exactly"
+        );
+        assert_eq!(w.remaining(), 0, "seed {seed}: window not spent");
+        assert_eq!(
+            w.claim_count(),
+            runs.len() as u64,
+            "seed {seed}: claim telemetry drifted"
+        );
+        // A spent window refuses everything, including the next watermark.
+        assert!(w.claim(base_logical + len, 1).is_none(), "seed {seed}");
+        let (_, tail) = w.close();
+        assert_eq!(tail, 0, "seed {seed}: spent window returned a tail");
+    }
+}
+
+/// Claims racing a `close` either land before it (their blocks excluded
+/// from the returned tail) or fail after it; the claims plus the tail
+/// always tile the window with no block lost or duplicated.
+#[test]
+fn bump_close_races_lose_no_blocks() {
+    use std::sync::Arc;
+    for seed in 0..16u64 {
+        let len = 256u64;
+        let w = Arc::new(BumpWindow::new(0, 1 << 20, len));
+        let (claimed, tail) = std::thread::scope(|s| {
+            let claimer = {
+                let w = Arc::clone(&w);
+                let mut rng = SmallRng::seed_from_u64(0xC105E + seed);
+                s.spawn(move || {
+                    let mut got = 0u64;
+                    loop {
+                        let logical = w.logical_next();
+                        match w.claim(logical, rng.gen_range(1u64..5)) {
+                            Some((_, n)) => got += n,
+                            None => return got,
+                        }
+                        std::hint::spin_loop();
+                    }
+                })
+            };
+            let closer = {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    // Let the claimer make some progress before closing.
+                    while w.remaining() > len / 2 {
+                        std::hint::spin_loop();
+                    }
+                    let (_, tail) = w.close();
+                    tail
+                })
+            };
+            (claimer.join().unwrap(), closer.join().unwrap())
+        });
+        assert_eq!(
+            claimed + tail,
+            len,
+            "seed {seed}: blocks lost or duplicated across the close race"
+        );
+        assert_eq!(w.remaining(), 0, "seed {seed}: closed window not spent");
+    }
+}
+
+/// The word-at-a-time free-run scan is bitwise-identical to the
+/// bit-at-a-time reference on arbitrary bitmaps, at every alignment —
+/// including word boundaries and the all-set / all-clear extremes.
+#[test]
+fn free_run_word_scan_matches_bitwise_reference() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF2EE_0000 + seed);
+        // Sizes straddling word boundaries, not just multiples of 64.
+        let blocks = rng.gen_range(1u64..400);
+        let mut bm = BlockBitmap::new(blocks);
+        // Random occupancy via the public mutators (keeps counters honest).
+        for _ in 0..rng.gen_range(0usize..60) {
+            let start = rng.gen_range(0u64..blocks);
+            let len = rng.gen_range(1u64..17).min(blocks - start);
+            if (0..len).all(|i| !bm.is_allocated(start + i)) {
+                bm.set_range(start, len);
+            }
+        }
+        let caps = [0u64, 1, 7, 63, 64, 65, 128, u64::MAX];
+        let starts: Vec<u64> = (0..blocks)
+            .chain([blocks, blocks + 1, blocks + 64])
+            .collect();
+        for &start in &starts {
+            for &cap in &caps {
+                assert_eq!(
+                    bm.free_run_len(start, cap),
+                    bm.free_run_len_bitwise(start, cap),
+                    "seed {seed}: divergence at start={start} cap={cap} blocks={blocks}"
+                );
+            }
+        }
+    }
+
+    // Extremes: fully clear and fully set, exercised at word boundaries.
+    for blocks in [1u64, 63, 64, 65, 127, 128, 129, 320] {
+        let mut bm = BlockBitmap::new(blocks);
+        for start in 0..blocks {
+            assert_eq!(
+                bm.free_run_len(start, u64::MAX),
+                blocks - start,
+                "all-clear run from {start} of {blocks}"
+            );
+        }
+        bm.set_range(0, blocks);
+        for start in 0..blocks {
+            assert_eq!(
+                bm.free_run_len(start, u64::MAX),
+                0,
+                "all-set run from {start} of {blocks}"
+            );
+            assert_eq!(
+                bm.free_run_len(start, u64::MAX),
+                bm.free_run_len_bitwise(start, u64::MAX)
+            );
+        }
     }
 }
 
