@@ -37,12 +37,23 @@ pub enum LockClass {
     MdsJournal,
     /// One MDS namespace stripe (serializes same-name ops).
     MdsStripe,
-    /// The group-commit WAL's flush leadership (outermost): the leader
-    /// coalesces the staged records and persists one merged flush. Held
-    /// with **no other lock**: appenders reserve slab slots lock-free, and
-    /// the flush path runs after every data-path lock is released, so the
-    /// leader can never wait on (or be waited on by) a lock holder.
+    /// The group-commit WAL's flush leadership (outermost of the engine
+    /// ranks): the leader coalesces the staged records and persists one
+    /// merged flush. Held with **no other engine lock**: appenders reserve
+    /// slab slots lock-free, and the flush path runs after every data-path
+    /// lock is released, so the leader can never wait on (or be waited on
+    /// by) a lock holder.
     WalFlush,
+    /// One server worker shard's bounded request queue (`mif-server`).
+    /// Submitters park on its condvar under backpressure; workers drain
+    /// it and release before touching any engine lock.
+    ServerQueue,
+    /// One client session's state (reply inbox, admission counter,
+    /// replay cache) in the `mif-server` session table. Outermost rank of
+    /// the whole stack: a submitter may enqueue (rank `ServerQueue`)
+    /// while accounting admission under its session, but neither server
+    /// lock is ever held across a call into the engine.
+    ServerSession,
 }
 
 impl LockClass {
@@ -57,6 +68,8 @@ impl LockClass {
             LockClass::MdsJournal => 4,
             LockClass::MdsStripe => 5,
             LockClass::WalFlush => 6,
+            LockClass::ServerQueue => 7,
+            LockClass::ServerSession => 8,
         }
     }
 }
@@ -210,6 +223,32 @@ mod tests {
         let _g = acquire(LockClass::Group);
         let _f = acquire(LockClass::File);
         assert!(held_ranks().is_empty(), "release build tracks nothing");
+    }
+
+    #[test]
+    fn server_ranks_sit_above_the_engine() {
+        // The submitter path: account admission under the session, then
+        // enqueue — and an enqueueing thread may not hold anything else.
+        let s = acquire(LockClass::ServerSession);
+        let q = acquire(LockClass::ServerQueue);
+        drop(q);
+        drop(s);
+        // A worker that popped the queue has released it before touching
+        // the engine; taking the full descent afterwards is silent.
+        let f = acquire(LockClass::File);
+        drop(f);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn engine_locks_never_nest_server_locks() {
+        // No engine path may call back into the server's queues: the WAL
+        // flush leader (engine-outermost) acquiring a server queue is an
+        // inversion by construction.
+        let _w = acquire(LockClass::WalFlush);
+        let _q = acquire(LockClass::ServerQueue);
     }
 
     #[test]

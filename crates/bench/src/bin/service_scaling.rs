@@ -1,0 +1,381 @@
+//! BENCH 7: service front-end scaling — N simulated clients through
+//! `mif-server`'s framed protocol, worker shards and admission control,
+//! over a zipf-skewed file population.
+//!
+//! Unlike BENCH 6 (threads calling `ConcurrentFs` directly), every
+//! operation here crosses the full service path: frame encode → bounded
+//! queue (parking when full) → worker shard decode → session dispatch →
+//! engine → group-commit durability gate → ack. Client counts far exceed
+//! thread counts: a small pool of driver threads multiplexes {100, 10k,
+//! 100k} *simulated* clients, each with its own session, sequence space
+//! and pipeline window — the session table, not the OS scheduler, is
+//! what's being scaled.
+//!
+//! Per cell (clients × policy) the bench reports ops/sec, ack-latency
+//! percentiles (p50/p99/p999 of `acked_at_ns - sent_at_ns`, which spans
+//! queueing + admission + execution + durability), queue-depth/park
+//! counters, and the engine's aggregate `FsStats`. Emits `BENCH_7.json`
+//! and re-parses it, exiting non-zero if the evidence is missing —
+//! including ack-latency percentiles at ≥ 10k clients when the default
+//! sweep runs. `--check` fscks every resulting image (`repaired == 0`).
+//!
+//! Usage: `service_scaling [--clients N] [--out PATH] [--check]`
+//! (default sweep: 100, 10_000, 100_000 clients).
+
+use mif_alloc::PolicyKind;
+use mif_bench::{expectation, section, LatencyHist, Percentiles, Table};
+use mif_core::{ConcurrentFs, FsConfig, FsStats};
+use mif_fsck::{run as fsck_run, FsckOptions};
+use mif_server::{ClientConn, Op, Server, ServerConfig, ServerStats};
+use mif_workloads::ZipfGen;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const OSTS: u32 = 4;
+const STRIPE_BLOCKS: u64 = 32;
+/// Zipf-skewed file population shared by all clients.
+const FILES: u64 = 64;
+const ZIPF_THETA: f64 = 0.99;
+const SEED: u64 = 0x51E9_7C0D;
+/// Per-client program: open + WRITES writes (+ a sync for every 16th
+/// client, giving the WAL periodic barriers without 100k fsyncs).
+const WRITES: u64 = 4;
+const CHUNK_BLOCKS: u64 = 2;
+/// Driver threads multiplexing the simulated clients.
+const DRIVERS: u64 = 8;
+/// Per-client pipeline window (requests in flight before reaping).
+const WINDOW: usize = 8;
+
+struct Cell {
+    clients: u64,
+    policy: PolicyKind,
+    wall_s: f64,
+    ops: u64,
+    lat: Percentiles,
+    server: ServerStats,
+    fs: FsStats,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn policy_name(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::Vanilla => "vanilla",
+        PolicyKind::Static => "static",
+        PolicyKind::Reservation => "reservation",
+        PolicyKind::OnDemand => "on-demand",
+        PolicyKind::Delayed => "delayed",
+        PolicyKind::Cow => "cow",
+    }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_capacity: 1024,
+        admission_window: 16,
+        replay_cache: 4, // nothing replays here; keep sessions tiny
+        batch: 64,
+        worker_delay_ns: 0,
+    }
+}
+
+/// One simulated client's life: connect, open its zipf-chosen file,
+/// pipeline `WRITES` writes into a private region, optionally sync.
+/// Returns the ack latencies (`acked - sent`) of every request.
+fn run_client(server: &Arc<Server>, client_id: u64, file_key: u64, hist: &mut LatencyHist) {
+    let mut conn = ClientConn::connect(Arc::clone(server), client_id, WINDOW, true);
+    let open = conn
+        .submit(Op::Open {
+            name: format!("pop-{file_key}"),
+        })
+        .expect("server live");
+    assert!(conn.drain(), "server died mid-bench");
+    let handle = conn.handle_from(open).expect("population file exists");
+
+    // Disjoint per-client region inside the (possibly hot) shared file.
+    let base = client_id * WRITES * CHUNK_BLOCKS;
+    for i in 0..WRITES {
+        conn.submit(Op::Write {
+            handle,
+            stream: 0,
+            offset: base + i * CHUNK_BLOCKS,
+            len: CHUNK_BLOCKS,
+        })
+        .expect("server live");
+    }
+    if client_id.is_multiple_of(16) {
+        conn.submit(Op::Sync).expect("server live");
+    }
+    assert!(conn.drain(), "server died mid-bench");
+
+    // Pair each reply with its request's send timestamp (both carry the
+    // seq_no; the send log was recorded at submit time).
+    for (req, reply) in conn.sent_requests().iter().zip(conn.replies()) {
+        assert_eq!(req.seq_no, reply.seq_no);
+        assert!(reply.status.ok(), "request failed: {:?}", reply.status);
+        hist.record(reply.acked_at_ns.saturating_sub(req.sent_at_ns));
+    }
+}
+
+fn run_cell(clients: u64, policy: PolicyKind, check: bool) -> Cell {
+    let mut cfg = FsConfig::with_policy(policy, OSTS);
+    cfg.stripe_blocks = STRIPE_BLOCKS;
+    let fs = ConcurrentFs::new(cfg);
+    // Pre-create the population; clients only open by name.
+    for k in 0..FILES {
+        let f = fs.create(&format!("pop-{k}"), None);
+        fs.close(f);
+    }
+    let server = Server::start(fs, server_config());
+
+    let merged = Mutex::new(LatencyHist::new());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for d in 0..DRIVERS {
+            let server = Arc::clone(&server);
+            let merged = &merged;
+            scope.spawn(move || {
+                // Each driver owns the clients congruent to it mod
+                // DRIVERS, with its own zipf stream for their files.
+                let mut zipf = ZipfGen::new(FILES, ZIPF_THETA, SEED ^ (d * 0x9E37));
+                let mut hist = LatencyHist::new();
+                let mut c = d;
+                while c < clients {
+                    run_client(&server, c, zipf.next_key(), &mut hist);
+                    c += DRIVERS;
+                }
+                merged.lock().unwrap().merge(&hist);
+            });
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    // Join the workers before sampling: counters are final after shutdown.
+    server.shutdown();
+    let stats = server.stats();
+    let hist = merged.into_inner().unwrap();
+
+    let fs = server.into_fs();
+    fs.sync();
+    let fs_stats = fs.stats();
+    if check {
+        let mut engine = fs.into_engine();
+        engine.release_preallocations();
+        let report = fsck_run(&mut engine, &FsckOptions::offline_repair());
+        if !report.clean() || report.repaired != 0 {
+            eprintln!("service_scaling: clients={clients} {policy:?} NOT fsck-clean: {report:?}");
+            std::process::exit(1);
+        }
+    }
+
+    Cell {
+        clients,
+        policy,
+        wall_s,
+        ops: stats.acks,
+        lat: hist.percentiles(),
+        server: stats,
+        fs: fs_stats,
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde).
+fn write_json(path: &str, cells: &[Cell]) {
+    let mut out = String::from("{\n");
+    out += "  \"bench\": \"service_scaling\",\n";
+    out += &format!("  \"osts\": {OSTS},\n");
+    out += &format!("  \"files\": {FILES},\n");
+    out += &format!("  \"zipf_theta\": {ZIPF_THETA},\n");
+    out += &format!("  \"writes_per_client\": {WRITES},\n");
+    out += &format!("  \"chunk_blocks\": {CHUNK_BLOCKS},\n");
+    out += &format!("  \"drivers\": {DRIVERS},\n");
+    out += &format!("  \"window\": {WINDOW},\n");
+    out += "  \"results\": [\n";
+    for (i, c) in cells.iter().enumerate() {
+        out += &format!(
+            "    {{\"clients\": {}, \"policy\": \"{}\", \"wall_s\": {:.3}, \
+             \"ops\": {}, \"ops_per_sec\": {:.0}, \
+             \"ack_p50_ns\": {}, \"ack_p99_ns\": {}, \"ack_p999_ns\": {}, \
+             \"sessions\": {}, \"executed\": {}, \"dup_replays\": {}, \
+             \"queue_parks\": {}, \"queue_max_depth\": {}, \"admission_parks\": {}, \
+             \"wal_durable\": {}, \"wal_records\": {}, \"wal_flushes\": {}, \
+             \"disk_ops_submitted\": {}}}{}\n",
+            c.clients,
+            policy_name(c.policy),
+            c.wall_s,
+            c.ops,
+            c.ops_per_sec(),
+            c.lat.p50,
+            c.lat.p99,
+            c.lat.p999,
+            c.server.sessions,
+            c.server.executed,
+            c.server.dup_replays,
+            c.server.queue_parks,
+            c.server.queue_max_depth,
+            c.server.admission_parks,
+            c.server.wal_durable,
+            c.fs.contention.wal_records,
+            c.fs.contention.wal_flushes,
+            c.fs.io.submitted,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out += "  ]\n}\n";
+    std::fs::write(path, out).expect("write BENCH json");
+}
+
+/// Re-read the emitted JSON: every row must carry the latency + park
+/// evidence, and (in a default full sweep) at least one row must sit at
+/// ≥ 10k clients — the acceptance bar for the service-scaling claim.
+fn verify_json(path: &str, cells: &[Cell], full_sweep: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if !text.contains("\"bench\": \"service_scaling\"") {
+        return Err("missing bench identifier".into());
+    }
+    let rows: Vec<&str> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"clients\""))
+        .collect();
+    if rows.len() != cells.len() {
+        return Err(format!(
+            "expected {} result rows, parsed {}",
+            cells.len(),
+            rows.len()
+        ));
+    }
+    for key in [
+        "\"ops_per_sec\"",
+        "\"ack_p50_ns\"",
+        "\"ack_p99_ns\"",
+        "\"ack_p999_ns\"",
+        "\"queue_parks\"",
+        "\"queue_max_depth\"",
+        "\"admission_parks\"",
+    ] {
+        for (i, row) in rows.iter().enumerate() {
+            if !row.contains(key) {
+                return Err(format!("result row {i} lacks {key}"));
+            }
+        }
+    }
+    for c in cells {
+        if c.ops == 0 || c.lat.p50 == 0 {
+            return Err(format!(
+                "cell clients={} {:?} carries no latency evidence",
+                c.clients, c.policy
+            ));
+        }
+        if c.server.executed != c.server.submitted {
+            return Err(format!(
+                "cell clients={} {:?}: executed {} != submitted {} — requests lost",
+                c.clients, c.policy, c.server.executed, c.server.submitted
+            ));
+        }
+    }
+    if full_sweep && !cells.iter().any(|c| c.clients >= 10_000) {
+        return Err("full sweep lacks a >= 10k-client cell".into());
+    }
+    Ok(())
+}
+
+fn print_fs_stats(c: &Cell) {
+    let s = &c.fs;
+    println!(
+        "    fs.stats(): write_ops {} · wal {} rec / {} flush (max batch {}) · \
+         lockfree claims {} · disk submitted {} dispatched {} cache-hit {}",
+        s.contention.write_ops,
+        s.contention.wal_records,
+        s.contention.wal_flushes,
+        s.contention.wal_max_batch,
+        s.contention.lockfree_window_claims,
+        s.io.submitted,
+        s.io.dispatched,
+        s.io.cache_hits,
+    );
+}
+
+fn main() {
+    let mut sweep = vec![100u64, 10_000, 100_000];
+    let mut full_sweep = true;
+    let mut out_path = String::from("BENCH_7.json");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients N");
+                sweep = vec![n];
+                full_sweep = false;
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--check" => check = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: service_scaling [--clients N] [--out PATH] [--check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    section("BENCH 7 — service scaling: simulated clients through mif-server");
+    expectation(
+        "ack latency stays bounded as the session table grows 100 -> 100k \
+         clients; queues park under load instead of dropping; every cell \
+         acks exactly what was submitted",
+    );
+
+    let table = Table::new(
+        &[
+            "clients",
+            "policy",
+            "wall s",
+            "ops/s",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+            "q-parks",
+            "q-depth",
+            "adm-parks",
+        ],
+        &[8, 10, 8, 10, 8, 8, 8, 8, 8, 9],
+    );
+    let mut cells = Vec::new();
+    for &clients in &sweep {
+        for policy in [PolicyKind::Vanilla, PolicyKind::OnDemand] {
+            let c = run_cell(clients, policy, check);
+            table.row(&[
+                c.clients.to_string(),
+                policy_name(c.policy).into(),
+                format!("{:.2}", c.wall_s),
+                format!("{:.0}", c.ops_per_sec()),
+                format!("{:.1}", c.lat.p50 as f64 / 1e3),
+                format!("{:.1}", c.lat.p99 as f64 / 1e3),
+                format!("{:.1}", c.lat.p999 as f64 / 1e3),
+                c.server.queue_parks.to_string(),
+                c.server.queue_max_depth.to_string(),
+                c.server.admission_parks.to_string(),
+            ]);
+            print_fs_stats(&c);
+            cells.push(c);
+        }
+    }
+
+    write_json(&out_path, &cells);
+    println!();
+    match verify_json(&out_path, &cells, full_sweep) {
+        Ok(()) => println!("wrote {out_path} (parsed back clean, scaling evidence present)"),
+        Err(e) => {
+            eprintln!("service_scaling: {out_path} failed verification: {e}");
+            std::process::exit(1);
+        }
+    }
+}

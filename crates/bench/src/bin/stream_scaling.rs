@@ -151,7 +151,7 @@ fn drive(
 /// PR-5 baseline for the contention ratios.
 fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
     let (fs, hist, wall_ms) = drive(threads, policy, true);
-    let fast = fs.contention();
+    let fast = fs.stats().contention;
     let shared = fs.open("shared").expect("shared file exists");
     fs.close(shared);
     let extents = fs.file_extents(shared);
@@ -176,7 +176,7 @@ fn run_cell(threads: u32, policy: PolicyKind, check: bool) -> Cell {
     // The same workload down the PR-5 paths: per-op disk-lock sweep, one
     // WAL flush per record. Only its counters matter.
     let (base_fs, _, _) = drive(threads, policy, false);
-    let baseline = base_fs.contention();
+    let baseline = base_fs.stats().contention;
 
     Cell {
         threads,

@@ -202,6 +202,19 @@ pub struct ContentionSnapshot {
     pub wal_backpressure_parks: u64,
 }
 
+/// The front-end's aggregated statistics: every lock-free counter the
+/// system exports, in one snapshot. Call sites that used to pick per-field
+/// accessors (`contention()` here, `data_stats()` there) read this instead,
+/// so a bench or service layer reports the whole picture atomically enough
+/// for evidence purposes — one struct, one code path.
+#[derive(Debug, Clone)]
+pub struct FsStats {
+    /// Serialization-point tallies (the `BENCH 6` contention evidence).
+    pub contention: ContentionSnapshot,
+    /// Aggregated data-disk IO totals ([`SharedDiskStats`] snapshot).
+    pub io: DiskStats,
+}
+
 /// One file: immutable identity plus locked mutable state.
 struct FileSlot {
     id: FileId,
@@ -557,6 +570,25 @@ impl ConcurrentFs {
         offset: u64,
         len: u64,
     ) -> Result<(), (usize, IoFault)> {
+        self.try_write_journaled(file, stream, offset, len)
+            .map(|_seq| ())
+    }
+
+    /// [`ConcurrentFs::try_write`] that also returns the WAL seqno of the
+    /// write's durable-intent record. This is the `mif-server` entry
+    /// point: the service layer stages many client writes, then gates the
+    /// whole batch's acks on one [`wal_commit`] of the highest seqno —
+    /// ack-implies-durable at group-commit cost. Under
+    /// `group_commit = false` the record is already durable on return.
+    ///
+    /// [`wal_commit`]: ConcurrentFs::wal_commit
+    pub fn try_write_journaled(
+        &self,
+        file: OpenFile,
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, (usize, IoFault)> {
         assert!(len > 0, "zero-length write");
         self.contention.write_ops.fetch_add(1, Ordering::Relaxed);
         if self.config.group_commit {
@@ -611,7 +643,7 @@ impl ConcurrentFs {
         if self.writeback_blocks.load(Ordering::Relaxed) >= self.config.writeback_limit_blocks {
             self.try_flush()?;
         }
-        Ok(())
+        Ok(seq)
     }
 
     /// Build the power-cut fault report for a dead shard (cold path).
@@ -975,7 +1007,41 @@ impl ConcurrentFs {
         self.shards[ost].disk.lock().unwrap().fault_stats().cloned()
     }
 
+    // ----- WAL surface (the mif-server ack gate) --------------------------
+
+    /// Block until the data-path WAL record `seqno` is durable (the record
+    /// rides a merged group-commit flush). Must be called with no lock
+    /// held; this is the service layer's per-batch durability barrier.
+    pub fn wal_commit(&self, seqno: u64) {
+        self.wal.commit(seqno);
+    }
+
+    /// The WAL's durable watermark: records with seqno strictly below this
+    /// are on the journal media. One lock-free load (see
+    /// [`GroupCommitWal::durable_watermark`]).
+    pub fn wal_durable_watermark(&self) -> u64 {
+        self.wal.durable_watermark()
+    }
+
+    /// Arm a deterministic crash on a future merged WAL flush (tests and
+    /// the `service_scaling` power-cut scenario).
+    pub fn wal_set_fault(&self, plan: mif_mds::FlushFaultPlan) {
+        self.wal.set_fault(plan);
+    }
+
+    /// Has an armed WAL fault fired? A frozen journal media is the
+    /// power-cut instant: the service layer treats it as server death and
+    /// stops issuing acks.
+    pub fn wal_frozen(&self) -> bool {
+        self.wal.frozen()
+    }
+
     // ----- introspection --------------------------------------------------
+
+    /// Is `file` a live (created, not unlinked) handle?
+    pub fn has_file(&self, file: OpenFile) -> bool {
+        self.slot(file).is_some()
+    }
 
     /// Total extents of a file across all OSTs.
     pub fn file_extents(&self, file: OpenFile) -> u64 {
@@ -1024,14 +1090,19 @@ impl ConcurrentFs {
                 .unwrap_or(0)
     }
 
-    /// Aggregated data-disk statistics (lock-free snapshot).
-    pub fn data_stats(&self) -> DiskStats {
-        self.io.snapshot()
+    /// Every statistic the front-end exports, in one aggregate (lock-free
+    /// snapshots): the contention telemetry plus the IO totals. This is
+    /// the one accessor benches, tests and the service layer read.
+    pub fn stats(&self) -> FsStats {
+        FsStats {
+            contention: self.contention_snapshot(),
+            io: self.io.snapshot(),
+        }
     }
 
     /// Contention counters since construction (lock-free snapshot; the
     /// `BENCH 6` reduced-contention evidence).
-    pub fn contention(&self) -> ContentionSnapshot {
+    fn contention_snapshot(&self) -> ContentionSnapshot {
         let wal = self.wal.stats();
         ContentionSnapshot {
             write_ops: self.contention.write_ops.load(Ordering::Relaxed),
@@ -1209,7 +1280,7 @@ mod tests {
                 }
             });
             fs.sync();
-            fs.contention()
+            fs.stats().contention
         };
         let baseline = run(false);
         let fast = run(true);
@@ -1280,7 +1351,7 @@ mod tests {
             fs.write(file, StreamId::new(1, 0), i * 4, 4);
         }
         fs.sync();
-        let c = fs.contention();
+        let c = fs.stats().contention;
         assert_eq!(c.wal_records, 100);
         assert!(c.wal_flushes < c.wal_records, "flushes coalesce");
         let rec = mif_mds::recover_writes(&fs.wal_image(), 0);

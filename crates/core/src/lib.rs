@@ -48,7 +48,7 @@ pub mod metrics;
 pub mod striping;
 
 pub use collective::aggregate_collective;
-pub use concurrent::{ConcurrentFs, ContentionSnapshot};
+pub use concurrent::{ConcurrentFs, ContentionSnapshot, FsStats};
 pub use config::FsConfig;
 pub use fs::{FileSystem, OpenFile};
 pub use metrics::{mds_cpu_utilization, FsMetrics};

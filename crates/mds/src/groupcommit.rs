@@ -303,6 +303,15 @@ impl GroupCommitWal {
         state.frozen
     }
 
+    /// The durable watermark: every record whose seqno is strictly below
+    /// this value has been covered by a merged flush. This is the ack
+    /// gate of the `mif-server` front-end — a mutating request may be
+    /// acknowledged only once the watermark passes its record — so it is
+    /// a single lock-free load, cheap enough for every ack decision.
+    pub fn durable_watermark(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
     /// Counters snapshot.
     pub fn stats(&self) -> GroupCommitStats {
         let max_batch = {
@@ -377,8 +386,13 @@ mod tests {
         let wal = GroupCommitWal::new(8);
         let seq = wal.append(|seq| encode_write_record(seq, &wc(0, 0)));
         assert_eq!(wal.stats().durable, 0, "append alone is not durable");
+        assert_eq!(wal.durable_watermark(), 0);
         wal.commit(seq);
         assert!(wal.stats().durable > seq);
+        assert!(
+            wal.durable_watermark() > seq,
+            "the ack gate must cover a committed record"
+        );
         assert_eq!(recover_writes(&wal.image(), 0).ops.len(), 1);
     }
 

@@ -1,0 +1,200 @@
+//! Bounded MPSC frame queue with parking backpressure.
+//!
+//! Each worker shard owns one [`BoundedQueue`]. Submitters push encoded
+//! request frames; the shard's worker drains them in arrival order. The
+//! queue is the *backpressure* point of the service: when it is full the
+//! submitter **parks** on a condvar until the worker frees space — frames
+//! are never dropped and never reordered, so a client's program order is
+//! exactly the queue order of its frames (each client maps to one shard).
+//!
+//! Lock discipline: the internal mutex is rank
+//! [`LockClass::ServerQueue`] — above every engine lock (a worker always
+//! releases the queue before touching `ConcurrentFs`), below
+//! `ServerSession` (a submitter may hold its session while enqueueing).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use mif_alloc::lockorder::{self, LockClass};
+
+/// Push failed because the queue was closed (server shut down or died
+/// mid-flush); the frame is handed back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueClosed(pub Vec<u8>);
+
+struct Inner {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// A bounded, closeable, park-don't-drop frame queue.
+pub struct BoundedQueue {
+    inner: Mutex<Inner>,
+    /// Signalled when frames arrive (or on close): wakes the worker.
+    not_empty: Condvar,
+    /// Signalled when space frees (or on close): wakes parked submitters.
+    not_full: Condvar,
+    capacity: usize,
+    /// Times a push had to park because the queue was full.
+    parks: AtomicU64,
+    /// High-water mark of the queue depth.
+    max_depth: AtomicU64,
+}
+
+impl BoundedQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue can never accept");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                frames: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            parks: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue one frame, parking while the queue is full. Frames from one
+    /// submitter thread enter in call order. Returns the frame back if the
+    /// queue is (or becomes, while parked) closed.
+    pub fn push(&self, frame: Vec<u8>) -> Result<(), QueueClosed> {
+        let token = lockorder::acquire(LockClass::ServerQueue);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.frames.len() >= self.capacity && !inner.closed {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            while inner.frames.len() >= self.capacity && !inner.closed {
+                inner = self.not_full.wait(inner).unwrap();
+            }
+        }
+        if inner.closed {
+            drop(inner);
+            drop(token);
+            return Err(QueueClosed(frame));
+        }
+        inner.frames.push_back(frame);
+        let depth = inner.frames.len() as u64;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(inner);
+        drop(token);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue up to `max` frames in arrival order, blocking while the
+    /// queue is empty and open. Returns an empty vec only when the queue
+    /// is closed *and* fully drained — the worker's exit signal.
+    pub fn pop_batch(&self, max: usize) -> Vec<Vec<u8>> {
+        let token = lockorder::acquire(LockClass::ServerQueue);
+        let mut inner = self.inner.lock().unwrap();
+        while inner.frames.is_empty() && !inner.closed {
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+        let take = inner.frames.len().min(max);
+        let batch: Vec<Vec<u8>> = inner.frames.drain(..take).collect();
+        drop(inner);
+        drop(token);
+        if !batch.is_empty() {
+            // Space freed: wake every parked submitter (they re-check).
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Close the queue: parked submitters fail their push, the worker
+    /// drains what remains and then sees the empty-and-closed exit signal.
+    pub fn close(&self) {
+        let token = lockorder::acquire(LockClass::ServerQueue);
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        drop(token);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Times a push parked on a full queue.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_a_submitter() {
+        let q = BoundedQueue::new(8);
+        for i in 0u8..5 {
+            q.push(vec![i]).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(q.pop_batch(10), vec![vec![3], vec![4]]);
+        assert_eq!(q.max_depth(), 5);
+        assert_eq!(q.parks(), 0);
+    }
+
+    #[test]
+    fn full_queue_parks_then_resumes_without_loss() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0u8..10 {
+                    q.push(vec![i]).unwrap();
+                }
+            })
+        };
+        // Let the producer fill the queue and park.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            got.extend(q.pop_batch(4));
+        }
+        producer.join().unwrap();
+        let want: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i]).collect();
+        assert_eq!(got, want, "parking must not drop or reorder");
+        assert!(q.parks() > 0, "capacity 2 with 10 pushes must have parked");
+        assert!(q.max_depth() <= 2);
+    }
+
+    #[test]
+    fn close_wakes_parked_submitter_with_its_frame() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(vec![0]).unwrap();
+        let parked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(vec![1]))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(parked.join().unwrap(), Err(QueueClosed(vec![1])));
+        // The worker still drains what made it in, then gets the exit
+        // signal.
+        assert_eq!(q.pop_batch(8), vec![vec![0]]);
+        assert!(q.pop_batch(8).is_empty());
+    }
+
+    #[test]
+    fn pop_blocks_until_a_frame_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(1))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(vec![7]).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![vec![7]]);
+    }
+}

@@ -23,7 +23,10 @@
 //! * [`apps`] — kernel-source-tree workloads: tar, make, make-clean
 //!   (Fig. 10);
 //! * [`trace`] — a text trace format, parser and replayer, so user-supplied
-//!   shared-file traces run through the same pipeline.
+//!   shared-file traces run through the same pipeline;
+//! * [`zipf`] — the seeded Zipfian key-popularity generator behind the
+//!   `service_scaling` bench's skewed client traffic (not a paper
+//!   workload: it models the serving-scale load of the service front-end).
 
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod metarates;
 pub mod micro;
 pub mod postmark;
 pub mod trace;
+pub mod zipf;
 
 pub use abaqus::{AbaqusParams, AbaqusResult};
 pub use aging::{age_data_fs, AgingParams, AgingResult, DataAgingParams};
@@ -69,3 +73,4 @@ pub use metarates::{MetaratesParams, MetaratesResult, Phase};
 pub use micro::{MicroParams, MicroResult};
 pub use postmark::{PostmarkParams, PostmarkResult};
 pub use trace::{replay, Trace, TraceEvent, TraceStats};
+pub use zipf::ZipfGen;

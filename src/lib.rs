@@ -13,6 +13,8 @@
 //! * [`pfs`] — the block-based parallel file system (Redbud analogue)
 //! * [`fsck`] — parallel whole-filesystem check & repair (pFSCK-style)
 //! * [`defrag`] — online, crash-safe, throttled background defragmentation
+//! * [`server`] — message-passing service front-end with an idempotent
+//!   client protocol and durable-commit acks
 //! * [`workloads`] — generators for every benchmark in the paper
 
 pub use mif_alloc as alloc;
@@ -21,5 +23,6 @@ pub use mif_defrag as defrag;
 pub use mif_extent as extent;
 pub use mif_fsck as fsck;
 pub use mif_mds as mds;
+pub use mif_server as server;
 pub use mif_simdisk as simdisk;
 pub use mif_workloads as workloads;

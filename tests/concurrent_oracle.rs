@@ -181,7 +181,7 @@ fn run_concurrent(seed: u64, policy: PolicyKind, logs: &[Vec<Op>]) -> (FileSyste
     // replay every record in order — per thread, the journal's
     // subsequence for that thread's streams IS the thread's op log.
     let total_ops: u64 = logs.iter().map(|l| l.len() as u64).sum();
-    let c = fs.contention();
+    let c = fs.stats().contention;
     assert_eq!(
         c.wal_records, total_ops,
         "seed {seed} {policy:?}: writes and journal records disagree"

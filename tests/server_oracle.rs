@@ -1,0 +1,533 @@
+//! Service oracle: the message-passing front-end has exactly-once
+//! effects, byte-for-byte equal to a serial replay of the client
+//! programs — through clean runs, client crash/restart re-sends, and
+//! duplicate storms.
+//!
+//! N simulated clients drive seeded programs (create / write / sync /
+//! close over private files plus disjoint regions of one shared file)
+//! through `mif-server` on real threads. The same programs then replay
+//! serially through the single-threaded `FileSystem`. Because every
+//! (client, stream) writes its own disjoint logical region, the final
+//! logical state is interleaving-independent: sizes, mapped-block counts
+//! and per-OST logical layouts must match exactly. On top of that:
+//!
+//! * the recovered WAL's per-client subsequence must equal the client's
+//!   program order of writes — *exactly once each*, even when the client
+//!   crashed mid-pipeline and re-sent its unacked suffix, or re-sent its
+//!   whole history as a duplicate storm;
+//! * `executed` must equal the number of distinct requests (duplicates
+//!   answered from the replay cache, never re-run);
+//! * the quiesced engine must come out of offline fsck clean with
+//!   `repaired == 0`.
+
+mod oracle;
+
+use std::sync::Arc;
+
+use mif::alloc::{FileId, PolicyKind, StreamId};
+use mif::fsck::{run as fsck_run, FsckOptions};
+use mif::mds::recover_writes;
+use mif::mds::wal::RecoveryStop;
+use mif::pfs::{ConcurrentFs, FileSystem, FsConfig, OpenFile};
+use mif::server::{ClientConn, Op, Server, ServerConfig};
+use mif_rng::SmallRng;
+
+const OSTS: u32 = 3;
+const STRIPE: u64 = 8;
+const CLIENTS: u64 = 4;
+const REGION: u64 = 256;
+const WRITES_PER_CLIENT: usize = 80;
+
+fn config(policy: PolicyKind) -> FsConfig {
+    let mut cfg = FsConfig::with_policy(policy, OSTS);
+    cfg.stripe_blocks = STRIPE;
+    cfg
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 3,
+        queue_capacity: 32,
+        admission_window: 8,
+        replay_cache: 32,
+        batch: 8,
+        worker_delay_ns: 0,
+    }
+}
+
+/// One step of a client's program, in terms the serial replay can rerun.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Write to the client's private file (`true`) or the shared file.
+    Write {
+        private: bool,
+        stream: u32,
+        offset: u64,
+        len: u64,
+    },
+    Sync,
+}
+
+/// Client `c`'s deterministic program. Appends dominate; overwrites stay
+/// inside the written prefix; shared-file writes live in the client's own
+/// `(c, stream)` region — so the final dense ranges depend only on the
+/// program, never on the interleaving.
+fn client_program(seed: u64, c: u64) -> Vec<Step> {
+    let mut rng =
+        SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(c + 1));
+    let mut private_mark = 0u64;
+    let mut shared_marks = [0u64; 2];
+    let mut steps = Vec::new();
+    for i in 0..WRITES_PER_CLIENT {
+        let private = rng.gen_bool(0.5);
+        let (stream, base, mark) = if private {
+            (0u32, 0u64, &mut private_mark)
+        } else {
+            let s = rng.gen_range(0u32..2);
+            (
+                s,
+                (c * 2 + s as u64) * REGION,
+                &mut shared_marks[s as usize],
+            )
+        };
+        let append = *mark == 0 || (*mark < REGION && rng.gen_bool(0.75));
+        let (offset, len) = if append {
+            let len = rng.gen_range(1u64..7).min(REGION - *mark);
+            let off = base + *mark;
+            *mark += len;
+            (off, len)
+        } else {
+            let start = rng.gen_range(0u64..*mark);
+            let len = rng.gen_range(1u64..7).min(*mark - start);
+            (base + start, len)
+        };
+        steps.push(Step::Write {
+            private,
+            stream,
+            offset,
+            len,
+        });
+        if i % 24 == 23 {
+            steps.push(Step::Sync);
+        }
+    }
+    steps.push(Step::Sync);
+    steps
+}
+
+/// How a service run perturbs delivery (the at-least-once failure modes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Every request sent once.
+    Clean,
+    /// Crash each client mid-pipeline (after this many program steps,
+    /// without reaping), reconnect with the same `client_id`, re-send the
+    /// unacked suffix, finish the program.
+    RestartAfter(usize),
+    /// After finishing, re-send every acknowledged request (twice).
+    Storm,
+}
+
+/// What one service run leaves behind for verification.
+struct ServiceRun {
+    engine: FileSystem,
+    /// `(client, name)` of every file, resolved to handles post-quiesce.
+    shared: OpenFile,
+    privates: Vec<OpenFile>,
+    /// Per client: its writes in program order as `(file, offset, len)`
+    /// with the *service run's* file ids (for the WAL subsequence check).
+    write_logs: Vec<Vec<(u64, u64, u64)>>,
+    wal_image: Vec<u8>,
+    executed: u64,
+    dup_replays: u64,
+    distinct_requests: u64,
+}
+
+/// Drive the programs through the server on real threads under `mode`.
+fn run_service(seed: u64, policy: PolicyKind, mode: Mode) -> ServiceRun {
+    let fs = ConcurrentFs::new(config(policy));
+    // The shared file exists before any client starts (clients learn its
+    // handle out of band, as an already-provisioned object).
+    let shared = fs.create("shared", None);
+    let server = Server::start(fs, server_config());
+
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let server = Arc::clone(&server);
+        let program = client_program(seed, c);
+        joins.push(std::thread::spawn(move || {
+            let record = mode == Mode::Storm;
+            let mut conn = ClientConn::connect(server, c, 6, record);
+            let create = conn
+                .submit(Op::Create {
+                    name: format!("private-{c}"),
+                    size_hint_blocks: None,
+                })
+                .expect("live server");
+            assert!(conn.drain(), "server died under a clean-path run");
+            let private = conn.handle_from(create).expect("create acked");
+
+            let mut writes: Vec<(u64, u64, u64)> = Vec::new();
+            let mut requests: u64 = 1; // the create
+            for (i, step) in program.iter().enumerate() {
+                if let Mode::RestartAfter(at) = mode {
+                    if i == at {
+                        // Crash without reaping: the pipeline's tail is
+                        // in flight, acks (reaped or not) are lost.
+                        conn = conn.restart().expect("restart on a live server");
+                    }
+                }
+                match *step {
+                    Step::Write {
+                        private: p,
+                        stream,
+                        offset,
+                        len,
+                    } => {
+                        let handle = if p { private } else { shared.0 .0 };
+                        conn.submit(Op::Write {
+                            handle,
+                            stream,
+                            offset,
+                            len,
+                        })
+                        .expect("live server");
+                        writes.push((handle, offset, len));
+                    }
+                    Step::Sync => {
+                        conn.submit(Op::Sync).expect("live server");
+                    }
+                }
+                requests += 1;
+            }
+            conn.submit(Op::Close { handle: private }).expect("live");
+            requests += 1;
+            assert!(conn.drain(), "program must fully ack");
+            assert!(
+                conn.replies().iter().all(|r| r.status.ok()),
+                "client {c}: failed op in {:?}",
+                conn.replies().iter().find(|r| !r.status.ok())
+            );
+            if mode == Mode::Storm {
+                for _ in 0..2 {
+                    let sent = conn.resend_acked().expect("live server");
+                    assert!(conn.await_stale(sent), "storm answers must arrive");
+                }
+            }
+            (c, writes, requests)
+        }));
+    }
+
+    let mut write_logs: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); CLIENTS as usize];
+    let mut distinct_requests = 0;
+    for j in joins {
+        let (c, writes, requests) = j.join().expect("client thread");
+        write_logs[c as usize] = writes;
+        distinct_requests += requests;
+    }
+
+    let stats = server.stats();
+    let fs = server.into_fs();
+    let wal_image = fs.wal_image();
+    let mut engine = fs.into_engine();
+    engine.close(shared); // the harness's create handle
+    let privates: Vec<OpenFile> = (0..CLIENTS)
+        .map(|c| {
+            let f = engine.open(&format!("private-{c}")).expect("exists");
+            engine.close(f); // drop the probe handle again
+            f
+        })
+        .collect();
+    ServiceRun {
+        engine,
+        shared,
+        privates,
+        write_logs,
+        wal_image,
+        executed: stats.executed,
+        dup_replays: stats.dup_replays,
+        distinct_requests,
+    }
+}
+
+/// Replay the same programs serially through the engine: the ground truth.
+fn run_serial(seed: u64, policy: PolicyKind) -> (FileSystem, OpenFile, Vec<OpenFile>) {
+    let mut fs = FileSystem::new(config(policy));
+    let shared = fs.create("shared", None);
+    let privates: Vec<OpenFile> = (0..CLIENTS)
+        .map(|c| fs.create(&format!("private-{c}"), None))
+        .collect();
+    for c in 0..CLIENTS {
+        for chunk in client_program(seed, c).chunks(8) {
+            fs.begin_round();
+            for step in chunk {
+                if let Step::Write {
+                    private,
+                    stream,
+                    offset,
+                    len,
+                } = *step
+                {
+                    let file = if private {
+                        privates[c as usize]
+                    } else {
+                        shared
+                    };
+                    fs.write(file, StreamId::new(c as u32, stream), offset, len);
+                }
+            }
+            fs.end_round();
+        }
+    }
+    fs.sync_data();
+    fs.close(shared);
+    for &f in &privates {
+        fs.close(f);
+    }
+    (fs, shared, privates)
+}
+
+/// Coalesced mapped runs of a file in *global* logical-block space.
+/// (Per-OST layouts rotate with the file id, and the service run's racy
+/// creation order assigns different ids than the serial replay — but the
+/// global logical shape is id-independent and must match exactly.)
+fn global_runs(fs: &FileSystem, file: OpenFile) -> Vec<(u64, u64)> {
+    use std::collections::HashSet;
+    let shift = fs.ost_shift_of(file).expect("file exists");
+    let mapped: Vec<HashSet<u64>> = (0..fs.config.osts as usize)
+        .map(|ost| {
+            fs.physical_layout(file, ost)
+                .iter()
+                .flat_map(|&(logical, _phys, len)| logical..logical + len)
+                .collect()
+        })
+        .collect();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for g in 0..fs.file_size(file) {
+        let (ost, local) = fs.striping().locate(g, shift);
+        if mapped[ost as usize].contains(&local) {
+            match runs.last_mut() {
+                Some((s, l)) if *s + *l == g => *l += 1,
+                _ => runs.push((g, 1)),
+            }
+        }
+    }
+    runs
+}
+
+/// The full verdict on one service run: serial equivalence, WAL program
+/// order, exactly-once accounting, shared oracles, clean fsck.
+fn verify_run(ctx: &str, seed: u64, policy: PolicyKind, mut run: ServiceRun) {
+    // --- exactly-once accounting ----------------------------------------
+    assert_eq!(
+        run.executed, run.distinct_requests,
+        "{ctx}: executed != distinct requests (a duplicate re-ran or a request was lost)"
+    );
+
+    // --- WAL: per-client journal subsequence == program order -----------
+    let rec = recover_writes(&run.wal_image, 0);
+    assert!(
+        matches!(rec.stop, RecoveryStop::CleanEnd),
+        "{ctx}: quiesced journal not clean: {:?}",
+        rec.stop
+    );
+    let total_writes: usize = run.write_logs.iter().map(Vec::len).sum();
+    assert_eq!(
+        rec.ops.len(),
+        total_writes,
+        "{ctx}: journal must hold each write exactly once"
+    );
+    for (c, log) in run.write_logs.iter().enumerate() {
+        let streams: Vec<u64> = (0..2)
+            .map(|s| StreamId::new(c as u32, s).as_u64())
+            .collect();
+        let mine: Vec<(u64, u64, u64)> = rec
+            .ops
+            .iter()
+            .filter(|w| streams.contains(&w.stream))
+            .map(|w| (w.file, w.offset, w.len))
+            .collect();
+        assert_eq!(
+            &mine, log,
+            "{ctx}: client {c}'s journal subsequence diverged from program order"
+        );
+    }
+
+    // --- serial equivalence ---------------------------------------------
+    let (serial, s_shared, s_privates) = run_serial(seed, policy);
+    let pairs: Vec<(&str, OpenFile, OpenFile)> = std::iter::once(("shared", run.shared, s_shared))
+        .chain(
+            run.privates
+                .iter()
+                .zip(&s_privates)
+                .map(|(&a, &b)| ("private", a, b)),
+        )
+        .collect();
+    for (tag, cf, sf) in &pairs {
+        let fctx = format!("{ctx} {tag} {:?}", cf);
+        assert_eq!(
+            run.engine.file_size(*cf),
+            serial.file_size(*sf),
+            "{fctx}: size diverged"
+        );
+        assert_eq!(
+            run.engine.file_allocated(*cf),
+            serial.file_allocated(*sf),
+            "{fctx}: mapped-block count diverged"
+        );
+        assert_eq!(
+            global_runs(&run.engine, *cf),
+            global_runs(&serial, *sf),
+            "{fctx}: logical layout diverged"
+        );
+    }
+
+    // --- shared oracles + fsck ------------------------------------------
+    // Model ranges derived from the programs alone: every written block
+    // must be mapped, however the service interleaved the clients.
+    for c in 0..CLIENTS {
+        let mut shared_marks = [0u64; 2];
+        let mut private_end = 0u64;
+        for step in client_program(seed, c) {
+            if let Step::Write {
+                private,
+                stream,
+                offset,
+                len,
+            } = step
+            {
+                if private {
+                    private_end = private_end.max(offset + len);
+                } else {
+                    let base = (c * 2 + stream as u64) * REGION;
+                    let m = &mut shared_marks[stream as usize];
+                    *m = (*m).max(offset + len - base);
+                }
+            }
+        }
+        let shared_ranges: Vec<(u64, u64)> = shared_marks
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0)
+            .map(|(s, &m)| ((c * 2 + s as u64) * REGION, m))
+            .collect();
+        oracle::assert_written_ranges_mapped(ctx, &run.engine, run.shared, &shared_ranges);
+        if private_end > 0 {
+            oracle::assert_written_ranges_mapped(
+                ctx,
+                &run.engine,
+                run.privates[c as usize],
+                &[(0, private_end)],
+            );
+        }
+    }
+    let files: Vec<OpenFile> = pairs.iter().map(|(_, cf, _)| *cf).collect();
+    oracle::assert_physical_disjoint(ctx, &run.engine, &files);
+    oracle::assert_conservation(ctx, &run.engine);
+    let report = fsck_run(&mut run.engine, &FsckOptions::offline_repair());
+    assert!(report.clean(), "{ctx}: not fsck-clean: {report:?}");
+    assert_eq!(
+        report.repaired, 0,
+        "{ctx}: fsck had to repair a service artifact"
+    );
+}
+
+#[test]
+fn service_run_matches_serial_replay() {
+    for seed in [0x5E_0001u64, 0x5E_0002] {
+        for policy in [PolicyKind::Vanilla, PolicyKind::OnDemand] {
+            let run = run_service(seed, policy, Mode::Clean);
+            assert_eq!(run.dup_replays, 0, "clean run produced duplicates");
+            verify_run(
+                &format!("seed {seed:#x} {policy:?} clean"),
+                seed,
+                policy,
+                run,
+            );
+        }
+    }
+}
+
+#[test]
+fn client_restart_resends_without_double_apply() {
+    let seed = 0x5E_0010u64;
+    for policy in [PolicyKind::Vanilla, PolicyKind::OnDemand] {
+        // Crash mid-pipeline: deep enough that a prefix is applied, with
+        // the pipeline (window 6) guaranteeing in-flight un-acked ops.
+        let run = run_service(seed, policy, Mode::RestartAfter(WRITES_PER_CLIENT / 2));
+        assert!(
+            run.dup_replays > 0,
+            "{policy:?}: a mid-pipeline restart must replay its applied prefix"
+        );
+        verify_run(
+            &format!("seed {seed:#x} {policy:?} restart"),
+            seed,
+            policy,
+            run,
+        );
+    }
+}
+
+#[test]
+fn duplicate_storm_replays_everything_executes_nothing() {
+    let seed = 0x5E_0020u64;
+    let policy = PolicyKind::OnDemand;
+    let run = run_service(seed, policy, Mode::Storm);
+    assert!(
+        run.dup_replays > 0,
+        "two full re-sends must produce replays"
+    );
+    verify_run(
+        &format!("seed {seed:#x} {policy:?} storm"),
+        seed,
+        policy,
+        run,
+    );
+}
+
+/// The replay cache bounds what a storm can replay: requests older than
+/// the window come back `TooOld` — still never re-executed.
+#[test]
+fn storm_beyond_the_replay_cache_is_refused_not_reexecuted() {
+    let fs = ConcurrentFs::new(config(PolicyKind::OnDemand));
+    let server = Server::start(
+        fs,
+        ServerConfig {
+            replay_cache: 4, // far smaller than the program
+            ..server_config()
+        },
+    );
+    let mut conn = ClientConn::connect(Arc::clone(&server), 0, 4, true);
+    let create = conn
+        .submit(Op::Create {
+            name: "old.dat".into(),
+            size_hint_blocks: None,
+        })
+        .unwrap();
+    conn.drain();
+    let h = conn.handle_from(create).unwrap();
+    for i in 0..20u64 {
+        conn.submit(Op::Write {
+            handle: h,
+            stream: 0,
+            offset: i * 4,
+            len: 4,
+        })
+        .unwrap();
+    }
+    conn.submit(Op::Sync).unwrap();
+    assert!(conn.drain());
+    let executed = server.stats().executed;
+    let sent = conn.resend_acked().unwrap();
+    assert!(conn.await_stale(sent));
+    let stats = server.stats();
+    assert_eq!(stats.executed, executed, "an aged-out duplicate re-ran");
+    assert!(
+        stats.rejected > 0,
+        "duplicates beyond a 4-entry cache must be refused TooOld"
+    );
+    // And the engine state is untouched by the storm.
+    drop(conn); // release the client's server handle before quiescing
+    let fs = server.into_fs();
+    assert_eq!(fs.file_size(OpenFile(FileId(h))), 80);
+}
