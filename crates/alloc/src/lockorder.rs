@@ -3,9 +3,9 @@
 //! The concurrent front-end (`mif_core::ConcurrentFs`) shards its mutable
 //! state behind many small locks. Deadlock freedom comes from one global
 //! discipline, documented in `docs/CONCURRENCY.md` and written
-//! `group < file < mds-journal`: lock classes are ranked from the
+//! `group < file < tier < mds-journal`: lock classes are ranked from the
 //! innermost (allocation-group bitmaps, rank 0) to the outermost (the MDS
-//! namespace stripes, rank 5), and a thread may only acquire a lock whose
+//! namespace stripes, rank 6), and a thread may only acquire a lock whose
 //! rank is *strictly lower* than every lock it already holds — acquisition
 //! always descends from the outside in, so no cycle can form.
 //!
@@ -31,6 +31,11 @@ pub enum LockClass {
     OstQueue,
     /// One file's extent trees / size / handle count.
     File,
+    /// The tier map (replica and stripe-group registry): read-shared on
+    /// the data path (replica fan-out, degraded routing), exclusive for
+    /// registration and write-path invalidation. Sits just outside `File`
+    /// so the read path can consult it while resolving extents.
+    Tier,
     /// The file-registry map itself.
     FileMap,
     /// The metadata server (journal, stores) — one short inner lock.
@@ -64,12 +69,13 @@ impl LockClass {
             LockClass::Group | LockClass::Disk => 0,
             LockClass::Policy | LockClass::OstQueue => 1,
             LockClass::File => 2,
-            LockClass::FileMap => 3,
-            LockClass::MdsJournal => 4,
-            LockClass::MdsStripe => 5,
-            LockClass::WalFlush => 6,
-            LockClass::ServerQueue => 7,
-            LockClass::ServerSession => 8,
+            LockClass::Tier => 3,
+            LockClass::FileMap => 4,
+            LockClass::MdsJournal => 5,
+            LockClass::MdsStripe => 6,
+            LockClass::WalFlush => 7,
+            LockClass::ServerQueue => 8,
+            LockClass::ServerSession => 9,
         }
     }
 }
@@ -158,6 +164,7 @@ mod tests {
         drop(m);
         let fm = acquire(LockClass::FileMap);
         drop(fm);
+        let t = acquire(LockClass::Tier);
         let f = acquire(LockClass::File);
         let p = acquire(LockClass::Policy);
         let g = acquire(LockClass::Group);
@@ -166,6 +173,7 @@ mod tests {
         let q = acquire(LockClass::OstQueue);
         drop(q);
         drop(f);
+        drop(t);
         drop(s);
         assert!(held_ranks().is_empty(), "all tokens released");
     }

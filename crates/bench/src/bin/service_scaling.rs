@@ -19,8 +19,11 @@
 //! including ack-latency percentiles at ≥ 10k clients when the default
 //! sweep runs. `--check` fscks every resulting image (`repaired == 0`).
 //!
-//! Usage: `service_scaling [--clients N] [--out PATH] [--check]`
-//! (default sweep: 100, 10_000, 100_000 clients).
+//! Usage: `service_scaling [--clients N[,N...]] [--ops-per-client N]
+//! [--out PATH] [--check]` (default sweep: 100, 10_000, 100_000 clients
+//! at 4 writes each). A smoke sweep like `--clients 100,10000
+//! --ops-per-client 1` finishes in seconds and still arms the
+//! ≥ 10k-client self-check.
 
 use mif_alloc::PolicyKind;
 use mif_bench::{expectation, section, LatencyHist, Percentiles, Table};
@@ -37,9 +40,10 @@ const STRIPE_BLOCKS: u64 = 32;
 const FILES: u64 = 64;
 const ZIPF_THETA: f64 = 0.99;
 const SEED: u64 = 0x51E9_7C0D;
-/// Per-client program: open + WRITES writes (+ a sync for every 16th
-/// client, giving the WAL periodic barriers without 100k fsyncs).
-const WRITES: u64 = 4;
+/// Per-client program: open + `--ops-per-client` writes (+ a sync for
+/// every 16th client, giving the WAL periodic barriers without 100k
+/// fsyncs). Default 4; CI smoke drops it to finish in seconds.
+const DEFAULT_WRITES: u64 = 4;
 const CHUNK_BLOCKS: u64 = 2;
 /// Driver threads multiplexing the simulated clients.
 const DRIVERS: u64 = 8;
@@ -85,9 +89,15 @@ fn server_config() -> ServerConfig {
 }
 
 /// One simulated client's life: connect, open its zipf-chosen file,
-/// pipeline `WRITES` writes into a private region, optionally sync.
+/// pipeline `writes` writes into a private region, optionally sync.
 /// Returns the ack latencies (`acked - sent`) of every request.
-fn run_client(server: &Arc<Server>, client_id: u64, file_key: u64, hist: &mut LatencyHist) {
+fn run_client(
+    server: &Arc<Server>,
+    client_id: u64,
+    file_key: u64,
+    writes: u64,
+    hist: &mut LatencyHist,
+) {
     let mut conn = ClientConn::connect(Arc::clone(server), client_id, WINDOW, true);
     let open = conn
         .submit(Op::Open {
@@ -98,8 +108,8 @@ fn run_client(server: &Arc<Server>, client_id: u64, file_key: u64, hist: &mut La
     let handle = conn.handle_from(open).expect("population file exists");
 
     // Disjoint per-client region inside the (possibly hot) shared file.
-    let base = client_id * WRITES * CHUNK_BLOCKS;
-    for i in 0..WRITES {
+    let base = client_id * writes * CHUNK_BLOCKS;
+    for i in 0..writes {
         conn.submit(Op::Write {
             handle,
             stream: 0,
@@ -122,7 +132,7 @@ fn run_client(server: &Arc<Server>, client_id: u64, file_key: u64, hist: &mut La
     }
 }
 
-fn run_cell(clients: u64, policy: PolicyKind, check: bool) -> Cell {
+fn run_cell(clients: u64, policy: PolicyKind, writes: u64, check: bool) -> Cell {
     let mut cfg = FsConfig::with_policy(policy, OSTS);
     cfg.stripe_blocks = STRIPE_BLOCKS;
     let fs = ConcurrentFs::new(cfg);
@@ -146,7 +156,7 @@ fn run_cell(clients: u64, policy: PolicyKind, check: bool) -> Cell {
                 let mut hist = LatencyHist::new();
                 let mut c = d;
                 while c < clients {
-                    run_client(&server, c, zipf.next_key(), &mut hist);
+                    run_client(&server, c, zipf.next_key(), writes, &mut hist);
                     c += DRIVERS;
                 }
                 merged.lock().unwrap().merge(&hist);
@@ -184,13 +194,13 @@ fn run_cell(clients: u64, policy: PolicyKind, check: bool) -> Cell {
 }
 
 /// Hand-rolled JSON (the workspace deliberately has no serde).
-fn write_json(path: &str, cells: &[Cell]) {
+fn write_json(path: &str, cells: &[Cell], writes: u64) {
     let mut out = String::from("{\n");
     out += "  \"bench\": \"service_scaling\",\n";
     out += &format!("  \"osts\": {OSTS},\n");
     out += &format!("  \"files\": {FILES},\n");
     out += &format!("  \"zipf_theta\": {ZIPF_THETA},\n");
-    out += &format!("  \"writes_per_client\": {WRITES},\n");
+    out += &format!("  \"writes_per_client\": {writes},\n");
     out += &format!("  \"chunk_blocks\": {CHUNK_BLOCKS},\n");
     out += &format!("  \"drivers\": {DRIVERS},\n");
     out += &format!("  \"window\": {WINDOW},\n");
@@ -203,7 +213,7 @@ fn write_json(path: &str, cells: &[Cell]) {
              \"sessions\": {}, \"executed\": {}, \"dup_replays\": {}, \
              \"queue_parks\": {}, \"queue_max_depth\": {}, \"admission_parks\": {}, \
              \"wal_durable\": {}, \"wal_records\": {}, \"wal_flushes\": {}, \
-             \"disk_ops_submitted\": {}}}{}\n",
+             \"disk_ops_submitted\": {}, \"extent_hist\": \"{}\"}}{}\n",
             c.clients,
             policy_name(c.policy),
             c.wall_s,
@@ -222,6 +232,7 @@ fn write_json(path: &str, cells: &[Cell]) {
             c.fs.contention.wal_records,
             c.fs.contention.wal_flushes,
             c.fs.io.submitted,
+            c.fs.hist_display(),
             if i + 1 < cells.len() { "," } else { "" }
         );
     }
@@ -256,6 +267,7 @@ fn verify_json(path: &str, cells: &[Cell], full_sweep: bool) -> Result<(), Strin
         "\"queue_parks\"",
         "\"queue_max_depth\"",
         "\"admission_parks\"",
+        "\"extent_hist\"",
     ] {
         for (i, row) in rows.iter().enumerate() {
             if !row.contains(key) {
@@ -297,6 +309,13 @@ fn print_fs_stats(c: &Cell) {
         s.io.dispatched,
         s.io.cache_hits,
     );
+    // Heat-vs-fragmentation at a glance: how many files sit in each
+    // log2 extent-count band (the BENCH_7 diagnosis, now measured).
+    println!(
+        "    extent hist ({} files): {}",
+        s.hist_files(),
+        s.hist_display()
+    );
 }
 
 fn main() {
@@ -304,22 +323,33 @@ fn main() {
     let mut full_sweep = true;
     let mut out_path = String::from("BENCH_7.json");
     let mut check = false;
+    let mut writes = DEFAULT_WRITES;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--clients" => {
-                let n: u64 = args
+                // Comma-separated list; a smoke sweep that includes a
+                // >= 10k cell keeps the scaling self-check armed.
+                let v = args.next().expect("--clients N[,N...]");
+                sweep = v
+                    .split(',')
+                    .map(|n| n.parse().expect("--clients N[,N...]"))
+                    .collect();
+                full_sweep = sweep.iter().any(|&c| c >= 10_000);
+            }
+            "--ops-per-client" => {
+                writes = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--clients N");
-                sweep = vec![n];
-                full_sweep = false;
+                    .filter(|&n| n > 0)
+                    .expect("--ops-per-client N (N >= 1)");
             }
             "--out" => out_path = args.next().expect("--out PATH"),
             "--check" => check = true,
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: service_scaling [--clients N] [--out PATH] [--check]"
+                    "unknown flag {other}; usage: service_scaling [--clients N[,N...]] \
+                     [--ops-per-client N] [--out PATH] [--check]"
                 );
                 std::process::exit(2);
             }
@@ -351,7 +381,7 @@ fn main() {
     let mut cells = Vec::new();
     for &clients in &sweep {
         for policy in [PolicyKind::Vanilla, PolicyKind::OnDemand] {
-            let c = run_cell(clients, policy, check);
+            let c = run_cell(clients, policy, writes, check);
             table.row(&[
                 c.clients.to_string(),
                 policy_name(c.policy).into(),
@@ -369,7 +399,7 @@ fn main() {
         }
     }
 
-    write_json(&out_path, &cells);
+    write_json(&out_path, &cells, writes);
     println!();
     match verify_json(&out_path, &cells, full_sweep) {
         Ok(()) => println!("wrote {out_path} (parsed back clean, scaling evidence present)"),

@@ -1,0 +1,489 @@
+//! BENCH 8: the tiering payoff — the BENCH_7 100k-client cell reshaped.
+//!
+//! BENCH_7 found the scale wall: 100k zipf clients packed into 64 files
+//! drive the hot files to hundreds of thousands of extents, and
+//! throughput collapses to ~1.6k ops/s with p99 ack latency at 16.8 ms
+//! (the recorded vanilla baseline in `BENCH_7.json`). This bench replays
+//! the *same* per-client program — open the zipf-chosen file, pipeline 4
+//! writes into a private region, sync every 16th client — but in waves,
+//! with one `mif-tier` maintenance pass between waves: the service's
+//! access recorder feeds the heat classifier, the classifier's weights
+//! key the defrag scheduler (hot × fragmented files compact first), hot
+//! files gain replicas, a silent archival population demotes into 4+2
+//! parity groups, and runs invalidated by the write path are reaped
+//! lazily. Fragmentation never compounds, so the 100k cell runs at
+//! 10k-cell speeds.
+//!
+//! The wall clock charged to the cell includes every maintenance pass —
+//! the payoff must survive paying for its own upkeep.
+//!
+//! Emits `BENCH_8.json` and self-verifies the acceptance bounds on the
+//! default sweep: the tiered 100k-client cell must beat the recorded
+//! vanilla baseline by ≥ 10× on ops/s (≥ 15 700) *and* ≥ 10× on p99 ack
+//! latency (≤ 1 677 721 ns), else the binary exits non-zero. `--check`
+//! additionally fscks the final image (`repaired == 0`).
+//!
+//! Usage: `tiering_payoff [--clients N] [--out PATH] [--check]`
+//! (default: 100 000 clients in 10 waves; the bounds are only enforced
+//! at ≥ 100k clients).
+
+use mif_alloc::PolicyKind;
+use mif_bench::{expectation, section, LatencyHist, Percentiles, Table};
+use mif_core::{ConcurrentFs, FsConfig, OpenFile};
+use mif_fsck::{run as fsck_run, FsckOptions};
+use mif_mds::RemapWal;
+use mif_server::{ClientConn, Op, Server, ServerConfig, ServerStats};
+use mif_tier::{MaintenanceStats, TierConfig, TierEngine};
+use mif_workloads::ZipfGen;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// The BENCH_7 cell geometry, verbatim — the comparison is only honest if
+// the op stream is identical.
+const OSTS: u32 = 4;
+const STRIPE_BLOCKS: u64 = 32;
+const FILES: u64 = 64;
+const ZIPF_THETA: f64 = 0.99;
+const SEED: u64 = 0x51E9_7C0D;
+const WRITES: u64 = 4;
+const CHUNK_BLOCKS: u64 = 2;
+const DRIVERS: u64 = 8;
+const WINDOW: usize = 8;
+
+/// Clients per wave; one maintenance pass runs between waves.
+const WAVE_CLIENTS: u64 = 10_000;
+/// Never-touched-again archival files seeded before the storm: they go
+/// Cold and demote into 4+2 parity groups during the run.
+const ARCHIVE_FILES: u64 = 8;
+const ARCHIVE_BLOCKS: u64 = 1024;
+
+/// The recorded BENCH_7 100k-client vanilla baseline and the acceptance
+/// bounds derived from it (≥ 10× on both axes).
+const BASE_OPS_PER_SEC: f64 = 1570.0;
+const BASE_P99_NS: u64 = 16_777_216;
+const MIN_OPS_PER_SEC: f64 = BASE_OPS_PER_SEC * 10.0;
+const MAX_P99_NS: u64 = BASE_P99_NS / 10;
+
+struct Cell {
+    clients: u64,
+    policy: PolicyKind,
+    waves: u64,
+    wall_s: f64,
+    maintain_s: f64,
+    ops: u64,
+    lat: Percentiles,
+    tier: MaintenanceStats,
+    extent_hist: String,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn policy_name(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::Vanilla => "vanilla",
+        PolicyKind::OnDemand => "on-demand",
+        _ => "other",
+    }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_capacity: 1024,
+        admission_window: 16,
+        replay_cache: 4,
+        batch: 64,
+        worker_delay_ns: 0,
+    }
+}
+
+fn tier_config() -> TierConfig {
+    let mut cfg = TierConfig::default();
+    // One pass must be able to compact a wave's worth of hot-file growth
+    // (a wave writes WAVE_CLIENTS * WRITES * CHUNK_BLOCKS blocks).
+    cfg.defrag.budget_blocks_per_tick = 65_536;
+    cfg.defrag.max_ticks = 64;
+    // The pass runs offline between waves; no one to back off for.
+    cfg.defrag.latency_backoff_ns = u64::MAX;
+    cfg.max_promotions_per_pass = 4;
+    // The hot pop files carry thousands of scattered client regions; cap
+    // what one pass replicates so maintenance stays a between-waves pause
+    // and the map the write path scans stays small.
+    cfg.max_replica_runs_per_pass = 256;
+    cfg
+}
+
+/// One simulated client (identical to BENCH_7's `run_client`).
+fn run_client(server: &Arc<Server>, client_id: u64, file_key: u64, hist: &mut LatencyHist) {
+    let mut conn = ClientConn::connect(Arc::clone(server), client_id, WINDOW, true);
+    let open = conn
+        .submit(Op::Open {
+            name: format!("pop-{file_key}"),
+        })
+        .expect("server live");
+    assert!(conn.drain(), "server died mid-bench");
+    let handle = conn.handle_from(open).expect("population file exists");
+    let base = client_id * WRITES * CHUNK_BLOCKS;
+    for i in 0..WRITES {
+        conn.submit(Op::Write {
+            handle,
+            stream: 0,
+            offset: base + i * CHUNK_BLOCKS,
+            len: CHUNK_BLOCKS,
+        })
+        .expect("server live");
+    }
+    if client_id.is_multiple_of(16) {
+        conn.submit(Op::Sync).expect("server live");
+    }
+    assert!(conn.drain(), "server died mid-bench");
+    for (req, reply) in conn.sent_requests().iter().zip(conn.replies()) {
+        assert_eq!(req.seq_no, reply.seq_no);
+        assert!(reply.status.ok(), "request failed: {:?}", reply.status);
+        hist.record(reply.acked_at_ns.saturating_sub(req.sent_at_ns));
+    }
+}
+
+/// Drive clients `[first, first + count)` through a fresh server on
+/// `fs`, merging ack latencies into `hist`. Returns the engine and the
+/// wave's server counters.
+fn run_wave(
+    fs: ConcurrentFs,
+    first: u64,
+    count: u64,
+    wave: u64,
+    hist: &Mutex<LatencyHist>,
+) -> (ConcurrentFs, ServerStats) {
+    let server = Server::start(fs, server_config());
+    std::thread::scope(|scope| {
+        for d in 0..DRIVERS {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                let mut zipf = ZipfGen::new(FILES, ZIPF_THETA, SEED ^ (d * 0x9E37) ^ (wave << 32));
+                let mut local = LatencyHist::new();
+                let mut c = d;
+                while c < count {
+                    run_client(&server, first + c, zipf.next_key(), &mut local);
+                    c += DRIVERS;
+                }
+                hist.lock().unwrap().merge(&local);
+            });
+        }
+    });
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(
+        stats.executed, stats.submitted,
+        "wave {wave}: requests lost"
+    );
+    (server.into_fs(), stats)
+}
+
+/// Quiesce, feed the classifier, run one maintenance pass, re-shard.
+fn maintain(
+    cfs: ConcurrentFs,
+    engine: &mut TierEngine,
+    remap: &mut RemapWal,
+    total: &mut MaintenanceStats,
+) -> ConcurrentFs {
+    engine.observe(&cfs.drain_access());
+    let mut fs = cfs.into_engine();
+    // The server's sessions open by name and never close; the defrag leg
+    // skips files with live handles or preallocation windows, so drop
+    // both before handing the engine to the pass.
+    for f in fs.file_handles() {
+        while fs.open_handle_count(f) > 0 {
+            fs.close(f);
+        }
+    }
+    fs.release_preallocations();
+    let s = engine.maintain(&mut fs, remap).expect("maintenance IO");
+    total.dropped_runs += s.dropped_runs;
+    total.replicas_placed += s.replicas_placed;
+    total.groups_encoded += s.groups_encoded;
+    total.promoted_files += s.promoted_files;
+    total.demoted_files += s.demoted_files;
+    total.skipped_no_space += s.skipped_no_space;
+    total.defrag.ticks += s.defrag.ticks;
+    total.defrag.relocations += s.defrag.relocations;
+    total.defrag.blocks_moved += s.defrag.blocks_moved;
+    ConcurrentFs::from_engine(fs)
+}
+
+fn run_cell(clients: u64, policy: PolicyKind, check: bool) -> Cell {
+    let mut cfg = FsConfig::with_policy(policy, OSTS);
+    cfg.stripe_blocks = STRIPE_BLOCKS;
+    let fs = ConcurrentFs::new(cfg);
+    for k in 0..FILES {
+        let f = fs.create(&format!("pop-{k}"), None);
+        fs.close(f);
+    }
+    // The archival population: written once, never touched again.
+    let mut archives: Vec<OpenFile> = Vec::new();
+    for k in 0..ARCHIVE_FILES {
+        let f = fs.create(&format!("arch-{k}"), Some(ARCHIVE_BLOCKS));
+        fs.write(f, mif_alloc::StreamId::new(0, k as u32), 0, ARCHIVE_BLOCKS);
+        archives.push(f);
+    }
+    fs.sync();
+    for &f in &archives {
+        fs.close(f);
+    }
+
+    let mut engine = TierEngine::new(tier_config());
+    let mut remap = RemapWal::new();
+    let mut tier_total = MaintenanceStats::default();
+    let merged = Mutex::new(LatencyHist::new());
+    let mut ops = 0u64;
+    let mut maintain_ns = 0u128;
+    let mut fs = fs;
+    let waves = clients.div_ceil(WAVE_CLIENTS);
+
+    let wall = Instant::now();
+    for w in 0..waves {
+        let first = w * WAVE_CLIENTS;
+        let count = WAVE_CLIENTS.min(clients - first);
+        let ws = Instant::now();
+        let (back, stats) = run_wave(fs, first, count, w, &merged);
+        let service_s = ws.elapsed().as_secs_f64();
+        ops += stats.acks;
+        let m = Instant::now();
+        fs = maintain(back, &mut engine, &mut remap, &mut tier_total);
+        maintain_ns += m.elapsed().as_nanos();
+        eprintln!(
+            "    wave {w}: service {service_s:.2}s maintain {:.2}s (repl {} grp {} drop {} moved {})",
+            m.elapsed().as_secs_f64(),
+            tier_total.replicas_placed,
+            tier_total.groups_encoded,
+            tier_total.dropped_runs,
+            tier_total.defrag.blocks_moved,
+        );
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    fs.sync();
+    let extent_hist = fs.stats().hist_display();
+    let hist = merged.into_inner().unwrap();
+    if check {
+        let mut engine_fs = fs.into_engine();
+        engine_fs.release_preallocations();
+        let report = fsck_run(&mut engine_fs, &FsckOptions::offline_repair());
+        if !report.clean() || report.repaired != 0 {
+            eprintln!("tiering_payoff: clients={clients} {policy:?} NOT fsck-clean: {report:?}");
+            std::process::exit(1);
+        }
+    }
+
+    Cell {
+        clients,
+        policy,
+        waves,
+        wall_s,
+        maintain_s: maintain_ns as f64 / 1e9,
+        ops,
+        lat: hist.percentiles(),
+        tier: tier_total,
+        extent_hist,
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde).
+fn write_json(path: &str, cells: &[Cell]) {
+    let mut out = String::from("{\n");
+    out += "  \"bench\": \"tiering_payoff\",\n";
+    out += &format!("  \"osts\": {OSTS},\n");
+    out += &format!("  \"files\": {FILES},\n");
+    out += &format!("  \"zipf_theta\": {ZIPF_THETA},\n");
+    out += &format!("  \"writes_per_client\": {WRITES},\n");
+    out += &format!("  \"wave_clients\": {WAVE_CLIENTS},\n");
+    out += &format!("  \"archive_files\": {ARCHIVE_FILES},\n");
+    out += &format!(
+        "  \"baseline\": {{\"source\": \"BENCH_7.json\", \"clients\": 100000, \
+         \"policy\": \"vanilla\", \"tiering\": \"off\", \
+         \"ops_per_sec\": {BASE_OPS_PER_SEC}, \"ack_p99_ns\": {BASE_P99_NS}}},\n"
+    );
+    out += "  \"results\": [\n";
+    for (i, c) in cells.iter().enumerate() {
+        out += &format!(
+            "    {{\"clients\": {}, \"policy\": \"{}\", \"tiering\": \"on\", \
+             \"waves\": {}, \"wall_s\": {:.3}, \"maintain_s\": {:.3}, \
+             \"ops\": {}, \"ops_per_sec\": {:.0}, \
+             \"ack_p50_ns\": {}, \"ack_p99_ns\": {}, \"ack_p999_ns\": {}, \
+             \"speedup_vs_baseline\": {:.1}, \"p99_gain_vs_baseline\": {:.1}, \
+             \"replicas_placed\": {}, \"groups_encoded\": {}, \"dropped_runs\": {}, \
+             \"promoted_files\": {}, \"demoted_files\": {}, \
+             \"defrag_relocations\": {}, \"defrag_blocks_moved\": {}, \
+             \"extent_hist\": \"{}\"}}{}\n",
+            c.clients,
+            policy_name(c.policy),
+            c.waves,
+            c.wall_s,
+            c.maintain_s,
+            c.ops,
+            c.ops_per_sec(),
+            c.lat.p50,
+            c.lat.p99,
+            c.lat.p999,
+            c.ops_per_sec() / BASE_OPS_PER_SEC,
+            BASE_P99_NS as f64 / (c.lat.p99 as f64).max(1.0),
+            c.tier.replicas_placed,
+            c.tier.groups_encoded,
+            c.tier.dropped_runs,
+            c.tier.promoted_files,
+            c.tier.demoted_files,
+            c.tier.defrag.relocations,
+            c.tier.defrag.blocks_moved,
+            c.extent_hist,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out += "  ]\n}\n";
+    std::fs::write(path, out).expect("write BENCH json");
+}
+
+/// Re-read the emitted JSON and enforce the acceptance bounds: every
+/// ≥ 100k-client cell must beat the recorded baseline ≥ 10× on both
+/// ops/s and p99 ack latency, and must carry tiering evidence (replicas
+/// placed, groups encoded, defrag motion).
+fn verify(path: &str, cells: &[Cell], full: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if !text.contains("\"bench\": \"tiering_payoff\"") || !text.contains("\"baseline\"") {
+        return Err("missing bench identifier or baseline record".into());
+    }
+    for key in [
+        "\"ops_per_sec\"",
+        "\"ack_p99_ns\"",
+        "\"replicas_placed\"",
+        "\"groups_encoded\"",
+        "\"defrag_blocks_moved\"",
+        "\"extent_hist\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("emitted JSON lacks {key}"));
+        }
+    }
+    if full && !cells.iter().any(|c| c.clients >= 100_000) {
+        return Err("full sweep lacks the 100k-client cell".into());
+    }
+    for c in cells {
+        if c.ops == 0 || c.lat.p99 == 0 {
+            return Err(format!(
+                "cell clients={} {:?} carries no latency evidence",
+                c.clients, c.policy
+            ));
+        }
+        // Heat inertia needs a few ticks: only a run with enough waves
+        // can be expected to have promoted and demoted anything.
+        if c.waves >= 5 && (c.tier.replicas_placed == 0 || c.tier.groups_encoded == 0) {
+            return Err(format!(
+                "cell clients={} {:?}: tiering machinery idle (replicas {}, groups {})",
+                c.clients, c.policy, c.tier.replicas_placed, c.tier.groups_encoded
+            ));
+        }
+        if c.clients >= 100_000 {
+            if c.ops_per_sec() < MIN_OPS_PER_SEC {
+                return Err(format!(
+                    "100k cell {:?}: {:.0} ops/s < required {MIN_OPS_PER_SEC:.0} (10x recorded baseline {BASE_OPS_PER_SEC:.0})",
+                    c.policy,
+                    c.ops_per_sec()
+                ));
+            }
+            if c.lat.p99 > MAX_P99_NS {
+                return Err(format!(
+                    "100k cell {:?}: p99 {} ns > allowed {MAX_P99_NS} ns (baseline {BASE_P99_NS} / 10)",
+                    c.policy, c.lat.p99
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut clients = 100_000u64;
+    let mut full = true;
+    let mut out_path = String::from("BENCH_8.json");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients N");
+                full = clients >= 100_000;
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--check" => check = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: tiering_payoff [--clients N] [--out PATH] [--check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    section("BENCH 8 — tiering payoff: the 100k-client cell reshaped");
+    expectation(
+        "with heat-keyed defrag, replication and demotion running between \
+         waves, the 100k-client cell recovers >= 10x ops/s and >= 10x p99 \
+         ack latency vs the recorded BENCH_7 vanilla baseline — while \
+         paying for its own maintenance in the measured wall clock",
+    );
+
+    let table = Table::new(
+        &[
+            "clients", "policy", "waves", "wall s", "maint s", "ops/s", "p50 µs", "p99 µs", "repl",
+            "groups", "moved",
+        ],
+        &[8, 10, 6, 8, 8, 10, 8, 8, 7, 7, 9],
+    );
+    let mut cells = Vec::new();
+    for policy in [PolicyKind::Vanilla, PolicyKind::OnDemand] {
+        let c = run_cell(clients, policy, check);
+        table.row(&[
+            c.clients.to_string(),
+            policy_name(c.policy).into(),
+            c.waves.to_string(),
+            format!("{:.2}", c.wall_s),
+            format!("{:.2}", c.maintain_s),
+            format!("{:.0}", c.ops_per_sec()),
+            format!("{:.1}", c.lat.p50 as f64 / 1e3),
+            format!("{:.1}", c.lat.p99 as f64 / 1e3),
+            c.tier.replicas_placed.to_string(),
+            c.tier.groups_encoded.to_string(),
+            c.tier.defrag.blocks_moved.to_string(),
+        ]);
+        println!(
+            "    tier: promoted {} demoted {} dropped {} · extent hist: {}",
+            c.tier.promoted_files, c.tier.demoted_files, c.tier.dropped_runs, c.extent_hist
+        );
+        cells.push(c);
+    }
+
+    write_json(&out_path, &cells);
+    println!();
+    match verify(&out_path, &cells, full) {
+        Ok(()) => {
+            if full {
+                println!(
+                    "wrote {out_path} (bounds verified: every 100k cell >= 10x baseline on ops/s and p99)"
+                );
+            } else {
+                println!(
+                    "wrote {out_path} (smoke run; 10x bounds not enforced below 100k clients)"
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("tiering_payoff: {out_path} failed verification: {e}");
+            std::process::exit(1);
+        }
+    }
+}

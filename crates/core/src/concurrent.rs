@@ -100,6 +100,7 @@ use crate::config::FsConfig;
 use crate::fs::{EngineParts, FileState, FileSystem, OpenFile, Ost};
 use crate::metrics::FsMetrics;
 use crate::striping::Striping;
+use crate::tier::{DegradedSource, TierMap};
 use mif_alloc::lockorder::{self, LockClass};
 use mif_alloc::{AllocPolicy, BumpWindow, FileId, GroupedAllocator, PolicyKind, StreamId};
 use mif_extent::{Extent, ExtentTree};
@@ -140,6 +141,18 @@ struct OstShard {
     /// the single hottest serialization point of the PR-5 front-end
     /// (`osts` lock acquisitions per write).
     powered_off: AtomicBool,
+    /// Lock-free mirror of `disk.failed()` (whole-disk death): writes and
+    /// uncovered reads targeting this shard fail until the drive is
+    /// replaced ([`ConcurrentFs::begin_rebuild`]).
+    failed: AtomicBool,
+    /// Still rebuilding after a replacement: reads of this shard keep
+    /// routing to replicas/parity where coverage exists, and the shard is
+    /// not counted healthy for redundancy, until
+    /// [`ConcurrentFs::rebuild_ost`] finishes.
+    degraded: AtomicBool,
+    /// Read blocks routed to this shard (primary or replica) — the
+    /// least-loaded fan-out signal.
+    routed_blocks: AtomicU64,
     /// Simulated busy time this shard accumulated under the front-end.
     elapsed_ns: AtomicU64,
 }
@@ -213,6 +226,46 @@ pub struct FsStats {
     pub contention: ContentionSnapshot,
     /// Aggregated data-disk IO totals ([`SharedDiskStats`] snapshot).
     pub io: DiskStats,
+    /// Per-file extent-count histogram, log2 buckets: `extent_hist[i]`
+    /// counts files whose total extent count (summed across OSTs) lies in
+    /// `[2^i, 2^(i+1))`; the last bucket absorbs everything above. Files
+    /// with no extents are not counted. The fragmentation shape of the
+    /// namespace at a glance — a healthy defragmented system keeps mass
+    /// in the low buckets.
+    pub extent_hist: [u64; 16],
+}
+
+impl FsStats {
+    /// Files counted by the extent histogram.
+    pub fn hist_files(&self) -> u64 {
+        self.extent_hist.iter().sum()
+    }
+
+    /// Render the histogram as `1:12 2-3:4 ...`, skipping empty buckets.
+    pub fn hist_display(&self) -> String {
+        let mut out = String::new();
+        for (i, &n) in self.extent_hist.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let lo = 1u64 << i;
+            let hi = (1u64 << (i + 1)) - 1;
+            if i == 15 {
+                out.push_str(&format!("{lo}+:{n}"));
+            } else if lo == hi {
+                out.push_str(&format!("{lo}:{n}"));
+            } else {
+                out.push_str(&format!("{lo}-{hi}:{n}"));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
 }
 
 /// One file: immutable identity plus locked mutable state.
@@ -221,6 +274,11 @@ struct FileSlot {
     name: String,
     ino: InodeNo,
     ost_shift: u32,
+    /// Lock-free access recorder: read ops since the last drain. The heat
+    /// classifier (`mif-tier`) consumes these as deltas.
+    reads: AtomicU64,
+    /// Write ops since the last drain.
+    writes: AtomicU64,
     inner: Mutex<FileInner>,
 }
 
@@ -246,6 +304,10 @@ pub struct ConcurrentFs {
     /// The group-commit data-path WAL: one durable-intent record per write
     /// op, staged lock-free, flushed merged (see [`mif_mds::GroupCommitWal`]).
     wal: GroupCommitWal,
+    /// The tier map (replicas, stripe groups): read-shared on the data
+    /// path, exclusive for invalidation and registration. Lock rank
+    /// [`LockClass::Tier`] — outside `File`, inside `FileMap`.
+    tier: RwLock<TierMap>,
     contention: ContentionCounters,
 }
 
@@ -272,6 +334,9 @@ impl ConcurrentFs {
                     policy: Mutex::new(ost.policy),
                     queues: Mutex::new(OstQueues::default()),
                     powered_off: AtomicBool::new(disk.powered_off()),
+                    failed: AtomicBool::new(disk.failed()),
+                    degraded: AtomicBool::new(disk.failed()),
+                    routed_blocks: AtomicU64::new(0),
                     disk: Mutex::new(disk),
                     elapsed_ns: AtomicU64::new(0),
                 }
@@ -289,6 +354,8 @@ impl ConcurrentFs {
                         name: f.name,
                         ino: f.ino,
                         ost_shift: f.ost_shift,
+                        reads: AtomicU64::new(0),
+                        writes: AtomicU64::new(0),
                         inner: Mutex::new(FileInner {
                             trees: f.trees,
                             size_blocks: f.size_blocks,
@@ -313,6 +380,7 @@ impl ConcurrentFs {
             base_elapsed_ns: parts.data_elapsed_ns,
             io,
             wal: GroupCommitWal::new(parts.config.wal_slab_records),
+            tier: RwLock::new(parts.tier),
             contention: ContentionCounters::default(),
             config: parts.config,
         }
@@ -332,6 +400,7 @@ impl ConcurrentFs {
             next_file,
             mds_cpu_ns,
             base_elapsed_ns,
+            tier,
             ..
         } = self;
         let mut disks = Vec::with_capacity(shards.len());
@@ -373,6 +442,7 @@ impl ConcurrentFs {
             mds: mds.into_inner().unwrap(),
             files,
             next_file: next_file.into_inner(),
+            tier: tier.into_inner().unwrap(),
             data_elapsed_ns: base_elapsed_ns + busiest,
             mds_cpu_ns: mds_cpu_ns.into_inner(),
             config,
@@ -432,6 +502,8 @@ impl ConcurrentFs {
             name: name.to_string(),
             ino,
             ost_shift: (id.0 % self.config.osts as u64) as u32,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
             inner: Mutex::new(FileInner {
                 trees,
                 size_blocks: 0,
@@ -536,17 +608,31 @@ impl ConcurrentFs {
             let _order = lockorder::acquire(LockClass::Policy);
             shard.policy.lock().unwrap().finalize(&shard.alloc, file.0);
         }
-        let _order = lockorder::acquire(LockClass::File);
-        let mut inner = slot.inner.lock().unwrap();
-        for (i, tree) in inner.trees.iter_mut().enumerate() {
-            let shard = &self.shards[i];
-            for (phys, len) in tree.clear() {
-                shard.alloc.free(phys, len);
-                let _disk = lockorder::acquire(LockClass::Disk);
-                self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
-                shard.disk.lock().unwrap().invalidate(phys, len);
+        {
+            let _order = lockorder::acquire(LockClass::File);
+            let mut inner = slot.inner.lock().unwrap();
+            for (i, tree) in inner.trees.iter_mut().enumerate() {
+                let shard = &self.shards[i];
+                for (phys, len) in tree.clear() {
+                    shard.alloc.free(phys, len);
+                    let _disk = lockorder::acquire(LockClass::Disk);
+                    self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+                    shard.disk.lock().unwrap().invalidate(phys, len);
+                }
             }
         }
+        // Derived redundancy dies with the primary (see the engine's
+        // `unlink`): free every replica/parity run, then forget them.
+        let _order = lockorder::acquire(LockClass::Tier);
+        let mut tier = self.tier.write().unwrap();
+        for run in tier.runs_of_file(file.0 .0) {
+            let shard = &self.shards[run.ost as usize];
+            shard.alloc.free(run.phys, run.len);
+            let _disk = lockorder::acquire(LockClass::Disk);
+            self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+            shard.disk.lock().unwrap().invalidate(run.phys, run.len);
+        }
+        tier.drop_file(file.0 .0);
     }
 
     // ----- data path ------------------------------------------------------
@@ -621,10 +707,41 @@ impl ConcurrentFs {
             }
         }
         let slot = self.slot(file).expect("write to unknown file");
+        slot.writes.fetch_add(1, Ordering::Relaxed);
+        // A write cannot land on a dead disk; a replaced-but-rebuilding
+        // one accepts fresh data.
+        for (ost_idx, ..) in self.striping.split(offset, len, slot.ost_shift) {
+            if self.shards[ost_idx as usize].failed.load(Ordering::Acquire) {
+                return Err((ost_idx as usize, IoFault::DiskFailed));
+            }
+        }
         {
             let _order = lockorder::acquire(LockClass::File);
             let mut inner = slot.inner.lock().unwrap();
             self.write_locked(&slot, &mut inner, stream, offset, len);
+        }
+        // The content changed: any replica or stripe group derived from
+        // the written spans is stale. Cheap lock-free-ish check first —
+        // the write lock is only taken when something actually overlaps.
+        {
+            let _order = lockorder::acquire(LockClass::Tier);
+            let overlaps = {
+                let tier = self.tier.read().unwrap();
+                !tier.is_empty()
+                    && self
+                        .striping
+                        .split(offset, len, slot.ost_shift)
+                        .into_iter()
+                        .any(|(ost_idx, local, run, _)| {
+                            tier.has_valid_overlap(file.0 .0, ost_idx, local, run)
+                        })
+            };
+            if overlaps {
+                let mut tier = self.tier.write().unwrap();
+                for (ost_idx, local, run, _) in self.striping.split(offset, len, slot.ost_shift) {
+                    tier.invalidate_overlap(file.0 .0, ost_idx, local, run);
+                }
+            }
         }
         // Journal the write's durable intent. Staging is lock-free; under
         // group commit the record rides the next merged flush (a sync
@@ -782,26 +899,129 @@ impl ConcurrentFs {
 
     /// Read `len` blocks at `offset` as `stream`; requests carry the same
     /// per-(stream, file) readahead context as the engine and are serviced
-    /// at the next flush.
+    /// at the next flush. Panics on an unservable read of a dead shard —
+    /// see [`ConcurrentFs::try_read`].
     pub fn read(&self, file: OpenFile, stream: StreamId, offset: u64, len: u64) {
+        self.try_read(file, stream, offset, len)
+            .unwrap_or_else(|(ost, f)| panic!("unhandled fault on OST {ost}: {f}"));
+    }
+
+    /// Fallible [`ConcurrentFs::read`], tier-aware:
+    ///
+    /// * healthy shard with valid replicas covering a piece → the piece is
+    ///   routed to the least-loaded copy (primary included) — the hot-read
+    ///   fan-out;
+    /// * failed shard → the piece *must* be served degraded, from a
+    ///   covering replica or by reading [`crate::tier::STRIPE_DATA`]
+    ///   surviving runs of its stripe group; an uncovered piece fails with
+    ///   [`IoFault::DiskFailed`];
+    /// * replaced-but-rebuilding shard → degraded routing where coverage
+    ///   exists, direct reads otherwise (fresh data written after the
+    ///   swap lives on the new disk).
+    pub fn try_read(
+        &self,
+        file: OpenFile,
+        stream: StreamId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), (usize, IoFault)> {
         let ctx = stream.as_u64() ^ file.0 .0.rotate_left(17);
         let slot = self.slot(file).expect("read from unknown file");
+        slot.reads.fetch_add(1, Ordering::Relaxed);
+        let _tier_order = lockorder::acquire(LockClass::Tier);
+        let tier = self.tier.read().unwrap();
         let _order = lockorder::acquire(LockClass::File);
         let inner = slot.inner.lock().unwrap();
         for (ost_idx, local, run, _) in self.striping.split(offset, len, slot.ost_shift) {
             let ost_idx = ost_idx as usize;
+            let shard = &self.shards[ost_idx];
+            let failed = shard.failed.load(Ordering::Acquire);
+            let degraded = failed || shard.degraded.load(Ordering::Acquire);
+            if degraded {
+                match tier.degraded_source(file.0 .0, ost_idx as u32, local, run, |o| {
+                    self.ost_healthy(o)
+                }) {
+                    Some(DegradedSource::Replica { ost, phys, len }) => {
+                        self.queue_read(ost as usize, phys, len, ctx);
+                        continue;
+                    }
+                    Some(DegradedSource::Stripe { unit, reads, .. }) => {
+                        for (rost, start, parity) in reads {
+                            if parity {
+                                self.queue_read(rost as usize, start, unit, ctx);
+                            } else {
+                                // A surviving data member: same file, so
+                                // its extents resolve under this lock.
+                                for (phys, l) in inner.trees[rost as usize].resolve(start, unit) {
+                                    self.queue_read(rost as usize, phys, l, ctx);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    None if failed => return Err((ost_idx, IoFault::DiskFailed)),
+                    None => {} // rebuilding: direct read below
+                }
+            }
             let resolved = inner.trees[ost_idx].resolve(local, run);
             if resolved.is_empty() {
                 continue;
             }
-            let _order = lockorder::acquire(LockClass::OstQueue);
-            let mut queues = self.shards[ost_idx].queues.lock().unwrap();
+            if !degraded {
+                // Hot-read fan-out: route the whole piece to the
+                // least-loaded valid copy, primary included.
+                let replicas = tier.replicas_covering(file.0 .0, ost_idx as u32, local, run, |o| {
+                    self.ost_healthy(o)
+                });
+                if !replicas.is_empty() {
+                    let mut best: Option<(&crate::tier::ReplicaRun, u64)> = None;
+                    for r in replicas {
+                        let load = self.shards[r.dst_ost as usize]
+                            .routed_blocks
+                            .load(Ordering::Relaxed);
+                        if best.as_ref().is_none_or(|&(_, b)| load < b) {
+                            best = Some((r, load));
+                        }
+                    }
+                    let primary_load = shard.routed_blocks.load(Ordering::Relaxed);
+                    if let Some((r, load)) = best {
+                        if load < primary_load {
+                            let phys = r.dst_phys + (local - r.logical);
+                            self.queue_read(r.dst_ost as usize, phys, run, ctx);
+                            continue;
+                        }
+                    }
+                }
+            }
             for (phys, l) in resolved {
-                queues
-                    .pending
-                    .push(BlockRequest::read(phys, l).with_ctx(ctx));
+                self.queue_read(ost_idx, phys, l, ctx);
             }
         }
+        Ok(())
+    }
+
+    /// Queue one read request on a shard, charging the routed-load signal
+    /// the fan-out uses.
+    fn queue_read(&self, ost_idx: usize, phys: u64, len: u64, ctx: u64) {
+        self.shards[ost_idx]
+            .routed_blocks
+            .fetch_add(len, Ordering::Relaxed);
+        let _order = lockorder::acquire(LockClass::OstQueue);
+        self.shards[ost_idx]
+            .queues
+            .lock()
+            .unwrap()
+            .pending
+            .push(BlockRequest::read(phys, len).with_ctx(ctx));
+    }
+
+    /// Can `ost` serve redundancy reads right now? (not dead, not mid-
+    /// rebuild, not powered off)
+    fn ost_healthy(&self, ost: u32) -> bool {
+        let s = &self.shards[ost as usize];
+        !s.failed.load(Ordering::Acquire)
+            && !s.degraded.load(Ordering::Acquire)
+            && !s.powered_off.load(Ordering::Acquire)
     }
 
     // ----- flushing -------------------------------------------------------
@@ -1007,6 +1227,244 @@ impl ConcurrentFs {
         self.shards[ost].disk.lock().unwrap().fault_stats().cloned()
     }
 
+    // ----- disk death and rebuild (the tier failure scenario) -------------
+
+    /// Kill one IO server's disk outright ([`Disk::fail`]): every request
+    /// fails until the drive is swapped. Queued IO toward the dead disk is
+    /// discarded — it died with the device, like dirty pages toward a
+    /// failed drive. Reads of its data are served degraded (replica /
+    /// parity) where the tier map has coverage; writes touching it fail
+    /// with [`IoFault::DiskFailed`].
+    pub fn fail_ost(&self, ost: usize) {
+        let shard = &self.shards[ost];
+        {
+            let _order = lockorder::acquire(LockClass::OstQueue);
+            let mut queues = shard.queues.lock().unwrap();
+            queues.pending.clear();
+            queues.writeback.clear();
+        }
+        let _order = lockorder::acquire(LockClass::Disk);
+        self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+        shard.disk.lock().unwrap().fail();
+        shard.failed.store(true, Ordering::Release);
+        shard.degraded.store(true, Ordering::Release);
+    }
+
+    /// Swap in a blank replacement drive ([`Disk::replace`]): the shard
+    /// accepts IO again (fresh writes land on the new media), but stays
+    /// *degraded* — reads keep routing to redundancy where coverage
+    /// exists — until [`ConcurrentFs::rebuild_ost`] completes.
+    pub fn begin_rebuild(&self, ost: usize) {
+        let shard = &self.shards[ost];
+        let _order = lockorder::acquire(LockClass::Disk);
+        self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+        let mut disk = shard.disk.lock().unwrap();
+        disk.replace();
+        shard
+            .powered_off
+            .store(disk.powered_off(), Ordering::Release);
+        shard.failed.store(false, Ordering::Release);
+    }
+
+    /// Background-rebuild the replaced disk under live traffic: rewrite
+    /// every lost run *at its original physical address* from replicas or
+    /// stripe parity, one file at a time (writers to other files — and to
+    /// this one, between files — interleave freely), then rebuild the tier
+    /// runs housed here (replica copies re-copied from their primaries,
+    /// parity re-encoded from its members) and clear the degraded flag.
+    ///
+    /// Returns `(rebuilt, uncovered)` block counts; `uncovered` spans had
+    /// no redundancy (including data written after the swap, which is
+    /// already on the new media and needs no rebuild).
+    pub fn rebuild_ost(&self, ost: usize) -> Result<(u64, u64), (usize, IoFault)> {
+        assert!(
+            !self.shards[ost].failed.load(Ordering::Acquire),
+            "replace the disk first (begin_rebuild)"
+        );
+        assert!(
+            self.shards[ost].degraded.load(Ordering::Acquire),
+            "shard is not rebuilding"
+        );
+        let slots: Vec<Arc<FileSlot>> = {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files.read().unwrap().values().cloned().collect()
+        };
+        let mut rebuilt = 0u64;
+        let mut uncovered = 0u64;
+        for slot in &slots {
+            let _tier_order = lockorder::acquire(LockClass::Tier);
+            let tier = self.tier.read().unwrap();
+            let _order = lockorder::acquire(LockClass::File);
+            let inner = slot.inner.lock().unwrap();
+            let extents: Vec<(u64, u64, u64)> = inner.trees[ost]
+                .extents()
+                .map(|e| (e.logical, e.physical, e.len))
+                .collect();
+            for (logical, phys, len) in extents {
+                match tier
+                    .degraded_source(slot.id.0, ost as u32, logical, len, |o| self.ost_healthy(o))
+                {
+                    Some(DegradedSource::Replica {
+                        ost: rost,
+                        phys: rphys,
+                        len: rlen,
+                    }) => {
+                        self.submit_direct(rost as usize, vec![BlockRequest::read(rphys, rlen)])?;
+                        self.submit_direct(ost, vec![BlockRequest::write(phys, len)])?;
+                        rebuilt += len;
+                    }
+                    Some(DegradedSource::Stripe { unit, reads, .. }) => {
+                        for (rost, start, parity) in reads {
+                            if parity {
+                                self.submit_direct(
+                                    rost as usize,
+                                    vec![BlockRequest::read(start, unit)],
+                                )?;
+                            } else {
+                                let batch: Vec<BlockRequest> = inner.trees[rost as usize]
+                                    .resolve(start, unit)
+                                    .into_iter()
+                                    .map(|(p, l)| BlockRequest::read(p, l))
+                                    .collect();
+                                self.submit_direct(rost as usize, batch)?;
+                            }
+                        }
+                        self.submit_direct(ost, vec![BlockRequest::write(phys, len)])?;
+                        rebuilt += len;
+                    }
+                    None => uncovered += len,
+                }
+            }
+        }
+        // The tier runs housed on this disk: replica copies and parity.
+        let tier_runs = {
+            let _order = lockorder::acquire(LockClass::Tier);
+            self.tier.read().unwrap().runs_on_ost(ost as u32)
+        };
+        for run in tier_runs {
+            let slot = {
+                let _order = lockorder::acquire(LockClass::FileMap);
+                self.files.read().unwrap().get(&FileId(run.file)).cloned()
+            };
+            let Some(slot) = slot else {
+                continue; // unlinked since the snapshot
+            };
+            let _tier_order = lockorder::acquire(LockClass::Tier);
+            let tier = self.tier.read().unwrap();
+            let _order = lockorder::acquire(LockClass::File);
+            let inner = slot.inner.lock().unwrap();
+            if run.parity {
+                let group = tier.groups().iter().find(|g| {
+                    g.file == run.file
+                        && g.parity
+                            .iter()
+                            .any(|&(o, p)| o as usize == ost && p == run.phys)
+                });
+                let Some(g) = group else { continue };
+                for &(most, mstart) in &g.members {
+                    let batch: Vec<BlockRequest> = inner.trees[most as usize]
+                        .resolve(mstart, g.unit)
+                        .into_iter()
+                        .map(|(p, l)| BlockRequest::read(p, l))
+                        .collect();
+                    self.submit_direct(most as usize, batch)?;
+                }
+            } else {
+                let replica = tier.replicas().iter().find(|r| {
+                    r.file == run.file && r.dst_ost as usize == ost && r.dst_phys == run.phys
+                });
+                let Some(r) = replica else { continue };
+                let batch: Vec<BlockRequest> = inner.trees[r.src_ost as usize]
+                    .resolve(r.logical, r.len)
+                    .into_iter()
+                    .map(|(p, l)| BlockRequest::read(p, l))
+                    .collect();
+                self.submit_direct(r.src_ost as usize, batch)?;
+            }
+            self.submit_direct(ost, vec![BlockRequest::write(run.phys, run.len)])?;
+            rebuilt += run.len;
+        }
+        self.shards[ost].degraded.store(false, Ordering::Release);
+        Ok((rebuilt, uncovered))
+    }
+
+    /// Is this shard's disk dead (failed, not yet replaced)?
+    pub fn ost_failed(&self, ost: usize) -> bool {
+        self.shards[ost].failed.load(Ordering::Acquire)
+    }
+
+    /// Is this shard degraded (dead, or replaced but not yet rebuilt)?
+    pub fn ost_degraded(&self, ost: usize) -> bool {
+        self.shards[ost].degraded.load(Ordering::Acquire)
+    }
+
+    /// Submit one batch straight to a shard's disk (rebuild IO), charging
+    /// time and stats exactly like a flush.
+    fn submit_direct(
+        &self,
+        ost_idx: usize,
+        batch: Vec<BlockRequest>,
+    ) -> Result<Nanos, (usize, IoFault)> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let shard = &self.shards[ost_idx];
+        let _order = lockorder::acquire(LockClass::Disk);
+        self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+        let mut disk = shard.disk.lock().unwrap();
+        let before = disk.stats().clone();
+        let result = disk.try_submit_batch(batch);
+        shard
+            .powered_off
+            .store(disk.powered_off(), Ordering::Release);
+        let delta = disk.stats().since(&before);
+        drop(disk);
+        self.io.add(&delta);
+        match result {
+            Ok(ns) => {
+                shard.elapsed_ns.fetch_add(ns, Ordering::Relaxed);
+                Ok(ns)
+            }
+            Err(f) => Err((ost_idx, f)),
+        }
+    }
+
+    // ----- tier surface ----------------------------------------------------
+
+    /// Snapshot-and-reset the lock-free access recorder: `(file, reads,
+    /// writes)` deltas since the last drain, files with no traffic
+    /// omitted. This is the heat classifier's feed.
+    pub fn drain_access(&self) -> Vec<(OpenFile, u64, u64)> {
+        let slots: Vec<Arc<FileSlot>> = {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files.read().unwrap().values().cloned().collect()
+        };
+        let mut out: Vec<(OpenFile, u64, u64)> = slots
+            .iter()
+            .filter_map(|s| {
+                let r = s.reads.swap(0, Ordering::Relaxed);
+                let w = s.writes.swap(0, Ordering::Relaxed);
+                (r != 0 || w != 0).then_some((OpenFile(s.id), r, w))
+            })
+            .collect();
+        out.sort_by_key(|(f, ..)| f.0 .0);
+        out
+    }
+
+    /// A clone of the tier map (diagnostics, benches, checkers).
+    pub fn tier_snapshot(&self) -> TierMap {
+        let _order = lockorder::acquire(LockClass::Tier);
+        self.tier.read().unwrap().clone()
+    }
+
+    /// Run `f` with exclusive access to the tier map (artifact
+    /// registration from the maintenance pass / tests). Must be called
+    /// with no engine lock of rank ≥ [`LockClass::Tier`] held.
+    pub fn with_tier_mut<R>(&self, f: impl FnOnce(&mut TierMap) -> R) -> R {
+        let _order = lockorder::acquire(LockClass::Tier);
+        f(&mut self.tier.write().unwrap())
+    }
+
     // ----- WAL surface (the mif-server ack gate) --------------------------
 
     /// Block until the data-path WAL record `seqno` is durable (the record
@@ -1090,13 +1548,31 @@ impl ConcurrentFs {
                 .unwrap_or(0)
     }
 
-    /// Every statistic the front-end exports, in one aggregate (lock-free
-    /// snapshots): the contention telemetry plus the IO totals. This is
-    /// the one accessor benches, tests and the service layer read.
+    /// Every statistic the front-end exports, in one aggregate: the
+    /// lock-free contention telemetry and IO totals, plus the per-file
+    /// extent histogram (which briefly takes each file's lock — call it
+    /// between waves, not on the hot path). This is the one accessor
+    /// benches, tests and the service layer read.
     pub fn stats(&self) -> FsStats {
+        let mut extent_hist = [0u64; 16];
+        let slots: Vec<Arc<FileSlot>> = {
+            let _order = lockorder::acquire(LockClass::FileMap);
+            self.files.read().unwrap().values().cloned().collect()
+        };
+        for slot in &slots {
+            let _order = lockorder::acquire(LockClass::File);
+            let inner = slot.inner.lock().unwrap();
+            let n: u64 = inner.trees.iter().map(|t| t.extent_count() as u64).sum();
+            if n == 0 {
+                continue;
+            }
+            let bucket = (63 - n.leading_zeros() as usize).min(15);
+            extent_hist[bucket] += 1;
+        }
         FsStats {
             contention: self.contention_snapshot(),
             io: self.io.snapshot(),
+            extent_hist,
         }
     }
 

@@ -10,6 +10,7 @@
 use crate::config::FsConfig;
 use crate::metrics::FsMetrics;
 use crate::striping::Striping;
+use crate::tier::TierMap;
 use mif_alloc::{make_policy, AllocPolicy, FileId, GroupedAllocator, StreamId};
 use mif_extent::{Extent, ExtentTree};
 use mif_mds::{InodeNo, Mds, ROOT_INO};
@@ -46,6 +47,7 @@ pub(crate) struct EngineParts {
     pub(crate) mds: Mds,
     pub(crate) files: HashMap<FileId, FileState>,
     pub(crate) next_file: u64,
+    pub(crate) tier: TierMap,
     pub(crate) data_elapsed_ns: Nanos,
     pub(crate) mds_cpu_ns: Nanos,
 }
@@ -76,6 +78,9 @@ pub struct FileSystem {
     /// accumulated — the fragility the paper contrasts on-demand with.
     delayed_pending: HashMap<(FileId, usize), Vec<(u64, u64)>>,
     round_open: bool,
+    /// Redundancy artifacts the tier layer derived from file data
+    /// (replicas of hot spans, parity of cold stripe groups).
+    tier: TierMap,
     data_elapsed_ns: Nanos,
     mds_cpu_ns: Nanos,
 }
@@ -121,6 +126,7 @@ impl FileSystem {
             next_file: 1,
             pending,
             round_open: false,
+            tier: TierMap::new(),
             data_elapsed_ns: 0,
             mds_cpu_ns: 0,
         }
@@ -143,6 +149,7 @@ impl FileSystem {
             mds: self.mds,
             files: self.files,
             next_file: self.next_file,
+            tier: self.tier,
             data_elapsed_ns: self.data_elapsed_ns,
             mds_cpu_ns: self.mds_cpu_ns,
         }
@@ -164,6 +171,7 @@ impl FileSystem {
             writeback_blocks: 0,
             delayed_pending: HashMap::new(),
             round_open: false,
+            tier: parts.tier,
             data_elapsed_ns: parts.data_elapsed_ns,
             mds_cpu_ns: parts.mds_cpu_ns,
             config: parts.config,
@@ -296,6 +304,9 @@ impl FileSystem {
         let state = self.files.get_mut(&file.0).expect("file exists");
         state.size_blocks = new_size_blocks;
         self.mds.utime(ROOT_INO, &state.name.clone());
+        // Content bounds changed wholesale: every derived artifact of the
+        // file is stale (lazy teardown frees the runs later).
+        self.tier.invalidate_file(file.0 .0);
     }
 
     /// Delete: free all blocks and remove the MDS entry. Releases policy
@@ -315,6 +326,14 @@ impl FileSystem {
                 self.array.disk_mut(i).invalidate(phys, len);
             }
         }
+        // Derived redundancy dies with the primary: free every replica and
+        // parity run the tier layer holds for this file, then forget them.
+        for run in self.tier.runs_of_file(file.0 .0) {
+            let ost = run.ost as usize;
+            self.osts[ost].alloc.free(run.phys, run.len);
+            self.array.disk_mut(ost).invalidate(run.phys, run.len);
+        }
+        self.tier.drop_file(file.0 .0);
         self.mds.unlink(ROOT_INO, &state.name);
     }
 
@@ -527,6 +546,10 @@ impl FileSystem {
         let delayed = self.config.policy == mif_alloc::PolicyKind::Delayed;
         for (ost_idx, local, run, _) in pieces {
             let ost_idx = ost_idx as usize;
+            // The content of this span is changing: any replica or stripe
+            // group derived from it no longer matches the primary.
+            self.tier
+                .invalidate_overlap(file.0 .0, ost_idx as u32, local, run);
             let state = self.files.get_mut(&file.0).expect("file exists");
             let tree = &mut state.trees[ost_idx];
 
@@ -753,6 +776,67 @@ impl FileSystem {
             self.array.disk_mut(ost).invalidate(phys, l);
         }
         true
+    }
+
+    // ----- tier-engine hooks -----------------------------------------------
+    //
+    // `crates/tier` drives replica placement, 4+2 parity encoding and
+    // rebuild through these hooks, following the defrag engine's shape:
+    // probe/claim through the allocator, log an Intent, move bytes with
+    // `tier_try_io` (fallible IO, nothing registered yet), log a Commit,
+    // then register the artifact in the tier map. A crash between any two
+    // steps is recoverable because the destination run carries no state
+    // anyone depends on until the map update.
+
+    /// The tier map: replicas and stripe groups derived from file data.
+    pub fn tier(&self) -> &TierMap {
+        &self.tier
+    }
+
+    /// Mutable tier map (artifact registration, invalidation, teardown).
+    pub fn tier_mut(&mut self) -> &mut TierMap {
+        &mut self.tier
+    }
+
+    /// Move one tier transaction's bytes: submit `reads` then `writes`
+    /// (each `(ost, phys, len)`) as one round, charging the IO. Used for
+    /// replica copies (read primary, write copy), parity encodes (read
+    /// members, write parity) and rebuild (read survivors, rewrite the
+    /// lost run). A fault surfaces as `Err` with nothing registered.
+    pub fn tier_try_io(
+        &mut self,
+        reads: &[(usize, u64, u64)],
+        writes: &[(usize, u64, u64)],
+    ) -> Result<Nanos, (usize, IoFault)> {
+        assert!(!self.round_open, "tier IO inside a round");
+        self.try_sync_data()?;
+        self.begin_round();
+        for &(ost, phys, len) in reads {
+            self.pending[ost].push(BlockRequest::read(phys, len));
+        }
+        for &(ost, phys, len) in writes {
+            self.pending[ost].push(BlockRequest::write(phys, len));
+        }
+        self.try_end_round()
+    }
+
+    /// Free one allocator-owned tier run (teardown commit / intent
+    /// rollback) and drop its cached blocks.
+    pub fn tier_free_run(&mut self, ost: usize, phys: u64, len: u64) {
+        self.osts[ost].alloc.free(phys, len);
+        self.array.disk_mut(ost).invalidate(phys, len);
+    }
+
+    /// Is any block of `phys..phys + len` on `ost` mapped by a live file
+    /// extent? Tier-WAL recovery uses this ownership check before rolling
+    /// back a dangling intent: a destination the files own was never the
+    /// tier layer's to free.
+    pub fn run_mapped_by_any_file(&self, ost: usize, phys: u64, len: u64) -> bool {
+        self.files.values().any(|f| {
+            f.trees[ost]
+                .extents()
+                .any(|e| e.physical < phys + len && phys < e.physical + e.len)
+        })
     }
 
     /// Fragment the OSTs' free space: allocate scattered holes so `frac` of
@@ -996,6 +1080,15 @@ impl FileSystem {
             logical += len;
         }
         lf
+    }
+
+    /// Fsck repair: forget the tier run of raw file id `file` at (`ost`,
+    /// `phys`) *without freeing its blocks* — used when a tier run loses
+    /// an ownership conflict (the winner keeps the blocks), or when its
+    /// blocks were never granted by the bitmap in the first place.
+    /// Returns whether a run was dropped (idempotent).
+    pub fn fsck_drop_tier_run(&mut self, file: u64, ost: usize, phys: u64) -> bool {
+        self.tier.remove_run(file, ost as u32, phys)
     }
 }
 

@@ -46,6 +46,7 @@ pub mod config;
 pub mod fs;
 pub mod metrics;
 pub mod striping;
+pub mod tier;
 
 pub use collective::aggregate_collective;
 pub use concurrent::{ConcurrentFs, ContentionSnapshot, FsStats};
@@ -53,3 +54,6 @@ pub use config::FsConfig;
 pub use fs::{FileSystem, OpenFile};
 pub use metrics::{mds_cpu_utilization, FsMetrics};
 pub use striping::Striping;
+pub use tier::{
+    DegradedSource, ReplicaRun, StripeGroup, TierMap, TierRun, STRIPE_DATA, STRIPE_PARITY,
+};

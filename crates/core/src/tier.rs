@@ -1,0 +1,651 @@
+//! The tier map: where the redundancy layer keeps its replicas and parity.
+//!
+//! Hot/cold tiering (ROADMAP item 4) adds *derived* data to the file
+//! system: hot ranges get full replicas on other OSTs so reads can fan
+//! out, cold ranges get packed into 4+2 erasure-coded stripe groups whose
+//! two parity runs can reconstruct any two lost members. This module is
+//! the bookkeeping for that derived data — plain state, no IO:
+//!
+//! * [`ReplicaRun`] — a verbatim copy of one logical span of one (file,
+//!   OST), living in allocator-owned blocks on another OST;
+//! * [`StripeGroup`] — four equal-length data members (referenced by
+//!   their *logical* position, so defrag moving the physical blocks does
+//!   not stale the group) plus two parity runs on distinct OSTs;
+//! * [`TierMap`] — the collection, with the queries the read path
+//!   (degraded coverage), the write path (invalidation), fsck (ownership
+//!   of tier blocks) and the maintenance pass (teardown candidates) need.
+//!
+//! Validity is content-based: a write into a covered range marks the
+//! covering artifacts invalid (the copy no longer matches the primary),
+//! and invalid artifacts are torn down lazily by the maintenance pass.
+//! Relocation (defrag) does *not* invalidate anything — members are
+//! tracked logically and the content is unchanged.
+//!
+//! Everything here is deterministic and clonable so fsck can snapshot the
+//! map alongside its allocator/extent image.
+
+/// A replicated copy of one logical span.
+///
+/// The source span is `len` blocks of (`file`, `src_ost`) starting at
+/// OST-local logical block `logical`; the copy occupies the physical run
+/// `dst_phys..dst_phys + len` on `dst_ost`, claimed from that OST's
+/// allocator. `valid` flips to `false` the moment a write lands inside
+/// the source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaRun {
+    /// Raw `FileId` of the primary.
+    pub file: u64,
+    /// OST the primary span lives on.
+    pub src_ost: u32,
+    /// First OST-local logical block of the span.
+    pub logical: u64,
+    /// Span length in blocks.
+    pub len: u64,
+    /// OST holding the copy.
+    pub dst_ost: u32,
+    /// Physical start of the copy's run on `dst_ost`.
+    pub dst_phys: u64,
+    /// Does the copy still match the primary?
+    pub valid: bool,
+}
+
+impl ReplicaRun {
+    /// Does this replica cover all of `logical..logical + len` of
+    /// (`file`, `ost`)?
+    pub fn covers(&self, file: u64, ost: u32, logical: u64, len: u64) -> bool {
+        self.file == file
+            && self.src_ost == ost
+            && self.logical <= logical
+            && logical + len <= self.logical + self.len
+    }
+
+    /// Does this replica's source span overlap `logical..logical + len`
+    /// of (`file`, `ost`)?
+    pub fn overlaps(&self, file: u64, ost: u32, logical: u64, len: u64) -> bool {
+        self.file == file
+            && self.src_ost == ost
+            && self.logical < logical + len
+            && logical < self.logical + self.len
+    }
+}
+
+/// Data members per stripe group (the "4" of 4+2).
+pub const STRIPE_DATA: usize = 4;
+/// Parity runs per stripe group (the "+2"): any [`STRIPE_DATA`] of the
+/// six runs reconstruct the rest, so the group survives two lost OSTs.
+pub const STRIPE_PARITY: usize = 2;
+
+/// One erasure-coded stripe group over cold data.
+///
+/// The four data members are *references* to live file extents — `unit`
+/// blocks of (`file`, member OST) starting at the member's OST-local
+/// logical block. Only the two parity runs are newly allocated (on OSTs
+/// distinct from each other; the demoter also keeps them off the member
+/// OSTs so one disk death never takes two of the six runs). Storing
+/// members logically means defrag relocating the physical blocks leaves
+/// the group intact; a *write* into a member is what invalidates it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeGroup {
+    /// Raw `FileId` the data members belong to.
+    pub file: u64,
+    /// Group index (unique per file; the WAL names groups by it).
+    pub group: u64,
+    /// Blocks per member run.
+    pub unit: u64,
+    /// The [`STRIPE_DATA`] data members: (OST, OST-local logical start).
+    pub members: Vec<(u32, u64)>,
+    /// The [`STRIPE_PARITY`] parity runs: (OST, physical start).
+    pub parity: Vec<(u32, u64)>,
+    /// Does the parity still match the members' content?
+    pub valid: bool,
+}
+
+impl StripeGroup {
+    /// The member (if any) whose span covers all of
+    /// `logical..logical + len` on (`file`, `ost`). Returns its index.
+    pub fn member_covering(&self, file: u64, ost: u32, logical: u64, len: u64) -> Option<usize> {
+        if self.file != file {
+            return None;
+        }
+        self.members.iter().position(|&(most, mstart)| {
+            most == ost && mstart <= logical && logical + len <= mstart + self.unit
+        })
+    }
+
+    /// Does any member overlap `logical..logical + len` on (`file`, `ost`)?
+    pub fn member_overlaps(&self, file: u64, ost: u32, logical: u64, len: u64) -> bool {
+        self.file == file
+            && self.members.iter().any(|&(most, mstart)| {
+                most == ost && mstart < logical + len && logical < mstart + self.unit
+            })
+    }
+
+    /// The six (OST, role) slots of the group: members first (role =
+    /// member index), then parity (role = [`STRIPE_DATA`] + parity index).
+    pub fn slots(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, &(ost, _))| (ost, i))
+            .chain(
+                self.parity
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(ost, _))| (ost, STRIPE_DATA + i)),
+            )
+    }
+}
+
+/// One allocator-owned run the tier layer holds on some OST — what fsck
+/// folds into its ownership image and what unlink/teardown must free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierRun {
+    /// Raw `FileId` the artifact derives from.
+    pub file: u64,
+    /// OST the run lives on.
+    pub ost: u32,
+    /// Physical start.
+    pub phys: u64,
+    /// Length in blocks.
+    pub len: u64,
+    /// `true` for a stripe group's parity run, `false` for a replica.
+    pub parity: bool,
+}
+
+/// How a degraded read can be served when the primary's OST is down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradedSource {
+    /// Read the covering replica: (`dst_ost`, physical start of the
+    /// requested sub-span, length).
+    Replica { ost: u32, phys: u64, len: u64 },
+    /// Reconstruct from a stripe group: read each listed surviving run in
+    /// full — (OST, member-logical-or-parity-physical, is_parity) — and
+    /// decode. Exactly [`STRIPE_DATA`] entries.
+    Stripe {
+        file: u64,
+        group: u64,
+        unit: u64,
+        /// Surviving runs to read: members as (ost, logical start,
+        /// false), parity as (ost, physical start, true).
+        reads: Vec<(u32, u64, bool)>,
+    },
+}
+
+/// The collection of tier artifacts, shared between the engine, the
+/// concurrent front-end (behind a lock), the redundancy engine and fsck.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TierMap {
+    replicas: Vec<ReplicaRun>,
+    groups: Vec<StripeGroup>,
+}
+
+impl TierMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- placement --------------------------------------------------------
+
+    /// Record a (valid) replica. The caller has already claimed the
+    /// destination run from the allocator and copied the data.
+    pub fn add_replica(&mut self, r: ReplicaRun) {
+        debug_assert!(r.len > 0);
+        self.replicas.push(r);
+    }
+
+    /// Record a (valid) stripe group. Panics unless the shape is exactly
+    /// [`STRIPE_DATA`] members + [`STRIPE_PARITY`] parity runs on
+    /// pairwise-distinct parity OSTs.
+    pub fn add_group(&mut self, g: StripeGroup) {
+        assert_eq!(g.members.len(), STRIPE_DATA, "stripe group needs 4 members");
+        assert_eq!(
+            g.parity.len(),
+            STRIPE_PARITY,
+            "stripe group needs 2 parity runs"
+        );
+        assert!(
+            g.parity[0].0 != g.parity[1].0,
+            "parity runs must sit on distinct OSTs"
+        );
+        debug_assert!(g.unit > 0);
+        self.groups.push(g);
+    }
+
+    /// The next unused stripe-group index for `file`.
+    pub fn next_group_index(&self, file: u64) -> u64 {
+        self.groups
+            .iter()
+            .filter(|g| g.file == file)
+            .map(|g| g.group + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ----- read-path queries ------------------------------------------------
+
+    /// A valid replica covering the span whose copy sits on a healthy OST,
+    /// if one exists. Ties are broken by the caller (least-loaded fan-out)
+    /// via [`TierMap::replicas_covering`].
+    pub fn replica_covering(
+        &self,
+        file: u64,
+        ost: u32,
+        logical: u64,
+        len: u64,
+        healthy: impl Fn(u32) -> bool,
+    ) -> Option<&ReplicaRun> {
+        self.replicas
+            .iter()
+            .find(|r| r.valid && r.covers(file, ost, logical, len) && healthy(r.dst_ost))
+    }
+
+    /// All valid replicas covering the span with healthy copies — the
+    /// read path picks the least-loaded destination among these.
+    pub fn replicas_covering(
+        &self,
+        file: u64,
+        ost: u32,
+        logical: u64,
+        len: u64,
+        healthy: impl Fn(u32) -> bool,
+    ) -> Vec<&ReplicaRun> {
+        self.replicas
+            .iter()
+            .filter(|r| r.valid && r.covers(file, ost, logical, len) && healthy(r.dst_ost))
+            .collect()
+    }
+
+    /// How (if at all) a read of `logical..logical + len` on (`file`,
+    /// `ost`) can be served while `ost` is unhealthy: prefer a replica
+    /// (one read), fall back to stripe reconstruction ([`STRIPE_DATA`]
+    /// surviving runs). `None` means the span is not redundantly covered.
+    pub fn degraded_source(
+        &self,
+        file: u64,
+        ost: u32,
+        logical: u64,
+        len: u64,
+        healthy: impl Fn(u32) -> bool,
+    ) -> Option<DegradedSource> {
+        if let Some(r) = self.replica_covering(file, ost, logical, len, &healthy) {
+            return Some(DegradedSource::Replica {
+                ost: r.dst_ost,
+                phys: r.dst_phys + (logical - r.logical),
+                len,
+            });
+        }
+        for g in self.groups.iter().filter(|g| g.valid) {
+            let Some(lost) = g.member_covering(file, ost, logical, len) else {
+                continue;
+            };
+            let mut reads: Vec<(u32, u64, bool)> = Vec::with_capacity(STRIPE_DATA);
+            for (i, &(most, mstart)) in g.members.iter().enumerate() {
+                if i != lost && healthy(most) && reads.len() < STRIPE_DATA {
+                    reads.push((most, mstart, false));
+                }
+            }
+            for &(post, pphys) in &g.parity {
+                if healthy(post) && reads.len() < STRIPE_DATA {
+                    reads.push((post, pphys, true));
+                }
+            }
+            if reads.len() == STRIPE_DATA {
+                return Some(DegradedSource::Stripe {
+                    file: g.file,
+                    group: g.group,
+                    unit: g.unit,
+                    reads,
+                });
+            }
+        }
+        None
+    }
+
+    // ----- write-path invalidation ------------------------------------------
+
+    /// Would [`TierMap::invalidate_overlap`] flip anything for this span?
+    /// The write hot path asks this under a shared lock first, so the
+    /// exclusive lock is only taken when an artifact actually overlaps.
+    pub fn has_valid_overlap(&self, file: u64, ost: u32, logical: u64, len: u64) -> bool {
+        self.replicas
+            .iter()
+            .any(|r| r.valid && r.overlaps(file, ost, logical, len))
+            || self
+                .groups
+                .iter()
+                .any(|g| g.valid && g.member_overlaps(file, ost, logical, len))
+    }
+
+    /// A write landed on `logical..logical + len` of (`file`, `ost`):
+    /// mark every covering/overlapping artifact invalid. Returns how many
+    /// artifacts flipped valid → invalid (already-invalid ones don't
+    /// count). Cheap and in-memory — the actual teardown (freeing the
+    /// derived blocks, WAL-logged) happens lazily at maintenance.
+    pub fn invalidate_overlap(&mut self, file: u64, ost: u32, logical: u64, len: u64) -> u32 {
+        let mut n = 0;
+        for r in &mut self.replicas {
+            if r.valid && r.overlaps(file, ost, logical, len) {
+                r.valid = false;
+                n += 1;
+            }
+        }
+        for g in &mut self.groups {
+            if g.valid && g.member_overlaps(file, ost, logical, len) {
+                g.valid = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Invalidate every artifact of `file` (truncate — content bounds
+    /// changed wholesale).
+    pub fn invalidate_file(&mut self, file: u64) -> u32 {
+        let mut n = 0;
+        for r in &mut self.replicas {
+            if r.valid && r.file == file {
+                r.valid = false;
+                n += 1;
+            }
+        }
+        for g in &mut self.groups {
+            if g.valid && g.file == file {
+                g.valid = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    // ----- teardown ---------------------------------------------------------
+
+    /// Remove the tier run at (`file`, `dst_ost`, `dst_phys`) from the
+    /// map: a replica, or one parity run of a group (the group itself is
+    /// dropped once its last parity run goes). The caller frees the
+    /// blocks. Idempotent: `false` if no such run exists (WAL redo).
+    pub fn remove_run(&mut self, file: u64, dst_ost: u32, dst_phys: u64) -> bool {
+        if let Some(i) = self
+            .replicas
+            .iter()
+            .position(|r| r.file == file && r.dst_ost == dst_ost && r.dst_phys == dst_phys)
+        {
+            self.replicas.swap_remove(i);
+            return true;
+        }
+        for gi in 0..self.groups.len() {
+            let g = &mut self.groups[gi];
+            if g.file != file {
+                continue;
+            }
+            if let Some(pi) = g
+                .parity
+                .iter()
+                .position(|&(ost, phys)| ost == dst_ost && phys == dst_phys)
+            {
+                g.parity.remove(pi);
+                if g.parity.is_empty() {
+                    self.groups.swap_remove(gi);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Every allocator-owned run the map holds for `file` — what unlink
+    /// must free before dropping the artifacts.
+    pub fn runs_of_file(&self, file: u64) -> Vec<TierRun> {
+        self.runs_where(|r| r.file == file)
+    }
+
+    /// Every allocator-owned run the map holds on `ost` — fsck's
+    /// ownership image and the rebuild scanner.
+    pub fn runs_on_ost(&self, ost: u32) -> Vec<TierRun> {
+        self.runs_where(|r| r.ost == ost)
+    }
+
+    fn runs_where(&self, keep: impl Fn(&TierRun) -> bool) -> Vec<TierRun> {
+        let mut out = Vec::new();
+        for r in &self.replicas {
+            let run = TierRun {
+                file: r.file,
+                ost: r.dst_ost,
+                phys: r.dst_phys,
+                len: r.len,
+                parity: false,
+            };
+            if keep(&run) {
+                out.push(run);
+            }
+        }
+        for g in &self.groups {
+            for &(ost, phys) in &g.parity {
+                let run = TierRun {
+                    file: g.file,
+                    ost,
+                    phys,
+                    len: g.unit,
+                    parity: true,
+                };
+                if keep(&run) {
+                    out.push(run);
+                }
+            }
+        }
+        out.sort_by_key(|r| (r.ost, r.phys));
+        out
+    }
+
+    /// Drop every artifact of `file` from the map (unlink; the caller has
+    /// freed the runs). Returns how many artifacts went.
+    pub fn drop_file(&mut self, file: u64) -> u32 {
+        let before = self.replicas.len() + self.groups.len();
+        self.replicas.retain(|r| r.file != file);
+        self.groups.retain(|g| g.file != file);
+        (before - self.replicas.len() - self.groups.len()) as u32
+    }
+
+    /// The allocator-owned runs of every *invalid* artifact — the lazy
+    /// maintenance pass frees these (through the tier WAL) and then
+    /// removes the artifacts with [`TierMap::remove_run`].
+    pub fn invalid_runs(&self) -> Vec<TierRun> {
+        let mut out = Vec::new();
+        for r in self.replicas.iter().filter(|r| !r.valid) {
+            out.push(TierRun {
+                file: r.file,
+                ost: r.dst_ost,
+                phys: r.dst_phys,
+                len: r.len,
+                parity: false,
+            });
+        }
+        for g in self.groups.iter().filter(|g| !g.valid) {
+            for &(ost, phys) in &g.parity {
+                out.push(TierRun {
+                    file: g.file,
+                    ost,
+                    phys,
+                    len: g.unit,
+                    parity: true,
+                });
+            }
+        }
+        out.sort_by_key(|r| (r.ost, r.phys));
+        out
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    /// All replicas, placement order.
+    pub fn replicas(&self) -> &[ReplicaRun] {
+        &self.replicas
+    }
+
+    /// All stripe groups, placement order.
+    pub fn groups(&self) -> &[StripeGroup] {
+        &self.groups
+    }
+
+    /// (valid replicas, valid groups, invalid artifacts).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let vr = self.replicas.iter().filter(|r| r.valid).count();
+        let vg = self.groups.iter().filter(|g| g.valid).count();
+        let inv = (self.replicas.len() - vr) + (self.groups.len() - vg);
+        (vr, vg, inv)
+    }
+
+    /// Is the map empty (no artifacts at all)?
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty() && self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica(file: u64, logical: u64, dst_ost: u32) -> ReplicaRun {
+        ReplicaRun {
+            file,
+            src_ost: 0,
+            logical,
+            len: 64,
+            dst_ost,
+            dst_phys: 1024,
+            valid: true,
+        }
+    }
+
+    fn group(file: u64, gi: u64) -> StripeGroup {
+        StripeGroup {
+            file,
+            group: gi,
+            unit: 32,
+            members: vec![(0, 0), (1, 0), (2, 0), (3, 0)],
+            parity: vec![(4, 2048), (5, 2048)],
+            valid: true,
+        }
+    }
+
+    #[test]
+    fn replica_covering_respects_span_validity_and_health() {
+        let mut m = TierMap::new();
+        m.add_replica(replica(7, 128, 2));
+        // Fully inside the span, healthy copy.
+        assert!(m.replica_covering(7, 0, 140, 8, |_| true).is_some());
+        // Sticking out of the span.
+        assert!(m.replica_covering(7, 0, 180, 16, |_| true).is_none());
+        // Wrong file / wrong ost.
+        assert!(m.replica_covering(8, 0, 140, 8, |_| true).is_none());
+        assert!(m.replica_covering(7, 1, 140, 8, |_| true).is_none());
+        // Copy's OST down.
+        assert!(m.replica_covering(7, 0, 140, 8, |o| o != 2).is_none());
+        // Invalidated by a write.
+        assert_eq!(m.invalidate_overlap(7, 0, 130, 4), 1);
+        assert!(m.replica_covering(7, 0, 140, 8, |_| true).is_none());
+        // Second write into the same artifact does not double-count.
+        assert_eq!(m.invalidate_overlap(7, 0, 130, 4), 0);
+    }
+
+    #[test]
+    fn degraded_source_prefers_replica_then_stripe() {
+        let mut m = TierMap::new();
+        m.add_group(group(7, 0));
+        m.add_replica(replica(7, 0, 2));
+        // OST 0 down: replica wins (one read, exact sub-span).
+        let s = m.degraded_source(7, 0, 16, 8, |o| o != 0).unwrap();
+        assert_eq!(
+            s,
+            DegradedSource::Replica {
+                ost: 2,
+                phys: 1024 + 16,
+                len: 8
+            }
+        );
+        // Invalidate the replica: stripe reconstruction takes over with
+        // exactly four surviving reads.
+        m.invalidate_overlap(7, 0, 0, 64);
+        // (the group's member on OST 0 was also invalidated — rebuild it)
+        let mut m = TierMap::new();
+        m.add_group(group(7, 0));
+        let s = m.degraded_source(7, 0, 16, 8, |o| o != 0).unwrap();
+        match s {
+            DegradedSource::Stripe { unit, reads, .. } => {
+                assert_eq!(unit, 32);
+                assert_eq!(reads.len(), STRIPE_DATA);
+                assert!(reads.iter().all(|&(ost, _, _)| ost != 0));
+                // Three surviving members + one parity run.
+                assert_eq!(reads.iter().filter(|r| r.2).count(), 1);
+            }
+            s => panic!("expected stripe source, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn stripe_survives_two_lost_osts_but_not_three() {
+        let mut m = TierMap::new();
+        m.add_group(group(7, 0));
+        let down2 = |o: u32| o != 0 && o != 1;
+        assert!(m.degraded_source(7, 0, 0, 32, down2).is_some());
+        let down3 = |o: u32| o != 0 && o != 1 && o != 4;
+        // Two members + one parity lost: only 3 of 6 runs left.
+        assert!(m.degraded_source(7, 0, 0, 32, down3).is_none());
+    }
+
+    #[test]
+    fn remove_run_is_idempotent_and_drops_empty_groups() {
+        let mut m = TierMap::new();
+        m.add_replica(replica(7, 0, 2));
+        m.add_group(group(7, 0));
+        assert!(m.remove_run(7, 2, 1024)); // replica
+        assert!(!m.remove_run(7, 2, 1024)); // redo: already gone
+        assert!(m.remove_run(7, 4, 2048)); // first parity
+        assert_eq!(m.groups().len(), 1, "group lives while parity remains");
+        assert!(m.remove_run(7, 5, 2048)); // last parity
+        assert!(m.is_empty(), "group dropped with its last parity run");
+    }
+
+    #[test]
+    fn runs_enumerations_cover_replicas_and_parity() {
+        let mut m = TierMap::new();
+        m.add_replica(replica(7, 0, 4));
+        m.add_group(group(7, 0));
+        let of_file = m.runs_of_file(7);
+        assert_eq!(of_file.len(), 3); // 1 replica + 2 parity
+        assert_eq!(of_file.iter().filter(|r| r.parity).count(), 2);
+        assert_eq!(m.runs_on_ost(4).len(), 2); // replica dst + one parity
+        assert_eq!(m.runs_on_ost(5).len(), 1);
+        assert!(m.runs_on_ost(0).is_empty());
+        assert_eq!(m.drop_file(7), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn invalid_runs_feed_the_maintenance_pass() {
+        let mut m = TierMap::new();
+        m.add_replica(replica(7, 0, 2));
+        m.add_group(group(7, 0));
+        assert!(m.invalid_runs().is_empty());
+        assert_eq!(m.invalidate_file(7), 2);
+        // 1 replica run + 2 parity runs now want teardown.
+        assert_eq!(m.invalid_runs().len(), 3);
+        assert_eq!(m.counts(), (0, 0, 2));
+        // Tear them down the way maintenance does.
+        for run in m.invalid_runs() {
+            assert!(m.remove_run(run.file, run.ost, run.phys));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn next_group_index_is_per_file() {
+        let mut m = TierMap::new();
+        assert_eq!(m.next_group_index(7), 0);
+        m.add_group(group(7, 0));
+        m.add_group(group(7, 1));
+        m.add_group(group(9, 0));
+        assert_eq!(m.next_group_index(7), 2);
+        assert_eq!(m.next_group_index(9), 1);
+        assert_eq!(m.next_group_index(11), 0);
+    }
+}

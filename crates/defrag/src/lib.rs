@@ -48,4 +48,4 @@ pub use relocate::{
     is_packed, recover, relocate_ost, CrashPoint, DefragRecovery, Outcome, SkipReason,
 };
 pub use scanner::{scan, scan_files, FileCandidate, GroupFreeSummary, ScanReport};
-pub use scheduler::{run, DefragConfig, DefragStats};
+pub use scheduler::{run, run_prioritized, DefragConfig, DefragStats};

@@ -12,7 +12,7 @@
 
 use crate::relocate::{relocate_ost, Outcome, SkipReason};
 use crate::scanner::{scan, FileCandidate};
-use mif_core::FileSystem;
+use mif_core::{FileSystem, OpenFile};
 use mif_mds::RemapWal;
 use mif_simdisk::Nanos;
 use std::collections::VecDeque;
@@ -74,12 +74,31 @@ pub struct DefragStats {
 /// priority order under the tick budget. Returns what happened; the
 /// caller keeps `wal`'s image for crash recovery.
 pub fn run(fs: &mut FileSystem, wal: &mut RemapWal, cfg: &DefragConfig) -> DefragStats {
+    run_prioritized(fs, wal, cfg, |_| 1)
+}
+
+/// [`run`] with a caller-supplied priority weight: candidates are ordered
+/// by `weight(file) × excess extents` (descending, file id breaking ties)
+/// instead of excess extents alone. The tiering engine passes file heat
+/// here, so a hot fragmented file is defragmented before an equally
+/// fragmented cold one — the budgeted ticks go where reads actually land.
+/// A weight of zero parks a candidate at the back of the queue without
+/// dropping it. `run` is exactly this with a unit weight.
+pub fn run_prioritized(
+    fs: &mut FileSystem,
+    wal: &mut RemapWal,
+    cfg: &DefragConfig,
+    weight: impl Fn(OpenFile) -> u64,
+) -> DefragStats {
     let report = scan(fs, cfg.workers);
     let mut stats = DefragStats {
         extents_before: report.report.extents as u64,
         ..Default::default()
     };
-    let mut queue: VecDeque<FileCandidate> = report.candidates.into();
+    let mut candidates = report.candidates;
+    let key = |c: &FileCandidate| weight(c.file).saturating_mul(c.score());
+    candidates.sort_by(|a, b| key(b).cmp(&key(a)).then(a.file.0.cmp(&b.file.0)));
+    let mut queue: VecDeque<FileCandidate> = candidates.into();
     let osts = fs.config.osts as usize;
     let mut budget = cfg.budget_blocks_per_tick.max(MIN_BUDGET_BLOCKS);
 

@@ -36,10 +36,14 @@ pub enum CorruptionClass {
     LazyFreeAlias,
     /// Clear the data-area bitmap bit under a directory's content run.
     MetaBitmapHole,
+    /// Register a valid replica whose source span no file extent maps.
+    TierStaleSource,
+    /// Build a healthy 4+2 stripe group, then lose one parity run.
+    TierParityMissing,
 }
 
 /// Every class, in a stable order (test matrices iterate this).
-pub const ALL_CLASSES: [CorruptionClass; 8] = [
+pub const ALL_CLASSES: [CorruptionClass; 10] = [
     CorruptionClass::BitmapLeak,
     CorruptionClass::BitmapHole,
     CorruptionClass::ExtentOverlap,
@@ -48,6 +52,8 @@ pub const ALL_CLASSES: [CorruptionClass; 8] = [
     CorruptionClass::CorrelationDangling,
     CorruptionClass::LazyFreeAlias,
     CorruptionClass::MetaBitmapHole,
+    CorruptionClass::TierStaleSource,
+    CorruptionClass::TierParityMissing,
 ];
 
 impl CorruptionClass {
@@ -58,6 +64,8 @@ impl CorruptionClass {
             CorruptionClass::BitmapLeak
                 | CorruptionClass::BitmapHole
                 | CorruptionClass::ExtentOverlap
+                | CorruptionClass::TierStaleSource
+                | CorruptionClass::TierParityMissing
         )
     }
 }
@@ -73,6 +81,8 @@ impl std::fmt::Display for CorruptionClass {
             CorruptionClass::CorrelationDangling => "correlation-dangling",
             CorruptionClass::LazyFreeAlias => "lazy-free-alias",
             CorruptionClass::MetaBitmapHole => "meta-bitmap-hole",
+            CorruptionClass::TierStaleSource => "tier-stale-source",
+            CorruptionClass::TierParityMissing => "tier-parity-missing",
         })
     }
 }
@@ -110,6 +120,10 @@ pub fn inject(fs: &mut FileSystem, class: CorruptionClass, seed: u64) -> Option<
         }
         CorruptionClass::LazyFreeAlias => (inject_lazy_free_alias(fs, &mut rng)?, Vec::new()),
         CorruptionClass::MetaBitmapHole => (inject_meta_bitmap_hole(fs, &mut rng)?, Vec::new()),
+        CorruptionClass::TierStaleSource => (inject_tier_stale_source(fs, &mut rng)?, Vec::new()),
+        CorruptionClass::TierParityMissing => {
+            (inject_tier_parity_missing(fs, &mut rng)?, Vec::new())
+        }
     };
     Some(Injected {
         class,
@@ -242,6 +256,78 @@ fn inject_lazy_free_alias(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<Str
     let slot = emb.corrupt_alias_free_slot(dir)?;
     Some(format!(
         "aliased live slot {slot} onto dir {dir}'s free list"
+    ))
+}
+
+fn inject_tier_stale_source(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<String> {
+    let osts = fs.config.osts as usize;
+    if osts < 2 {
+        return None;
+    }
+    let runs = mapped_runs(fs);
+    if runs.is_empty() {
+        return None;
+    }
+    // A replica that claims to cover a span far past anything the file
+    // maps — the state left behind when a source moved or shrank without
+    // the invalidation reaching the map.
+    let (file, src_ost, ..) = runs[rng.gen_range(0..runs.len() as u64) as usize];
+    let dst_ost = (src_ost + 1 + rng.gen_range(0..osts as u64 - 1) as usize) % osts;
+    let len = 4;
+    let dst_phys = fs.allocator(dst_ost).probe_run(0, len)?;
+    assert!(fs.allocator(dst_ost).alloc_at(dst_phys, len));
+    let logical = (1u64 << 30) + rng.gen_range(0..1024u64);
+    fs.tier_mut().add_replica(mif_core::ReplicaRun {
+        file,
+        src_ost: src_ost as u32,
+        logical,
+        len,
+        dst_ost: dst_ost as u32,
+        dst_phys,
+        valid: true,
+    });
+    Some(format!(
+        "registered replica of file {file}'s unmapped span [{logical}, {}) on ost {src_ost}",
+        logical + len
+    ))
+}
+
+fn inject_tier_parity_missing(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<String> {
+    let osts = fs.config.osts as usize;
+    if osts < 2 {
+        return None;
+    }
+    let runs = mapped_runs(fs);
+    // Members reference mapped single blocks of one file (repetition is
+    // fine: only the parity OSTs must be distinct).
+    let (file, ..) = *runs.first()?;
+    let file_runs: Vec<_> = runs.iter().filter(|r| r.0 == file).collect();
+    let member = |r: &&(u64, usize, u64, u64, u64)| (r.1 as u32, r.2);
+    let members: Vec<(u32, u64)> = (0..4)
+        .map(|i| member(&file_runs[i % file_runs.len()]))
+        .collect();
+    let unit = 1;
+    let p0_ost = rng.gen_range(0..osts as u64) as usize;
+    let p1_ost = (p0_ost + 1) % osts;
+    let p0 = fs.allocator(p0_ost).probe_run(0, unit)?;
+    assert!(fs.allocator(p0_ost).alloc_at(p0, unit));
+    let p1 = fs.allocator(p1_ost).probe_run(0, unit)?;
+    assert!(fs.allocator(p1_ost).alloc_at(p1, unit));
+    let group = fs.tier().next_group_index(file);
+    fs.tier_mut().add_group(mif_core::StripeGroup {
+        file,
+        group,
+        unit,
+        members,
+        parity: vec![(p0_ost as u32, p0), (p1_ost as u32, p1)],
+        valid: true,
+    });
+    // Lose one parity run: freed on disk and gone from the map, the way
+    // a mis-directed teardown or torn registration leaves things.
+    fs.tier_mut().remove_run(file, p1_ost as u32, p1);
+    fs.tier_free_run(p1_ost, p1, unit);
+    Some(format!(
+        "built stripe group {group} of file {file}, then lost its parity run at ost {p1_ost} phys {p1}"
     ))
 }
 

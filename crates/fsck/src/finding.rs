@@ -28,6 +28,30 @@ pub enum Finding {
         loser_logical: u64,
         loser_len: u64,
     },
+    /// A valid tier artifact (replica or stripe member) whose source span
+    /// is no longer fully mapped by the file it derives from — the
+    /// redundancy is stale and must not serve reads.
+    TierStaleSource {
+        /// File the artifact derives from.
+        file: u64,
+        /// OST the source span lives on.
+        ost: u32,
+        /// OST-local logical start of the uncovered source span.
+        logical: u64,
+        /// Span length in blocks.
+        len: u64,
+        /// `true` for a replica's source, `false` for a stripe member.
+        replica: bool,
+    },
+    /// A stripe group whose parity set is damaged: fewer parity runs than
+    /// the code requires, or parity runs colliding on one OST.
+    TierParityDegraded {
+        file: u64,
+        /// Group index within the file.
+        group: u64,
+        /// Parity runs still present.
+        present: usize,
+    },
     /// A metadata-path finding from the MDS checker.
     Meta(MetaFinding),
 }
@@ -39,6 +63,8 @@ impl Finding {
             Finding::BitmapLeak { .. } => "bitmap-leak",
             Finding::BitmapHole { .. } => "bitmap-hole",
             Finding::ExtentOverlap { .. } => "extent-overlap",
+            Finding::TierStaleSource { .. } => "tier-stale-source",
+            Finding::TierParityDegraded { .. } => "tier-parity-degraded",
             Finding::Meta(m) => m.rule(),
         }
     }
@@ -68,6 +94,24 @@ impl Finding {
             } => format!(
                 "ost {ost}: blocks [{phys}, {}) claimed by files {winner} and {loser}",
                 phys + len
+            ),
+            Finding::TierStaleSource {
+                file,
+                ost,
+                logical,
+                len,
+                replica,
+            } => format!(
+                "{} of file {file}: source span [{logical}, {}) on ost {ost} no longer mapped",
+                if *replica { "replica" } else { "stripe member" },
+                logical + len
+            ),
+            Finding::TierParityDegraded {
+                file,
+                group,
+                present,
+            } => format!(
+                "stripe group {group} of file {file}: {present} usable parity runs (need 2 on distinct OSTs)"
             ),
             Finding::Meta(m) => m.detail(),
         }

@@ -8,8 +8,14 @@
 //! overlap sweep read the same snapshot.
 
 use mif_alloc::BlockBitmap;
-use mif_core::FileSystem;
+use mif_core::{FileSystem, TierMap};
 use mif_extent::OwnedRun;
+
+/// Owner-id bit marking a run held by the tier layer (replica or parity)
+/// rather than a file extent. File ids are small counters, so bit 63 is
+/// free to carry the namespace; `owner & !TIER_OWNER_BIT` recovers the
+/// file the artifact derives from.
+pub const TIER_OWNER_BIT: u64 = 1 << 63;
 
 /// One block group of one OST — the unit of parallel work in pass 1.
 #[derive(Debug)]
@@ -32,8 +38,13 @@ pub struct FsckImage {
     pub units: Vec<GroupUnit>,
     /// Per OST: every file's extent runs, sorted by (phys, owner,
     /// logical). `owner` is the file id, `logical` the OST-local logical
-    /// start of the run.
+    /// start of the run. Tier-held runs (replicas, parity) are folded in
+    /// with [`TIER_OWNER_BIT`] set in `owner` so pass 1 sees their blocks
+    /// owned and pass 2 catches collisions with file extents.
     pub runs: Vec<Vec<OwnedRun>>,
+    /// Snapshot of the tier map — the tier consistency rules
+    /// (`tier-stale-source`, `tier-parity-degraded`) read this.
+    pub tier: TierMap,
 }
 
 impl FsckImage {
@@ -66,9 +77,26 @@ impl FsckImage {
                     });
                 }
             }
+            // Tier-held runs (valid and invalidated alike — both still own
+            // their blocks until the engine's lazy teardown). `logical`
+            // repeats the physical start: tier runs have no file-logical
+            // position, and repair identifies the artifact by (ost, phys).
+            for r in fs.tier().runs_on_ost(ost as u32) {
+                ost_runs.push(OwnedRun {
+                    phys: r.phys,
+                    len: r.len,
+                    owner: r.file | TIER_OWNER_BIT,
+                    logical: r.phys,
+                });
+            }
             ost_runs.sort_unstable_by_key(|r| (r.phys, r.owner, r.logical));
         }
-        FsckImage { osts, units, runs }
+        FsckImage {
+            osts,
+            units,
+            runs,
+            tier: fs.tier().clone(),
+        }
     }
 
     /// Total blocks covered by the image (all OSTs).

@@ -59,10 +59,11 @@ pub mod pass1;
 pub mod pass2;
 pub mod pool;
 pub mod repair;
+pub mod tier_rules;
 
 pub use corrupt::{inject, CorruptionClass, Injected, ALL_CLASSES};
 pub use finding::Finding;
-pub use image::{FsckImage, GroupUnit};
+pub use image::{FsckImage, GroupUnit, TIER_OWNER_BIT};
 pub use repair::RepairOutcome;
 
 use mif_core::{FileSystem, OpenFile};
@@ -162,6 +163,7 @@ pub fn check_image(image: &FsckImage, workers: usize, mode: FsckMode) -> Vec<Fin
     let workers = workers.max(1);
     let mut findings = pass1::scan(image, workers, mode);
     findings.extend(pass2::cross_reference(image, workers));
+    findings.extend(tier_rules::check(image));
     findings
 }
 

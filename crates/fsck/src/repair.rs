@@ -20,11 +20,40 @@
 //! reports clean, and a second repair pass is a no-op.
 
 use crate::finding::Finding;
-use crate::image::FsckImage;
+use crate::image::{FsckImage, TIER_OWNER_BIT};
 use mif_alloc::FileId;
 use mif_core::{FileSystem, OpenFile};
 use mif_mds::{Mds, MetaFinding};
 use std::collections::HashSet;
+
+/// Tear one stripe group down: free the parity runs the tier layer still
+/// holds (`skip_free` marks a run whose blocks now belong to someone
+/// else — an overlap winner) and drop every parity element from the map,
+/// which removes the group itself with the last one.
+fn teardown_group(
+    fs: &mut FileSystem,
+    file: u64,
+    group: u64,
+    skip_free: Option<(u32, u64)>,
+) -> bool {
+    let Some(parity) = fs
+        .tier()
+        .groups()
+        .iter()
+        .find(|g| g.file == file && g.group == group)
+        .map(|g| (g.parity.clone(), g.unit))
+    else {
+        return false;
+    };
+    let (parity, unit) = parity;
+    for &(post, pphys) in &parity {
+        if Some((post, pphys)) != skip_free && fs.allocator(post as usize).is_allocated(pphys) {
+            fs.tier_free_run(post as usize, pphys, unit);
+        }
+        fs.tier_mut().remove_run(file, post, pphys);
+    }
+    true
+}
 
 /// What a repair pass did (and could not do).
 #[derive(Debug, Default)]
@@ -44,7 +73,11 @@ pub fn apply(fs: &mut FileSystem, image: &FsckImage, findings: &[Finding]) -> Re
     let mut out = RepairOutcome::default();
 
     // 1. Discard every loser mapping (dedup: an N-way pile-up reports the
-    // same loser run once per pairing).
+    // same loser run once per pairing). A tier-owned loser (owner bit
+    // set) has no mapping to discard — the artifact itself is dropped,
+    // whole: a replica just unregisters, a parity run takes its stripe
+    // group with it (4+2 minus one run protects nothing). The winner
+    // keeps the blocks either way.
     let mut discarded: HashSet<(usize, u64, u64)> = HashSet::new();
     for f in findings {
         if let Finding::ExtentOverlap {
@@ -55,6 +88,30 @@ pub fn apply(fs: &mut FileSystem, image: &FsckImage, findings: &[Finding]) -> Re
             ..
         } = f
         {
+            if *loser & TIER_OWNER_BIT != 0 {
+                let file = *loser & !TIER_OWNER_BIT;
+                // `loser_logical` carries the run's physical start for
+                // tier owners (see `FsckImage::capture`).
+                let phys = *loser_logical;
+                if discarded.insert((*ost, *loser, phys)) {
+                    let group = fs.tier().groups().iter().find_map(|g| {
+                        (g.file == file && g.parity.contains(&(*ost as u32, phys)))
+                            .then_some(g.group)
+                    });
+                    if let Some(group) = group {
+                        teardown_group(fs, file, group, Some((*ost as u32, phys)));
+                        out.actions.push(format!(
+                            "dropped file {file}'s stripe group {group} (parity at ost {ost} phys {phys} lost an overlap)"
+                        ));
+                    } else if fs.tier_mut().remove_run(file, *ost as u32, phys) {
+                        out.actions.push(format!(
+                            "dropped file {file}'s replica run at ost {ost} phys {phys} (lost an overlap)"
+                        ));
+                    }
+                }
+                out.repaired += 1;
+                continue;
+            }
             if discarded.insert((*ost, *loser, *loser_logical)) {
                 let n = fs.fsck_discard_mapping(
                     OpenFile(FileId(*loser)),
@@ -62,11 +119,49 @@ pub fn apply(fs: &mut FileSystem, image: &FsckImage, findings: &[Finding]) -> Re
                     *loser_logical,
                     *loser_len,
                 );
+                // Any redundancy derived from the discarded span is stale
+                // now; invalidating here lets one repair pass converge.
+                fs.tier_mut()
+                    .invalidate_overlap(*loser, *ost as u32, *loser_logical, *loser_len);
                 out.actions.push(format!(
                     "discarded file {loser}'s mapping of {n} blocks at ost {ost} logical {loser_logical}"
                 ));
             }
             out.repaired += 1;
+        }
+    }
+
+    // 1b. Tier rules: a stale source invalidates the artifact (the
+    // engine's lazy pass frees it later); a degraded parity set tears the
+    // group down now.
+    for f in findings {
+        match f {
+            Finding::TierStaleSource {
+                file,
+                ost,
+                logical,
+                len,
+                ..
+            } => {
+                let n = fs
+                    .tier_mut()
+                    .invalidate_overlap(*file, *ost, *logical, *len);
+                if n > 0 {
+                    out.actions.push(format!(
+                        "invalidated {n} stale tier artifacts of file {file} (ost {ost} logical {logical})"
+                    ));
+                }
+                out.repaired += 1;
+            }
+            Finding::TierParityDegraded { file, group, .. } => {
+                if teardown_group(fs, *file, *group, None) {
+                    out.actions.push(format!(
+                        "tore down degraded stripe group {group} of file {file}"
+                    ));
+                }
+                out.repaired += 1;
+            }
+            _ => {}
         }
     }
 

@@ -1,0 +1,80 @@
+//! Pass 2b — tier-layer consistency rules.
+//!
+//! The tier map's artifacts are *derived* data: a replica promises its
+//! destination holds a copy of a live source span, a stripe group
+//! promises any four of its six runs reconstruct the other two. Both
+//! promises reference file extents by (OST, logical) — so defrag moving
+//! physical blocks is fine, but a source span that is no longer mapped at
+//! all breaks the promise silently. Two rules, checked from the image
+//! alone:
+//!
+//! - `tier-stale-source` — a **valid** artifact (replica, or one stripe
+//!   member) whose source span is not fully covered by the owning file's
+//!   runs on that OST. Invalidated artifacts are exempt: they already
+//!   await the engine's lazy teardown.
+//! - `tier-parity-degraded` — a stripe group holding fewer parity runs
+//!   than the 4+2 code requires, or parity runs colliding on one OST
+//!   (one disk death would take both).
+
+use crate::finding::Finding;
+use crate::image::FsckImage;
+use mif_core::STRIPE_PARITY;
+
+/// Is `logical..logical + len` of (`file`, `ost`) fully covered by the
+/// image's file-owned runs? (Tier-owned runs carry the owner-namespace
+/// bit and never match a raw file id.)
+fn source_covered(image: &FsckImage, file: u64, ost: u32, logical: u64, len: u64) -> bool {
+    let covered: u64 = image.runs[ost as usize]
+        .iter()
+        .filter(|r| r.owner == file)
+        .map(|r| {
+            let lo = r.logical.max(logical);
+            let hi = (r.logical + r.len).min(logical + len);
+            hi.saturating_sub(lo)
+        })
+        .sum();
+    covered >= len
+}
+
+/// Run both tier rules over the image. Deterministic: replicas then
+/// groups, in map order.
+pub fn check(image: &FsckImage) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for r in image.tier.replicas().iter().filter(|r| r.valid) {
+        if !source_covered(image, r.file, r.src_ost, r.logical, r.len) {
+            findings.push(Finding::TierStaleSource {
+                file: r.file,
+                ost: r.src_ost,
+                logical: r.logical,
+                len: r.len,
+                replica: true,
+            });
+        }
+    }
+    for g in image.tier.groups().iter().filter(|g| g.valid) {
+        let distinct = g.parity.len() == STRIPE_PARITY
+            && (g.parity.len() < 2 || g.parity[0].0 != g.parity[1].0);
+        if !distinct {
+            findings.push(Finding::TierParityDegraded {
+                file: g.file,
+                group: g.group,
+                present: g.parity.len(),
+            });
+            // A group being torn down for parity damage needs no
+            // per-member stale reports on top.
+            continue;
+        }
+        for &(most, mstart) in &g.members {
+            if !source_covered(image, g.file, most, mstart, g.unit) {
+                findings.push(Finding::TierStaleSource {
+                    file: g.file,
+                    ost: most,
+                    logical: mstart,
+                    len: g.unit,
+                    replica: false,
+                });
+            }
+        }
+    }
+    findings
+}

@@ -161,8 +161,12 @@ impl GroupCommitWal {
         let cap = self.slots.len() as u64;
         let mut encode = Some(encode);
         loop {
-            let head = self.head.load(Ordering::Acquire);
+            // Load `durable` before `head`: both only advance, so a
+            // durable snapshot taken first can never exceed the later
+            // head read — the subtraction below cannot underflow even
+            // when appends and flushes race between the two loads.
             let durable = self.durable.load(Ordering::Acquire);
+            let head = self.head.load(Ordering::Acquire);
             if head - durable >= cap {
                 // Slab full: park. Drain it ourselves if nobody else is —
                 // taking the flush lock either makes us the leader or
@@ -171,7 +175,8 @@ impl GroupCommitWal {
                 self.parks.fetch_add(1, Ordering::Relaxed);
                 let mut state = self.flush.lock().unwrap();
                 let _token = lockorder::acquire(LockClass::WalFlush);
-                if self.head.load(Ordering::Acquire) - self.durable.load(Ordering::Acquire) >= cap {
+                let durable = self.durable.load(Ordering::Acquire);
+                if self.head.load(Ordering::Acquire) - durable >= cap {
                     self.flush_locked(&mut state);
                 }
                 continue;

@@ -76,6 +76,7 @@ pub use normal::NormalStore;
 pub use replay::{LoggedOp, OpLog};
 pub use store::{DataArea, OpEffect, ReadSet};
 pub use wal::{
-    encode_write_record, recover_remaps, recover_writes, Recovery, RecoveryStop, RemapOp,
-    RemapRecovery, RemapTxn, RemapWal, WalWriter, WriteCommit, WriteRecovery, WAL_RECORD_BYTES,
+    encode_write_record, recover_remaps, recover_tier, recover_writes, Recovery, RecoveryStop,
+    RemapOp, RemapRecovery, RemapTxn, RemapWal, TierKind, TierOp, TierRecovery, TierTxn, TierWal,
+    WalWriter, WriteCommit, WriteRecovery, WAL_RECORD_BYTES,
 };

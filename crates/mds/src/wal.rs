@@ -34,6 +34,10 @@ const TAG_RENAME: u8 = 5;
 // 16+ : defrag remap protocol records (separate log stream, same framing).
 const TAG_REMAP_INTENT: u8 = 16;
 const TAG_REMAP_COMMIT: u8 = 17;
+// 18+ : tiering redundancy protocol records (replica / parity placement
+// and teardown — the tier log stream, same framing).
+const TAG_TIER_INTENT: u8 = 18;
+const TAG_TIER_COMMIT: u8 = 19;
 // 32+ : data-path size/layout update records (the group-commit stream).
 const TAG_WRITE_COMMIT: u8 = 32;
 
@@ -514,6 +518,251 @@ impl RemapWal {
     }
 }
 
+/// What a tier transaction does to the redundancy layer. One byte on the
+/// wire; every kind names exactly one destination run so recovery can undo
+/// or redo it without consulting any other record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierKind {
+    /// Place a replica of (file, src_ost, logical, len) at
+    /// (dst_ost, dst_phys).
+    Replica = 0,
+    /// Place one parity run of stripe group `logical` of `file` (src_ost
+    /// carries the group's unit length implicitly via `len`) at
+    /// (dst_ost, dst_phys).
+    Parity = 1,
+    /// Tear down the tier run at (dst_ost, dst_phys, len): free the blocks
+    /// and drop it from the tier map.
+    Drop = 2,
+}
+
+impl TierKind {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(TierKind::Replica),
+            1 => Some(TierKind::Parity),
+            2 => Some(TierKind::Drop),
+            _ => None,
+        }
+    }
+}
+
+/// One tier transaction's identity: which redundancy run of which file is
+/// being placed or torn down, and where. Shared by the intent and commit
+/// records so recovery can pair them field-for-field.
+///
+/// Field meaning varies slightly by [`TierKind`]:
+/// * `Replica` — source span (file, src_ost, logical, len) is copied to
+///   the run at (dst_ost, dst_phys).
+/// * `Parity` — `logical` is the stripe-group index, `len` the unit
+///   length in blocks; the parity run lands at (dst_ost, dst_phys).
+/// * `Drop` — only (file, dst_ost, dst_phys, len) matter: that tier run
+///   is freed and forgotten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierTxn {
+    /// What this transaction does.
+    pub kind: TierKind,
+    /// File identity (the FS-layer `FileId`).
+    pub file: u64,
+    /// OST the source span lives on (replica) / first data member OST
+    /// (parity) / unused for drops.
+    pub src_ost: u32,
+    /// First logical block of the source span, or the stripe-group index.
+    pub logical: u64,
+    /// Span / parity-unit / run length in blocks.
+    pub len: u64,
+    /// OST holding the destination run.
+    pub dst_ost: u32,
+    /// Physical start of the destination run on `dst_ost`.
+    pub dst_phys: u64,
+}
+
+/// A tier-redundancy WAL record. Same two-phase shape as [`RemapOp`]:
+/// `Intent` is durable before any state is touched, `Commit` after the
+/// data (copy / parity encode / free) is done but before the tier map is
+/// updated:
+///
+/// * crash after `Intent` alone → roll back: the destination run holds no
+///   data anyone depends on; free it if it was claimed.
+/// * crash after `Commit` → roll forward: re-apply the tier-map update
+///   (idempotently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierOp {
+    Intent(TierTxn),
+    Commit(TierTxn),
+}
+
+impl TierOp {
+    /// The transaction both variants carry.
+    pub fn txn(&self) -> &TierTxn {
+        match self {
+            TierOp::Intent(t) | TierOp::Commit(t) => t,
+        }
+    }
+}
+
+fn encode_tier_payload(op: &TierOp) -> (u8, Vec<u8>) {
+    let (tag, t) = match op {
+        TierOp::Intent(t) => (TAG_TIER_INTENT, t),
+        TierOp::Commit(t) => (TAG_TIER_COMMIT, t),
+    };
+    let mut buf = Vec::with_capacity(41);
+    buf.push(t.kind as u8);
+    buf.extend_from_slice(&t.file.to_le_bytes());
+    buf.extend_from_slice(&t.src_ost.to_le_bytes());
+    buf.extend_from_slice(&t.logical.to_le_bytes());
+    buf.extend_from_slice(&t.len.to_le_bytes());
+    buf.extend_from_slice(&t.dst_ost.to_le_bytes());
+    buf.extend_from_slice(&t.dst_phys.to_le_bytes());
+    debug_assert!(buf.len() <= MAX_PAYLOAD);
+    (tag, buf)
+}
+
+fn decode_tier_payload(tag: u8, payload: &[u8]) -> Option<TierOp> {
+    let mut pos = 0usize;
+    let kind = TierKind::from_u8(*payload.first()?)?;
+    pos += 1;
+    let txn = TierTxn {
+        kind,
+        file: read_u64(payload, &mut pos)?,
+        src_ost: read_u32(payload, &mut pos)?,
+        logical: read_u64(payload, &mut pos)?,
+        len: read_u64(payload, &mut pos)?,
+        dst_ost: read_u32(payload, &mut pos)?,
+        dst_phys: read_u64(payload, &mut pos)?,
+    };
+    if pos != payload.len() {
+        return None;
+    }
+    match tag {
+        TAG_TIER_INTENT => Some(TierOp::Intent(txn)),
+        TAG_TIER_COMMIT => Some(TierOp::Commit(txn)),
+        _ => None,
+    }
+}
+
+/// Encode one tier record with the standard framing (magic, seqno,
+/// checksum — see [`encode_record`]).
+pub fn encode_tier_record(seqno: u64, op: &TierOp) -> [u8; WAL_RECORD_BYTES] {
+    let (tag, payload) = encode_tier_payload(op);
+    let mut rec = [0u8; WAL_RECORD_BYTES];
+    rec[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    rec[4..12].copy_from_slice(&seqno.to_le_bytes());
+    rec[12] = tag;
+    rec[13..15].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+    rec[HEADER_BYTES..HEADER_BYTES + payload.len()].copy_from_slice(&payload);
+    let sum = fnv1a(&rec[..CHECKSUM_OFFSET]);
+    rec[CHECKSUM_OFFSET..].copy_from_slice(&sum.to_le_bytes());
+    rec
+}
+
+/// The result of scanning a tier WAL image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierRecovery {
+    /// The longest clean prefix of tier records, in commit order.
+    pub ops: Vec<TierOp>,
+    /// Why the scan stopped.
+    pub stop: RecoveryStop,
+}
+
+/// Scan a tier WAL image: same acceptance rules as [`recover`] (longest
+/// clean prefix; magic, checksum, seqno and payload all validated), but
+/// decoding the tier-redundancy record tags.
+pub fn recover_tier(image: &[u8], first_seqno: u64) -> TierRecovery {
+    let mut ops = Vec::new();
+    let mut at = 0u64;
+    let mut pos = 0usize;
+    let stop = loop {
+        if pos == image.len() {
+            break RecoveryStop::CleanEnd;
+        }
+        if image.len() - pos < WAL_RECORD_BYTES {
+            break RecoveryStop::TornTail { at };
+        }
+        let rec = &image[pos..pos + WAL_RECORD_BYTES];
+        if rec[0..4] != MAGIC.to_le_bytes() {
+            break RecoveryStop::BadMagic { at };
+        }
+        let sum = u64::from_le_bytes(rec[CHECKSUM_OFFSET..].try_into().expect("8 bytes"));
+        if fnv1a(&rec[..CHECKSUM_OFFSET]) != sum {
+            break RecoveryStop::BadChecksum { at };
+        }
+        let seqno = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+        let expected = first_seqno + at;
+        if seqno != expected {
+            break RecoveryStop::SeqnoMismatch {
+                at,
+                expected,
+                found: seqno,
+            };
+        }
+        let len = u16::from_le_bytes(rec[13..15].try_into().expect("2 bytes")) as usize;
+        let op = if len <= MAX_PAYLOAD {
+            decode_tier_payload(rec[12], &rec[HEADER_BYTES..HEADER_BYTES + len])
+        } else {
+            None
+        };
+        match op {
+            Some(op) => ops.push(op),
+            None => break RecoveryStop::BadPayload { at },
+        }
+        at += 1;
+        pos += WAL_RECORD_BYTES;
+    };
+    TierRecovery { ops, stop }
+}
+
+/// An append-only tier-WAL image under construction — the redundancy
+/// engine's log stream. Mirrors [`RemapWal`], including first-class torn
+/// appends for crash injection.
+#[derive(Debug, Clone, Default)]
+pub struct TierWal {
+    image: Vec<u8>,
+    next_seqno: u64,
+}
+
+impl TierWal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one fully-persisted tier record.
+    pub fn append(&mut self, op: &TierOp) {
+        let rec = encode_tier_record(self.next_seqno, op);
+        self.image.extend_from_slice(&rec);
+        self.next_seqno += 1;
+    }
+
+    /// Append a *torn* tier record: only the first `persisted` bytes reach
+    /// the image (clamped to a strict prefix, tail zero-filled).
+    pub fn append_torn(&mut self, op: &TierOp, persisted: usize) {
+        let rec = encode_tier_record(self.next_seqno, op);
+        let persisted = persisted.min(WAL_RECORD_BYTES - 1);
+        self.image.extend_from_slice(&rec[..persisted]);
+        self.image
+            .extend(std::iter::repeat_n(0u8, WAL_RECORD_BYTES - persisted));
+        self.next_seqno += 1;
+    }
+
+    /// Records appended so far (torn ones included).
+    pub fn len(&self) -> u64 {
+        self.next_seqno
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.next_seqno == 0
+    }
+
+    /// The on-media bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Consume the writer, returning the image.
+    pub fn into_image(self) -> Vec<u8> {
+        self.image
+    }
+}
+
 /// One data-path write's durable intent: which stream extended which file
 /// where. These records flow through the group-commit WAL
 /// ([`crate::GroupCommitWal`]): client threads stage them lock-free, one
@@ -844,6 +1093,120 @@ mod tests {
                 at: 1,
                 expected: 10,
                 found: 4
+            }
+        );
+    }
+
+    fn sample_tier_txn(kind: TierKind) -> TierTxn {
+        TierTxn {
+            kind,
+            file: 11,
+            src_ost: 1,
+            logical: 256,
+            len: 64,
+            dst_ost: 3,
+            dst_phys: 8192,
+        }
+    }
+
+    #[test]
+    fn tier_records_round_trip_every_kind() {
+        let mut w = TierWal::new();
+        let mut want = Vec::new();
+        for kind in [TierKind::Replica, TierKind::Parity, TierKind::Drop] {
+            let t = sample_tier_txn(kind);
+            w.append(&TierOp::Intent(t));
+            w.append(&TierOp::Commit(t));
+            want.push(TierOp::Intent(t));
+            want.push(TierOp::Commit(t));
+        }
+        let r = recover_tier(w.image(), 0);
+        assert_eq!(r.ops, want);
+        assert_eq!(r.stop, RecoveryStop::CleanEnd);
+    }
+
+    #[test]
+    fn torn_tier_record_ends_the_prefix() {
+        for persisted in [0usize, 1, 16, 40, 119, 127] {
+            let mut w = TierWal::new();
+            w.append(&TierOp::Intent(sample_tier_txn(TierKind::Replica)));
+            w.append_torn(
+                &TierOp::Commit(sample_tier_txn(TierKind::Replica)),
+                persisted,
+            );
+            let r = recover_tier(w.image(), 0);
+            assert_eq!(
+                r.ops,
+                vec![TierOp::Intent(sample_tier_txn(TierKind::Replica))],
+                "persisted={persisted}"
+            );
+            assert!(
+                matches!(
+                    r.stop,
+                    RecoveryStop::BadChecksum { at: 1 } | RecoveryStop::BadMagic { at: 1 }
+                ),
+                "persisted={persisted}: {:?}",
+                r.stop
+            );
+        }
+    }
+
+    #[test]
+    fn tier_scan_rejects_foreign_tags_and_vice_versa() {
+        // The tier stream cannot replay metadata, remap, or write-commit
+        // records, and none of those scans accepts a tier record.
+        let tier = encode_tier_record(0, &TierOp::Intent(sample_tier_txn(TierKind::Parity)));
+        assert_eq!(recover(&tier, 0).stop, RecoveryStop::BadPayload { at: 0 });
+        assert_eq!(
+            recover_remaps(&tier, 0).stop,
+            RecoveryStop::BadPayload { at: 0 }
+        );
+        assert_eq!(
+            recover_writes(&tier, 0).stop,
+            RecoveryStop::BadPayload { at: 0 }
+        );
+
+        for foreign in [
+            encode_record(0, &sample_ops()[0]),
+            encode_remap_record(0, &RemapOp::Intent(sample_txn())),
+            encode_write_record(0, &sample_write(0)),
+        ] {
+            let r = recover_tier(&foreign, 0);
+            assert!(r.ops.is_empty());
+            assert_eq!(r.stop, RecoveryStop::BadPayload { at: 0 });
+        }
+    }
+
+    #[test]
+    fn tier_bad_kind_byte_is_bad_payload() {
+        let mut rec = encode_tier_record(0, &TierOp::Commit(sample_tier_txn(TierKind::Drop)));
+        rec[HEADER_BYTES] = 9; // no such TierKind
+        let sum = fnv1a(&rec[..CHECKSUM_OFFSET]);
+        rec[CHECKSUM_OFFSET..].copy_from_slice(&sum.to_le_bytes());
+        let r = recover_tier(&rec, 0);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.stop, RecoveryStop::BadPayload { at: 0 });
+    }
+
+    #[test]
+    fn stale_tier_lap_rejected_by_seqno() {
+        let mut img = Vec::new();
+        img.extend_from_slice(&encode_tier_record(
+            6,
+            &TierOp::Intent(sample_tier_txn(TierKind::Replica)),
+        ));
+        img.extend_from_slice(&encode_tier_record(
+            2,
+            &TierOp::Commit(sample_tier_txn(TierKind::Replica)),
+        ));
+        let r = recover_tier(&img, 6);
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(
+            r.stop,
+            RecoveryStop::SeqnoMismatch {
+                at: 1,
+                expected: 7,
+                found: 2
             }
         );
     }

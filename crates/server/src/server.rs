@@ -257,6 +257,15 @@ impl Server {
         &self.fs
     }
 
+    /// Drain the engine's lock-free access recorder: one
+    /// `(file, reads, writes)` delta per file touched since the last
+    /// drain. The tiering engine feeds these to its heat classifier
+    /// (`TierEngine::observe`) — callable while requests are in flight,
+    /// since the recorder is swap-based and never blocks the data path.
+    pub fn heat_feed(&self) -> Vec<(OpenFile, u64, u64)> {
+        self.fs.drain_access()
+    }
+
     /// Aggregate service counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -574,6 +583,48 @@ mod tests {
         );
         let fs = server.into_fs();
         assert_eq!(fs.file_size(OpenFile(FileId(h))), 8);
+    }
+
+    #[test]
+    fn request_flow_feeds_the_heat_recorder() {
+        let server = Server::start(engine(), small_cfg());
+        server
+            .submit(&req(
+                1,
+                1,
+                Op::Create {
+                    name: "hot.dat".into(),
+                    size_hint_blocks: None,
+                },
+            ))
+            .unwrap();
+        let Status::Handle(h) = reap(&server, 1, 1)[0].status else {
+            panic!()
+        };
+        for seq in 2..8 {
+            server
+                .submit(&req(
+                    1,
+                    seq,
+                    Op::Write {
+                        handle: h,
+                        stream: 0,
+                        offset: (seq - 2) * 4,
+                        len: 4,
+                    },
+                ))
+                .unwrap();
+        }
+        reap(&server, 1, 6);
+        let feed = server.heat_feed();
+        let mine = feed
+            .iter()
+            .find(|&&(f, ..)| f == OpenFile(FileId(h)))
+            .expect("served writes must appear in the heat feed");
+        assert!(mine.2 >= 6, "six writes recorded, got {mine:?}");
+        // The drain is destructive: a quiet interval reads back empty.
+        assert!(server.heat_feed().is_empty());
+        server.shutdown();
     }
 
     #[test]

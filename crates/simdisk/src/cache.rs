@@ -6,14 +6,18 @@
 //! data still goes to the platter — the cache only short-circuits reads).
 
 use crate::BlockNo;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Fixed-capacity LRU block cache.
 #[derive(Debug)]
 pub struct BlockCache {
     capacity: usize,
-    /// block -> LRU tick of last touch.
+    /// block -> LRU tick of last touch (each touch gets a fresh tick, so
+    /// ticks are unique and double as keys into `order`).
     blocks: HashMap<BlockNo, u64>,
+    /// tick -> block, oldest first: the eviction order. Kept in lockstep
+    /// with `blocks` so eviction pops the front instead of scanning.
+    order: BTreeMap<u64, BlockNo>,
     tick: u64,
 }
 
@@ -23,6 +27,7 @@ impl BlockCache {
         Self {
             capacity,
             blocks: HashMap::with_capacity(capacity.min(1 << 20)),
+            order: BTreeMap::new(),
             tick: 0,
         }
     }
@@ -45,10 +50,8 @@ impl BlockCache {
         if !(start..start + len).all(|b| self.blocks.contains_key(&b)) {
             return false;
         }
-        self.tick += 1;
-        let t = self.tick;
         for b in start..start + len {
-            self.blocks.insert(b, t);
+            self.touch(b);
         }
         true
     }
@@ -69,10 +72,8 @@ impl BlockCache {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
-        let t = self.tick;
         for b in start..start + len {
-            self.blocks.insert(b, t);
+            self.touch(b);
         }
         self.evict();
     }
@@ -80,24 +81,33 @@ impl BlockCache {
     /// Drop a run of blocks (e.g. after they are freed on disk).
     pub fn invalidate_range(&mut self, start: BlockNo, len: u64) {
         for b in start..start + len {
-            self.blocks.remove(&b);
+            if let Some(t) = self.blocks.remove(&b) {
+                self.order.remove(&t);
+            }
         }
     }
 
     /// Drop everything.
     pub fn clear(&mut self) {
         self.blocks.clear();
+        self.order.clear();
+    }
+
+    /// (Re)insert one block at the fresh end of the LRU order.
+    fn touch(&mut self, b: BlockNo) {
+        self.tick += 1;
+        if let Some(old) = self.blocks.insert(b, self.tick) {
+            self.order.remove(&old);
+        }
+        self.order.insert(self.tick, b);
     }
 
     fn evict(&mut self) {
         while self.blocks.len() > self.capacity {
-            // O(n) scan is fine: eviction happens on insert bursts and the
-            // simulator's caches are small (tens of thousands of entries).
-            if let Some((&victim, _)) = self.blocks.iter().min_by_key(|(_, &t)| t) {
-                self.blocks.remove(&victim);
-            } else {
+            let Some((_, victim)) = self.order.pop_first() else {
                 break;
-            }
+            };
+            self.blocks.remove(&victim);
         }
     }
 }

@@ -37,6 +37,10 @@ pub struct Disk {
     latency: LatencyHistogram,
     recorder: EventRecorder,
     faults: Option<FaultInjector>,
+    /// Whole-device death ([`Disk::fail`]): every request errors until the
+    /// drive is swapped ([`Disk::replace`]). Orthogonal to the injector's
+    /// power state — power can be restored, a dead drive cannot.
+    failed: bool,
 }
 
 impl Disk {
@@ -62,7 +66,32 @@ impl Disk {
             latency: LatencyHistogram::new(),
             recorder: EventRecorder::new(0),
             faults: None,
+            failed: false,
         }
+    }
+
+    /// Kill the device: a whole-disk failure (head crash, dropped drive).
+    /// From now on every submission fails with [`IoFault::DiskFailed`];
+    /// [`Disk::power_restore`] does *not* revive it — only [`Disk::replace`]
+    /// does, and the replacement's media is empty.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Is the device dead from [`Disk::fail`]?
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Swap in a fresh drive for a failed one. The replacement spins up
+    /// with empty platters: caches, readahead state and head position are
+    /// reset, and whatever the old drive held is gone — the array must
+    /// rebuild it from redundancy. Clock and cumulative statistics belong
+    /// to the *slot* and carry over.
+    pub fn replace(&mut self) {
+        self.failed = false;
+        self.head = 0;
+        self.drop_caches();
     }
 
     /// Install a seeded fault-injection plan. Faults only surface through
@@ -162,6 +191,9 @@ impl Disk {
         ctx: Option<u64>,
         batch: Vec<BlockRequest>,
     ) -> Result<Nanos, IoFault> {
+        if self.failed {
+            return Err(IoFault::DiskFailed);
+        }
         let Some(mut inj) = self.faults.take() else {
             return Ok(self.submit_batch_inner(ctx, batch));
         };
@@ -497,6 +529,35 @@ mod tests {
         let before = d.clock();
         d.submit(BlockRequest::read(far + 4, 4)); // miss: no RA was issued
         assert!(d.clock() > before);
+    }
+
+    #[test]
+    fn failed_disk_rejects_all_io_until_replaced() {
+        let mut d = disk();
+        d.submit(BlockRequest::write(0, 8));
+        d.fail();
+        assert!(d.failed());
+        assert_eq!(
+            d.try_submit(BlockRequest::read(0, 4)),
+            Err(IoFault::DiskFailed)
+        );
+        assert_eq!(
+            d.try_submit(BlockRequest::write(64, 4)),
+            Err(IoFault::DiskFailed)
+        );
+        // Power restore does not revive a dead drive.
+        d.power_restore();
+        assert!(d.failed());
+        assert_eq!(
+            d.try_submit(BlockRequest::read(0, 4)),
+            Err(IoFault::DiskFailed)
+        );
+        // A replacement drive services IO again, with cold caches.
+        d.replace();
+        assert!(!d.failed());
+        let before = d.clock();
+        d.submit(BlockRequest::read(0, 4));
+        assert!(d.clock() > before, "replacement platters hold nothing");
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub enum IoFault {
     /// total before the cut; everything after it fails with this fault
     /// until [`crate::Disk::power_restore`] is called.
     PowerCut { after_writes: u64 },
+    /// The device is dead — a whole-disk failure ([`crate::Disk::fail`]).
+    /// Unlike a power cut, no restore brings it back: every request fails
+    /// until the drive is physically swapped ([`crate::Disk::replace`]),
+    /// after which the media holds nothing and must be rebuilt from
+    /// redundancy elsewhere in the array.
+    DiskFailed,
 }
 
 impl fmt::Display for IoFault {
@@ -93,6 +99,7 @@ impl fmt::Display for IoFault {
             IoFault::PowerCut { after_writes } => {
                 write!(f, "power cut after {after_writes} writes")
             }
+            IoFault::DiskFailed => write!(f, "disk failed (dead device)"),
         }
     }
 }

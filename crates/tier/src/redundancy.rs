@@ -1,0 +1,554 @@
+//! Adaptive redundancy: replica placement, 4+2 parity encoding, teardown
+//! and crash recovery — the tier layer's write side.
+//!
+//! Every placement follows the two-phase protocol of the defrag engine,
+//! against the tier WAL stream (`mif_mds::TierWal`):
+//!
+//! 1. claim the destination run through the allocator (`probe_run` +
+//!    `alloc_at`);
+//! 2. append a durable **Intent** naming the run;
+//! 3. move the bytes (`FileSystem::tier_try_io` — fallible IO, nothing
+//!    registered yet);
+//! 4. append the **Commit**;
+//! 5. register the artifact in the tier map.
+//!
+//! A crash between any two steps leaves a state [`recover`] repairs: a
+//! dangling Intent rolls back (the unclaimed run is freed — unless a live
+//! file extent owns the blocks, which means they were never the tier
+//! layer's to free), a Commit rolls forward (the artifact is re-registered
+//! idempotently), and a half-committed parity pair is torn down whole (an
+//! incomplete group protects nothing).
+//!
+//! Stripe-group members are never logged: they are *derived* from
+//! `(file, group index, unit)` through the striping function
+//! ([`derive_members`]), so the WAL record for a parity run is all
+//! recovery needs to rebuild the group's shape.
+
+use mif_core::{
+    FileSystem, OpenFile, ReplicaRun, StripeGroup, TierRun, STRIPE_DATA, STRIPE_PARITY,
+};
+use mif_mds::{TierKind, TierOp, TierRecovery, TierTxn, TierWal};
+use mif_simdisk::{IoFault, Nanos};
+
+/// Replica spans are chunked to this many blocks so each destination run
+/// fits inside one allocation group.
+pub const REPLICA_CHUNK: u64 = 256;
+
+/// What one placement/teardown call accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Replica runs placed.
+    pub replicas: u64,
+    /// Stripe groups encoded.
+    pub groups: u64,
+    /// Spans skipped because no OST had a free run for the copy.
+    pub skipped_no_space: u64,
+    /// Simulated copy/encode time.
+    pub copy_ns: Nanos,
+}
+
+/// The physical runs backing `logical..logical + len` of (`file`, `ost`),
+/// as `(ost, phys, len)` read requests. Panics if the span is not fully
+/// mapped — callers check coverage first.
+fn resolve_span(
+    fs: &FileSystem,
+    file: OpenFile,
+    ost: usize,
+    logical: u64,
+    len: u64,
+) -> Vec<(usize, u64, u64)> {
+    let mut reads = Vec::new();
+    let mut covered = 0;
+    for (l, p, ln) in fs.physical_layout(file, ost) {
+        let lo = l.max(logical);
+        let hi = (l + ln).min(logical + len);
+        if lo < hi {
+            reads.push((ost, p + (lo - l), hi - lo));
+            covered += hi - lo;
+        }
+    }
+    assert_eq!(covered, len, "span not fully mapped");
+    reads
+}
+
+/// Is `logical..logical + len` of (`file`, `ost`) fully mapped?
+fn span_mapped(fs: &FileSystem, file: OpenFile, ost: usize, logical: u64, len: u64) -> bool {
+    let covered: u64 = fs
+        .physical_layout(file, ost)
+        .iter()
+        .map(|&(l, _, ln)| {
+            let lo = l.max(logical);
+            let hi = (l + ln).min(logical + len);
+            hi.saturating_sub(lo)
+        })
+        .sum();
+    covered == len
+}
+
+/// Find a free destination run of `len` blocks on some OST other than
+/// `avoid`, trying OSTs in deterministic round-robin order from
+/// `avoid + 1`. Returns `(ost, phys)` — probed only, not yet claimed.
+///
+/// `cursor` is one goal per OST, advanced past each successful probe: a
+/// placement pass making thousands of calls resumes each probe where the
+/// last one ended instead of re-scanning the allocated prefix of the
+/// bitmap every time (which turns a bulk promotion into O(n²)).
+fn find_dst(fs: &FileSystem, avoid: &[u32], len: u64, cursor: &mut [u64]) -> Option<(usize, u64)> {
+    let osts = fs.config.osts as usize;
+    let start = avoid.iter().copied().max().unwrap_or(0) as usize + 1;
+    for k in 0..osts {
+        let ost = (start + k) % osts;
+        if avoid.contains(&(ost as u32)) {
+            continue;
+        }
+        if let Some(phys) = fs.allocator(ost).probe_run(cursor[ost], len) {
+            cursor[ost] = phys + len;
+            return Some((ost, phys));
+        }
+    }
+    None
+}
+
+/// Replicate every mapped span of `file` (chunked to [`REPLICA_CHUNK`])
+/// onto other OSTs. Spans already covered by a valid replica are skipped,
+/// so the call is idempotent. Promotion path of the migration engine.
+pub fn replicate_file(
+    fs: &mut FileSystem,
+    wal: &mut TierWal,
+    file: OpenFile,
+) -> Result<PlacementStats, (usize, IoFault)> {
+    replicate_file_budgeted(fs, wal, file, u64::MAX)
+}
+
+/// [`replicate_file`] with a run budget: at most `budget` replica runs are
+/// placed, uncovered spans wait for the next pass (the coverage check
+/// makes re-calls resume where this one stopped). A zipf-hot file whose
+/// writers scatter thousands of small spans across its logical space
+/// would otherwise turn one promotion into an unbounded bulk copy.
+pub fn replicate_file_budgeted(
+    fs: &mut FileSystem,
+    wal: &mut TierWal,
+    file: OpenFile,
+    budget: u64,
+) -> Result<PlacementStats, (usize, IoFault)> {
+    let mut stats = PlacementStats::default();
+    let osts = fs.config.osts as usize;
+    let mut cursor = vec![0u64; osts];
+    for src in 0..osts {
+        // One layout fetch per (file, OST): the spans to copy, the
+        // physical runs backing them, and the already-covered prefix are
+        // all answered from these two snapshots instead of re-walking the
+        // extent tree and the tier map per chunk.
+        let layout = fs.physical_layout(file, src);
+        let mut covered: Vec<(u64, u64)> = fs
+            .tier()
+            .replicas()
+            .iter()
+            .filter(|r| r.valid && r.file == file.0 .0 && r.src_ost == src as u32)
+            .map(|r| (r.logical, r.len))
+            .collect();
+        covered.sort_unstable();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for &(logical, _, len) in &layout {
+            match spans.last_mut() {
+                Some((s, l)) if *s + *l == logical => *l += len,
+                _ => spans.push((logical, len)),
+            }
+        }
+        for (start, total) in spans {
+            let mut off = 0;
+            while off < total {
+                let logical = start + off;
+                let len = (total - off).min(REPLICA_CHUNK);
+                off += len;
+                let i = covered.partition_point(|&(s, _)| s <= logical);
+                if i > 0 {
+                    let (s, l) = covered[i - 1];
+                    if logical + len <= s + l {
+                        continue;
+                    }
+                }
+                if stats.replicas >= budget {
+                    return Ok(stats);
+                }
+                let Some((dst, dst_phys)) = find_dst(fs, &[src as u32], len, &mut cursor) else {
+                    stats.skipped_no_space += 1;
+                    continue;
+                };
+                let txn = TierTxn {
+                    kind: TierKind::Replica,
+                    file: file.0 .0,
+                    src_ost: src as u32,
+                    logical,
+                    len,
+                    dst_ost: dst as u32,
+                    dst_phys,
+                };
+                wal.append(&TierOp::Intent(txn));
+                assert!(
+                    fs.allocator(dst).alloc_at(dst_phys, len),
+                    "probed run vanished (maintenance is single-threaded)"
+                );
+                let mut reads = Vec::new();
+                let mut got = 0;
+                for &(l, p, ln) in &layout {
+                    let lo = l.max(logical);
+                    let hi = (l + ln).min(logical + len);
+                    if lo < hi {
+                        reads.push((src, p + (lo - l), hi - lo));
+                        got += hi - lo;
+                    }
+                }
+                assert_eq!(got, len, "span not fully mapped");
+                match fs.tier_try_io(&reads, &[(dst, dst_phys, len)]) {
+                    Ok(ns) => stats.copy_ns += ns,
+                    Err(fault) => {
+                        // Roll back in-process; the dangling Intent on the
+                        // log is harmless (recovery finds the run free).
+                        fs.tier_free_run(dst, dst_phys, len);
+                        return Err(fault);
+                    }
+                }
+                wal.append(&TierOp::Commit(txn));
+                fs.tier_mut().add_replica(ReplicaRun {
+                    file: file.0 .0,
+                    src_ost: src as u32,
+                    logical,
+                    len,
+                    dst_ost: dst as u32,
+                    dst_phys,
+                    valid: true,
+                });
+                stats.replicas += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Derive stripe-group `group`'s data members for `file`: the
+/// [`STRIPE_DATA`] striping pieces of file-logical span
+/// `[group·4·unit, (group+1)·4·unit)`. `None` unless the striping yields
+/// exactly four `unit`-length pieces on pairwise-distinct OSTs (fewer
+/// than four OSTs, or a stripe shift that folds pieces together, make a
+/// file un-encodable).
+pub fn derive_members(
+    fs: &FileSystem,
+    file: OpenFile,
+    group: u64,
+    unit: u64,
+) -> Option<Vec<(u32, u64)>> {
+    let shift = fs.ost_shift_of(file)?;
+    let span = STRIPE_DATA as u64 * unit;
+    let pieces = fs.striping().split(group * span, span, shift);
+    if pieces.len() != STRIPE_DATA || pieces.iter().any(|&(_, _, run, _)| run != unit) {
+        return None;
+    }
+    let mut osts: Vec<u32> = pieces.iter().map(|&(o, ..)| o).collect();
+    osts.dedup();
+    osts.sort_unstable();
+    osts.dedup();
+    if osts.len() != STRIPE_DATA {
+        return None;
+    }
+    Some(
+        pieces
+            .into_iter()
+            .map(|(o, local, ..)| (o, local))
+            .collect(),
+    )
+}
+
+/// Pack `file`'s fully-mapped stripe spans into 4+2 erasure-coded groups.
+/// Groups already registered are skipped (idempotent); encoding stops at
+/// the first group whose members are not fully mapped. Demotion path of
+/// the migration engine.
+pub fn encode_file(
+    fs: &mut FileSystem,
+    wal: &mut TierWal,
+    file: OpenFile,
+) -> Result<PlacementStats, (usize, IoFault)> {
+    let mut stats = PlacementStats::default();
+    let unit = fs.config.stripe_blocks;
+    let mut cursor = vec![0u64; fs.config.osts as usize];
+    for group in 0.. {
+        let Some(members) = derive_members(fs, file, group, unit) else {
+            break;
+        };
+        if !members
+            .iter()
+            .all(|&(ost, start)| span_mapped(fs, file, ost as usize, start, unit))
+        {
+            break;
+        }
+        if fs
+            .tier()
+            .groups()
+            .iter()
+            .any(|g| g.file == file.0 .0 && g.group == group)
+        {
+            continue;
+        }
+        // Claim both parity runs first (off the member OSTs, and off each
+        // other's), log both Intents, encode, then commit both.
+        let member_osts: Vec<u32> = members.iter().map(|&(o, _)| o).collect();
+        let mut parity: Vec<(usize, u64)> = Vec::new();
+        let mut txns: Vec<TierTxn> = Vec::new();
+        for j in 0..STRIPE_PARITY {
+            // Prefer OSTs off the members (one disk death then costs the
+            // group at most one of its six runs); fall back to member
+            // OSTs when the array is too small, keeping only the
+            // parity-vs-parity distinctness the map requires.
+            let taken: Vec<u32> = parity.iter().map(|&(o, _)| o as u32).collect();
+            let mut avoid = member_osts.clone();
+            avoid.extend(taken.iter().copied());
+            let Some((dst, dst_phys)) = find_dst(fs, &avoid, unit, &mut cursor)
+                .or_else(|| find_dst(fs, &taken, unit, &mut cursor))
+            else {
+                break;
+            };
+            let txn = TierTxn {
+                kind: TierKind::Parity,
+                file: file.0 .0,
+                src_ost: j as u32,
+                logical: group,
+                len: unit,
+                dst_ost: dst as u32,
+                dst_phys,
+            };
+            wal.append(&TierOp::Intent(txn));
+            assert!(fs.allocator(dst).alloc_at(dst_phys, unit));
+            parity.push((dst, dst_phys));
+            txns.push(txn);
+        }
+        if parity.len() != STRIPE_PARITY {
+            // Not enough distinct free space: undo the claims (dangling
+            // Intents roll back the same way after a crash) and stop.
+            for &(dst, dst_phys) in &parity {
+                fs.tier_free_run(dst, dst_phys, unit);
+            }
+            stats.skipped_no_space += 1;
+            break;
+        }
+        let mut reads = Vec::new();
+        for &(ost, start) in &members {
+            reads.extend(resolve_span(fs, file, ost as usize, start, unit));
+        }
+        let writes: Vec<(usize, u64, u64)> = parity.iter().map(|&(o, p)| (o, p, unit)).collect();
+        match fs.tier_try_io(&reads, &writes) {
+            Ok(ns) => stats.copy_ns += ns,
+            Err(fault) => {
+                for &(dst, dst_phys) in &parity {
+                    fs.tier_free_run(dst, dst_phys, unit);
+                }
+                return Err(fault);
+            }
+        }
+        for txn in &txns {
+            wal.append(&TierOp::Commit(*txn));
+        }
+        fs.tier_mut().add_group(StripeGroup {
+            file: file.0 .0,
+            group,
+            unit,
+            members,
+            parity: parity.iter().map(|&(o, p)| (o as u32, p)).collect(),
+            valid: true,
+        });
+        stats.groups += 1;
+    }
+    Ok(stats)
+}
+
+/// Tear one tier run down: Intent, free the blocks, Commit, drop it from
+/// the map (a stripe group goes with its last parity run). The lazy
+/// teardown path for invalidated artifacts.
+pub fn drop_run(fs: &mut FileSystem, wal: &mut TierWal, run: TierRun) {
+    let txn = TierTxn {
+        kind: TierKind::Drop,
+        file: run.file,
+        src_ost: 0,
+        logical: 0,
+        len: run.len,
+        dst_ost: run.ost,
+        dst_phys: run.phys,
+    };
+    wal.append(&TierOp::Intent(txn));
+    fs.tier_free_run(run.ost as usize, run.phys, run.len);
+    wal.append(&TierOp::Commit(txn));
+    fs.tier_mut().remove_run(run.file, run.ost, run.phys);
+}
+
+/// What [`recover`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Replicas re-registered from Commit records.
+    pub replicas_redone: u64,
+    /// Stripe groups re-registered from complete parity-commit pairs.
+    pub groups_redone: u64,
+    /// Drops re-applied (run removed / freed).
+    pub drops_redone: u64,
+    /// Dangling Intents rolled back (runs freed).
+    pub rolled_back: u64,
+    /// Committed-but-incomplete parity runs freed.
+    pub orphan_parity_freed: u64,
+}
+
+/// Does the tier map already own the run at (`file`, `ost`, `phys`)?
+fn map_owns(fs: &FileSystem, file: u64, ost: u32, phys: u64) -> bool {
+    fs.tier()
+        .runs_of_file(file)
+        .iter()
+        .any(|r| r.ost == ost && r.phys == phys)
+}
+
+/// Free the run unless something legitimate owns it: a live file extent
+/// (the blocks were never the tier layer's), or the tier map itself.
+fn rollback_run(fs: &mut FileSystem, txn: &TierTxn) -> bool {
+    let ost = txn.dst_ost as usize;
+    if !fs.allocator(ost).is_allocated(txn.dst_phys) {
+        return false; // already free — nothing persisted
+    }
+    if fs.run_mapped_by_any_file(ost, txn.dst_phys, txn.len)
+        || map_owns(fs, txn.file, txn.dst_ost, txn.dst_phys)
+    {
+        return false;
+    }
+    fs.tier_free_run(ost, txn.dst_phys, txn.len);
+    true
+}
+
+/// Replay a recovered tier log against the file system: roll every Commit
+/// forward (idempotently), complete every committed Drop, tear down
+/// half-committed parity pairs, and roll every dangling Intent back.
+/// Run at mount, after the data WAL is replayed and before new traffic.
+pub fn recover(fs: &mut FileSystem, rec: &TierRecovery) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    // An Intent is dangling when no identical Commit follows it.
+    let dangling: Vec<TierTxn> = rec
+        .ops
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| match op {
+            TierOp::Intent(t)
+                if !rec.ops[i + 1..]
+                    .iter()
+                    .any(|o| matches!(o, TierOp::Commit(c) if c == t)) =>
+            {
+                Some(*t)
+            }
+            _ => None,
+        })
+        .collect();
+
+    // Roll commits forward in log order. Parity commits accumulate until
+    // their group's pair is complete.
+    let mut pending_parity: Vec<TierTxn> = Vec::new();
+    for op in &rec.ops {
+        let TierOp::Commit(txn) = op else { continue };
+        match txn.kind {
+            TierKind::Replica => {
+                if !map_owns(fs, txn.file, txn.dst_ost, txn.dst_phys)
+                    && fs
+                        .allocator(txn.dst_ost as usize)
+                        .is_allocated(txn.dst_phys)
+                {
+                    fs.tier_mut().add_replica(ReplicaRun {
+                        file: txn.file,
+                        src_ost: txn.src_ost,
+                        logical: txn.logical,
+                        len: txn.len,
+                        dst_ost: txn.dst_ost,
+                        dst_phys: txn.dst_phys,
+                        valid: true,
+                    });
+                    report.replicas_redone += 1;
+                }
+            }
+            TierKind::Parity => pending_parity.push(*txn),
+            TierKind::Drop => {
+                fs.tier_mut()
+                    .remove_run(txn.file, txn.dst_ost, txn.dst_phys);
+                // Retract any parity commit this drop supersedes, so the
+                // pairing pass below cannot resurrect the group.
+                pending_parity
+                    .retain(|p| !(p.dst_ost == txn.dst_ost && p.dst_phys == txn.dst_phys));
+                if fs
+                    .allocator(txn.dst_ost as usize)
+                    .is_allocated(txn.dst_phys)
+                    && !fs.run_mapped_by_any_file(txn.dst_ost as usize, txn.dst_phys, txn.len)
+                {
+                    fs.tier_free_run(txn.dst_ost as usize, txn.dst_phys, txn.len);
+                }
+                report.drops_redone += 1;
+            }
+        }
+    }
+    // Pair parity commits by (file, group): a complete, still-allocated
+    // pair re-registers the group; anything else is torn down.
+    while let Some(first) = pending_parity.first().copied() {
+        let (mine, rest): (Vec<TierTxn>, Vec<TierTxn>) = pending_parity
+            .into_iter()
+            .partition(|p| p.file == first.file && p.logical == first.logical);
+        pending_parity = rest;
+        let file = OpenFile(mif_alloc::FileId(first.file));
+        let already = fs
+            .tier()
+            .groups()
+            .iter()
+            .any(|g| g.file == first.file && g.group == first.logical);
+        let complete = mine.len() == STRIPE_PARITY
+            && mine
+                .iter()
+                .all(|p| fs.allocator(p.dst_ost as usize).is_allocated(p.dst_phys))
+            && mine[0].dst_ost != mine[1].dst_ost;
+        let members = derive_members(fs, file, first.logical, first.len);
+        if already {
+            continue;
+        }
+        if let (true, Some(members)) = (complete, members) {
+            fs.tier_mut().add_group(StripeGroup {
+                file: first.file,
+                group: first.logical,
+                unit: first.len,
+                members,
+                parity: mine.iter().map(|p| (p.dst_ost, p.dst_phys)).collect(),
+                valid: true,
+            });
+            report.groups_redone += 1;
+        } else {
+            for p in &mine {
+                if rollback_run(fs, p) {
+                    report.orphan_parity_freed += 1;
+                }
+            }
+        }
+    }
+    // Roll dangling Intents back. A dangling Drop rolls *forward* — the
+    // teardown was already decided and the artifact is derived data.
+    for txn in &dangling {
+        match txn.kind {
+            TierKind::Replica | TierKind::Parity => {
+                if rollback_run(fs, txn) {
+                    report.rolled_back += 1;
+                }
+            }
+            TierKind::Drop => {
+                let removed = fs
+                    .tier_mut()
+                    .remove_run(txn.file, txn.dst_ost, txn.dst_phys);
+                if fs
+                    .allocator(txn.dst_ost as usize)
+                    .is_allocated(txn.dst_phys)
+                    && !fs.run_mapped_by_any_file(txn.dst_ost as usize, txn.dst_phys, txn.len)
+                {
+                    fs.tier_free_run(txn.dst_ost as usize, txn.dst_phys, txn.len);
+                }
+                if removed {
+                    report.drops_redone += 1;
+                }
+            }
+        }
+    }
+    report
+}

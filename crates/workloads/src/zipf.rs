@@ -169,4 +169,91 @@ mod tests {
             }
         }
     }
+
+    /// A second pinned seed: two independent fixed streams make a
+    /// generator regression visible even if one stream happens to
+    /// collide with a changed implementation.
+    #[test]
+    fn a_second_seed_pins_an_independent_distribution() {
+        let mut gen = ZipfGen::new(100, 0.99, 0x5EED);
+        let counts = histogram(&mut gen, 100_000);
+        assert_eq!(&counts[..5], &[18680, 9492, 7437, 5206, 4053]);
+    }
+
+    /// theta → 1.0: the skew limit the constructor still accepts. The
+    /// zeta/eta terms stay finite (1 - theta appears in two exponents
+    /// and one divisor), keys stay in range, and the head is strictly
+    /// hotter than at moderate skew.
+    #[test]
+    fn theta_near_one_is_finite_and_extra_skewed() {
+        let mut g = ZipfGen::new(64, 0.9999, 0x5EED);
+        let counts = histogram(&mut g, 100_000);
+        assert_eq!(&counts[..4], &[20873, 10534, 8154, 5696]);
+        assert!(g.expected_freq(0).is_finite());
+        // More skew than theta = 0.5 by a wide margin at rank 0.
+        let mut mild = ZipfGen::new(64, 0.5, 0x5EED);
+        let mild_counts = histogram(&mut mild, 100_000);
+        assert!(
+            counts[0] > mild_counts[0] * 2,
+            "{} vs {}",
+            counts[0],
+            mild_counts[0]
+        );
+        // The hottest half still leaves a live tail (not degenerate).
+        assert!(counts[32..].iter().sum::<u64>() > 0);
+    }
+
+    /// The two boundary thetas are rejected, not silently degenerate:
+    /// theta = 1 divides by zero in `alpha`, theta = 0 is uniform (a
+    /// different generator's job).
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1)")]
+    fn theta_of_exactly_one_is_rejected() {
+        let _ = ZipfGen::new(64, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1)")]
+    fn theta_of_zero_is_rejected() {
+        let _ = ZipfGen::new(64, 0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key population")]
+    fn empty_population_is_rejected() {
+        let _ = ZipfGen::new(0, 0.99, 0);
+    }
+
+    /// Population of one: every draw must be rank 0 with model
+    /// probability exactly 1 — the quantile inversion's `uz < 1.0` fast
+    /// path always fires because `zetan == 1`.
+    #[test]
+    fn population_of_one_always_draws_rank_zero() {
+        let mut g = ZipfGen::new(1, 0.9999, 0x5EED);
+        for _ in 0..10_000 {
+            assert_eq!(g.next_key(), 0);
+        }
+        assert_eq!(g.expected_freq(0), 1.0);
+    }
+
+    /// Populations smaller than the exactly-inverted head (ranks 0 and
+    /// 1 take dedicated branches): `n = 1` must never emit the rank-1
+    /// branch's key, and `n = 2` must emit both keys with the zeta(2)
+    /// split rather than NaN-ing the eta term.
+    #[test]
+    fn populations_below_the_inverted_head_size_stay_exact() {
+        let mut one = ZipfGen::new(1, 0.99, 9);
+        assert!((0..5000).all(|_| one.next_key() == 0));
+
+        let mut two = ZipfGen::new(2, 0.99, 9);
+        let counts = histogram(&mut two, 50_000);
+        assert_eq!(counts.iter().sum::<u64>(), 50_000);
+        assert!(counts[1] > 0, "rank 1 starved");
+        assert!(counts[0] > counts[1], "rank 0 must dominate");
+        // Both model frequencies are finite and sum to 1.
+        let p0 = two.expected_freq(0);
+        let p1 = two.expected_freq(1);
+        assert!(p0.is_finite() && p1.is_finite());
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+    }
 }

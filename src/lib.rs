@@ -15,6 +15,8 @@
 //! * [`defrag`] — online, crash-safe, throttled background defragmentation
 //! * [`server`] — message-passing service front-end with an idempotent
 //!   client protocol and durable-commit acks
+//! * [`tier`] — hot/cold tiering: heat classification, adaptive
+//!   redundancy (replication + 4+2 parity) and lazy migration
 //! * [`workloads`] — generators for every benchmark in the paper
 
 pub use mif_alloc as alloc;
@@ -25,4 +27,5 @@ pub use mif_fsck as fsck;
 pub use mif_mds as mds;
 pub use mif_server as server;
 pub use mif_simdisk as simdisk;
+pub use mif_tier as tier;
 pub use mif_workloads as workloads;

@@ -68,10 +68,21 @@ pub fn assert_conservation(ctx: &str, fs: &FileSystem) {
         .iter()
         .map(|&f| fs.file_allocated(f))
         .sum();
+    // The tier layer holds allocated runs (replica copies, stripe
+    // parity) no file extent maps; they are owned, not leaked.
+    let tier_held: u64 = (0..fs.config.osts)
+        .map(|ost| {
+            fs.tier()
+                .runs_on_ost(ost)
+                .iter()
+                .map(|r| r.len)
+                .sum::<u64>()
+        })
+        .sum();
     assert_eq!(
-        fs.free_blocks() + mapped,
+        fs.free_blocks() + mapped + tier_held,
         total,
-        "{ctx}: blocks leaked or double-freed (free {} + mapped {mapped} != total {total})",
+        "{ctx}: blocks leaked or double-freed (free {} + mapped {mapped} + tier {tier_held} != total {total})",
         fs.free_blocks()
     );
 }

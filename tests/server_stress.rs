@@ -318,10 +318,19 @@ fn fs_stats_aggregate_reflects_service_traffic() {
     }
     conn.submit(Op::Sync).unwrap();
     assert!(conn.drain());
-    let FsStats { contention, io } = server.fs().stats();
+    let FsStats {
+        contention,
+        io,
+        extent_hist,
+    } = server.fs().stats();
     assert_eq!(contention.write_ops, 32);
     assert_eq!(contention.wal_records, 32);
     assert!(contention.wal_flushes > 0);
     assert!(io.submitted > 0, "writes must have reached the disk array");
+    assert_eq!(
+        extent_hist.iter().sum::<u64>(),
+        1,
+        "one file in the histogram"
+    );
     server.shutdown();
 }
