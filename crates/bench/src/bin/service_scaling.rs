@@ -316,6 +316,7 @@ fn print_fs_stats(c: &Cell) {
         s.hist_files(),
         s.hist_display()
     );
+    println!("    bay health: {}", s.health_display());
 }
 
 fn main() {

@@ -202,15 +202,7 @@ fn maintain(
     }
     fs.release_preallocations();
     let s = engine.maintain(&mut fs, remap).expect("maintenance IO");
-    total.dropped_runs += s.dropped_runs;
-    total.replicas_placed += s.replicas_placed;
-    total.groups_encoded += s.groups_encoded;
-    total.promoted_files += s.promoted_files;
-    total.demoted_files += s.demoted_files;
-    total.skipped_no_space += s.skipped_no_space;
-    total.defrag.ticks += s.defrag.ticks;
-    total.defrag.relocations += s.defrag.relocations;
-    total.defrag.blocks_moved += s.defrag.blocks_moved;
+    total.absorb(&s);
     ConcurrentFs::from_engine(fs)
 }
 
@@ -266,7 +258,9 @@ fn run_cell(clients: u64, policy: PolicyKind, check: bool) -> Cell {
     let wall_s = wall.elapsed().as_secs_f64();
 
     fs.sync();
-    let extent_hist = fs.stats().hist_display();
+    let stats = fs.stats();
+    eprintln!("    bay health: {}", stats.health_display());
+    let extent_hist = stats.hist_display();
     let hist = merged.into_inner().unwrap();
     if check {
         let mut engine_fs = fs.into_engine();

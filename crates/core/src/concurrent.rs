@@ -97,7 +97,7 @@
 //! ```
 
 use crate::config::FsConfig;
-use crate::fs::{EngineParts, FileState, FileSystem, OpenFile, Ost};
+use crate::fs::{EngineParts, FileState, FileSystem, LifecycleStats, OpenFile, Ost};
 use crate::metrics::FsMetrics;
 use crate::striping::Striping;
 use crate::tier::{DegradedSource, TierMap};
@@ -106,11 +106,11 @@ use mif_alloc::{AllocPolicy, BumpWindow, FileId, GroupedAllocator, PolicyKind, S
 use mif_extent::{Extent, ExtentTree};
 use mif_mds::{encode_write_record, GroupCommitWal, InodeNo, Mds, WriteCommit, ROOT_INO};
 use mif_simdisk::{
-    BlockRequest, Disk, DiskArray, DiskStats, FaultPlan, FaultStats, IoFault, Nanos,
+    BlockRequest, Disk, DiskArray, DiskHealth, DiskStats, FaultPlan, FaultStats, IoFault, Nanos,
     SharedDiskStats,
 };
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Stripes in the MDS namespace lock table.
@@ -141,15 +141,14 @@ struct OstShard {
     /// the single hottest serialization point of the PR-5 front-end
     /// (`osts` lock acquisitions per write).
     powered_off: AtomicBool,
-    /// Lock-free mirror of `disk.failed()` (whole-disk death): writes and
-    /// uncovered reads targeting this shard fail until the drive is
-    /// replaced ([`ConcurrentFs::begin_rebuild`]).
-    failed: AtomicBool,
-    /// Still rebuilding after a replacement: reads of this shard keep
-    /// routing to replicas/parity where coverage exists, and the shard is
-    /// not counted healthy for redundancy, until
-    /// [`ConcurrentFs::rebuild_ost`] finishes.
-    degraded: AtomicBool,
+    /// Lock-free mirror of the bay's [`DiskHealth`] (stored as the enum's
+    /// `u8` discriminant). The write hot path reads this instead of a
+    /// `failed`/`degraded` flag pair: `Failed` fails writes and uncovered
+    /// reads, `Failed | Rebuilding` routes reads through redundancy, and
+    /// only `Healthy` accepts new placements. The authoritative state
+    /// lives here while the front-end owns the system; transitions are
+    /// validated through [`DiskHealth::can_transition`].
+    health: AtomicU8,
     /// Read blocks routed to this shard (primary or replica) — the
     /// least-loaded fan-out signal.
     routed_blocks: AtomicU64,
@@ -162,10 +161,10 @@ struct FileInner {
     trees: Vec<ExtentTree>,
     size_blocks: u64,
     open_handles: u32,
-    /// Delayed-allocation buffers, one per OST: unmapped logical ranges
-    /// awaiting coalesced allocation at flush time.
+    /// Delayed-allocation buffers, one per stripe column: unmapped logical
+    /// ranges awaiting coalesced allocation at flush time.
     delayed: Vec<Vec<(u64, u64)>>,
-    /// Cached per-(OST, stream) bump-window handles. The write path claims
+    /// Cached per-(column, stream) bump-window handles. The write path claims
     /// from these lock-free ([`BumpWindow::claim`]); only a failed claim
     /// (window spent, closed, or non-sequential offset) falls back to the
     /// policy mutex, which reserves fresh windows and re-primes the cache.
@@ -233,6 +232,10 @@ pub struct FsStats {
     /// namespace at a glance — a healthy defragmented system keeps mass
     /// in the low buckets.
     pub extent_hist: [u64; 16],
+    /// Per-bay health states, indexed by physical OST.
+    pub health: Vec<DiskHealth>,
+    /// Lifecycle counters: rebuilds, drains, additions, scrub progress.
+    pub lifecycle: LifecycleStats,
 }
 
 impl FsStats {
@@ -266,6 +269,20 @@ impl FsStats {
         }
         out
     }
+
+    /// Render the fleet's bay states: `N bays all-healthy` when nothing
+    /// is wrong, else `0:healthy 1:rebuilding 2:absent ...`.
+    pub fn health_display(&self) -> String {
+        if self.health.iter().all(|&h| h == DiskHealth::Healthy) {
+            return format!("{} bays all-healthy", self.health.len());
+        }
+        self.health
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{i}:{h}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
 }
 
 /// One file: immutable identity plus locked mutable state.
@@ -274,6 +291,11 @@ struct FileSlot {
     name: String,
     ino: InodeNo,
     ost_shift: u32,
+    /// Stripe column → physical OST hosting it (see [`FileState::ost_map`]
+    /// in the engine). Immutable under the front-end: drains — the only
+    /// operation that rewrites the map — run against the quiesced serial
+    /// engine, never under concurrent clients.
+    ost_map: Vec<u32>,
     /// Lock-free access recorder: read ops since the last drain. The heat
     /// classifier (`mif-tier`) consumes these as deltas.
     reads: AtomicU64,
@@ -282,11 +304,22 @@ struct FileSlot {
     inner: Mutex<FileInner>,
 }
 
+impl FileSlot {
+    /// The file's stripe geometry: width = this file's column count.
+    fn striping(&self, stripe_blocks: u64) -> Striping {
+        Striping::new(self.ost_map.len() as u32, stripe_blocks)
+    }
+
+    /// Physical OST (shard index) currently hosting stripe column `col`.
+    fn phys(&self, col: usize) -> usize {
+        self.ost_map[col] as usize
+    }
+}
+
 /// A thread-safe front-end over the core file system: the same semantics
 /// as [`FileSystem`], shared by reference across client threads.
 pub struct ConcurrentFs {
     pub config: FsConfig,
-    striping: Striping,
     shards: Vec<OstShard>,
     mds: Mutex<Mds>,
     mds_stripes: Vec<Mutex<()>>,
@@ -308,6 +341,10 @@ pub struct ConcurrentFs {
     /// path, exclusive for invalidation and registration. Lock rank
     /// [`LockClass::Tier`] — outside `File`, inside `FileMap`.
     tier: RwLock<TierMap>,
+    /// Lifecycle counters (rebuilds, additions, scrub tallies), inherited
+    /// from the engine and handed back at quiesce. Maintenance-path only:
+    /// taken with no other lock held, never on the data hot path.
+    lifecycle: Mutex<LifecycleStats>,
     contention: ContentionCounters,
 }
 
@@ -327,26 +364,26 @@ impl ConcurrentFs {
             .osts
             .into_iter()
             .zip(disks)
-            .map(|(ost, disk)| {
+            .zip(&parts.health)
+            .map(|((ost, disk), &health)| {
                 io.add(disk.stats());
                 OstShard {
                     alloc: ost.alloc,
                     policy: Mutex::new(ost.policy),
                     queues: Mutex::new(OstQueues::default()),
                     powered_off: AtomicBool::new(disk.powered_off()),
-                    failed: AtomicBool::new(disk.failed()),
-                    degraded: AtomicBool::new(disk.failed()),
+                    health: AtomicU8::new(health as u8),
                     routed_blocks: AtomicU64::new(0),
                     disk: Mutex::new(disk),
                     elapsed_ns: AtomicU64::new(0),
                 }
             })
             .collect();
-        let osts_n = shards.len();
         let files = parts
             .files
             .into_iter()
             .map(|(id, f)| {
+                let width = f.trees.len();
                 (
                     id,
                     Arc::new(FileSlot {
@@ -354,21 +391,21 @@ impl ConcurrentFs {
                         name: f.name,
                         ino: f.ino,
                         ost_shift: f.ost_shift,
+                        ost_map: f.ost_map,
                         reads: AtomicU64::new(0),
                         writes: AtomicU64::new(0),
                         inner: Mutex::new(FileInner {
                             trees: f.trees,
                             size_blocks: f.size_blocks,
                             open_handles: f.open_handles,
-                            delayed: vec![Vec::new(); osts_n],
-                            windows: vec![HashMap::new(); osts_n],
+                            delayed: vec![Vec::new(); width],
+                            windows: vec![HashMap::new(); width],
                         }),
                     }),
                 )
             })
             .collect();
         Self {
-            striping: Striping::new(parts.config.osts, parts.config.stripe_blocks),
             shards,
             mds: Mutex::new(parts.mds),
             mds_stripes: (0..MDS_STRIPES).map(|_| Mutex::new(())).collect(),
@@ -381,6 +418,7 @@ impl ConcurrentFs {
             io,
             wal: GroupCommitWal::new(parts.config.wal_slab_records),
             tier: RwLock::new(parts.tier),
+            lifecycle: Mutex::new(parts.lifecycle),
             contention: ContentionCounters::default(),
             config: parts.config,
         }
@@ -401,13 +439,16 @@ impl ConcurrentFs {
             mds_cpu_ns,
             base_elapsed_ns,
             tier,
+            lifecycle,
             ..
         } = self;
         let mut disks = Vec::with_capacity(shards.len());
         let mut osts = Vec::with_capacity(shards.len());
+        let mut health = Vec::with_capacity(shards.len());
         let mut busiest: Nanos = 0;
         for shard in shards {
             busiest = busiest.max(shard.elapsed_ns.into_inner());
+            health.push(DiskHealth::from_u8(shard.health.into_inner()));
             disks.push(shard.disk.into_inner().unwrap());
             osts.push(Ost {
                 alloc: shard.alloc,
@@ -431,6 +472,7 @@ impl ConcurrentFs {
                         trees: inner.trees,
                         size_blocks: inner.size_blocks,
                         ost_shift: slot.ost_shift,
+                        ost_map: slot.ost_map,
                         open_handles: inner.open_handles,
                     },
                 )
@@ -443,6 +485,8 @@ impl ConcurrentFs {
             files,
             next_file: next_file.into_inner(),
             tier: tier.into_inner().unwrap(),
+            health,
+            lifecycle: lifecycle.into_inner().unwrap(),
             data_elapsed_ns: base_elapsed_ns + busiest,
             mds_cpu_ns: mds_cpu_ns.into_inner(),
             config,
@@ -463,15 +507,25 @@ impl ConcurrentFs {
     // ----- lifecycle ------------------------------------------------------
 
     /// Create a file under the root directory (see [`FileSystem::create`]).
+    /// The file stripes over the bays currently accepting placements —
+    /// draining, rebuilding, failed and absent bays are excluded from its
+    /// `ost_map` for life.
     pub fn create(&self, name: &str, size_hint_blocks: Option<u64>) -> OpenFile {
         let id = FileId(self.next_file.fetch_add(1, Ordering::Relaxed));
-        let per_ost_hint = size_hint_blocks.map(|s| s.div_ceil(self.config.osts as u64));
+        let ost_map = self.active_osts();
+        assert!(
+            !ost_map.is_empty(),
+            "create with no OST accepting placements"
+        );
+        let width = ost_map.len();
+        let per_ost_hint = size_hint_blocks.map(|s| s.div_ceil(width as u64));
         let _stripe = self.stripe_guard(name);
         let ino = {
             let _order = lockorder::acquire(LockClass::MdsJournal);
             self.mds.lock().unwrap().create(ROOT_INO, name, 0)
         };
-        for shard in &self.shards {
+        for &phys in &ost_map {
+            let shard = &self.shards[phys as usize];
             let _order = lockorder::acquire(LockClass::Policy);
             shard
                 .policy
@@ -479,14 +533,14 @@ impl ConcurrentFs {
                 .unwrap()
                 .create(&shard.alloc, id, per_ost_hint);
         }
-        let mut trees: Vec<ExtentTree> =
-            (0..self.shards.len()).map(|_| ExtentTree::new()).collect();
+        let mut trees: Vec<ExtentTree> = (0..width).map(|_| ExtentTree::new()).collect();
         // fallocate semantics, as in the engine: static preallocation maps
         // the whole hinted range up front.
         if self.config.policy == PolicyKind::Static {
             if let Some(hint) = per_ost_hint {
                 let stream = StreamId::new(u32::MAX, u32::MAX);
-                for (shard, tree) in self.shards.iter().zip(&mut trees) {
+                for (&phys, tree) in ost_map.iter().zip(&mut trees) {
+                    let shard = &self.shards[phys as usize];
                     let _order = lockorder::acquire(LockClass::Policy);
                     let mut policy = shard.policy.lock().unwrap();
                     let mut logical = 0;
@@ -501,15 +555,16 @@ impl ConcurrentFs {
             id,
             name: name.to_string(),
             ino,
-            ost_shift: (id.0 % self.config.osts as u64) as u32,
+            ost_shift: (id.0 % width as u64) as u32,
+            ost_map,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             inner: Mutex::new(FileInner {
                 trees,
                 size_blocks: 0,
                 open_handles: 1,
-                delayed: vec![Vec::new(); self.shards.len()],
-                windows: vec![HashMap::new(); self.shards.len()],
+                delayed: vec![Vec::new(); width],
+                windows: vec![HashMap::new(); width],
             }),
         });
         {
@@ -611,8 +666,8 @@ impl ConcurrentFs {
         {
             let _order = lockorder::acquire(LockClass::File);
             let mut inner = slot.inner.lock().unwrap();
-            for (i, tree) in inner.trees.iter_mut().enumerate() {
-                let shard = &self.shards[i];
+            for (col, tree) in inner.trees.iter_mut().enumerate() {
+                let shard = &self.shards[slot.phys(col)];
                 for (phys, len) in tree.clear() {
                     shard.alloc.free(phys, len);
                     let _disk = lockorder::acquire(LockClass::Disk);
@@ -708,11 +763,13 @@ impl ConcurrentFs {
         }
         let slot = self.slot(file).expect("write to unknown file");
         slot.writes.fetch_add(1, Ordering::Relaxed);
+        let striping = slot.striping(self.config.stripe_blocks);
         // A write cannot land on a dead disk; a replaced-but-rebuilding
-        // one accepts fresh data.
-        for (ost_idx, ..) in self.striping.split(offset, len, slot.ost_shift) {
-            if self.shards[ost_idx as usize].failed.load(Ordering::Acquire) {
-                return Err((ost_idx as usize, IoFault::DiskFailed));
+        // (or draining) one accepts fresh data to columns it already hosts.
+        for (col, ..) in striping.split(offset, len, slot.ost_shift) {
+            let phys = slot.phys(col as usize);
+            if self.ost_health(phys) == DiskHealth::Failed {
+                return Err((phys, IoFault::DiskFailed));
             }
         }
         {
@@ -728,18 +785,14 @@ impl ConcurrentFs {
             let overlaps = {
                 let tier = self.tier.read().unwrap();
                 !tier.is_empty()
-                    && self
-                        .striping
-                        .split(offset, len, slot.ost_shift)
-                        .into_iter()
-                        .any(|(ost_idx, local, run, _)| {
-                            tier.has_valid_overlap(file.0 .0, ost_idx, local, run)
-                        })
+                    && striping.split(offset, len, slot.ost_shift).into_iter().any(
+                        |(col, local, run, _)| tier.has_valid_overlap(file.0 .0, col, local, run),
+                    )
             };
             if overlaps {
                 let mut tier = self.tier.write().unwrap();
-                for (ost_idx, local, run, _) in self.striping.split(offset, len, slot.ost_shift) {
-                    tier.invalidate_overlap(file.0 .0, ost_idx, local, run);
+                for (col, local, run, _) in striping.split(offset, len, slot.ost_shift) {
+                    tier.invalidate_overlap(file.0 .0, col, local, run);
                 }
             }
         }
@@ -788,16 +841,19 @@ impl ConcurrentFs {
         offset: u64,
         len: u64,
     ) {
-        let pieces = self.striping.split(offset, len, slot.ost_shift);
+        let pieces = slot
+            .striping(self.config.stripe_blocks)
+            .split(offset, len, slot.ost_shift);
         let delayed = self.config.policy == PolicyKind::Delayed;
-        for (ost_idx, local, run, _) in pieces {
-            let ost_idx = ost_idx as usize;
-            let shard = &self.shards[ost_idx];
+        for (col, local, run, _) in pieces {
+            let col = col as usize;
+            let phys = slot.phys(col);
+            let shard = &self.shards[phys];
 
             if delayed {
                 let mut buffered = 0u64;
-                for (gap_start, gap_len) in inner.trees[ost_idx].gaps(local, run) {
-                    inner.delayed[ost_idx].push((gap_start, gap_len));
+                for (gap_start, gap_len) in inner.trees[col].gaps(local, run) {
+                    inner.delayed[col].push((gap_start, gap_len));
                     buffered += gap_len;
                 }
                 if buffered > 0 {
@@ -805,13 +861,13 @@ impl ConcurrentFs {
                     let _order = lockorder::acquire(LockClass::OstQueue);
                     self.delayed_dirty.lock().unwrap().insert(slot.id);
                 }
-                self.queue_writes(ost_idx, inner.trees[ost_idx].resolve(local, run));
+                self.queue_writes(phys, inner.trees[col].resolve(local, run));
                 inner.size_blocks = inner.size_blocks.max(offset + len);
                 continue;
             }
 
             if self.config.policy == PolicyKind::Cow {
-                for (old_phys, old_len) in inner.trees[ost_idx].remove(local, run) {
+                for (old_phys, old_len) in inner.trees[col].remove(local, run) {
                     shard.alloc.free(old_phys, old_len);
                     let _order = lockorder::acquire(LockClass::Disk);
                     self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
@@ -819,8 +875,8 @@ impl ConcurrentFs {
                 }
             }
 
-            let mut cached = inner.windows[ost_idx].get(&stream).cloned();
-            let tree = &mut inner.trees[ost_idx];
+            let mut cached = inner.windows[col].get(&stream).cloned();
+            let tree = &mut inner.trees[col];
             for (gap_start, gap_len) in tree.gaps(local, run) {
                 let before = tree.extent_count();
                 let mut logical = gap_start;
@@ -869,13 +925,13 @@ impl ConcurrentFs {
             }
             match cached {
                 Some(w) => {
-                    inner.windows[ost_idx].insert(stream, w);
+                    inner.windows[col].insert(stream, w);
                 }
                 None => {
-                    inner.windows[ost_idx].remove(&stream);
+                    inner.windows[col].remove(&stream);
                 }
             }
-            self.queue_writes(ost_idx, inner.trees[ost_idx].resolve(local, run));
+            self.queue_writes(phys, inner.trees[col].resolve(local, run));
         }
         inner.size_blocks = inner.size_blocks.max(offset + len);
     }
@@ -928,19 +984,27 @@ impl ConcurrentFs {
         let ctx = stream.as_u64() ^ file.0 .0.rotate_left(17);
         let slot = self.slot(file).expect("read from unknown file");
         slot.reads.fetch_add(1, Ordering::Relaxed);
+        let striping = slot.striping(self.config.stripe_blocks);
         let _tier_order = lockorder::acquire(LockClass::Tier);
         let tier = self.tier.read().unwrap();
         let _order = lockorder::acquire(LockClass::File);
         let inner = slot.inner.lock().unwrap();
-        for (ost_idx, local, run, _) in self.striping.split(offset, len, slot.ost_shift) {
-            let ost_idx = ost_idx as usize;
-            let shard = &self.shards[ost_idx];
-            let failed = shard.failed.load(Ordering::Acquire);
-            let degraded = failed || shard.degraded.load(Ordering::Acquire);
+        for (col, local, run, _) in striping.split(offset, len, slot.ost_shift) {
+            let col = col as usize;
+            let phys_ost = slot.phys(col);
+            let shard = &self.shards[phys_ost];
+            let health = self.ost_health(phys_ost);
+            let failed = health == DiskHealth::Failed;
+            let degraded = health.degraded();
             if degraded {
-                match tier.degraded_source(file.0 .0, ost_idx as u32, local, run, |o| {
-                    self.ost_healthy(o)
-                }) {
+                match tier.degraded_source(
+                    file.0 .0,
+                    col as u32,
+                    local,
+                    run,
+                    |c| slot.ost_map[c as usize],
+                    |o| self.ost_healthy(o),
+                ) {
                     Some(DegradedSource::Replica { ost, phys, len }) => {
                         self.queue_read(ost as usize, phys, len, ctx);
                         continue;
@@ -948,31 +1012,33 @@ impl ConcurrentFs {
                     Some(DegradedSource::Stripe { unit, reads, .. }) => {
                         for (rost, start, parity) in reads {
                             if parity {
+                                // Parity runs live at physical addresses.
                                 self.queue_read(rost as usize, start, unit, ctx);
                             } else {
-                                // A surviving data member: same file, so
-                                // its extents resolve under this lock.
+                                // A surviving data member (a stripe column
+                                // of this same file): its extents resolve
+                                // under this lock; the IO goes to the bay
+                                // hosting that column.
                                 for (phys, l) in inner.trees[rost as usize].resolve(start, unit) {
-                                    self.queue_read(rost as usize, phys, l, ctx);
+                                    self.queue_read(slot.phys(rost as usize), phys, l, ctx);
                                 }
                             }
                         }
                         continue;
                     }
-                    None if failed => return Err((ost_idx, IoFault::DiskFailed)),
+                    None if failed => return Err((phys_ost, IoFault::DiskFailed)),
                     None => {} // rebuilding: direct read below
                 }
             }
-            let resolved = inner.trees[ost_idx].resolve(local, run);
+            let resolved = inner.trees[col].resolve(local, run);
             if resolved.is_empty() {
                 continue;
             }
             if !degraded {
                 // Hot-read fan-out: route the whole piece to the
                 // least-loaded valid copy, primary included.
-                let replicas = tier.replicas_covering(file.0 .0, ost_idx as u32, local, run, |o| {
-                    self.ost_healthy(o)
-                });
+                let replicas = tier
+                    .replicas_covering(file.0 .0, col as u32, local, run, |o| self.ost_healthy(o));
                 if !replicas.is_empty() {
                     let mut best: Option<(&crate::tier::ReplicaRun, u64)> = None;
                     for r in replicas {
@@ -994,7 +1060,7 @@ impl ConcurrentFs {
                 }
             }
             for (phys, l) in resolved {
-                self.queue_read(ost_idx, phys, l, ctx);
+                self.queue_read(phys_ost, phys, l, ctx);
             }
         }
         Ok(())
@@ -1015,13 +1081,14 @@ impl ConcurrentFs {
             .push(BlockRequest::read(phys, len).with_ctx(ctx));
     }
 
-    /// Can `ost` serve redundancy reads right now? (not dead, not mid-
-    /// rebuild, not powered off)
+    /// Can `ost` (a physical bay) serve redundancy reads right now?
+    /// A draining bay still serves its data; a failed, rebuilding or
+    /// absent one cannot back a degraded read, and neither can a
+    /// powered-off server.
     fn ost_healthy(&self, ost: u32) -> bool {
         let s = &self.shards[ost as usize];
-        !s.failed.load(Ordering::Acquire)
-            && !s.degraded.load(Ordering::Acquire)
-            && !s.powered_off.load(Ordering::Acquire)
+        let h = DiskHealth::from_u8(s.health.load(Ordering::Acquire));
+        h.serves_io() && !h.degraded() && !s.powered_off.load(Ordering::Acquire)
     }
 
     // ----- flushing -------------------------------------------------------
@@ -1121,8 +1188,8 @@ impl ConcurrentFs {
             };
             let _order = lockorder::acquire(LockClass::File);
             let mut inner = slot.inner.lock().unwrap();
-            for ost_idx in 0..self.shards.len() {
-                let mut ranges = std::mem::take(&mut inner.delayed[ost_idx]);
+            for col in 0..inner.delayed.len() {
+                let mut ranges = std::mem::take(&mut inner.delayed[col]);
                 if ranges.is_empty() {
                     continue;
                 }
@@ -1137,15 +1204,16 @@ impl ConcurrentFs {
                         _ => runs.push((start, len)),
                     }
                 }
-                let shard = &self.shards[ost_idx];
+                let phys_ost = slot.phys(col);
+                let shard = &self.shards[phys_ost];
                 for (start, len) in runs {
-                    for (gap_start, gap_len) in inner.trees[ost_idx].gaps(start, len) {
+                    for (gap_start, gap_len) in inner.trees[col].gaps(start, len) {
                         let allocated = {
                             let _order = lockorder::acquire(LockClass::Policy);
                             let mut policy = shard.policy.lock().unwrap();
                             policy.extend(&shard.alloc, id, stream, gap_start, gap_len)
                         };
-                        let tree = &mut inner.trees[ost_idx];
+                        let tree = &mut inner.trees[col];
                         let before = tree.extent_count();
                         let mut logical = gap_start;
                         let mut writes = Vec::new();
@@ -1159,7 +1227,7 @@ impl ConcurrentFs {
                             added * self.config.mds_cpu_ns_per_extent,
                             Ordering::Relaxed,
                         );
-                        self.queue_writes(ost_idx, writes);
+                        self.queue_writes(phys_ost, writes);
                     }
                 }
             }
@@ -1227,14 +1295,48 @@ impl ConcurrentFs {
         self.shards[ost].disk.lock().unwrap().fault_stats().cloned()
     }
 
-    // ----- disk death and rebuild (the tier failure scenario) -------------
+    // ----- disk population lifecycle (health machine) ---------------------
+
+    /// This bay's current health (lock-free mirror read).
+    pub fn ost_health(&self, ost: usize) -> DiskHealth {
+        DiskHealth::from_u8(self.shards[ost].health.load(Ordering::Acquire))
+    }
+
+    /// Every bay's health, indexed by physical OST.
+    pub fn ost_healths(&self) -> Vec<DiskHealth> {
+        (0..self.shards.len()).map(|i| self.ost_health(i)).collect()
+    }
+
+    /// Total disk bays (active + spare), the shard count.
+    pub fn total_osts(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Physical OSTs currently accepting new placements.
+    pub fn active_osts(&self) -> Vec<u32> {
+        (0..self.shards.len() as u32)
+            .filter(|&i| self.ost_health(i as usize).accepts_placements())
+            .collect()
+    }
+
+    /// Drive the bay's health machine, validating the transition. Panics
+    /// on an illegal jump — lifecycle drivers must follow the machine.
+    fn set_ost_health(&self, ost: usize, to: DiskHealth) {
+        let from = self.ost_health(ost);
+        assert!(
+            from.can_transition(to),
+            "illegal OST {ost} health transition {from} -> {to}"
+        );
+        self.shards[ost].health.store(to as u8, Ordering::Release);
+    }
 
     /// Kill one IO server's disk outright ([`Disk::fail`]): every request
     /// fails until the drive is swapped. Queued IO toward the dead disk is
     /// discarded — it died with the device, like dirty pages toward a
     /// failed drive. Reads of its data are served degraded (replica /
     /// parity) where the tier map has coverage; writes touching it fail
-    /// with [`IoFault::DiskFailed`].
+    /// with [`IoFault::DiskFailed`]. The bay enters `Failed` from any
+    /// populated state — disks die mid-drain and mid-rebuild too.
     pub fn fail_ost(&self, ost: usize) {
         let shard = &self.shards[ost];
         {
@@ -1246,24 +1348,45 @@ impl ConcurrentFs {
         let _order = lockorder::acquire(LockClass::Disk);
         self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
         shard.disk.lock().unwrap().fail();
-        shard.failed.store(true, Ordering::Release);
-        shard.degraded.store(true, Ordering::Release);
+        self.set_ost_health(ost, DiskHealth::Failed);
     }
 
-    /// Swap in a blank replacement drive ([`Disk::replace`]): the shard
-    /// accepts IO again (fresh writes land on the new media), but stays
-    /// *degraded* — reads keep routing to redundancy where coverage
-    /// exists — until [`ConcurrentFs::rebuild_ost`] completes.
+    /// Populate an empty expansion bay with a blank drive: the bay turns
+    /// `Healthy` and every *subsequent* create stripes over it. Existing
+    /// files keep their width; rebalancing onto the new bay is the drain/
+    /// defrag machinery's job, not placement's.
+    pub fn add_ost(&self, ost: usize) {
+        let shard = &self.shards[ost];
+        {
+            let _order = lockorder::acquire(LockClass::Disk);
+            self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+            let mut disk = shard.disk.lock().unwrap();
+            disk.replace();
+            shard
+                .powered_off
+                .store(disk.powered_off(), Ordering::Release);
+        }
+        self.set_ost_health(ost, DiskHealth::Healthy);
+        let mut lc = self.lifecycle.lock().unwrap();
+        lc.osts_added += 1;
+    }
+
+    /// Swap in a blank replacement drive ([`Disk::replace`]): the bay
+    /// moves `Failed → Rebuilding` — it accepts IO again (fresh writes
+    /// land on the new media), but reads keep routing to redundancy where
+    /// coverage exists until [`ConcurrentFs::rebuild_ost`] completes.
     pub fn begin_rebuild(&self, ost: usize) {
         let shard = &self.shards[ost];
-        let _order = lockorder::acquire(LockClass::Disk);
-        self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
-        let mut disk = shard.disk.lock().unwrap();
-        disk.replace();
-        shard
-            .powered_off
-            .store(disk.powered_off(), Ordering::Release);
-        shard.failed.store(false, Ordering::Release);
+        {
+            let _order = lockorder::acquire(LockClass::Disk);
+            self.contention.disk_locks.fetch_add(1, Ordering::Relaxed);
+            let mut disk = shard.disk.lock().unwrap();
+            disk.replace();
+            shard
+                .powered_off
+                .store(disk.powered_off(), Ordering::Release);
+        }
+        self.set_ost_health(ost, DiskHealth::Rebuilding);
     }
 
     /// Background-rebuild the replaced disk under live traffic: rewrite
@@ -1278,12 +1401,8 @@ impl ConcurrentFs {
     /// already on the new media and needs no rebuild).
     pub fn rebuild_ost(&self, ost: usize) -> Result<(u64, u64), (usize, IoFault)> {
         assert!(
-            !self.shards[ost].failed.load(Ordering::Acquire),
-            "replace the disk first (begin_rebuild)"
-        );
-        assert!(
-            self.shards[ost].degraded.load(Ordering::Acquire),
-            "shard is not rebuilding"
+            self.ost_health(ost) == DiskHealth::Rebuilding,
+            "bay is not rebuilding (begin_rebuild first)"
         );
         let slots: Vec<Arc<FileSlot>> = {
             let _order = lockorder::acquire(LockClass::FileMap);
@@ -1296,43 +1415,66 @@ impl ConcurrentFs {
             let tier = self.tier.read().unwrap();
             let _order = lockorder::acquire(LockClass::File);
             let inner = slot.inner.lock().unwrap();
-            let extents: Vec<(u64, u64, u64)> = inner.trees[ost]
-                .extents()
-                .map(|e| (e.logical, e.physical, e.len))
-                .collect();
-            for (logical, phys, len) in extents {
-                match tier
-                    .degraded_source(slot.id.0, ost as u32, logical, len, |o| self.ost_healthy(o))
-                {
-                    Some(DegradedSource::Replica {
-                        ost: rost,
-                        phys: rphys,
-                        len: rlen,
-                    }) => {
-                        self.submit_direct(rost as usize, vec![BlockRequest::read(rphys, rlen)])?;
-                        self.submit_direct(ost, vec![BlockRequest::write(phys, len)])?;
-                        rebuilt += len;
-                    }
-                    Some(DegradedSource::Stripe { unit, reads, .. }) => {
-                        for (rost, start, parity) in reads {
-                            if parity {
+            // Every stripe column this bay hosts for the file (at most one
+            // today, but the map makes plurality possible after drains).
+            for col in (0..inner.trees.len()).filter(|&c| slot.phys(c) == ost) {
+                let extents: Vec<(u64, u64, u64)> = inner.trees[col]
+                    .extents()
+                    .map(|e| (e.logical, e.physical, e.len))
+                    .collect();
+                for (logical, phys, len) in extents {
+                    // Piecewise: an aged extent outgrows any one replica
+                    // run, so coverage is consumed sub-span by sub-span.
+                    for (start, sublen, source) in tier.degraded_sources(
+                        slot.id.0,
+                        col as u32,
+                        logical,
+                        len,
+                        |c| slot.ost_map[c as usize],
+                        |o| self.ost_healthy(o),
+                    ) {
+                        let sub_phys = phys + (start - logical);
+                        match source {
+                            Some(DegradedSource::Replica {
+                                ost: rost,
+                                phys: rphys,
+                                len: rlen,
+                            }) => {
                                 self.submit_direct(
                                     rost as usize,
-                                    vec![BlockRequest::read(start, unit)],
+                                    vec![BlockRequest::read(rphys, rlen)],
                                 )?;
-                            } else {
-                                let batch: Vec<BlockRequest> = inner.trees[rost as usize]
-                                    .resolve(start, unit)
-                                    .into_iter()
-                                    .map(|(p, l)| BlockRequest::read(p, l))
-                                    .collect();
-                                self.submit_direct(rost as usize, batch)?;
+                                self.submit_direct(
+                                    ost,
+                                    vec![BlockRequest::write(sub_phys, sublen)],
+                                )?;
+                                rebuilt += sublen;
                             }
+                            Some(DegradedSource::Stripe { unit, reads, .. }) => {
+                                for (rost, rstart, parity) in reads {
+                                    if parity {
+                                        self.submit_direct(
+                                            rost as usize,
+                                            vec![BlockRequest::read(rstart, unit)],
+                                        )?;
+                                    } else {
+                                        let batch: Vec<BlockRequest> = inner.trees[rost as usize]
+                                            .resolve(rstart, unit)
+                                            .into_iter()
+                                            .map(|(p, l)| BlockRequest::read(p, l))
+                                            .collect();
+                                        self.submit_direct(slot.phys(rost as usize), batch)?;
+                                    }
+                                }
+                                self.submit_direct(
+                                    ost,
+                                    vec![BlockRequest::write(sub_phys, sublen)],
+                                )?;
+                                rebuilt += sublen;
+                            }
+                            None => uncovered += sublen,
                         }
-                        self.submit_direct(ost, vec![BlockRequest::write(phys, len)])?;
-                        rebuilt += len;
                     }
-                    None => uncovered += len,
                 }
             }
         }
@@ -1361,13 +1503,15 @@ impl ConcurrentFs {
                             .any(|&(o, p)| o as usize == ost && p == run.phys)
                 });
                 let Some(g) = group else { continue };
+                // Members are stripe columns of the file; read each from
+                // the bay hosting that column.
                 for &(most, mstart) in &g.members {
                     let batch: Vec<BlockRequest> = inner.trees[most as usize]
                         .resolve(mstart, g.unit)
                         .into_iter()
                         .map(|(p, l)| BlockRequest::read(p, l))
                         .collect();
-                    self.submit_direct(most as usize, batch)?;
+                    self.submit_direct(slot.phys(most as usize), batch)?;
                 }
             } else {
                 let replica = tier.replicas().iter().find(|r| {
@@ -1379,23 +1523,34 @@ impl ConcurrentFs {
                     .into_iter()
                     .map(|(p, l)| BlockRequest::read(p, l))
                     .collect();
-                self.submit_direct(r.src_ost as usize, batch)?;
+                self.submit_direct(slot.phys(r.src_ost as usize), batch)?;
             }
             self.submit_direct(ost, vec![BlockRequest::write(run.phys, run.len)])?;
             rebuilt += run.len;
         }
-        self.shards[ost].degraded.store(false, Ordering::Release);
+        self.set_ost_health(ost, DiskHealth::Healthy);
+        {
+            let mut lc = self.lifecycle.lock().unwrap();
+            lc.rebuilds_completed += 1;
+            lc.rebuilt_blocks += rebuilt;
+        }
         Ok((rebuilt, uncovered))
     }
 
-    /// Is this shard's disk dead (failed, not yet replaced)?
+    /// Is this bay's disk dead (failed, not yet replaced)?
     pub fn ost_failed(&self, ost: usize) -> bool {
-        self.shards[ost].failed.load(Ordering::Acquire)
+        self.ost_health(ost) == DiskHealth::Failed
     }
 
-    /// Is this shard degraded (dead, or replaced but not yet rebuilt)?
+    /// Is this bay degraded (dead, or replaced but not yet rebuilt)?
     pub fn ost_degraded(&self, ost: usize) -> bool {
-        self.shards[ost].degraded.load(Ordering::Acquire)
+        self.ost_health(ost).degraded()
+    }
+
+    /// Lifecycle counters accumulated so far (rebuilds, additions, scrub
+    /// tallies inherited from the engine).
+    pub fn lifecycle(&self) -> LifecycleStats {
+        *self.lifecycle.lock().unwrap()
     }
 
     /// Submit one batch straight to a shard's disk (rebuild IO), charging
@@ -1573,6 +1728,8 @@ impl ConcurrentFs {
             contention: self.contention_snapshot(),
             io: self.io.snapshot(),
             extent_hist,
+            health: self.ost_healths(),
+            lifecycle: self.lifecycle(),
         }
     }
 

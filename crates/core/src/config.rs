@@ -10,6 +10,12 @@ pub struct FsConfig {
     /// Number of IO servers (= data disks; the paper stripes over 5 for the
     /// micro-benchmarks and 8 for the macro-benchmarks).
     pub osts: u32,
+    /// Empty expansion bays beyond `osts`: slots whose disks start
+    /// `Absent` and join the array live via `add_ost` (online expansion).
+    /// Every physical structure (disk, allocator, shard) exists from
+    /// construction; an absent bay is simply invisible to placement until
+    /// populated.
+    pub spare_osts: u32,
     /// Stripe unit in 4 KiB blocks (default 256 = 1 MiB, Lustre's default).
     pub stripe_blocks: u64,
     /// Block-allocation policy of the IO servers.
@@ -59,6 +65,7 @@ impl Default for FsConfig {
         };
         Self {
             osts: 5,
+            spare_osts: 0,
             stripe_blocks: 256,
             policy: PolicyKind::Reservation,
             ondemand: OnDemandConfig::default(),
@@ -77,6 +84,11 @@ impl Default for FsConfig {
 }
 
 impl FsConfig {
+    /// Total disk bays: initially-active OSTs plus empty expansion bays.
+    pub fn total_osts(&self) -> usize {
+        (self.osts + self.spare_osts) as usize
+    }
+
     /// Convenience: a config with the given policy and OST count.
     pub fn with_policy(policy: PolicyKind, osts: u32) -> Self {
         Self {

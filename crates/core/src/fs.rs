@@ -14,7 +14,9 @@ use crate::tier::TierMap;
 use mif_alloc::{make_policy, AllocPolicy, FileId, GroupedAllocator, StreamId};
 use mif_extent::{Extent, ExtentTree};
 use mif_mds::{InodeNo, Mds, ROOT_INO};
-use mif_simdisk::{BlockRequest, DiskArray, DiskStats, FaultPlan, FaultStats, IoFault, Nanos};
+use mif_simdisk::{
+    BlockRequest, DiskArray, DiskHealth, DiskStats, FaultPlan, FaultStats, IoFault, Nanos,
+};
 use std::collections::HashMap;
 
 pub(crate) struct Ost {
@@ -25,10 +27,19 @@ pub(crate) struct Ost {
 pub(crate) struct FileState {
     pub(crate) name: String,
     pub(crate) ino: InodeNo,
-    /// One extent tree per OST (OST-local logical space).
+    /// One extent tree per stripe *column* (column-local logical space).
+    /// A file's width (column count) is fixed at create time to the
+    /// then-active OST count, so files created after an expansion stripe
+    /// wider than older ones.
     pub(crate) trees: Vec<ExtentTree>,
+    /// Column → physical OST. Identity with the active set at create;
+    /// a drain relocates a whole column to another OST and repoints its
+    /// entry here. All physical targeting (allocator, disk, queues) goes
+    /// through this map; all logical bookkeeping (striping math, tier
+    /// source spans) stays in column space.
+    pub(crate) ost_map: Vec<u32>,
     pub(crate) size_blocks: u64,
-    /// Starting-OST rotation for this file (files begin on different
+    /// Starting-column rotation for this file (files begin on different
     /// servers so concurrent per-process files spread the load).
     pub(crate) ost_shift: u32,
     /// Live handle count: `create`/`open`/`open_by_ino` increment, `close`
@@ -38,12 +49,52 @@ pub(crate) struct FileState {
     pub(crate) open_handles: u32,
 }
 
+impl FileState {
+    /// The striping function this file was created under (width = its
+    /// column count).
+    pub(crate) fn striping(&self, stripe_blocks: u64) -> Striping {
+        Striping::new(self.trees.len() as u32, stripe_blocks)
+    }
+}
+
+/// Cumulative disk-population lifecycle counters: rebuilds, drains,
+/// expansions and scrub work, surfaced through `FsStats` and the fleet
+/// benches. Maintained by the engines (rebuild), `mif-defrag`'s drain
+/// driver and `mif-scrub`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// OST rebuilds brought to completion.
+    pub rebuilds_completed: u64,
+    /// Blocks reconstructed from redundancy during rebuilds.
+    pub rebuilt_blocks: u64,
+    /// Drains brought to completion (bay emptied to `Absent`).
+    pub drains_completed: u64,
+    /// File columns relocated off draining OSTs.
+    pub drained_columns: u64,
+    /// Blocks moved by drain relocations.
+    pub drained_blocks: u64,
+    /// Bays populated live (`add_ost`).
+    pub osts_added: u64,
+    /// Completed scrub passes over the whole population.
+    pub scrub_passes: u64,
+    /// Blocks checksum-verified by the scrubber.
+    pub scrub_scanned_blocks: u64,
+    /// Damaged blocks the scrubber found.
+    pub scrub_corruptions_found: u64,
+    /// Damaged blocks repaired from replicas/parity/primaries.
+    pub scrub_repaired: u64,
+    /// Damaged blocks with no redundant source — filed as findings.
+    pub scrub_findings: u64,
+}
+
 /// The engine's owned state, taken apart so [`crate::ConcurrentFs`] can
 /// shard it behind per-OST and per-file locks and reassemble on quiesce.
 pub(crate) struct EngineParts {
     pub(crate) config: FsConfig,
     pub(crate) array: DiskArray,
     pub(crate) osts: Vec<Ost>,
+    pub(crate) health: Vec<DiskHealth>,
+    pub(crate) lifecycle: LifecycleStats,
     pub(crate) mds: Mds,
     pub(crate) files: HashMap<FileId, FileState>,
     pub(crate) next_file: u64,
@@ -59,9 +110,14 @@ pub struct OpenFile(pub FileId);
 /// A complete parallel file system instance.
 pub struct FileSystem {
     pub config: FsConfig,
-    striping: Striping,
     array: DiskArray,
     osts: Vec<Ost>,
+    /// Per-bay population state. Placement consults it; IO routing and
+    /// maintenance (defrag, tier, fsck, scrub) route around non-serving
+    /// bays. Transitions go through [`FileSystem::set_ost_health`], which
+    /// enforces the [`DiskHealth::can_transition`] machine.
+    health: Vec<DiskHealth>,
+    lifecycle: LifecycleStats,
     mds: Mds,
     files: HashMap<FileId, FileState>,
     next_file: u64,
@@ -87,7 +143,7 @@ pub struct FileSystem {
 
 impl FileSystem {
     pub fn new(config: FsConfig) -> Self {
-        let osts_n = config.osts as usize;
+        let osts_n = config.total_osts();
         let array = DiskArray::with_config(
             osts_n,
             config.geometry.clone(),
@@ -110,17 +166,26 @@ impl FileSystem {
             })
             .collect();
         let mds = Mds::new(config.mds.clone());
-        let striping = Striping::new(config.osts, config.stripe_blocks);
         let pending = vec![Vec::new(); osts_n];
         let writeback = vec![Vec::new(); osts_n];
+        let health = (0..osts_n)
+            .map(|i| {
+                if i < config.osts as usize {
+                    DiskHealth::Healthy
+                } else {
+                    DiskHealth::Absent
+                }
+            })
+            .collect();
         Self {
             writeback,
             writeback_blocks: 0,
             delayed_pending: HashMap::new(),
             config,
-            striping,
             array,
             osts,
+            health,
+            lifecycle: LifecycleStats::default(),
             mds,
             files: HashMap::new(),
             next_file: 1,
@@ -146,6 +211,8 @@ impl FileSystem {
             config: self.config,
             array: self.array,
             osts: self.osts,
+            health: self.health,
+            lifecycle: self.lifecycle,
             mds: self.mds,
             files: self.files,
             next_file: self.next_file,
@@ -157,12 +224,12 @@ impl FileSystem {
 
     /// Rebuild an engine from parts the concurrent front-end sharded.
     pub(crate) fn from_parts(parts: EngineParts) -> Self {
-        let osts_n = parts.config.osts as usize;
-        let striping = Striping::new(parts.config.osts, parts.config.stripe_blocks);
+        let osts_n = parts.config.total_osts();
         Self {
-            striping,
             array: parts.array,
             osts: parts.osts,
+            health: parts.health,
+            lifecycle: parts.lifecycle,
             mds: parts.mds,
             files: parts.files,
             next_file: parts.next_file,
@@ -187,18 +254,29 @@ impl FileSystem {
         let id = FileId(self.next_file);
         self.next_file += 1;
         let ino = self.mds.create(ROOT_INO, name, 0);
-        let per_ost_hint = size_hint_blocks.map(|s| s.div_ceil(self.config.osts as u64));
-        for ost in &mut self.osts {
+        // New layouts land only on bays accepting placements: a draining,
+        // failed or absent OST gets no new columns. The file's width is
+        // fixed here — files created after an expansion stripe wider.
+        let ost_map = self.active_osts();
+        assert!(
+            !ost_map.is_empty(),
+            "create with no OST accepting placements"
+        );
+        let width = ost_map.len();
+        let per_ost_hint = size_hint_blocks.map(|s| s.div_ceil(width as u64));
+        for &phys in &ost_map {
+            let ost = &mut self.osts[phys as usize];
             ost.policy.create(&ost.alloc, id, per_ost_hint);
         }
-        let mut trees: Vec<ExtentTree> = (0..self.config.osts).map(|_| ExtentTree::new()).collect();
+        let mut trees: Vec<ExtentTree> = (0..width).map(|_| ExtentTree::new()).collect();
         // fallocate semantics: static preallocation maps the whole hinted
         // range up front (unwritten extents), so the blocks are owned by
         // the file and freed with it at unlink.
         if self.config.policy == mif_alloc::PolicyKind::Static {
             if let Some(hint) = per_ost_hint {
                 let stream = StreamId::new(u32::MAX, u32::MAX);
-                for (ost, tree) in self.osts.iter_mut().zip(&mut trees) {
+                for (&phys, tree) in ost_map.iter().zip(&mut trees) {
+                    let ost = &mut self.osts[phys as usize];
                     let mut logical = 0;
                     for (phys, l) in ost.policy.extend(&ost.alloc, id, stream, 0, hint) {
                         tree.insert(Extent::new(logical, phys, l));
@@ -213,8 +291,9 @@ impl FileSystem {
                 name: name.to_string(),
                 ino,
                 trees,
+                ost_map,
                 size_blocks: 0,
-                ost_shift: (id.0 % self.config.osts as u64) as u32,
+                ost_shift: (id.0 % width as u64) as u32,
                 open_handles: 1,
             },
         );
@@ -290,13 +369,14 @@ impl FileSystem {
             return;
         }
         let shift = state.ost_shift;
-        for (ost_idx, local, run, _) in
-            self.striping
-                .split(new_size_blocks, old_size - new_size_blocks, shift)
+        let striping = state.striping(self.config.stripe_blocks);
+        for (col, local, run, _) in
+            striping.split(new_size_blocks, old_size - new_size_blocks, shift)
         {
-            let ost_idx = ost_idx as usize;
+            let col = col as usize;
             let state = self.files.get_mut(&file.0).expect("file exists");
-            for (phys, len) in state.trees[ost_idx].remove(local, run) {
+            let ost_idx = state.ost_map[col] as usize;
+            for (phys, len) in state.trees[col].remove(local, run) {
                 self.osts[ost_idx].alloc.free(phys, len);
                 self.array.disk_mut(ost_idx).invalidate(phys, len);
             }
@@ -320,7 +400,8 @@ impl FileSystem {
         let Some(state) = self.files.remove(&file.0) else {
             return;
         };
-        for (i, mut tree) in state.trees.into_iter().enumerate() {
+        for (col, mut tree) in state.trees.into_iter().enumerate() {
+            let i = state.ost_map[col] as usize;
             for (phys, len) in tree.clear() {
                 self.osts[i].alloc.free(phys, len);
                 self.array.disk_mut(i).invalidate(phys, len);
@@ -363,10 +444,8 @@ impl FileSystem {
     pub fn try_end_round(&mut self) -> Result<Nanos, (usize, IoFault)> {
         assert!(self.round_open, "no open round");
         self.round_open = false;
-        let batches = std::mem::replace(
-            &mut self.pending,
-            vec![Vec::new(); self.config.osts as usize],
-        );
+        let n = self.total_osts();
+        let batches = std::mem::replace(&mut self.pending, vec![Vec::new(); n]);
         let mut t = self.array.try_submit_round(batches)?;
         if self.writeback_blocks >= self.config.writeback_limit_blocks {
             t += self.try_flush_writeback()?;
@@ -398,10 +477,8 @@ impl FileSystem {
             return Ok(0);
         }
         self.writeback_blocks = 0;
-        let batches = std::mem::replace(
-            &mut self.writeback,
-            vec![Vec::new(); self.config.osts as usize],
-        );
+        let n = self.total_osts();
+        let batches = std::mem::replace(&mut self.writeback, vec![Vec::new(); n]);
         self.array.try_submit_round(batches)
     }
 
@@ -409,7 +486,7 @@ impl FileSystem {
     fn allocate_delayed(&mut self) {
         let pending = std::mem::take(&mut self.delayed_pending);
         let stream = StreamId::new(u32::MAX, 0); // allocation is flush-driven
-        for ((file_id, ost_idx), mut ranges) in pending {
+        for ((file_id, col), mut ranges) in pending {
             ranges.sort_unstable();
             // Coalesce adjacent/overlapping logical ranges into runs.
             let mut runs: Vec<(u64, u64)> = Vec::new();
@@ -423,22 +500,23 @@ impl FileSystem {
                 }
             }
             let state = self.files.get_mut(&file_id).expect("file exists");
+            let ost_idx = state.ost_map[col] as usize;
             for (start, len) in runs {
                 // A range may have been mapped meanwhile (overwrite after
                 // buffering); allocate only what is still a hole.
-                for (gap_start, gap_len) in state.trees[ost_idx].gaps(start, len) {
+                for (gap_start, gap_len) in state.trees[col].gaps(start, len) {
                     let ost = &mut self.osts[ost_idx];
                     let allocated = ost
                         .policy
                         .extend(&ost.alloc, file_id, stream, gap_start, gap_len);
-                    let before = state.trees[ost_idx].extent_count();
+                    let before = state.trees[col].extent_count();
                     let mut logical = gap_start;
                     for (phys, l) in allocated {
-                        state.trees[ost_idx].insert(Extent::new(logical, phys, l));
+                        state.trees[col].insert(Extent::new(logical, phys, l));
                         self.writeback[ost_idx].push(BlockRequest::write(phys, l));
                         logical += l;
                     }
-                    let added = state.trees[ost_idx].extent_count().saturating_sub(before) as u64;
+                    let added = state.trees[col].extent_count().saturating_sub(before) as u64;
                     self.mds_cpu_ns += added * self.config.mds_cpu_ns_per_extent;
                 }
             }
@@ -485,7 +563,7 @@ impl FileSystem {
 
     /// Is any IO server dead from an injected power cut?
     pub fn any_powered_off(&self) -> bool {
-        (0..self.config.osts as usize).any(|i| self.array.disk(i).powered_off())
+        (0..self.total_osts()).any(|i| self.array.disk(i).powered_off())
     }
 
     /// Convenience: run `f` inside a round and return the round time.
@@ -519,7 +597,7 @@ impl FileSystem {
         offset: u64,
         len: u64,
     ) -> Result<(), (usize, IoFault)> {
-        for i in 0..self.config.osts as usize {
+        for i in 0..self.total_osts() {
             if self.array.disk(i).powered_off() {
                 let writes = self
                     .fault_stats(i)
@@ -541,17 +619,21 @@ impl FileSystem {
         assert!(self.round_open, "write outside a round");
         assert!(len > 0, "zero-length write");
         let shift = self.files[&file.0].ost_shift;
-        let pieces = self.striping.split(offset, len, shift);
+        let striping = self.files[&file.0].striping(self.config.stripe_blocks);
+        let pieces = striping.split(offset, len, shift);
         let mut new_extents: u64 = 0;
         let delayed = self.config.policy == mif_alloc::PolicyKind::Delayed;
-        for (ost_idx, local, run, _) in pieces {
-            let ost_idx = ost_idx as usize;
+        for (col, local, run, _) in pieces {
+            let col = col as usize;
             // The content of this span is changing: any replica or stripe
-            // group derived from it no longer matches the primary.
+            // group derived from it no longer matches the primary. Tier
+            // source coordinates are column-space, so this key survives a
+            // drain moving the column to another bay.
             self.tier
-                .invalidate_overlap(file.0 .0, ost_idx as u32, local, run);
+                .invalidate_overlap(file.0 .0, col as u32, local, run);
             let state = self.files.get_mut(&file.0).expect("file exists");
-            let tree = &mut state.trees[ost_idx];
+            let ost_idx = state.ost_map[col] as usize;
+            let tree = &mut state.trees[col];
 
             if delayed {
                 // Delayed allocation: buffer the unmapped ranges; they are
@@ -559,12 +641,12 @@ impl FileSystem {
                 // are overwrites and queue normally below.
                 for (gap_start, gap_len) in tree.gaps(local, run) {
                     self.delayed_pending
-                        .entry((file.0, ost_idx))
+                        .entry((file.0, col))
                         .or_default()
                         .push((gap_start, gap_len));
                     self.writeback_blocks += gap_len;
                 }
-                for (phys, l) in state.trees[ost_idx].resolve(local, run) {
+                for (phys, l) in state.trees[col].resolve(local, run) {
                     self.writeback[ost_idx].push(BlockRequest::write(phys, l));
                     self.writeback_blocks += l;
                 }
@@ -583,7 +665,7 @@ impl FileSystem {
             }
 
             let state = self.files.get_mut(&file.0).expect("file exists");
-            let tree = &mut state.trees[ost_idx];
+            let tree = &mut state.trees[col];
             // Allocate the holes (extending portion) in arrival order.
             for (gap_start, gap_len) in tree.gaps(local, run) {
                 let ost = &mut self.osts[ost_idx];
@@ -606,7 +688,7 @@ impl FileSystem {
 
             // Writes land in the write-back cache; they reach the disks in
             // large sorted flushes.
-            for (phys, l) in state.trees[ost_idx].resolve(local, run) {
+            for (phys, l) in state.trees[col].resolve(local, run) {
                 self.writeback[ost_idx].push(BlockRequest::write(phys, l));
                 self.writeback_blocks += l;
             }
@@ -624,11 +706,13 @@ impl FileSystem {
         assert!(self.round_open, "read outside a round");
         let ctx = stream.as_u64() ^ file.0 .0.rotate_left(17);
         let shift = self.files[&file.0].ost_shift;
-        let pieces = self.striping.split(offset, len, shift);
-        for (ost_idx, local, run, _) in pieces {
-            let ost_idx = ost_idx as usize;
+        let striping = self.files[&file.0].striping(self.config.stripe_blocks);
+        let pieces = striping.split(offset, len, shift);
+        for (col, local, run, _) in pieces {
+            let col = col as usize;
             let state = self.files.get(&file.0).expect("file exists");
-            for (phys, l) in state.trees[ost_idx].resolve(local, run) {
+            let ost_idx = state.ost_map[col] as usize;
+            for (phys, l) in state.trees[col].resolve(local, run) {
                 self.pending[ost_idx].push(BlockRequest::read(phys, l).with_ctx(ctx));
             }
         }
@@ -646,12 +730,14 @@ impl FileSystem {
         self.sync_data();
         let t0 = self.data_elapsed_ns();
         let shift = self.files[&file.0].ost_shift;
-        for (ost_idx, local, run, _) in self.striping.split(offset, len, shift) {
-            let ost_idx = ost_idx as usize;
+        let striping = self.files[&file.0].striping(self.config.stripe_blocks);
+        for (col, local, run, _) in striping.split(offset, len, shift) {
+            let col = col as usize;
+            let ost_idx = self.files[&file.0].ost_map[col] as usize;
             // Mapped logical sub-ranges and their physical runs, in order.
             type Runs = Vec<(u64, u64)>;
             let (subs, old_runs): (Runs, Runs) = {
-                let tree = &self.files[&file.0].trees[ost_idx];
+                let tree = &self.files[&file.0].trees[col];
                 let subs: Vec<(u64, u64)> = tree
                     .extents()
                     .filter(|e| e.logical < local + run && local < e.logical_end())
@@ -680,10 +766,10 @@ impl FileSystem {
             self.end_round();
             // Remap and free the old placement.
             let state = self.files.get_mut(&file.0).expect("file exists");
-            let freed = state.trees[ost_idx].remove(local, run);
+            let freed = state.trees[col].remove(local, run);
             let mut dpos = dest;
             for (lstart, l) in subs {
-                state.trees[ost_idx].insert(Extent::new(lstart, dpos, l));
+                state.trees[col].insert(Extent::new(lstart, dpos, l));
                 dpos += l;
             }
             for (phys, l) in freed {
@@ -704,15 +790,18 @@ impl FileSystem {
     // from the remap (a WAL-logged transaction), so a crash between them
     // leaves a recoverable state.
 
-    /// Copy one relocation's data: read the old physical runs, write the
-    /// contiguous destination run, all on `ost`, charging the IO. The
-    /// caller owns both placements (old mapping still live, `dest` already
-    /// claimed via the allocator) — this only moves bytes. Returns the
-    /// simulated time; a fault surfaces as `Err` with nothing remapped.
+    /// Copy one relocation's data: read the old physical runs from
+    /// `src_ost`, write the contiguous destination run on `dst_ost`
+    /// (same OST for defrag, another bay for a drain evacuation),
+    /// charging the IO. The caller owns both placements (old mapping still
+    /// live, `dest` already claimed via `dst_ost`'s allocator) — this only
+    /// moves bytes. Returns the simulated time; a fault surfaces as `Err`
+    /// with nothing remapped.
     pub fn defrag_try_copy(
         &mut self,
-        ost: usize,
+        src_ost: usize,
         old_runs: &[(u64, u64)],
+        dst_ost: usize,
         dest: u64,
         total: u64,
     ) -> Result<Nanos, (usize, IoFault)> {
@@ -720,36 +809,51 @@ impl FileSystem {
         self.try_sync_data()?;
         self.begin_round();
         for &(phys, l) in old_runs {
-            self.pending[ost].push(BlockRequest::read(phys, l));
+            self.pending[src_ost].push(BlockRequest::read(phys, l));
         }
-        self.pending[ost].push(BlockRequest::write(dest, total));
+        self.pending[dst_ost].push(BlockRequest::write(dest, total));
         self.try_end_round()
     }
 
     /// Apply (or re-apply) a relocation's extent remap: drop the old
-    /// mapping of `logical..logical+len` on `ost`, map its formerly-mapped
-    /// sub-ranges consecutively onto the contiguous run at `dest` (holes
-    /// preserved), free the old blocks and invalidate their cached copies.
+    /// mapping of `logical..logical+len` in stripe column `col`, map its
+    /// formerly-mapped sub-ranges consecutively onto the contiguous run at
+    /// `dest` on `dst_ost` (holes preserved), free the old blocks on the
+    /// column's *previous* OST, and repoint the column at `dst_ost`.
     /// `total` is the mapped-block count — the destination run's length.
+    /// Same-OST defrag passes the column's current OST as `dst_ost`; a
+    /// drain passes the evacuation target and must cover the column's
+    /// whole mapped range (a column has exactly one physical home).
     ///
     /// Idempotent: if the span already resolves to exactly the destination
-    /// run the remap was applied before the crash; nothing changes and
-    /// `false` comes back. WAL redo after `Commit` relies on this.
+    /// run *and* the column already points at `dst_ost`, the remap was
+    /// applied before the crash; nothing changes and `false` comes back.
+    /// WAL redo after `Commit` relies on this.
+    #[allow(clippy::too_many_arguments)]
     pub fn defrag_apply_remap(
         &mut self,
         file: OpenFile,
-        ost: usize,
+        col: usize,
         logical: u64,
         len: u64,
+        dst_ost: usize,
         dest: u64,
         total: u64,
     ) -> bool {
         let Some(state) = self.files.get_mut(&file.0) else {
             return false;
         };
-        let tree = &mut state.trees[ost];
-        if tree.resolve(logical, len) == [(dest, total)] {
+        let src_ost = state.ost_map[col] as usize;
+        let tree = &mut state.trees[col];
+        if src_ost == dst_ost && tree.resolve(logical, len) == [(dest, total)] {
             return false; // already applied (WAL redo)
+        }
+        if src_ost != dst_ost {
+            debug_assert_eq!(
+                tree.mapped_blocks(),
+                tree.resolve(logical, len).iter().map(|r| r.1).sum::<u64>(),
+                "cross-OST remap must cover the column's whole mapping"
+            );
         }
         let subs: Vec<(u64, u64)> = tree
             .extents()
@@ -771,10 +875,27 @@ impl FileSystem {
             tree.insert(Extent::new(lstart, dpos, l));
             dpos += l;
         }
+        state.ost_map[col] = dst_ost as u32;
         for (phys, l) in freed {
-            self.osts[ost].alloc.free(phys, l);
-            self.array.disk_mut(ost).invalidate(phys, l);
+            self.osts[src_ost].alloc.free(phys, l);
+            self.array.disk_mut(src_ost).invalidate(phys, l);
         }
+        true
+    }
+
+    /// Repoint a column that maps *no* blocks at a new physical OST — the
+    /// drain driver's path for files that never wrote to the draining
+    /// bay's column. Pure metadata (there is nothing to copy, claim or
+    /// journal); returns `false` if the column holds extents (use the
+    /// relocation protocol) or already points at `dst_ost`.
+    pub fn retarget_empty_column(&mut self, file: OpenFile, col: usize, dst_ost: usize) -> bool {
+        let Some(state) = self.files.get_mut(&file.0) else {
+            return false;
+        };
+        if state.trees[col].extent_count() != 0 || state.ost_map[col] as usize == dst_ost {
+            return false;
+        }
+        state.ost_map[col] = dst_ost as u32;
         true
     }
 
@@ -833,9 +954,15 @@ impl FileSystem {
     /// tier layer's to free.
     pub fn run_mapped_by_any_file(&self, ost: usize, phys: u64, len: u64) -> bool {
         self.files.values().any(|f| {
-            f.trees[ost]
-                .extents()
-                .any(|e| e.physical < phys + len && phys < e.physical + e.len)
+            f.ost_map
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o as usize == ost)
+                .any(|(col, _)| {
+                    f.trees[col]
+                        .extents()
+                        .any(|e| e.physical < phys + len && phys < e.physical + e.len)
+                })
         })
     }
 
@@ -854,7 +981,10 @@ impl FileSystem {
         }
         let spacing = total / holes;
         assert!(spacing > hole_blocks, "fragmentation fraction too high");
-        for ost in &self.osts {
+        for (i, ost) in self.osts.iter().enumerate() {
+            if !self.health[i].accepts_placements() {
+                continue; // absent/failed bays have no free space to age
+            }
             for h in 0..holes {
                 // alloc_at keeps the pattern exact; failures (group
                 // boundaries) are skipped.
@@ -903,7 +1033,7 @@ impl FileSystem {
 
     /// Enable blktrace-style command recording on every data disk.
     pub fn enable_disk_recording(&mut self, capacity: usize) {
-        for i in 0..self.config.osts as usize {
+        for i in 0..self.total_osts() {
             self.array.disk_mut(i).enable_recording(capacity);
         }
     }
@@ -952,17 +1082,43 @@ impl FileSystem {
         self.files.get(&file.0).map(|f| f.ino)
     }
 
-    /// The file's extent layout on one OST: `(local logical, physical,
-    /// len)` runs in logical order (visualization / diagnostics).
-    pub fn physical_layout(&self, file: OpenFile, ost: usize) -> Vec<(u64, u64, u64)> {
+    /// The file's extent layout in one stripe column: `(column-local
+    /// logical, physical, len)` runs in logical order (visualization /
+    /// diagnostics). Physical blocks live on [`Self::ost_of_column`]'s
+    /// bay. Columns past the file's width resolve to an empty layout —
+    /// files narrower than the current population simply have no data on
+    /// the extra bays.
+    pub fn physical_layout(&self, file: OpenFile, col: usize) -> Vec<(u64, u64, u64)> {
         self.files
             .get(&file.0)
-            .map(|f| {
-                f.trees[ost]
-                    .extents()
+            .and_then(|f| f.trees.get(col))
+            .map(|t| {
+                t.extents()
                     .map(|e| (e.logical, e.physical, e.len))
                     .collect()
             })
+            .unwrap_or_default()
+    }
+
+    /// Stripe-column count (width) of a file — the active OST count when
+    /// it was created. 0 for unknown files.
+    pub fn column_count(&self, file: OpenFile) -> usize {
+        self.files.get(&file.0).map(|f| f.trees.len()).unwrap_or(0)
+    }
+
+    /// The physical OST currently hosting one of the file's columns.
+    pub fn ost_of_column(&self, file: OpenFile, col: usize) -> Option<u32> {
+        self.files
+            .get(&file.0)
+            .and_then(|f| f.ost_map.get(col))
+            .copied()
+    }
+
+    /// The file's full column → physical OST map.
+    pub fn ost_map_of(&self, file: OpenFile) -> Vec<u32> {
+        self.files
+            .get(&file.0)
+            .map(|f| f.ost_map.clone())
             .unwrap_or_default()
     }
 
@@ -970,6 +1126,151 @@ impl FileSystem {
     /// diagnostics — includes preallocation windows.)
     pub fn block_allocated(&self, ost: usize, block: u64) -> bool {
         self.osts[ost].alloc.is_allocated(block)
+    }
+
+    // ----- disk-population lifecycle ---------------------------------------
+    //
+    // Per-bay health drives placement and maintenance: allocators refuse
+    // draining/failed/absent bays, defrag and tier route around them, fsck
+    // annotates instead of false-flagging, and the scrubber walks only
+    // serving bays. Transitions are validated by the
+    // [`DiskHealth::can_transition`] machine; the concurrent front-end
+    // mirrors this vector into per-shard atomics for its lock-free hot
+    // paths and serializes it back here on quiesce.
+
+    /// Total disk bays (active + spares), the length of every per-OST
+    /// structure.
+    pub fn total_osts(&self) -> usize {
+        self.config.total_osts()
+    }
+
+    /// One bay's population state.
+    pub fn ost_health(&self, ost: usize) -> DiskHealth {
+        self.health[ost]
+    }
+
+    /// All bays' population states, in bay order.
+    pub fn ost_healths(&self) -> Vec<DiskHealth> {
+        self.health.clone()
+    }
+
+    /// Drive one bay through a health transition. Panics on a jump the
+    /// state machine forbids (e.g. `Absent → Draining`) — lifecycle bugs
+    /// must not be silently absorbed.
+    pub fn set_ost_health(&mut self, ost: usize, to: DiskHealth) {
+        let from = self.health[ost];
+        assert!(
+            from.can_transition(to),
+            "illegal OST {ost} health transition {from} -> {to}"
+        );
+        self.health[ost] = to;
+    }
+
+    /// Bays currently accepting new placements (healthy), in bay order —
+    /// the stripe target set for newly created files.
+    pub fn active_osts(&self) -> Vec<u32> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.accepts_placements())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Kill one bay: the device stops serving IO (reads/writes fault with
+    /// `DiskFailed`) and the bay leaves the placement set. Columns mapped
+    /// there survive in metadata; a rebuild reconstructs their bytes from
+    /// tier redundancy onto a replacement spindle.
+    pub fn fail_ost(&mut self, ost: usize) {
+        self.set_ost_health(ost, DiskHealth::Failed);
+        self.array.disk_mut(ost).fail();
+    }
+
+    /// Populate an empty bay live: a fresh spindle joins the placement
+    /// set. Existing files keep their width; files created from now on
+    /// stripe over the grown set.
+    pub fn add_ost(&mut self, ost: usize) {
+        self.set_ost_health(ost, DiskHealth::Healthy);
+        self.array.disk_mut(ost).replace();
+        self.lifecycle.osts_added += 1;
+    }
+
+    /// Start evacuating one bay: it refuses *new* placements but keeps
+    /// serving IO for the columns still on it while `mif-defrag`'s drain
+    /// driver relocates them (crash-safe, WAL-journaled).
+    pub fn begin_drain(&mut self, ost: usize) {
+        self.set_ost_health(ost, DiskHealth::Draining);
+    }
+
+    /// Complete a drain: the bay must hold no file column; it leaves the
+    /// population (`Absent`) and can later be re-added.
+    pub fn finish_drain(&mut self, ost: usize) {
+        assert!(
+            !self
+                .files
+                .values()
+                .any(|f| f.ost_map.iter().any(|&o| o as usize == ost)),
+            "finish_drain with columns still on OST {ost}"
+        );
+        self.set_ost_health(ost, DiskHealth::Absent);
+        // Tier artifacts housed on the retired bay die with it; invalid
+        // runs are reaped by maintenance and their spans re-replicated.
+        self.tier.invalidate_on_bay(ost as u32);
+        self.lifecycle.drains_completed += 1;
+    }
+
+    /// Start rebuilding a failed bay onto a replacement spindle (fresh
+    /// platters, empty cache, no latent damage). The rebuild engine then
+    /// rewrites lost runs from tier redundancy.
+    pub fn begin_rebuild(&mut self, ost: usize) {
+        self.set_ost_health(ost, DiskHealth::Rebuilding);
+        self.array.disk_mut(ost).replace();
+    }
+
+    /// Complete a rebuild: the bay serves and places again.
+    pub fn finish_rebuild(&mut self, ost: usize) {
+        self.set_ost_health(ost, DiskHealth::Healthy);
+        self.lifecycle.rebuilds_completed += 1;
+    }
+
+    /// Cumulative lifecycle counters (rebuilds, drains, scrub work).
+    pub fn lifecycle(&self) -> &LifecycleStats {
+        &self.lifecycle
+    }
+
+    /// Mutable lifecycle counters — the scrub/drain/rebuild drivers
+    /// account their work here.
+    pub fn lifecycle_mut(&mut self) -> &mut LifecycleStats {
+        &mut self.lifecycle
+    }
+
+    /// Plant latent damage on one physical block (a grown media defect).
+    /// Ordinary reads return stale bytes silently — only a scrub detects
+    /// it, and any overwrite heals it. Test/bench corruption injection.
+    pub fn damage_block(&mut self, ost: usize, block: u64) {
+        self.array.disk_mut(ost).corrupt_block(block);
+    }
+
+    /// All latent-damaged blocks on one bay (oracle for tests/benches).
+    pub fn damaged_blocks(&self, ost: usize) -> Vec<u64> {
+        self.array.disk(ost).damaged_blocks()
+    }
+
+    /// Latent-damaged blocks within a physical range on one bay.
+    pub fn damaged_in(&self, ost: usize, start: u64, len: u64) -> Vec<u64> {
+        self.array.disk(ost).damaged_in(start, len)
+    }
+
+    /// Scrub-read a physical range on one bay: charges the media time of
+    /// a verifying read and returns the damaged blocks found. Fails with
+    /// `DiskFailed` on a dead bay.
+    pub fn scrub_disk_range(
+        &mut self,
+        ost: usize,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<u64>, IoFault> {
+        self.array.disk_mut(ost).scrub_range(start, len)
     }
 
     // ----- fsck hooks -------------------------------------------------------
@@ -1001,9 +1302,12 @@ impl FileSystem {
         &self.osts[ost].alloc
     }
 
-    /// The striping function in force.
-    pub fn striping(&self) -> &Striping {
-        &self.striping
+    /// The striping function a file was created under (width = its column
+    /// count; stripe unit from the config).
+    pub fn striping_of(&self, file: OpenFile) -> Option<Striping> {
+        self.files
+            .get(&file.0)
+            .map(|f| f.striping(self.config.stripe_blocks))
     }
 
     /// Release every file's unconsumed preallocations on all OSTs. Offline
@@ -1026,17 +1330,17 @@ impl FileSystem {
     }
 
     /// Corruption injection: silently remap the extent covering `logical`
-    /// on `ost` to start at `new_phys` — the on-disk tree now points at
-    /// blocks the bitmap never granted it (or that another file owns).
+    /// in column `col` to start at `new_phys` — the on-disk tree now points
+    /// at blocks the bitmap never granted it (or that another file owns).
     /// Returns the old physical start, or `None` if `logical` is a hole.
     pub fn corrupt_extent_remap(
         &mut self,
         file: OpenFile,
-        ost: usize,
+        col: usize,
         logical: u64,
         new_phys: u64,
     ) -> Option<u64> {
-        self.files.get_mut(&file.0)?.trees[ost].corrupt_set_physical(logical, new_phys)
+        self.files.get_mut(&file.0)?.trees[col].corrupt_set_physical(logical, new_phys)
     }
 
     /// Fsck repair: drop the mapping for a logical range *without freeing
@@ -1046,14 +1350,14 @@ impl FileSystem {
     pub fn fsck_discard_mapping(
         &mut self,
         file: OpenFile,
-        ost: usize,
+        col: usize,
         logical: u64,
         len: u64,
     ) -> u64 {
         let Some(state) = self.files.get_mut(&file.0) else {
             return 0;
         };
-        state.trees[ost]
+        state.trees[col]
             .remove(logical, len)
             .iter()
             .map(|&(_, l)| l)
@@ -1073,7 +1377,19 @@ impl FileSystem {
             .map(|(&id, _)| OpenFile(id))
             .unwrap_or_else(|| self.create("lost+found", None));
         let state = self.files.get_mut(&lf.0).expect("lost+found exists");
-        let tree = &mut state.trees[ost];
+        // Adopt into the column living on the orphans' physical OST; if
+        // lost+found has no column there (the bay joined after it was
+        // created, or was draining then), append one — widths are
+        // per-file, so growing this file's map is legal.
+        let col = match state.ost_map.iter().position(|&o| o as usize == ost) {
+            Some(c) => c,
+            None => {
+                state.ost_map.push(ost as u32);
+                state.trees.push(ExtentTree::new());
+                state.trees.len() - 1
+            }
+        };
+        let tree = &mut state.trees[col];
         let mut logical = tree.logical_size();
         for &(phys, len) in runs {
             tree.insert(Extent::new(logical, phys, len));
@@ -1491,17 +1807,97 @@ mod tests {
         assert!(f.allocator(0).alloc_at(dest, total));
 
         let t = f
-            .defrag_try_copy(0, &old_runs, dest, total)
+            .defrag_try_copy(0, &old_runs, 0, dest, total)
             .expect("no faults installed");
         assert!(t > 0, "copy IO is charged");
-        assert!(f.defrag_apply_remap(file, 0, 0, 4 * 64, dest, total));
+        assert!(f.defrag_apply_remap(file, 0, 0, 4 * 64, 0, dest, total));
         assert_eq!(
             f.files[&file.0].trees[0].resolve(0, 4 * 64),
             vec![(dest, total)]
         );
         // Redo (WAL replay after crash-post-commit) is a no-op.
-        assert!(!f.defrag_apply_remap(file, 0, 0, 4 * 64, dest, total));
+        assert!(!f.defrag_apply_remap(file, 0, 0, 4 * 64, 0, dest, total));
         assert_eq!(f.file_allocated(file), total);
+    }
+
+    #[test]
+    fn spare_bays_start_absent_and_join_on_add() {
+        let mut cfg = FsConfig::with_policy(PolicyKind::Reservation, 2);
+        cfg.spare_osts = 1;
+        let mut f = FileSystem::new(cfg);
+        assert_eq!(f.total_osts(), 3);
+        assert_eq!(f.ost_health(2), DiskHealth::Absent);
+        assert_eq!(f.active_osts(), vec![0, 1]);
+
+        // Files created before the expansion stripe over 2 bays.
+        let narrow = f.create("narrow", None);
+        assert_eq!(f.column_count(narrow), 2);
+
+        f.add_ost(2);
+        assert_eq!(f.ost_health(2), DiskHealth::Healthy);
+        assert_eq!(f.active_osts(), vec![0, 1, 2]);
+        assert_eq!(f.lifecycle().osts_added, 1);
+
+        // Files created after it stripe over 3; the old one keeps width 2.
+        let wide = f.create("wide", None);
+        assert_eq!(f.column_count(wide), 3);
+        assert_eq!(f.ost_map_of(wide), vec![0, 1, 2]);
+        assert_eq!(f.column_count(narrow), 2);
+
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(wide, s, 0, 3 * 256));
+        f.sync_data();
+        assert_eq!(f.file_allocated(wide), 3 * 256);
+        assert!(f.array.disk(2).stats().bytes_written > 0);
+    }
+
+    #[test]
+    fn draining_bay_refuses_new_placements_but_serves_existing() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 3));
+        let old = f.create("old", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(old, s, 0, 3 * 256));
+        f.sync_data();
+
+        f.begin_drain(2);
+        assert_eq!(f.ost_health(2), DiskHealth::Draining);
+        // New files avoid the draining bay...
+        let fresh = f.create("fresh", None);
+        assert_eq!(f.ost_map_of(fresh), vec![0, 1]);
+        // ...but the old file's column there still extends and reads.
+        f.round(|f| f.write(old, s, 3 * 256, 3 * 256));
+        f.sync_data();
+        f.round(|f| f.read(old, s, 0, 6 * 256));
+        assert_eq!(f.file_allocated(old), 6 * 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal OST")]
+    fn illegal_health_transition_panics() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 2));
+        f.set_ost_health(0, DiskHealth::Rebuilding); // Healthy -> Rebuilding: no
+    }
+
+    #[test]
+    fn damage_is_latent_until_scrubbed_and_heals_on_write() {
+        let mut f = FileSystem::new(FsConfig::with_policy(PolicyKind::Reservation, 1));
+        let file = f.create("d", None);
+        let s = StreamId::new(1, 0);
+        f.round(|f| f.write(file, s, 0, 64));
+        f.sync_data();
+        let (_, phys, _) = f.physical_layout(file, 0)[0];
+        f.damage_block(0, phys + 3);
+        // Ordinary read path: no error (latent).
+        f.drop_data_caches();
+        f.round(|f| f.read(file, s, 0, 64));
+        // The scrub detects it; an overwrite heals it.
+        assert_eq!(
+            f.scrub_disk_range(0, phys, 64).expect("bay alive"),
+            vec![phys + 3]
+        );
+        f.round(|f| f.write(file, s, 0, 64));
+        f.sync_data();
+        assert!(f.scrub_disk_range(0, phys, 64).expect("alive").is_empty());
     }
 
     #[test]

@@ -51,8 +51,9 @@ pub mod tier;
 pub use collective::aggregate_collective;
 pub use concurrent::{ConcurrentFs, ContentionSnapshot, FsStats};
 pub use config::FsConfig;
-pub use fs::{FileSystem, OpenFile};
+pub use fs::{FileSystem, LifecycleStats, OpenFile};
 pub use metrics::{mds_cpu_utilization, FsMetrics};
+pub use mif_simdisk::DiskHealth;
 pub use striping::Striping;
 pub use tier::{
     DegradedSource, ReplicaRun, StripeGroup, TierMap, TierRun, STRIPE_DATA, STRIPE_PARITY,

@@ -259,12 +259,20 @@ impl TierMap {
     /// `ost`) can be served while `ost` is unhealthy: prefer a replica
     /// (one read), fall back to stripe reconstruction ([`STRIPE_DATA`]
     /// surviving runs). `None` means the span is not redundantly covered.
+    ///
+    /// Source coordinates (`ost` here, member OSTs) are stripe *columns*
+    /// of `file`; `phys_of` translates a column to the physical OST
+    /// currently hosting it (identity until a drain moves a column), so
+    /// the `healthy` check — which speaks physical bays — is applied to
+    /// the right disk. Replica destinations and parity runs are physical
+    /// already and are passed to `healthy` untranslated.
     pub fn degraded_source(
         &self,
         file: u64,
         ost: u32,
         logical: u64,
         len: u64,
+        phys_of: impl Fn(u32) -> u32,
         healthy: impl Fn(u32) -> bool,
     ) -> Option<DegradedSource> {
         if let Some(r) = self.replica_covering(file, ost, logical, len, &healthy) {
@@ -280,7 +288,7 @@ impl TierMap {
             };
             let mut reads: Vec<(u32, u64, bool)> = Vec::with_capacity(STRIPE_DATA);
             for (i, &(most, mstart)) in g.members.iter().enumerate() {
-                if i != lost && healthy(most) && reads.len() < STRIPE_DATA {
+                if i != lost && healthy(phys_of(most)) && reads.len() < STRIPE_DATA {
                     reads.push((most, mstart, false));
                 }
             }
@@ -299,6 +307,153 @@ impl TierMap {
             }
         }
         None
+    }
+
+    /// Piecewise degraded coverage for `logical..logical + len` of
+    /// (`file`, column `ost`): maximal sub-spans in order, each paired
+    /// with the degraded source serving it (replica preferred, then
+    /// stripe reconstruction) or `None` where nothing covers the bytes.
+    /// An aged, defragmented extent far outgrows any single replica run,
+    /// so an all-or-nothing [`TierMap::degraded_source`] query would
+    /// report a well-replicated span as uncovered — rebuilds consume
+    /// coverage run by run instead.
+    pub fn degraded_sources(
+        &self,
+        file: u64,
+        ost: u32,
+        logical: u64,
+        len: u64,
+        phys_of: impl Fn(u32) -> u32,
+        healthy: impl Fn(u32) -> bool,
+    ) -> Vec<(u64, u64, Option<DegradedSource>)> {
+        let end = logical + len;
+        let mut out: Vec<(u64, u64, Option<DegradedSource>)> = Vec::new();
+        let mut pos = logical;
+        while pos < end {
+            if let Some(r) = self.replicas.iter().find(|r| {
+                r.valid
+                    && r.file == file
+                    && r.src_ost == ost
+                    && r.logical <= pos
+                    && pos < r.logical + r.len
+                    && healthy(r.dst_ost)
+            }) {
+                let cover = (r.logical + r.len - pos).min(end - pos);
+                out.push((
+                    pos,
+                    cover,
+                    Some(DegradedSource::Replica {
+                        ost: r.dst_ost,
+                        phys: r.dst_phys + (pos - r.logical),
+                        len: cover,
+                    }),
+                ));
+                pos += cover;
+                continue;
+            }
+            if let Some((src, cover)) =
+                self.stripe_source_at(file, ost, pos, end - pos, &phys_of, &healthy)
+            {
+                out.push((pos, cover, Some(src)));
+                pos += cover;
+                continue;
+            }
+            // Uncovered: skip to the next artifact that could cover, or
+            // the span end, merging adjacent uncovered stretches.
+            let mut next = end;
+            for r in &self.replicas {
+                if r.valid
+                    && r.file == file
+                    && r.src_ost == ost
+                    && r.logical > pos
+                    && healthy(r.dst_ost)
+                {
+                    next = next.min(r.logical);
+                }
+            }
+            for g in self.groups.iter().filter(|g| g.valid && g.file == file) {
+                for &(most, mstart) in &g.members {
+                    if most == ost && mstart > pos {
+                        next = next.min(mstart);
+                    }
+                }
+            }
+            match out.last_mut() {
+                Some((s, l, None)) if *s + *l == pos => *l += next - pos,
+                _ => out.push((pos, next - pos, None)),
+            }
+            pos = next;
+        }
+        out
+    }
+
+    /// The stripe group (if any) whose member covers block `pos` of
+    /// (`file`, `ost`) with enough healthy runs to reconstruct, plus how
+    /// far past `pos` that member's span extends (capped at `max_len`).
+    fn stripe_source_at(
+        &self,
+        file: u64,
+        ost: u32,
+        pos: u64,
+        max_len: u64,
+        phys_of: &impl Fn(u32) -> u32,
+        healthy: &impl Fn(u32) -> bool,
+    ) -> Option<(DegradedSource, u64)> {
+        for g in self.groups.iter().filter(|g| g.valid) {
+            let Some(lost) = g.member_covering(file, ost, pos, 1) else {
+                continue;
+            };
+            let mut reads: Vec<(u32, u64, bool)> = Vec::with_capacity(STRIPE_DATA);
+            for (i, &(most, mstart)) in g.members.iter().enumerate() {
+                if i != lost && healthy(phys_of(most)) && reads.len() < STRIPE_DATA {
+                    reads.push((most, mstart, false));
+                }
+            }
+            for &(post, pphys) in &g.parity {
+                if healthy(post) && reads.len() < STRIPE_DATA {
+                    reads.push((post, pphys, true));
+                }
+            }
+            if reads.len() == STRIPE_DATA {
+                let (_, mstart) = g.members[lost];
+                let cover = (mstart + g.unit - pos).min(max_len);
+                return Some((
+                    DegradedSource::Stripe {
+                        file: g.file,
+                        group: g.group,
+                        unit: g.unit,
+                        reads,
+                    },
+                    cover,
+                ));
+            }
+        }
+        None
+    }
+
+    /// A bay left the population for good (a drained bay retired): every
+    /// derived artifact physically housed there is gone with the disk.
+    /// Mark replicas whose copy lives on the bay and groups with a parity
+    /// run there invalid, so coverage queries skip them, re-replication
+    /// re-places the spans elsewhere, and maintenance reaps the husks.
+    /// Returns how many artifacts flipped. *Failed* bays don't take this
+    /// path: their artifacts are filtered by the health check while the
+    /// bay is down and re-synthesized in place by the rebuild.
+    pub fn invalidate_on_bay(&mut self, ost: u32) -> u32 {
+        let mut n = 0;
+        for r in &mut self.replicas {
+            if r.valid && r.dst_ost == ost {
+                r.valid = false;
+                n += 1;
+            }
+        }
+        for g in &mut self.groups {
+            if g.valid && g.parity.iter().any(|&(p, _)| p == ost) {
+                g.valid = false;
+                n += 1;
+            }
+        }
+        n
     }
 
     // ----- write-path invalidation ------------------------------------------
@@ -553,7 +708,7 @@ mod tests {
         m.add_group(group(7, 0));
         m.add_replica(replica(7, 0, 2));
         // OST 0 down: replica wins (one read, exact sub-span).
-        let s = m.degraded_source(7, 0, 16, 8, |o| o != 0).unwrap();
+        let s = m.degraded_source(7, 0, 16, 8, |c| c, |o| o != 0).unwrap();
         assert_eq!(
             s,
             DegradedSource::Replica {
@@ -568,7 +723,7 @@ mod tests {
         // (the group's member on OST 0 was also invalidated — rebuild it)
         let mut m = TierMap::new();
         m.add_group(group(7, 0));
-        let s = m.degraded_source(7, 0, 16, 8, |o| o != 0).unwrap();
+        let s = m.degraded_source(7, 0, 16, 8, |c| c, |o| o != 0).unwrap();
         match s {
             DegradedSource::Stripe { unit, reads, .. } => {
                 assert_eq!(unit, 32);
@@ -586,10 +741,10 @@ mod tests {
         let mut m = TierMap::new();
         m.add_group(group(7, 0));
         let down2 = |o: u32| o != 0 && o != 1;
-        assert!(m.degraded_source(7, 0, 0, 32, down2).is_some());
+        assert!(m.degraded_source(7, 0, 0, 32, |c| c, down2).is_some());
         let down3 = |o: u32| o != 0 && o != 1 && o != 4;
         // Two members + one parity lost: only 3 of 6 runs left.
-        assert!(m.degraded_source(7, 0, 0, 32, down3).is_none());
+        assert!(m.degraded_source(7, 0, 0, 32, |c| c, down3).is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! one contiguous run, online and crash-safe, throttled so the foreground
 //! keeps its disk time.
 //!
-//! Three layers plus a CLI:
+//! Four layers plus a CLI:
 //!
 //! * [`scanner`] — walks the extent layer scoring files (extents vs the
 //!   one-per-OST ideal) and the allocators' free space (per-group
@@ -20,6 +20,10 @@
 //! * [`scheduler`] — the background pass: relocations under a
 //!   blocks-per-tick budget with latency-driven backoff, skipping files
 //!   that are open or hold live preallocation windows;
+//! * [`drain`] — online bay evacuation: every stripe column on a draining
+//!   OST moves (whole-column, same WAL protocol) onto the bays accepting
+//!   placements, so the bay ends `Absent` and fsck-clean even through a
+//!   mid-drain power cut;
 //! * `mif-defrag` — the operator CLI (`scan` reports, `run` defragments,
 //!   fsck-style exit codes).
 //!
@@ -40,12 +44,15 @@
 //! assert!(stats.relocations > 0 && after < before);
 //! ```
 
+pub mod drain;
 pub mod relocate;
 pub mod scanner;
 pub mod scheduler;
 
+pub use drain::{drain_ost, DrainConfig, DrainStats};
 pub use relocate::{
-    is_packed, recover, relocate_ost, CrashPoint, DefragRecovery, Outcome, SkipReason,
+    is_packed, recover, relocate_column, relocate_ost, CrashPoint, DefragRecovery, Outcome,
+    SkipReason,
 };
 pub use scanner::{scan, scan_files, FileCandidate, GroupFreeSummary, ScanReport};
 pub use scheduler::{run, run_prioritized, DefragConfig, DefragStats};

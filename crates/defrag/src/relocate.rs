@@ -77,42 +77,75 @@ pub fn is_packed(layout: &[(u64, u64, u64)]) -> bool {
     layout.windows(2).all(|w| w[1].1 == w[0].1 + w[0].2)
 }
 
-/// Relocate `file`'s mapping on `ost` into one contiguous run, logging
-/// through `wal`. `crash` injects a power cut at the given protocol point
+/// Relocate `file`'s mapping on stripe column `col` into one contiguous
+/// run on the column's *current* physical OST — the same-OST defrag pass.
+/// Already-packed layouts are skipped (relocating would move data for no
+/// layout gain). `crash` injects a power cut at the given protocol point
 /// (the function returns instead of finishing — the caller then models
 /// the reboot by calling [`recover`]).
 pub fn relocate_ost(
     fs: &mut FileSystem,
     wal: &mut RemapWal,
     file: OpenFile,
-    ost: usize,
+    col: usize,
     crash: Option<CrashPoint>,
 ) -> Outcome {
-    let layout = fs.physical_layout(file, ost);
-    if layout.len() <= 1 || is_packed(&layout) {
+    let Some(src) = fs.ost_of_column(file, col) else {
+        return Outcome::Skipped(SkipReason::AlreadyContiguous);
+    };
+    relocate_column(fs, wal, file, col, src as usize, crash)
+}
+
+/// Relocate `file`'s mapping on stripe column `col` into one contiguous
+/// run on `dst_ost`, through the same crash-safe protocol. With
+/// `dst_ost` equal to the column's current home this is defragmentation
+/// (packed layouts are skipped); with a different `dst_ost` it is an
+/// *evacuation* step — the whole column moves, packed or not, and the
+/// file's `ost_map` retargets to `dst_ost` at the final remap. The drain
+/// driver feeds every column of a draining bay through this.
+pub fn relocate_column(
+    fs: &mut FileSystem,
+    wal: &mut RemapWal,
+    file: OpenFile,
+    col: usize,
+    dst_ost: usize,
+    crash: Option<CrashPoint>,
+) -> Outcome {
+    let Some(src_ost) = fs.ost_of_column(file, col).map(|o| o as usize) else {
+        return Outcome::Skipped(SkipReason::AlreadyContiguous);
+    };
+    let moving = src_ost != dst_ost;
+    let layout = fs.physical_layout(file, col);
+    if layout.is_empty() || (!moving && (layout.len() <= 1 || is_packed(&layout))) {
         return Outcome::Skipped(SkipReason::AlreadyContiguous);
     }
     let logical = layout[0].0;
     let (last_l, _, last_n) = *layout.last().expect("non-empty layout");
     let len = last_l + last_n - logical;
     let total: u64 = layout.iter().map(|&(_, _, n)| n).sum();
-    // Aim near the file's largest existing run: the dominant group keeps
-    // locality and the big run itself is freed right back into it.
-    let goal = layout
-        .iter()
-        .max_by_key(|&&(_, _, n)| n)
-        .map(|&(_, p, _)| p)
-        .expect("non-empty layout");
-    let Some(dest) = fs.allocator(ost).probe_run(goal, total) else {
+    // Same-OST: aim near the file's largest existing run — the dominant
+    // group keeps locality and the big run itself is freed right back
+    // into it. Cross-OST: source addresses mean nothing on the new disk.
+    let goal = if moving {
+        0
+    } else {
+        layout
+            .iter()
+            .max_by_key(|&&(_, _, n)| n)
+            .map(|&(_, p, _)| p)
+            .expect("non-empty layout")
+    };
+    let Some(dest) = fs.allocator(dst_ost).probe_run(goal, total) else {
         return Outcome::Skipped(SkipReason::NoSpace);
     };
     let txn = RemapTxn {
         file: file.0 .0,
-        ost: ost as u32,
+        ost: col as u32,
         logical,
         len,
         dest,
         total,
+        dst_ost: dst_ost as u32,
     };
 
     // Step 2: intent first — before the allocator or disk change at all.
@@ -133,7 +166,7 @@ pub fn relocate_ost(
 
     // Step 3: claim the probed run. Single-threaded engine: the probe's
     // run is still free, so the atomic claim cannot fail.
-    let claimed = fs.allocator(ost).alloc_at(dest, total);
+    let claimed = fs.allocator(dst_ost).alloc_at(dest, total);
     assert!(claimed, "probed destination run vanished");
     if crash == Some(CrashPoint::AfterAlloc) {
         return Outcome::Crashed {
@@ -145,10 +178,10 @@ pub fn relocate_ost(
     // Step 4: move the bytes. A fault aborts in place: release the
     // destination and leave the (harmless) dangling intent.
     let old_runs: Vec<(u64, u64)> = layout.iter().map(|&(_, p, n)| (p, n)).collect();
-    let copy_ns = match fs.defrag_try_copy(ost, &old_runs, dest, total) {
+    let copy_ns = match fs.defrag_try_copy(src_ost, &old_runs, dst_ost, dest, total) {
         Ok(ns) => ns,
         Err((fost, fault)) => {
-            fs.allocator(ost).free(dest, total);
+            fs.allocator(dst_ost).free(dest, total);
             return Outcome::Faulted { ost: fost, fault };
         }
     };
@@ -176,7 +209,7 @@ pub fn relocate_ost(
     }
 
     // Step 6: switch the mapping and free the old blocks.
-    let applied = fs.defrag_apply_remap(file, ost, logical, len, dest, total);
+    let applied = fs.defrag_apply_remap(file, col, logical, len, dst_ost, dest, total);
     debug_assert!(applied, "fresh commit must apply");
     Outcome::Done { txn, copy_ns }
 }
@@ -216,7 +249,15 @@ pub fn recover(fs: &mut FileSystem, image: &[u8]) -> DefragRecovery {
                     pending.remove(i);
                 }
                 let file = OpenFile(mif_alloc::FileId(t.file));
-                if fs.defrag_apply_remap(file, t.ost as usize, t.logical, t.len, t.dest, t.total) {
+                if fs.defrag_apply_remap(
+                    file,
+                    t.ost as usize,
+                    t.logical,
+                    t.len,
+                    t.dst_ost as usize,
+                    t.dest,
+                    t.total,
+                ) {
                     redone += 1;
                 }
             }
@@ -234,19 +275,20 @@ pub fn recover(fs: &mut FileSystem, image: &[u8]) -> DefragRecovery {
         if t.total == 0 {
             continue;
         }
-        let ost = t.ost as usize;
+        // The intent's claimed destination lives on `dst_ost` — for a
+        // same-OST defrag that is the column's own disk, for a drain the
+        // evacuation target.
+        let ost = t.dst_ost as usize;
         let alloc = fs.allocator(ost);
         let all_claimed =
             (t.dest..t.dest + t.total).all(|b| b < alloc.capacity() && alloc.is_allocated(b));
         if !all_claimed {
             continue;
         }
-        let owned = fs.file_handles().iter().any(|&f| {
-            fs.physical_layout(f, ost)
-                .iter()
-                .any(|&(_, p, n)| p < t.dest + t.total && t.dest < p + n)
-        });
-        if owned {
+        // Ownership speaks physical disks: any column of any file mapping
+        // into the run (the tier map's runs are checked by fsck, not here
+        // — an intent's destination is never a tier run).
+        if fs.run_mapped_by_any_file(ost, t.dest, t.total) {
             continue;
         }
         fs.allocator(ost).free(t.dest, t.total);

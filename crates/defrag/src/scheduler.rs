@@ -99,7 +99,6 @@ pub fn run_prioritized(
     let key = |c: &FileCandidate| weight(c.file).saturating_mul(c.score());
     candidates.sort_by(|a, b| key(b).cmp(&key(a)).then(a.file.0.cmp(&b.file.0)));
     let mut queue: VecDeque<FileCandidate> = candidates.into();
-    let osts = fs.config.osts as usize;
     let mut budget = cfg.budget_blocks_per_tick.max(MIN_BUDGET_BLOCKS);
 
     while !queue.is_empty() && stats.ticks < cfg.max_ticks {
@@ -116,8 +115,8 @@ pub fn run_prioritized(
                 continue;
             }
             let mut relocated_any = false;
-            for ost in 0..osts {
-                match relocate_ost(fs, wal, cand.file, ost, None) {
+            for col in 0..fs.column_count(cand.file) {
+                match relocate_ost(fs, wal, cand.file, col, None) {
                     Outcome::Done { txn, copy_ns } => {
                         relocated_any = true;
                         stats.relocations += 1;

@@ -138,6 +138,16 @@ fn main() -> ExitCode {
         }
     }
     println!("free space: {free}");
+    let health = fs.ost_healths();
+    println!(
+        "bay health: {}",
+        health
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{i}:{h}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     let report = run(&mut fs, &opts);
     println!("check: {}", report.summary());

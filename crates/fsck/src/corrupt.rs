@@ -143,13 +143,18 @@ fn inject_bitmap_leak(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<String>
     Some(format!("set free block {block} on ost {ost}"))
 }
 
-/// Every mapped run as `(file, ost, logical, phys, len)`, deterministic.
-fn mapped_runs(fs: &FileSystem) -> Vec<(u64, usize, u64, u64, u64)> {
+/// Every mapped run as `(file, column, physical ost, logical, phys, len)`,
+/// deterministic. Extent trees and the tier map speak columns; bitmaps
+/// and disks speak the physical bay the column's `ost_map` entry names.
+fn mapped_runs(fs: &FileSystem) -> Vec<(u64, usize, usize, u64, u64, u64)> {
     let mut runs = Vec::new();
     for file in fs.file_handles() {
-        for ost in 0..fs.config.osts as usize {
-            for (logical, phys, len) in fs.physical_layout(file, ost) {
-                runs.push((file.0 .0, ost, logical, phys, len));
+        for col in 0..fs.column_count(file) {
+            let ost = fs
+                .ost_of_column(file, col)
+                .expect("column within column_count") as usize;
+            for (logical, phys, len) in fs.physical_layout(file, col) {
+                runs.push((file.0 .0, col, ost, logical, phys, len));
             }
         }
     }
@@ -161,7 +166,7 @@ fn inject_bitmap_hole(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<String>
     if runs.is_empty() {
         return None;
     }
-    let (owner, ost, _, phys, len) = runs[rng.gen_range(0..runs.len() as u64) as usize];
+    let (owner, _, ost, _, phys, len) = runs[rng.gen_range(0..runs.len() as u64) as usize];
     let block = phys + rng.gen_range(0..len);
     fs.corrupt_bitmap(ost, block, false);
     Some(format!(
@@ -177,8 +182,8 @@ fn inject_extent_overlap(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<(Str
     let mut pairs = Vec::new();
     for &w in &runs {
         for &l in &runs {
-            let same_run = w.0 == l.0 && w.2 == l.2;
-            if w.1 == l.1 && !same_run && w.4 >= l.4 && w.3 != l.3 {
+            let same_run = w.0 == l.0 && w.1 == l.1 && w.3 == l.3;
+            if w.2 == l.2 && !same_run && w.5 >= l.5 && w.4 != l.4 {
                 pairs.push((w, l));
             }
         }
@@ -187,11 +192,11 @@ fn inject_extent_overlap(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<(Str
         return None;
     }
     let (winner, loser) = pairs[rng.gen_range(0..pairs.len() as u64) as usize];
-    let (w_owner, ost, _, w_phys, _) = winner;
-    let (l_owner, _, l_logical, l_phys, l_len) = loser;
+    let (w_owner, _, ost, _, w_phys, _) = winner;
+    let (l_owner, l_col, _, l_logical, l_phys, l_len) = loser;
     fs.corrupt_extent_remap(
         crate::OpenFile(mif_alloc::FileId(l_owner)),
-        ost,
+        l_col,
         l_logical,
         w_phys,
     )?;
@@ -271,15 +276,15 @@ fn inject_tier_stale_source(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<S
     // A replica that claims to cover a span far past anything the file
     // maps — the state left behind when a source moved or shrank without
     // the invalidation reaching the map.
-    let (file, src_ost, ..) = runs[rng.gen_range(0..runs.len() as u64) as usize];
-    let dst_ost = (src_ost + 1 + rng.gen_range(0..osts as u64 - 1) as usize) % osts;
+    let (file, src_col, src_phys, ..) = runs[rng.gen_range(0..runs.len() as u64) as usize];
+    let dst_ost = (src_phys + 1 + rng.gen_range(0..osts as u64 - 1) as usize) % osts;
     let len = 4;
     let dst_phys = fs.allocator(dst_ost).probe_run(0, len)?;
     assert!(fs.allocator(dst_ost).alloc_at(dst_phys, len));
     let logical = (1u64 << 30) + rng.gen_range(0..1024u64);
     fs.tier_mut().add_replica(mif_core::ReplicaRun {
         file,
-        src_ost: src_ost as u32,
+        src_ost: src_col as u32,
         logical,
         len,
         dst_ost: dst_ost as u32,
@@ -287,7 +292,7 @@ fn inject_tier_stale_source(fs: &mut FileSystem, rng: &mut SmallRng) -> Option<S
         valid: true,
     });
     Some(format!(
-        "registered replica of file {file}'s unmapped span [{logical}, {}) on ost {src_ost}",
+        "registered replica of file {file}'s unmapped span [{logical}, {}) on column {src_col}",
         logical + len
     ))
 }
@@ -302,7 +307,7 @@ fn inject_tier_parity_missing(fs: &mut FileSystem, rng: &mut SmallRng) -> Option
     // fine: only the parity OSTs must be distinct).
     let (file, ..) = *runs.first()?;
     let file_runs: Vec<_> = runs.iter().filter(|r| r.0 == file).collect();
-    let member = |r: &&(u64, usize, u64, u64, u64)| (r.1 as u32, r.2);
+    let member = |r: &&(u64, usize, usize, u64, u64, u64)| (r.1 as u32, r.3);
     let members: Vec<(u32, u64)> = (0..4)
         .map(|i| member(&file_runs[i % file_runs.len()]))
         .collect();

@@ -8,8 +8,9 @@
 //! overlap sweep read the same snapshot.
 
 use mif_alloc::BlockBitmap;
-use mif_core::{FileSystem, TierMap};
+use mif_core::{DiskHealth, FileSystem, TierMap};
 use mif_extent::OwnedRun;
+use std::collections::BTreeMap;
 
 /// Owner-id bit marking a run held by the tier layer (replica or parity)
 /// rather than a file extent. File ids are small counters, so bit 63 is
@@ -34,27 +35,38 @@ pub struct GroupUnit {
 /// runs. Plain data — safe to share across scan workers by reference.
 #[derive(Debug)]
 pub struct FsckImage {
+    /// Physical bay count (including spare bays, absent or populated).
     pub osts: usize,
     pub units: Vec<GroupUnit>,
-    /// Per OST: every file's extent runs, sorted by (phys, owner,
-    /// logical). `owner` is the file id, `logical` the OST-local logical
-    /// start of the run. Tier-held runs (replicas, parity) are folded in
-    /// with [`TIER_OWNER_BIT`] set in `owner` so pass 1 sees their blocks
-    /// owned and pass 2 catches collisions with file extents.
+    /// Per *physical* OST: every file's extent runs, sorted by (phys,
+    /// owner, logical). `owner` is the file id, `logical` the column-local
+    /// logical start of the run; each column's runs land on the bay its
+    /// `ost_map` entry names. Tier-held runs (replicas, parity) are folded
+    /// in with [`TIER_OWNER_BIT`] set in `owner` so pass 1 sees their
+    /// blocks owned and pass 2 catches collisions with file extents.
     pub runs: Vec<Vec<OwnedRun>>,
+    /// Logical runs per (file, stripe column) — the coordinates the tier
+    /// map speaks (`ReplicaRun::src_ost`, stripe members are columns).
+    /// The tier consistency rules check source coverage here, immune to
+    /// drains remapping columns across bays.
+    pub col_runs: BTreeMap<(u64, u32), Vec<(u64, u64)>>,
     /// Snapshot of the tier map — the tier consistency rules
     /// (`tier-stale-source`, `tier-parity-degraded`) read this.
     pub tier: TierMap,
+    /// Per-bay population state at capture time, for degraded-mode
+    /// reporting.
+    pub health: Vec<DiskHealth>,
 }
 
 impl FsckImage {
     /// Capture the current allocation state. Deterministic: files are
     /// visited in id order, groups in index order.
     pub fn capture(fs: &FileSystem) -> Self {
-        let osts = fs.config.osts as usize;
+        let osts = fs.total_osts();
         let files = fs.file_handles();
         let mut units = Vec::new();
         let mut runs: Vec<Vec<OwnedRun>> = vec![Vec::new(); osts];
+        let mut col_runs: BTreeMap<(u64, u32), Vec<(u64, u64)>> = BTreeMap::new();
         for (ost, ost_runs) in runs.iter_mut().enumerate() {
             let alloc = fs.allocator(ost);
             for gi in 0..alloc.group_count() {
@@ -66,16 +78,6 @@ impl FsckImage {
                     len,
                     bitmap: alloc.snapshot_group(gi),
                 });
-            }
-            for &file in &files {
-                for (logical, phys, len) in fs.physical_layout(file, ost) {
-                    ost_runs.push(OwnedRun {
-                        phys,
-                        len,
-                        owner: file.0 .0,
-                        logical,
-                    });
-                }
             }
             // Tier-held runs (valid and invalidated alike — both still own
             // their blocks until the engine's lazy teardown). `logical`
@@ -89,13 +91,39 @@ impl FsckImage {
                     logical: r.phys,
                 });
             }
+        }
+        // File extents: each column's runs belong to the physical bay its
+        // `ost_map` entry names — drains and expansions move columns, so
+        // the column index and the bay index are independent.
+        for &file in &files {
+            for col in 0..fs.column_count(file) {
+                let ost = fs
+                    .ost_of_column(file, col)
+                    .expect("column within column_count") as usize;
+                for (logical, phys, len) in fs.physical_layout(file, col) {
+                    runs[ost].push(OwnedRun {
+                        phys,
+                        len,
+                        owner: file.0 .0,
+                        logical,
+                    });
+                    col_runs
+                        .entry((file.0 .0, col as u32))
+                        .or_default()
+                        .push((logical, len));
+                }
+            }
+        }
+        for ost_runs in &mut runs {
             ost_runs.sort_unstable_by_key(|r| (r.phys, r.owner, r.logical));
         }
         FsckImage {
             osts,
             units,
             runs,
+            col_runs,
             tier: fs.tier().clone(),
+            health: fs.ost_healths(),
         }
     }
 

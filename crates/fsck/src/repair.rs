@@ -55,6 +55,26 @@ fn teardown_group(
     true
 }
 
+/// The stripe column of `file` living on physical bay `ost` whose mapping
+/// covers `logical` — overlap findings name physical bays (the sweep runs
+/// per disk), while extent trees and the tier map are keyed by column.
+/// Falls back to any column on the bay when none covers the block (the
+/// mapping may already be partially discarded).
+fn column_hosting(fs: &FileSystem, file: OpenFile, ost: usize, logical: u64) -> Option<usize> {
+    let on_bay: Vec<usize> = (0..fs.column_count(file))
+        .filter(|&c| fs.ost_of_column(file, c) == Some(ost as u32))
+        .collect();
+    on_bay
+        .iter()
+        .copied()
+        .find(|&c| {
+            fs.physical_layout(file, c)
+                .iter()
+                .any(|&(l, _, ln)| logical >= l && logical < l + ln)
+        })
+        .or_else(|| on_bay.first().copied())
+}
+
 /// What a repair pass did (and could not do).
 #[derive(Debug, Default)]
 pub struct RepairOutcome {
@@ -113,16 +133,16 @@ pub fn apply(fs: &mut FileSystem, image: &FsckImage, findings: &[Finding]) -> Re
                 continue;
             }
             if discarded.insert((*ost, *loser, *loser_logical)) {
-                let n = fs.fsck_discard_mapping(
-                    OpenFile(FileId(*loser)),
-                    *ost,
-                    *loser_logical,
-                    *loser_len,
-                );
+                let file = OpenFile(FileId(*loser));
+                let Some(col) = column_hosting(fs, file, *ost, *loser_logical) else {
+                    out.repaired += 1;
+                    continue;
+                };
+                let n = fs.fsck_discard_mapping(file, col, *loser_logical, *loser_len);
                 // Any redundancy derived from the discarded span is stale
                 // now; invalidating here lets one repair pass converge.
                 fs.tier_mut()
-                    .invalidate_overlap(*loser, *ost as u32, *loser_logical, *loser_len);
+                    .invalidate_overlap(*loser, col as u32, *loser_logical, *loser_len);
                 out.actions.push(format!(
                     "discarded file {loser}'s mapping of {n} blocks at ost {ost} logical {loser_logical}"
                 ));

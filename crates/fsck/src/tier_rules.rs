@@ -20,19 +20,24 @@ use crate::finding::Finding;
 use crate::image::FsckImage;
 use mif_core::STRIPE_PARITY;
 
-/// Is `logical..logical + len` of (`file`, `ost`) fully covered by the
-/// image's file-owned runs? (Tier-owned runs carry the owner-namespace
-/// bit and never match a raw file id.)
-fn source_covered(image: &FsckImage, file: u64, ost: u32, logical: u64, len: u64) -> bool {
-    let covered: u64 = image.runs[ost as usize]
-        .iter()
-        .filter(|r| r.owner == file)
-        .map(|r| {
-            let lo = r.logical.max(logical);
-            let hi = (r.logical + r.len).min(logical + len);
-            hi.saturating_sub(lo)
+/// Is `logical..logical + len` of (`file`, stripe column `col`) fully
+/// covered by the image's file-owned runs? Tier source coordinates are
+/// columns, so the check reads the image's per-(file, column) runs —
+/// whichever physical bay the column lives on today.
+fn source_covered(image: &FsckImage, file: u64, col: u32, logical: u64, len: u64) -> bool {
+    let covered: u64 = image
+        .col_runs
+        .get(&(file, col))
+        .map(|runs| {
+            runs.iter()
+                .map(|&(l, ln)| {
+                    let lo = l.max(logical);
+                    let hi = (l + ln).min(logical + len);
+                    hi.saturating_sub(lo)
+                })
+                .sum()
         })
-        .sum();
+        .unwrap_or(0);
     covered >= len
 }
 

@@ -316,13 +316,14 @@ impl WalWriter {
 }
 
 /// One extent-relocation transaction's identity: which logical span of
-/// which (file, OST) moves where. Shared by the intent and commit records
-/// so recovery can pair them field-for-field.
+/// which (file, column) moves where. Shared by the intent and commit
+/// records so recovery can pair them field-for-field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RemapTxn {
     /// File identity (the FS-layer `FileId`).
     pub file: u64,
-    /// OST index the extents live on.
+    /// Stripe-column index the extents belong to (the file's extent-tree
+    /// index; equal to the physical OST until a drain moves the column).
     pub ost: u32,
     /// First logical block of the remapped span.
     pub logical: u64,
@@ -332,6 +333,9 @@ pub struct RemapTxn {
     pub dest: u64,
     /// Mapped blocks in the span == length of the destination run.
     pub total: u64,
+    /// Physical OST holding the destination run. Same-OST defrag sets it
+    /// to the column's current OST; a drain relocation points elsewhere.
+    pub dst_ost: u32,
 }
 
 /// A defrag-relocation WAL record. The protocol writes `Intent` *before*
@@ -364,13 +368,14 @@ fn encode_remap_payload(op: &RemapOp) -> (u8, Vec<u8>) {
         RemapOp::Intent(t) => (TAG_REMAP_INTENT, t),
         RemapOp::Commit(t) => (TAG_REMAP_COMMIT, t),
     };
-    let mut buf = Vec::with_capacity(44);
+    let mut buf = Vec::with_capacity(48);
     buf.extend_from_slice(&t.file.to_le_bytes());
     buf.extend_from_slice(&t.ost.to_le_bytes());
     buf.extend_from_slice(&t.logical.to_le_bytes());
     buf.extend_from_slice(&t.len.to_le_bytes());
     buf.extend_from_slice(&t.dest.to_le_bytes());
     buf.extend_from_slice(&t.total.to_le_bytes());
+    buf.extend_from_slice(&t.dst_ost.to_le_bytes());
     debug_assert!(buf.len() <= MAX_PAYLOAD);
     (tag, buf)
 }
@@ -384,6 +389,7 @@ fn decode_remap_payload(tag: u8, payload: &[u8]) -> Option<RemapOp> {
         len: read_u64(payload, &mut pos)?,
         dest: read_u64(payload, &mut pos)?,
         total: read_u64(payload, &mut pos)?,
+        dst_ost: read_u32(payload, &mut pos)?,
     };
     if pos != payload.len() {
         return None;
@@ -1025,6 +1031,7 @@ mod tests {
             len: 96,
             dest: 4096,
             total: 80,
+            dst_ost: 2,
         }
     }
 

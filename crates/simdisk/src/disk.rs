@@ -10,7 +10,7 @@ use crate::request::{BlockRequest, IoOp};
 use crate::scheduler::{IoScheduler, SchedulerConfig};
 use crate::stats::DiskStats;
 use crate::{BlockNo, Nanos};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One simulated mechanical disk.
 ///
@@ -41,6 +41,12 @@ pub struct Disk {
     /// drive is swapped ([`Disk::replace`]). Orthogonal to the injector's
     /// power state — power can be restored, a dead drive cannot.
     failed: bool,
+    /// Latent sector errors: blocks whose media content is damaged
+    /// (bit rot, misdirected writes). Invisible to ordinary reads — the
+    /// damage only surfaces when something *verifies* the content
+    /// ([`Disk::scrub_range`]). A write over a damaged block lays down
+    /// fresh content and heals it.
+    damaged: BTreeSet<BlockNo>,
 }
 
 impl Disk {
@@ -67,6 +73,7 @@ impl Disk {
             recorder: EventRecorder::new(0),
             faults: None,
             failed: false,
+            damaged: BTreeSet::new(),
         }
     }
 
@@ -91,7 +98,53 @@ impl Disk {
     pub fn replace(&mut self) {
         self.failed = false;
         self.head = 0;
+        self.damaged.clear(); // fresh platters carry no latent errors
         self.drop_caches();
+    }
+
+    /// Damage one block's media content (latent sector error / silent
+    /// corruption injection). Ordinary reads still "succeed" — the rot is
+    /// only observable through [`Disk::scrub_range`] — and any write
+    /// covering the block heals it.
+    pub fn corrupt_block(&mut self, block: BlockNo) {
+        self.damaged.insert(block);
+    }
+
+    /// Every currently-damaged block, ascending.
+    pub fn damaged_blocks(&self) -> Vec<BlockNo> {
+        self.damaged.iter().copied().collect()
+    }
+
+    /// The damaged blocks inside `[start, start + len)`, without charging
+    /// any IO (bookkeeping queries; the scrubber uses
+    /// [`Disk::scrub_range`], which pays for the verify read).
+    pub fn damaged_in(&self, start: BlockNo, len: u64) -> Vec<BlockNo> {
+        self.damaged.range(start..start + len).copied().collect()
+    }
+
+    /// Verify the media content of `[start, start + len)`: one sequential
+    /// checksum-verify read straight off the platter (deliberately
+    /// uncached — a scrub that "verified" the page cache would prove
+    /// nothing), charged against the disk clock. Returns the damaged
+    /// blocks found in the range. Errors with [`IoFault::DiskFailed`] on
+    /// a dead device.
+    pub fn scrub_range(&mut self, start: BlockNo, len: u64) -> Result<Vec<BlockNo>, IoFault> {
+        if self.failed {
+            return Err(IoFault::DiskFailed);
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let t =
+            self.geometry.position_ns(self.head, start) + self.geometry.transfer_ns_at(start, len);
+        self.head = start + len;
+        self.clock += t;
+        self.stats.busy_ns += t;
+        self.stats.submitted += 1;
+        self.stats.dispatched += 1;
+        self.stats.bytes_read += len * self.geometry.block_size;
+        self.latency.record(t);
+        Ok(self.damaged.range(start..start + len).copied().collect())
     }
 
     /// Install a seeded fault-injection plan. Faults only surface through
@@ -354,6 +407,17 @@ impl Disk {
             IoOp::Write => {
                 self.cache.insert_range(req.start, req.len);
                 self.stats.bytes_written += transfer_blocks * self.geometry.block_size;
+                // Fresh content over a latent sector error heals it.
+                if !self.damaged.is_empty() {
+                    let healed: Vec<BlockNo> = self
+                        .damaged
+                        .range(req.start..req.start + req.len)
+                        .copied()
+                        .collect();
+                    for b in healed {
+                        self.damaged.remove(&b);
+                    }
+                }
             }
         }
 
@@ -558,6 +622,36 @@ mod tests {
         let before = d.clock();
         d.submit(BlockRequest::read(0, 4));
         assert!(d.clock() > before, "replacement platters hold nothing");
+    }
+
+    #[test]
+    fn latent_damage_is_invisible_until_scrubbed_and_heals_on_write() {
+        let mut d = disk();
+        d.submit(BlockRequest::write(100, 16));
+        d.corrupt_block(104);
+        d.corrupt_block(110);
+        // Ordinary reads do not notice (latent == silent).
+        assert!(d.try_submit(BlockRequest::read(100, 16)).is_ok());
+        // A scrub read finds exactly the damaged blocks, and costs time.
+        let before = d.clock();
+        assert_eq!(d.scrub_range(100, 16).unwrap(), vec![104, 110]);
+        assert!(d.clock() > before, "verify read is charged");
+        assert_eq!(d.damaged_in(100, 16), vec![104, 110]);
+        // A rewrite over one of them heals it.
+        d.submit(BlockRequest::write(104, 1));
+        assert_eq!(d.scrub_range(100, 16).unwrap(), vec![110]);
+        assert_eq!(d.damaged_blocks(), vec![110]);
+    }
+
+    #[test]
+    fn scrub_errors_on_a_dead_disk_and_replacement_media_is_clean() {
+        let mut d = disk();
+        d.corrupt_block(7);
+        d.fail();
+        assert_eq!(d.scrub_range(0, 64), Err(IoFault::DiskFailed));
+        d.replace();
+        assert_eq!(d.scrub_range(0, 64).unwrap(), vec![]);
+        assert!(d.damaged_blocks().is_empty());
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! The per-slot disk health state machine.
+//!
+//! A fleet's disks are not merely "alive" or "dead": they are brought in
+//! (`Absent → Healthy`), gracefully evacuated (`Healthy → Draining →
+//! Absent`), die outright (`→ Failed`), and are rebuilt onto replacement
+//! media (`Failed → Rebuilding → Healthy`). The state lives with the
+//! *slot* (bay), not the device — a replacement drive inherits the slot's
+//! state trajectory. The file-system layer owns the authoritative vector
+//! of these states and mirrors them lock-free onto the write hot path;
+//! this module only defines the machine itself so every layer (allocator
+//! targeting, read routing, fsck annotation, scrubbing, benches) agrees
+//! on what each state permits.
+
+use std::fmt;
+
+/// Lifecycle state of one disk bay (OST slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum DiskHealth {
+    /// In service: accepts new placements, serves reads and writes.
+    Healthy = 0,
+    /// Being evacuated: serves IO to existing data, refuses new
+    /// placements. Ends in `Absent` once the evacuation completes.
+    Draining = 1,
+    /// Replacement media spinning, content being reconstructed from
+    /// redundancy. Serves IO to already-rebuilt data; no new placements.
+    Rebuilding = 2,
+    /// Dead device: every request errors until the drive is replaced.
+    Failed = 3,
+    /// Empty bay: no device. Invisible to placement and IO.
+    Absent = 4,
+}
+
+impl DiskHealth {
+    /// Decode the lock-free mirror's `u8` (inverse of `as u8`).
+    pub fn from_u8(v: u8) -> DiskHealth {
+        match v {
+            0 => DiskHealth::Healthy,
+            1 => DiskHealth::Draining,
+            2 => DiskHealth::Rebuilding,
+            3 => DiskHealth::Failed,
+            _ => DiskHealth::Absent,
+        }
+    }
+
+    /// May allocators place *new* data here (file creation, defrag and
+    /// drain destinations, tier replicas/parity)?
+    pub fn accepts_placements(self) -> bool {
+        self == DiskHealth::Healthy
+    }
+
+    /// Does the device service IO to data it already holds?
+    pub fn serves_io(self) -> bool {
+        matches!(
+            self,
+            DiskHealth::Healthy | DiskHealth::Draining | DiskHealth::Rebuilding
+        )
+    }
+
+    /// Is the primary copy on this bay unreliable, so reads must route
+    /// through redundancy (replicas / stripe reconstruction)?
+    pub fn degraded(self) -> bool {
+        matches!(self, DiskHealth::Failed | DiskHealth::Rebuilding)
+    }
+
+    /// The legal transitions of the lifecycle machine. Any state may jump
+    /// to `Failed` (disks die whenever they please, including mid-drain
+    /// and mid-rebuild); everything else is constrained:
+    ///
+    /// ```text
+    /// Absent → Healthy            (add_ost: bay populated)
+    /// Healthy → Draining          (drain_ost begins)
+    /// Draining → Healthy | Absent (drain cancelled / completed)
+    /// Failed → Rebuilding         (replacement drive inserted)
+    /// Rebuilding → Healthy        (rebuild completed)
+    /// ```
+    pub fn can_transition(self, to: DiskHealth) -> bool {
+        use DiskHealth::*;
+        if self == to {
+            return true; // idempotent re-assertion
+        }
+        match (self, to) {
+            (_, Failed) => self != Absent,
+            (Absent, Healthy) => true,
+            (Healthy, Draining) => true,
+            (Draining, Healthy) | (Draining, Absent) => true,
+            (Failed, Rebuilding) => true,
+            (Rebuilding, Healthy) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DiskHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiskHealth::Healthy => "healthy",
+            DiskHealth::Draining => "draining",
+            DiskHealth::Rebuilding => "rebuilding",
+            DiskHealth::Failed => "failed",
+            DiskHealth::Absent => "absent",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DiskHealth::*;
+    use super::*;
+
+    #[test]
+    fn u8_roundtrip() {
+        for h in [Healthy, Draining, Rebuilding, Failed, Absent] {
+            assert_eq!(DiskHealth::from_u8(h as u8), h);
+        }
+    }
+
+    #[test]
+    fn lifecycle_walk_is_legal() {
+        // Bay populated, drained out, repopulated, dies, rebuilt.
+        let walk = [
+            Absent, Healthy, Draining, Absent, Healthy, Failed, Rebuilding, Healthy,
+        ];
+        for w in walk.windows(2) {
+            assert!(w[0].can_transition(w[1]), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn illegal_jumps_are_rejected() {
+        assert!(!Absent.can_transition(Draining));
+        assert!(!Absent.can_transition(Failed), "an empty bay cannot die");
+        assert!(!Healthy.can_transition(Absent), "must drain first");
+        assert!(!Failed.can_transition(Healthy), "must rebuild first");
+        assert!(!Rebuilding.can_transition(Draining));
+        assert!(!Healthy.can_transition(Rebuilding));
+    }
+
+    #[test]
+    fn any_populated_state_can_fail() {
+        for h in [Healthy, Draining, Rebuilding, Failed] {
+            assert!(h.can_transition(Failed), "{h}");
+        }
+    }
+
+    #[test]
+    fn permissions_match_states() {
+        assert!(Healthy.accepts_placements());
+        for h in [Draining, Rebuilding, Failed, Absent] {
+            assert!(!h.accepts_placements(), "{h}");
+        }
+        assert!(Draining.serves_io());
+        assert!(!Failed.serves_io());
+        assert!(!Absent.serves_io());
+        assert!(Failed.degraded());
+        assert!(Rebuilding.degraded());
+        assert!(!Draining.degraded());
+    }
+}

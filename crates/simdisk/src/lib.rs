@@ -59,6 +59,7 @@ pub mod disk;
 pub mod events;
 pub mod fault;
 pub mod geometry;
+pub mod health;
 pub mod latency;
 pub mod readahead;
 pub mod request;
@@ -71,6 +72,7 @@ pub use disk::Disk;
 pub use events::{DiskEvent, EventRecorder};
 pub use fault::{CorruptKind, FaultDecision, FaultInjector, FaultPlan, FaultStats, IoFault};
 pub use geometry::DiskGeometry;
+pub use health::DiskHealth;
 pub use latency::LatencyHistogram;
 pub use readahead::Readahead;
 pub use request::{BlockRequest, IoOp};

@@ -83,6 +83,26 @@ impl MaintenanceStats {
         self.groups_encoded += p.groups;
         self.skipped_no_space += p.skipped_no_space;
     }
+
+    /// Fold another pass's counters into a running total.
+    pub fn absorb(&mut self, s: &MaintenanceStats) {
+        self.dropped_runs += s.dropped_runs;
+        self.replicas_placed += s.replicas_placed;
+        self.groups_encoded += s.groups_encoded;
+        self.promoted_files += s.promoted_files;
+        self.demoted_files += s.demoted_files;
+        self.skipped_no_space += s.skipped_no_space;
+        self.defrag.ticks += s.defrag.ticks;
+        self.defrag.files_defragmented += s.defrag.files_defragmented;
+        self.defrag.relocations += s.defrag.relocations;
+        self.defrag.blocks_moved += s.defrag.blocks_moved;
+        self.defrag.extents_before += s.defrag.extents_before;
+        self.defrag.extents_after += s.defrag.extents_after;
+        self.defrag.backoffs += s.defrag.backoffs;
+        self.defrag.skipped_busy += s.defrag.skipped_busy;
+        self.defrag.skipped_no_space += s.defrag.skipped_no_space;
+        self.defrag.copy_ns += s.defrag.copy_ns;
+    }
 }
 
 /// The migration engine: owns the heat classifier and the tier WAL.

@@ -47,23 +47,27 @@ pub struct PlacementStats {
     pub copy_ns: Nanos,
 }
 
-/// The physical runs backing `logical..logical + len` of (`file`, `ost`),
-/// as `(ost, phys, len)` read requests. Panics if the span is not fully
-/// mapped — callers check coverage first.
+/// The physical runs backing `logical..logical + len` of (`file`, column
+/// `col`), as `(physical ost, phys, len)` read requests aimed at the bay
+/// hosting the column. Panics if the span is not fully mapped — callers
+/// check coverage first.
 fn resolve_span(
     fs: &FileSystem,
     file: OpenFile,
-    ost: usize,
+    col: usize,
     logical: u64,
     len: u64,
 ) -> Vec<(usize, u64, u64)> {
+    let phys_ost = fs
+        .ost_of_column(file, col)
+        .expect("resolving a span of a missing column") as usize;
     let mut reads = Vec::new();
     let mut covered = 0;
-    for (l, p, ln) in fs.physical_layout(file, ost) {
+    for (l, p, ln) in fs.physical_layout(file, col) {
         let lo = l.max(logical);
         let hi = (l + ln).min(logical + len);
         if lo < hi {
-            reads.push((ost, p + (lo - l), hi - lo));
+            reads.push((phys_ost, p + (lo - l), hi - lo));
             covered += hi - lo;
         }
     }
@@ -71,10 +75,10 @@ fn resolve_span(
     reads
 }
 
-/// Is `logical..logical + len` of (`file`, `ost`) fully mapped?
-fn span_mapped(fs: &FileSystem, file: OpenFile, ost: usize, logical: u64, len: u64) -> bool {
+/// Is `logical..logical + len` of (`file`, column `col`) fully mapped?
+fn span_mapped(fs: &FileSystem, file: OpenFile, col: usize, logical: u64, len: u64) -> bool {
     let covered: u64 = fs
-        .physical_layout(file, ost)
+        .physical_layout(file, col)
         .iter()
         .map(|&(l, _, ln)| {
             let lo = l.max(logical);
@@ -85,20 +89,22 @@ fn span_mapped(fs: &FileSystem, file: OpenFile, ost: usize, logical: u64, len: u
     covered == len
 }
 
-/// Find a free destination run of `len` blocks on some OST other than
-/// `avoid`, trying OSTs in deterministic round-robin order from
-/// `avoid + 1`. Returns `(ost, phys)` — probed only, not yet claimed.
+/// Find a free destination run of `len` blocks on some placement-
+/// accepting bay other than `avoid` (physical OSTs), trying bays in
+/// deterministic round-robin order from `avoid + 1`. Draining,
+/// rebuilding, failed and absent bays never receive tier artifacts.
+/// Returns `(ost, phys)` — probed only, not yet claimed.
 ///
 /// `cursor` is one goal per OST, advanced past each successful probe: a
 /// placement pass making thousands of calls resumes each probe where the
 /// last one ended instead of re-scanning the allocated prefix of the
 /// bitmap every time (which turns a bulk promotion into O(n²)).
 fn find_dst(fs: &FileSystem, avoid: &[u32], len: u64, cursor: &mut [u64]) -> Option<(usize, u64)> {
-    let osts = fs.config.osts as usize;
+    let osts = fs.total_osts();
     let start = avoid.iter().copied().max().unwrap_or(0) as usize + 1;
     for k in 0..osts {
         let ost = (start + k) % osts;
-        if avoid.contains(&(ost as u32)) {
+        if avoid.contains(&(ost as u32)) || !fs.ost_health(ost).accepts_placements() {
             continue;
         }
         if let Some(phys) = fs.allocator(ost).probe_run(cursor[ost], len) {
@@ -132,19 +138,43 @@ pub fn replicate_file_budgeted(
     budget: u64,
 ) -> Result<PlacementStats, (usize, IoFault)> {
     let mut stats = PlacementStats::default();
-    let osts = fs.config.osts as usize;
-    let mut cursor = vec![0u64; osts];
-    for src in 0..osts {
-        // One layout fetch per (file, OST): the spans to copy, the
+    let mut cursor = vec![0u64; fs.total_osts()];
+    // Per-column work list, gathered up front. Chunks are consumed
+    // round-robin across the columns below so a tight budget buys some
+    // coverage on *every* bay hosting the file — exhausting it on column
+    // 0 would leave later bays with nothing to rebuild from after a disk
+    // death, no matter how many passes ran.
+    struct ColWork {
+        src: u32,
+        src_phys: usize,
+        layout: Vec<(u64, u64, u64)>,
+        chunks: std::collections::VecDeque<(u64, u64)>,
+    }
+    let mut work: Vec<ColWork> = Vec::new();
+    for src in 0..fs.column_count(file) {
+        // Columns are replicated off the bay that *hosts* them, so the
+        // source for IO (and the bay to avoid placing onto) is physical.
+        let src_phys = fs
+            .ost_of_column(file, src)
+            .expect("column within column_count") as usize;
+        // One layout fetch per (file, column): the spans to copy, the
         // physical runs backing them, and the already-covered prefix are
         // all answered from these two snapshots instead of re-walking the
         // extent tree and the tier map per chunk.
         let layout = fs.physical_layout(file, src);
+        // A copy only counts as coverage while the bay holding it serves
+        // IO — spans whose replicas died with a failed disk are re-placed
+        // on healthy bays rather than silently left unprotected.
         let mut covered: Vec<(u64, u64)> = fs
             .tier()
             .replicas()
             .iter()
-            .filter(|r| r.valid && r.file == file.0 .0 && r.src_ost == src as u32)
+            .filter(|r| {
+                r.valid
+                    && r.file == file.0 .0
+                    && r.src_ost == src as u32
+                    && fs.ost_health(r.dst_ost as usize).serves_io()
+            })
             .map(|r| (r.logical, r.len))
             .collect();
         covered.sort_unstable();
@@ -155,6 +185,7 @@ pub fn replicate_file_budgeted(
                 _ => spans.push((logical, len)),
             }
         }
+        let mut chunks = std::collections::VecDeque::new();
         for (start, total) in spans {
             let mut off = 0;
             while off < total {
@@ -168,59 +199,81 @@ pub fn replicate_file_budgeted(
                         continue;
                     }
                 }
-                if stats.replicas >= budget {
-                    return Ok(stats);
-                }
-                let Some((dst, dst_phys)) = find_dst(fs, &[src as u32], len, &mut cursor) else {
-                    stats.skipped_no_space += 1;
-                    continue;
-                };
-                let txn = TierTxn {
-                    kind: TierKind::Replica,
-                    file: file.0 .0,
-                    src_ost: src as u32,
-                    logical,
-                    len,
-                    dst_ost: dst as u32,
-                    dst_phys,
-                };
-                wal.append(&TierOp::Intent(txn));
-                assert!(
-                    fs.allocator(dst).alloc_at(dst_phys, len),
-                    "probed run vanished (maintenance is single-threaded)"
-                );
-                let mut reads = Vec::new();
-                let mut got = 0;
-                for &(l, p, ln) in &layout {
-                    let lo = l.max(logical);
-                    let hi = (l + ln).min(logical + len);
-                    if lo < hi {
-                        reads.push((src, p + (lo - l), hi - lo));
-                        got += hi - lo;
-                    }
-                }
-                assert_eq!(got, len, "span not fully mapped");
-                match fs.tier_try_io(&reads, &[(dst, dst_phys, len)]) {
-                    Ok(ns) => stats.copy_ns += ns,
-                    Err(fault) => {
-                        // Roll back in-process; the dangling Intent on the
-                        // log is harmless (recovery finds the run free).
-                        fs.tier_free_run(dst, dst_phys, len);
-                        return Err(fault);
-                    }
-                }
-                wal.append(&TierOp::Commit(txn));
-                fs.tier_mut().add_replica(ReplicaRun {
-                    file: file.0 .0,
-                    src_ost: src as u32,
-                    logical,
-                    len,
-                    dst_ost: dst as u32,
-                    dst_phys,
-                    valid: true,
-                });
-                stats.replicas += 1;
+                chunks.push_back((logical, len));
             }
+        }
+        if !chunks.is_empty() {
+            work.push(ColWork {
+                src: src as u32,
+                src_phys,
+                layout,
+                chunks,
+            });
+        }
+    }
+    while !work.is_empty() {
+        let mut col = 0;
+        while col < work.len() {
+            let w = &mut work[col];
+            let Some((logical, len)) = w.chunks.pop_front() else {
+                work.swap_remove(col);
+                continue;
+            };
+            if stats.replicas >= budget {
+                return Ok(stats);
+            }
+            let Some((dst, dst_phys)) = find_dst(fs, &[w.src_phys as u32], len, &mut cursor) else {
+                stats.skipped_no_space += 1;
+                col += 1;
+                continue;
+            };
+            let txn = TierTxn {
+                kind: TierKind::Replica,
+                file: file.0 .0,
+                src_ost: w.src,
+                logical,
+                len,
+                dst_ost: dst as u32,
+                dst_phys,
+            };
+            wal.append(&TierOp::Intent(txn));
+            assert!(
+                fs.allocator(dst).alloc_at(dst_phys, len),
+                "probed run vanished (maintenance is single-threaded)"
+            );
+            let mut reads = Vec::new();
+            let mut got = 0;
+            for &(l, p, ln) in &w.layout {
+                let lo = l.max(logical);
+                let hi = (l + ln).min(logical + len);
+                if lo < hi {
+                    reads.push((w.src_phys, p + (lo - l), hi - lo));
+                    got += hi - lo;
+                }
+            }
+            assert_eq!(got, len, "span not fully mapped");
+            match fs.tier_try_io(&reads, &[(dst, dst_phys, len)]) {
+                Ok(ns) => stats.copy_ns += ns,
+                Err(fault) => {
+                    // Roll back in-process; the dangling Intent on the
+                    // log is harmless (recovery finds the run free).
+                    fs.tier_free_run(dst, dst_phys, len);
+                    return Err(fault);
+                }
+            }
+            wal.append(&TierOp::Commit(txn));
+            let src = w.src;
+            fs.tier_mut().add_replica(ReplicaRun {
+                file: file.0 .0,
+                src_ost: src,
+                logical,
+                len,
+                dst_ost: dst as u32,
+                dst_phys,
+                valid: true,
+            });
+            stats.replicas += 1;
+            col += 1;
         }
     }
     Ok(stats)
@@ -240,7 +293,7 @@ pub fn derive_members(
 ) -> Option<Vec<(u32, u64)>> {
     let shift = fs.ost_shift_of(file)?;
     let span = STRIPE_DATA as u64 * unit;
-    let pieces = fs.striping().split(group * span, span, shift);
+    let pieces = fs.striping_of(file)?.split(group * span, span, shift);
     if pieces.len() != STRIPE_DATA || pieces.iter().any(|&(_, _, run, _)| run != unit) {
         return None;
     }
@@ -270,7 +323,8 @@ pub fn encode_file(
 ) -> Result<PlacementStats, (usize, IoFault)> {
     let mut stats = PlacementStats::default();
     let unit = fs.config.stripe_blocks;
-    let mut cursor = vec![0u64; fs.config.osts as usize];
+    let map = fs.ost_map_of(file);
+    let mut cursor = vec![0u64; fs.total_osts()];
     for group in 0.. {
         let Some(members) = derive_members(fs, file, group, unit) else {
             break;
@@ -289,9 +343,10 @@ pub fn encode_file(
         {
             continue;
         }
-        // Claim both parity runs first (off the member OSTs, and off each
-        // other's), log both Intents, encode, then commit both.
-        let member_osts: Vec<u32> = members.iter().map(|&(o, _)| o).collect();
+        // Claim both parity runs first (off the bays *hosting* the member
+        // columns, and off each other's), log both Intents, encode, then
+        // commit both. Members are columns; avoid lists are physical.
+        let member_osts: Vec<u32> = members.iter().map(|&(c, _)| map[c as usize]).collect();
         let mut parity: Vec<(usize, u64)> = Vec::new();
         let mut txns: Vec<TierTxn> = Vec::new();
         for j in 0..STRIPE_PARITY {

@@ -86,8 +86,14 @@ fn committed_replica_rolls_forward() {
     assert_eq!(*fs.tier(), before, "map rebuilt exactly");
     let r = fs.tier().replicas()[0];
     assert!(matches!(
-        fs.tier()
-            .degraded_source(r.file, r.src_ost, r.logical, r.len, |o| o != r.src_ost),
+        fs.tier().degraded_source(
+            r.file,
+            r.src_ost,
+            r.logical,
+            r.len,
+            |c| c,
+            |o| o != r.src_ost
+        ),
         Some(DegradedSource::Replica { .. })
     ));
     let rep = fs.fsck(&FsckOptions::default());

@@ -63,7 +63,14 @@ fn replica_serves_a_degraded_read_for_its_span() {
     let r = fs.tier().replicas()[0];
     let src = fs
         .tier()
-        .degraded_source(r.file, r.src_ost, r.logical, r.len, |ost| ost != r.src_ost)
+        .degraded_source(
+            r.file,
+            r.src_ost,
+            r.logical,
+            r.len,
+            |c| c,
+            |ost| ost != r.src_ost,
+        )
         .expect("replica must cover its own span");
     match src {
         DegradedSource::Replica { ost, phys, len } => {
@@ -99,7 +106,7 @@ fn encode_builds_groups_and_parity_reconstructs() {
         let (most, mstart) = g.members[2];
         let src = fs
             .tier()
-            .degraded_source(g.file, most, mstart, g.unit, |ost| ost != most)
+            .degraded_source(g.file, most, mstart, g.unit, |c| c, |ost| ost != most)
             .expect("stripe must cover a lost member");
         match src {
             DegradedSource::Stripe { reads, .. } => assert_eq!(reads.len(), 4),

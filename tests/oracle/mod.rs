@@ -14,11 +14,12 @@ pub fn assert_written_ranges_mapped(
     file: OpenFile,
     ranges: &[(u64, u64)],
 ) {
-    let osts = fs.config.osts as usize;
+    let cols = fs.column_count(file);
     let shift = fs.ost_shift_of(file).expect("file exists");
-    let mut mapped: Vec<HashSet<u64>> = (0..osts).map(|_| HashSet::new()).collect();
-    for (ost, set) in mapped.iter_mut().enumerate() {
-        for (logical, _phys, len) in fs.physical_layout(file, ost) {
+    let striping = fs.striping_of(file).expect("file exists");
+    let mut mapped: Vec<HashSet<u64>> = (0..cols).map(|_| HashSet::new()).collect();
+    for (col, set) in mapped.iter_mut().enumerate() {
+        for (logical, _phys, len) in fs.physical_layout(file, col) {
             for b in logical..logical + len {
                 set.insert(b);
             }
@@ -26,7 +27,7 @@ pub fn assert_written_ranges_mapped(
     }
     for &(start, len) in ranges {
         for logical in start..start + len {
-            let (ost, local) = fs.striping().locate(logical, shift);
+            let (ost, local) = striping.locate(logical, shift);
             assert!(
                 mapped[ost as usize].contains(&local),
                 "{ctx}: logical block {logical} (ost {ost}, local {local}) \
@@ -37,12 +38,19 @@ pub fn assert_written_ranges_mapped(
 }
 
 /// No physical block on any OST belongs to two extents (across `files`).
+/// Runs are grouped by the *physical* bay hosting each column, so the
+/// check stays meaningful after drains remap columns across bays.
 pub fn assert_physical_disjoint(ctx: &str, fs: &FileSystem, files: &[OpenFile]) {
-    for ost in 0..fs.config.osts as usize {
+    for ost in 0..fs.total_osts() {
         let mut runs: Vec<(u64, u64, u64)> = Vec::new();
         for &file in files {
-            for (_logical, phys, len) in fs.physical_layout(file, ost) {
-                runs.push((phys, len, file.0 .0));
+            for col in 0..fs.column_count(file) {
+                if fs.ost_of_column(file, col) != Some(ost as u32) {
+                    continue;
+                }
+                for (_logical, phys, len) in fs.physical_layout(file, col) {
+                    runs.push((phys, len, file.0 .0));
+                }
             }
         }
         runs.sort_unstable();
@@ -62,7 +70,7 @@ pub fn assert_physical_disjoint(ctx: &str, fs: &FileSystem, files: &[OpenFile]) 
 /// Conservation: free + mapped == total, over every live file. Only valid
 /// once preallocation windows are released (after close / offline fsck).
 pub fn assert_conservation(ctx: &str, fs: &FileSystem) {
-    let total = fs.config.osts as u64 * fs.config.geometry.blocks;
+    let total = fs.total_osts() as u64 * fs.config.geometry.blocks;
     let mapped: u64 = fs
         .file_handles()
         .iter()
@@ -70,7 +78,7 @@ pub fn assert_conservation(ctx: &str, fs: &FileSystem) {
         .sum();
     // The tier layer holds allocated runs (replica copies, stripe
     // parity) no file extent maps; they are owned, not leaked.
-    let tier_held: u64 = (0..fs.config.osts)
+    let tier_held: u64 = (0..fs.total_osts() as u32)
         .map(|ost| {
             fs.tier()
                 .runs_on_ost(ost)

@@ -294,9 +294,10 @@ fn run_serial(seed: u64, policy: PolicyKind) -> (FileSystem, OpenFile, Vec<OpenF
 fn global_runs(fs: &FileSystem, file: OpenFile) -> Vec<(u64, u64)> {
     use std::collections::HashSet;
     let shift = fs.ost_shift_of(file).expect("file exists");
-    let mapped: Vec<HashSet<u64>> = (0..fs.config.osts as usize)
-        .map(|ost| {
-            fs.physical_layout(file, ost)
+    let striping = fs.striping_of(file).expect("file exists");
+    let mapped: Vec<HashSet<u64>> = (0..fs.column_count(file))
+        .map(|col| {
+            fs.physical_layout(file, col)
                 .iter()
                 .flat_map(|&(logical, _phys, len)| logical..logical + len)
                 .collect()
@@ -304,7 +305,7 @@ fn global_runs(fs: &FileSystem, file: OpenFile) -> Vec<(u64, u64)> {
         .collect();
     let mut runs: Vec<(u64, u64)> = Vec::new();
     for g in 0..fs.file_size(file) {
-        let (ost, local) = fs.striping().locate(g, shift);
+        let (ost, local) = striping.locate(g, shift);
         if mapped[ost as usize].contains(&local) {
             match runs.last_mut() {
                 Some((s, l)) if *s + *l == g => *l += 1,

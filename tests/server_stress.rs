@@ -322,7 +322,11 @@ fn fs_stats_aggregate_reflects_service_traffic() {
         contention,
         io,
         extent_hist,
+        health,
+        lifecycle,
     } = server.fs().stats();
+    assert!(health.iter().all(|h| *h == mif::pfs::DiskHealth::Healthy));
+    assert_eq!(lifecycle, mif::pfs::LifecycleStats::default());
     assert_eq!(contention.write_ops, 32);
     assert_eq!(contention.wal_records, 32);
     assert!(contention.wal_flushes > 0);
