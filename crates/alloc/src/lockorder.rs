@@ -82,7 +82,11 @@ impl LockClass {
 
 #[cfg(debug_assertions)]
 thread_local! {
-    static HELD: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Each held lock as `(rank, index)`: `index` is `None` for plain
+    /// acquisitions and `Some(i)` for [`acquire_indexed`], which permits
+    /// same-rank nesting in strictly ascending index order.
+    static HELD: std::cell::RefCell<Vec<(u8, Option<usize>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Witness of one registered acquisition; hold it exactly as long as the
@@ -105,7 +109,7 @@ pub fn acquire(class: LockClass) -> LockToken {
         let rank = class.rank();
         HELD.with(|h| {
             let mut held = h.borrow_mut();
-            if let Some(&innermost) = held.last() {
+            if let Some(&(innermost, _)) = held.last() {
                 assert!(
                     rank < innermost,
                     "lock-order inversion: acquiring {class:?} (rank {rank}) while already \
@@ -113,13 +117,50 @@ pub fn acquire(class: LockClass) -> LockToken {
                      mds-journal (inner < outer) — acquire outer locks first"
                 );
             }
-            held.push(rank);
+            held.push((rank, None));
         });
         LockToken { rank }
     }
     #[cfg(not(debug_assertions))]
     {
         let _ = class;
+        LockToken {}
+    }
+}
+
+/// Register acquiring the `index`-th instance of `class`. Like [`acquire`],
+/// but permits nesting **within the same class** provided the indices
+/// strictly ascend: a thread already holding instance `i` may take
+/// instance `j` of the same rank only if `j > i`. All threads ordering
+/// multi-instance acquisitions by index makes a cycle impossible — this is
+/// how a cross-stripe rename holds two `MdsStripe` guards at once.
+///
+/// Mixing with plain [`acquire`] at the same rank is still an inversion:
+/// an un-indexed hold of the rank forbids any same-rank nesting.
+#[inline]
+pub fn acquire_indexed(class: LockClass, index: usize) -> LockToken {
+    #[cfg(debug_assertions)]
+    {
+        let rank = class.rank();
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&(innermost, inner_idx)) = held.last() {
+                let ascending_same_class =
+                    rank == innermost && inner_idx.is_some_and(|i| index > i);
+                assert!(
+                    rank < innermost || ascending_same_class,
+                    "lock-order inversion: acquiring {class:?}[{index}] (rank {rank}) while \
+                     already holding rank {innermost} (index {inner_idx:?}); same-rank \
+                     nesting requires indexed acquisitions in strictly ascending index order"
+                );
+            }
+            held.push((rank, Some(index)));
+        });
+        LockToken { rank }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (class, index);
         LockToken {}
     }
 }
@@ -131,7 +172,7 @@ impl Drop for LockToken {
             let mut held = h.borrow_mut();
             // Tokens usually drop LIFO, but release-order is not part of
             // the discipline — remove the newest entry of our rank.
-            if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+            if let Some(pos) = held.iter().rposition(|&(r, _)| r == self.rank) {
                 held.remove(pos);
             }
         });
@@ -143,7 +184,7 @@ impl Drop for LockToken {
 pub fn held_ranks() -> Vec<u8> {
     #[cfg(debug_assertions)]
     {
-        HELD.with(|h| h.borrow().clone())
+        HELD.with(|h| h.borrow().iter().map(|&(r, _)| r).collect())
     }
     #[cfg(not(debug_assertions))]
     {
@@ -257,6 +298,57 @@ mod tests {
         // inversion by construction.
         let _w = acquire(LockClass::WalFlush);
         let _q = acquire(LockClass::ServerQueue);
+    }
+
+    #[test]
+    fn ascending_indexed_same_class_nesting_is_silent() {
+        // The cross-stripe rename shape: two MdsStripe guards, indices
+        // ascending, then the normal descent underneath them.
+        let a = acquire_indexed(LockClass::MdsStripe, 3);
+        let b = acquire_indexed(LockClass::MdsStripe, 11);
+        let j = acquire(LockClass::MdsJournal);
+        drop(j);
+        drop(b);
+        drop(a);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn descending_indexed_same_class_nesting_panics() {
+        let _a = acquire_indexed(LockClass::MdsStripe, 11);
+        let _b = acquire_indexed(LockClass::MdsStripe, 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn equal_index_same_class_nesting_panics() {
+        // Strictly ascending: re-acquiring the same stripe would
+        // self-deadlock on a real Mutex.
+        let _a = acquire_indexed(LockClass::MdsStripe, 5);
+        let _b = acquire_indexed(LockClass::MdsStripe, 5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn indexed_cannot_nest_under_plain_same_rank() {
+        // A plain (un-indexed) hold of the rank opts out of the
+        // multi-instance protocol; nesting under it is an inversion.
+        let _a = acquire(LockClass::MdsStripe);
+        let _b = acquire_indexed(LockClass::MdsStripe, 9);
+    }
+
+    #[test]
+    fn indexed_acquisition_descends_like_plain() {
+        // Indexed guards participate in the global order normally.
+        let s = acquire_indexed(LockClass::MdsStripe, 0);
+        let f = acquire(LockClass::File);
+        drop(f);
+        drop(s);
+        assert!(held_ranks().is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the disk performance" under hashed-pathname distribution (§IV-D).
 
 use mif_bench::{expectation, section, Table};
-use mif_mds::{DirMode, Distribution, MdsCluster};
+use mif_mds::{DirMode, Distribution, MdsCluster, ShardedConfig, ShardedMds};
 
 fn main() {
     // ---- §IV-C: the checkpoint directory ---------------------------------
@@ -107,5 +107,50 @@ fn main() {
             "embedded disk-access proportion under {dist}: {proportion:.2} \
              (low = embedding helps; near 1.0 = assumption broken, §IV-D)"
         );
+    }
+
+    // ---- sharded namespace: the tens-of-millions directory ---------------
+    section("sharded MDS — one striped directory projected to 20M files");
+    expectation(
+        "per-op cost in the sharded namespace is population-independent \
+         (stable-hash placement, indexed lookups), so a materialized \
+         calibration run extrapolates linearly to checkpoint directories \
+         holding tens of millions of files",
+    );
+
+    let t = Table::new(
+        &[
+            "shards",
+            "calibrated",
+            "ns/create",
+            "ns/stat",
+            "20M creates",
+            "20M stats",
+        ],
+        &[6, 10, 10, 9, 12, 11],
+    );
+    const CAL_FILES: u32 = 20_000;
+    const TARGET: u64 = 20_000_000;
+    for shards in [2usize, 4, 8] {
+        let mut m = ShardedMds::new(ShardedConfig::with_shards(shards));
+        let d = m.mkdir_striped("ckpt");
+        let t0 = m.client_ns();
+        for i in 0..CAL_FILES {
+            m.create(d, &format!("rank{i:06}.state"), 1);
+        }
+        let create_ns = (m.client_ns() - t0) as f64 / CAL_FILES as f64;
+        let t1 = m.client_ns();
+        for i in 0..CAL_FILES {
+            assert!(m.stat(d, &format!("rank{i:06}.state")));
+        }
+        let stat_ns = (m.client_ns() - t1) as f64 / CAL_FILES as f64;
+        t.row(&[
+            shards.to_string(),
+            CAL_FILES.to_string(),
+            format!("{create_ns:.0}"),
+            format!("{stat_ns:.0}"),
+            format!("{:.0} s", create_ns * TARGET as f64 / 1e9),
+            format!("{:.0} s", stat_ns * TARGET as f64 / 1e9),
+        ]);
     }
 }

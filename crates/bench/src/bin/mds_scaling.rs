@@ -1,0 +1,345 @@
+//! BENCH 10: sharded MDS scaling — same-shard cost stays flat while
+//! cross-shard rename storms complete with bounded CAS retries.
+//!
+//! The namespace is sharded over N MDS instances by the stable
+//! directory→shard map (dir id hashed, entry names folded in for striped
+//! §IV-C directories). The claims this bench pins:
+//!
+//!   * **Same-shard ops ride the PR-9 fast path untouched**: creates,
+//!     utimes and stats inside a plain directory cost the same per-op
+//!     client time at 8 shards as at 1 — sharding taxes nothing it
+//!     doesn't have to.
+//!   * **Cross-shard rename storms converge**: real OS threads racing
+//!     zipf-skewed rename plans over hot striped directories drive the
+//!     two-phase Intent/CAS/Commit protocol; every planned op commits
+//!     exactly once and no single op burns more than the configured CAS
+//!     budget.
+//!   * **Every cell ends fsck-clean**: the sharded checker (primary-index
+//!     consistency both directions, doubled entries, head regressions,
+//!     unapplied commits) finds nothing and `repaired == 0`.
+//!
+//! A sharded Metarates calibration run projects the measured per-op cost
+//! to a forty-million-file population (per-op cost is population-
+//! independent — hash routing, no structure that grows with size — which
+//! `mif-workloads` pins with its own regression test).
+//!
+//! Emits `BENCH_10.json`. Usage:
+//!   mds_scaling [--shards N[,N...]] [--out PATH] [--check]
+//! (default sweep 1,2,4,8; `--check` enforces the acceptance bounds and
+//! exits non-zero on violation).
+
+use mif_bench::{expectation, section, Table};
+use mif_fsck::run_sharded;
+use mif_mds::{ShardedConfig, ShardedMds, StormReport};
+use mif_workloads::{metarates, ZipfGen};
+
+/// Plain directories for the same-shard fast-path measurement.
+const SAME_DIRS: u32 = 8;
+/// Files per plain directory.
+const SAME_FILES: u32 = 1500;
+/// Striped directories the storm churns (zipf-picked, so a hot few).
+const STORM_DIRS: u32 = 8;
+/// Racing threads per storm.
+const STORM_THREADS: usize = 4;
+/// Rename attempts per thread.
+const STORM_OPS_PER_THREAD: usize = 64;
+const ZIPF_THETA: f64 = 0.9;
+const SEED: u64 = 0xBE_C410;
+/// The population the Metarates calibration projects to.
+const PROJECT_FILES: u64 = 40_000_000;
+
+struct Cell {
+    shards: usize,
+    /// Same-shard fast path: per-op client ns and hops.
+    same_ops: u64,
+    same_ns_per_op: f64,
+    same_hops_per_op: f64,
+    /// Cross-shard storm (absent at 1 shard — there is no "cross").
+    storm: Option<StormCell>,
+    /// Sharded fsck verdict for the cell's final image.
+    fsck_clean: bool,
+    fsck_repaired: u64,
+    /// Metarates projection: simulated client seconds to create
+    /// `PROJECT_FILES` files at this shard count.
+    projected_create_s: f64,
+}
+
+struct StormCell {
+    planned: u64,
+    report: StormReport,
+    max_cas_retries: u32,
+}
+
+/// Same-shard phase: plain directories route every op to their home
+/// shard's fast path; no cross-shard machinery is touched.
+fn same_shard_phase(m: &mut ShardedMds) -> (u64, f64, f64) {
+    let dirs: Vec<u32> = (0..SAME_DIRS)
+        .map(|d| m.mkdir(&format!("plain{d}")))
+        .collect();
+    let h0 = m.stats().hops;
+    let t0 = m.client_ns();
+    let mut ops = 0u64;
+    for i in 0..SAME_FILES {
+        for &d in &dirs {
+            m.create(d, &format!("f{i}"), 1);
+            ops += 1;
+        }
+    }
+    for i in 0..SAME_FILES {
+        for &d in &dirs {
+            m.utime(d, &format!("f{i}"));
+            assert!(m.stat(d, &format!("f{i}")));
+            ops += 2;
+        }
+    }
+    let hops = (m.stats().hops - h0) as f64;
+    let ns = (m.client_ns() - t0) as f64;
+    (ops, ns / ops as f64, hops / ops as f64)
+}
+
+/// Cross-shard storm: zipf-skewed source/destination directories, every
+/// planned op provably routing cross-shard, raced by real threads.
+fn storm_phase(m: &mut ShardedMds, shards: usize) -> StormCell {
+    let dirs: Vec<u32> = (0..STORM_DIRS)
+        .map(|d| m.mkdir_striped(&format!("hot{d}")))
+        .collect();
+    let mut src_pick = ZipfGen::new(STORM_DIRS as u64, ZIPF_THETA, SEED ^ shards as u64);
+    let mut dst_pick = ZipfGen::new(STORM_DIRS as u64, ZIPF_THETA, SEED ^ (shards as u64) << 8);
+    let mut planned = 0u64;
+    let plan: Vec<Vec<(u32, String, u32, String)>> = (0..STORM_THREADS)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for i in 0..STORM_OPS_PER_THREAD {
+                let src = dirs[src_pick.next_key() as usize];
+                let dst = dirs[dst_pick.next_key() as usize];
+                let name = format!("t{t}_{i}");
+                let new_name = format!("m{t}_{i}");
+                // The storm exists to exercise the CAS protocol; same-
+                // shard routes belong on the fast path and are skipped.
+                if m.entry_shard(src, &name) != m.entry_shard(dst, &new_name) {
+                    m.create(src, &name, 1);
+                    ops.push((src, name, dst, new_name));
+                    planned += 1;
+                }
+            }
+            ops
+        })
+        .collect();
+    let report = m.rename_storm(&plan);
+    StormCell {
+        planned,
+        report,
+        max_cas_retries: m.config().max_cas_retries,
+    }
+}
+
+fn run_cell(shards: usize) -> Cell {
+    let mut m = ShardedMds::new(ShardedConfig::with_shards(shards));
+    let (same_ops, same_ns_per_op, same_hops_per_op) = same_shard_phase(&mut m);
+    let storm = (shards >= 2).then(|| storm_phase(&mut m, shards));
+    let fsck = run_sharded(&mut m, true);
+
+    let cal = metarates::run_sharded(
+        shards,
+        &metarates::MetaratesParams {
+            clients: 8,
+            files_per_dir: 1000,
+            readdir_repeats: 1,
+        },
+    );
+    let projected_create_s = cal.project_ns(metarates::Phase::Create, PROJECT_FILES) as f64 / 1e9;
+
+    Cell {
+        shards,
+        same_ops,
+        same_ns_per_op,
+        same_hops_per_op,
+        storm,
+        fsck_clean: fsck.clean(),
+        fsck_repaired: fsck.repaired as u64,
+        projected_create_s,
+    }
+}
+
+fn write_json(path: &str, cells: &[Cell]) {
+    let mut out = String::from("{\n");
+    out += "  \"bench\": \"mds_scaling\",\n";
+    out += &format!("  \"same_dirs\": {SAME_DIRS},\n");
+    out += &format!("  \"same_files_per_dir\": {SAME_FILES},\n");
+    out += &format!("  \"storm_dirs\": {STORM_DIRS},\n");
+    out += &format!("  \"storm_threads\": {STORM_THREADS},\n");
+    out += &format!("  \"storm_ops_per_thread\": {STORM_OPS_PER_THREAD},\n");
+    out += &format!("  \"zipf_theta\": {ZIPF_THETA},\n");
+    out += &format!("  \"projected_files\": {PROJECT_FILES},\n");
+    out += "  \"results\": [\n";
+    for (i, c) in cells.iter().enumerate() {
+        let storm = match &c.storm {
+            Some(s) => format!(
+                "{{\"planned\": {}, \"committed\": {}, \"cas_retries\": {}, \
+                 \"max_retries_single_op\": {}, \"retry_budget\": {}}}",
+                s.planned,
+                s.report.committed,
+                s.report.cas_retries,
+                s.report.max_retries_single_op,
+                s.max_cas_retries
+            ),
+            None => "null".into(),
+        };
+        out += &format!(
+            "    {{\"shards\": {}, \"same_shard_ops\": {}, \"same_ns_per_op\": {:.1}, \
+             \"same_hops_per_op\": {:.3}, \"storm\": {}, \
+             \"fsck_clean\": {}, \"fsck_repaired\": {}, \
+             \"projected_create_s_at_40m\": {:.1}}}{}\n",
+            c.shards,
+            c.same_ops,
+            c.same_ns_per_op,
+            c.same_hops_per_op,
+            storm,
+            c.fsck_clean,
+            c.fsck_repaired,
+            c.projected_create_s,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out += "  ]\n}\n";
+    std::fs::write(path, out).expect("write BENCH json");
+}
+
+/// The acceptance bounds `--check` enforces (and CI smokes).
+fn check(cells: &[Cell]) -> Result<(), String> {
+    let base = cells
+        .iter()
+        .find(|c| c.shards == 1)
+        .ok_or("check needs the 1-shard baseline in the sweep")?;
+    for c in cells {
+        // Same-shard cost flat vs the single-MDS baseline: the fast
+        // path must not pay for sharding it doesn't use.
+        let ratio = c.same_ns_per_op / base.same_ns_per_op;
+        if !(0.9..=1.1).contains(&ratio) {
+            return Err(format!(
+                "{} shards: same-shard ns/op {:.1} drifted {:.2}x from baseline {:.1}",
+                c.shards, c.same_ns_per_op, ratio, base.same_ns_per_op
+            ));
+        }
+        if let Some(s) = &c.storm {
+            if s.report.committed != s.planned {
+                return Err(format!(
+                    "{} shards: storm committed {} of {} planned ops",
+                    c.shards, s.report.committed, s.planned
+                ));
+            }
+            if s.planned == 0 {
+                return Err(format!("{} shards: storm planned nothing", c.shards));
+            }
+            if s.report.max_retries_single_op >= s.max_cas_retries {
+                return Err(format!(
+                    "{} shards: an op used {} retries (budget {})",
+                    c.shards, s.report.max_retries_single_op, s.max_cas_retries
+                ));
+            }
+        }
+        if !c.fsck_clean || c.fsck_repaired != 0 {
+            return Err(format!(
+                "{} shards: fsck clean={} repaired={}",
+                c.shards, c.fsck_clean, c.fsck_repaired
+            ));
+        }
+        if !c.projected_create_s.is_finite() || c.projected_create_s <= 0.0 {
+            return Err(format!("{} shards: degenerate projection", c.shards));
+        }
+    }
+    // The acceptance criterion names ≥ 4-shard storms specifically.
+    if !cells.iter().any(|c| c.shards >= 4 && c.storm.is_some()) {
+        return Err("sweep never stormed at >= 4 shards".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut shard_counts = vec![1usize, 2, 4, 8];
+    let mut out_path = String::from("BENCH_10.json");
+    let mut do_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => {
+                shard_counts = args
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.parse().expect("--shards N[,N...]"))
+                            .collect()
+                    })
+                    .expect("--shards N[,N...]");
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--check" => do_check = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: mds_scaling [--shards N[,N...]] [--out PATH] [--check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    section("BENCH 10 — sharded MDS: flat same-shard cost, bounded cross-shard storms");
+    expectation(
+        "same-shard ops cost what they cost on one box; zipf-skewed \
+         cross-shard rename storms commit exactly once within the CAS \
+         budget; every cell ends fsck-clean with zero repairs",
+    );
+
+    let cells: Vec<Cell> = shard_counts.iter().map(|&s| run_cell(s)).collect();
+
+    let t = Table::new(
+        &[
+            "shards",
+            "same ns/op",
+            "hops/op",
+            "storm ops",
+            "retries",
+            "worst op",
+            "fsck",
+            "40M create",
+        ],
+        &[6, 10, 7, 9, 7, 8, 9, 10],
+    );
+    for c in &cells {
+        let (planned, retries, worst) = match &c.storm {
+            Some(s) => (
+                s.planned.to_string(),
+                s.report.cas_retries.to_string(),
+                s.report.max_retries_single_op.to_string(),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        t.row(&[
+            c.shards.to_string(),
+            format!("{:.0}", c.same_ns_per_op),
+            format!("{:.2}", c.same_hops_per_op),
+            planned,
+            retries,
+            worst,
+            if c.fsck_clean && c.fsck_repaired == 0 {
+                "clean".into()
+            } else {
+                format!("repaired {}", c.fsck_repaired)
+            },
+            format!("{:.0} s", c.projected_create_s),
+        ]);
+    }
+
+    write_json(&out_path, &cells);
+    println!("\nwrote {out_path}");
+
+    if do_check {
+        match check(&cells) {
+            Ok(()) => println!("check: all acceptance bounds hold"),
+            Err(e) => {
+                eprintln!("check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -104,7 +104,7 @@ use crate::tier::{DegradedSource, TierMap};
 use mif_alloc::lockorder::{self, LockClass};
 use mif_alloc::{AllocPolicy, BumpWindow, FileId, GroupedAllocator, PolicyKind, StreamId};
 use mif_extent::{Extent, ExtentTree};
-use mif_mds::{encode_write_record, GroupCommitWal, InodeNo, Mds, WriteCommit, ROOT_INO};
+use mif_mds::{encode_write_record, GroupCommitWal, InodeNo, Mds, ShardMap, WriteCommit, ROOT_INO};
 use mif_simdisk::{
     BlockRequest, Disk, DiskArray, DiskHealth, DiskStats, FaultPlan, FaultStats, IoFault, Nanos,
     SharedDiskStats,
@@ -158,6 +158,14 @@ struct OstShard {
 
 /// Mutable per-file state, guarded by the slot's mutex.
 struct FileInner {
+    /// The file's name under the root. Mutable: [`ConcurrentFs::rename_file`]
+    /// rewrites it while holding both affected namespace stripe guards, so
+    /// readers that only hold the slot mutex may see the name change between
+    /// two locks but never a torn value.
+    name: String,
+    /// Inode number — embedded mode re-composes it on rename (§IV-B), so it
+    /// lives with the name under the same lock.
+    ino: InodeNo,
     trees: Vec<ExtentTree>,
     size_blocks: u64,
     open_handles: u32,
@@ -288,8 +296,6 @@ impl FsStats {
 /// One file: immutable identity plus locked mutable state.
 struct FileSlot {
     id: FileId,
-    name: String,
-    ino: InodeNo,
     ost_shift: u32,
     /// Stripe column → physical OST hosting it (see [`FileState::ost_map`]
     /// in the engine). Immutable under the front-end: drains — the only
@@ -388,13 +394,13 @@ impl ConcurrentFs {
                     id,
                     Arc::new(FileSlot {
                         id,
-                        name: f.name,
-                        ino: f.ino,
                         ost_shift: f.ost_shift,
                         ost_map: f.ost_map,
                         reads: AtomicU64::new(0),
                         writes: AtomicU64::new(0),
                         inner: Mutex::new(FileInner {
+                            name: f.name,
+                            ino: f.ino,
                             trees: f.trees,
                             size_blocks: f.size_blocks,
                             open_handles: f.open_handles,
@@ -467,8 +473,8 @@ impl ConcurrentFs {
                 (
                     id,
                     FileState {
-                        name: slot.name,
-                        ino: slot.ino,
+                        name: inner.name,
+                        ino: inner.ino,
                         trees: inner.trees,
                         size_blocks: inner.size_blocks,
                         ost_shift: slot.ost_shift,
@@ -498,9 +504,28 @@ impl ConcurrentFs {
         self.files.read().unwrap().get(&file.0).cloned()
     }
 
+    /// The namespace stripe guarding `name`, after shard routing. With
+    /// `mds_shards <= 1` the whole table is one flat hash space; with more,
+    /// the table is partitioned into per-shard regions and the name first
+    /// routes through the same stable [`ShardMap`] placement the sharded
+    /// MDS uses (dir 0 = the root), then hashes within its region — so
+    /// operations on names homed on different shards can never collide on
+    /// a stripe.
+    fn stripe_index(&self, name: &str) -> usize {
+        let stripes = self.mds_stripes.len();
+        let shards = self.config.mds_shards.max(1);
+        if shards <= 1 {
+            return Mds::name_stripe(ROOT_INO, name, stripes);
+        }
+        let per = (stripes / shards).max(1);
+        let regions = stripes / per;
+        let base = (ShardMap::new(shards).shard_of_entry(0, name) % regions) * per;
+        base + Mds::name_stripe(ROOT_INO, name, per)
+    }
+
     fn stripe_guard(&self, name: &str) -> (lockorder::LockToken, std::sync::MutexGuard<'_, ()>) {
-        let token = lockorder::acquire(LockClass::MdsStripe);
-        let idx = Mds::name_stripe(ROOT_INO, name, self.mds_stripes.len());
+        let idx = self.stripe_index(name);
+        let token = lockorder::acquire_indexed(LockClass::MdsStripe, idx);
         (token, self.mds_stripes[idx].lock().unwrap())
     }
 
@@ -553,13 +578,13 @@ impl ConcurrentFs {
         }
         let slot = Arc::new(FileSlot {
             id,
-            name: name.to_string(),
-            ino,
             ost_shift: (id.0 % width as u64) as u32,
             ost_map,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             inner: Mutex::new(FileInner {
+                name: name.to_string(),
+                ino,
                 trees,
                 size_blocks: 0,
                 open_handles: 1,
@@ -583,7 +608,11 @@ impl ConcurrentFs {
                 .read()
                 .unwrap()
                 .values()
-                .find(|s| s.name == name)
+                .find(|s| {
+                    let _f = lockorder::acquire(LockClass::File);
+                    let hit = s.inner.lock().unwrap().name == name;
+                    hit
+                })
                 .cloned()
         }?;
         {
@@ -645,9 +674,26 @@ impl ConcurrentFs {
         let Some(slot) = self.slot(file) else {
             return;
         };
-        let name = slot.name.clone();
+        // Guard the stripe of the file's *current* name; a rename racing us
+        // can move the name to another stripe between the read and the
+        // guard, so re-validate under the guard and chase it.
+        let (name, _stripe) = loop {
+            let name = {
+                let _f = lockorder::acquire(LockClass::File);
+                let n = slot.inner.lock().unwrap().name.clone();
+                n
+            };
+            let stripe = self.stripe_guard(&name);
+            let unchanged = {
+                let _f = lockorder::acquire(LockClass::File);
+                let same = slot.inner.lock().unwrap().name == name;
+                same
+            };
+            if unchanged {
+                break (name, stripe);
+            }
+        };
         drop(slot);
-        let _stripe = self.stripe_guard(&name);
         let slot = {
             let _order = lockorder::acquire(LockClass::FileMap);
             self.files.write().unwrap().remove(&file.0)
@@ -688,6 +734,69 @@ impl ConcurrentFs {
             shard.disk.lock().unwrap().invalidate(run.phys, run.len);
         }
         tier.drop_file(file.0 .0);
+    }
+
+    /// Rename an open file to `new_name` under the root. Returns the
+    /// file's (possibly new) inode number, or `None` for an unknown file.
+    ///
+    /// Concurrency shape: both affected namespace stripes are held at once
+    /// — acquired in ascending stripe-index order through
+    /// [`mif_alloc::lockorder::acquire_indexed`], the same
+    /// ascending-instance discipline the sharded MDS's cross-shard
+    /// coordinator uses on its operation heads — so two opposing renames
+    /// (`a→b` racing `b→a`) cannot deadlock, and create/open/unlink on
+    /// either name serialize against the move. The source stripe is
+    /// re-validated after acquisition: a concurrent rename may have moved
+    /// the file to a name in a different stripe, in which case we chase it.
+    pub fn rename_file(&self, file: OpenFile, new_name: &str) -> Option<InodeNo> {
+        let slot = self.slot(file)?;
+        loop {
+            let old = {
+                let _f = lockorder::acquire(LockClass::File);
+                let n = slot.inner.lock().unwrap().name.clone();
+                n
+            };
+            if old == new_name {
+                let _f = lockorder::acquire(LockClass::File);
+                let ino = slot.inner.lock().unwrap().ino;
+                return Some(ino);
+            }
+            let (src, dst) = (self.stripe_index(&old), self.stripe_index(new_name));
+            let (lo, hi) = (src.min(dst), src.max(dst));
+            let _t_lo = lockorder::acquire_indexed(LockClass::MdsStripe, lo);
+            let _g_lo = self.mds_stripes[lo].lock().unwrap();
+            let mut _t_hi = None;
+            let mut _g_hi = None;
+            if hi != lo {
+                _t_hi = Some(lockorder::acquire_indexed(LockClass::MdsStripe, hi));
+                _g_hi = Some(self.mds_stripes[hi].lock().unwrap());
+            }
+            let unchanged = {
+                let _f = lockorder::acquire(LockClass::File);
+                let same = slot.inner.lock().unwrap().name == old;
+                same
+            };
+            if !unchanged {
+                continue; // lost a race to another rename; re-route
+            }
+            // Both stripes held and the source name validated: any other
+            // rename of this file would need the `old` stripe we hold, so
+            // the name is pinned from here on.
+            let ino = {
+                let _order = lockorder::acquire(LockClass::MdsJournal);
+                let ino = self
+                    .mds
+                    .lock()
+                    .unwrap()
+                    .rename(ROOT_INO, &old, ROOT_INO, new_name);
+                ino
+            }?;
+            let _f = lockorder::acquire(LockClass::File);
+            let mut inner = slot.inner.lock().unwrap();
+            inner.name = new_name.to_string();
+            inner.ino = ino;
+            return Some(ino);
+        }
     }
 
     // ----- data path ------------------------------------------------------
@@ -2041,5 +2150,78 @@ mod tests {
         fs.close(file);
         fs.unlink(file);
         assert_eq!(fs.free_blocks(), total);
+    }
+
+    #[test]
+    fn rename_moves_the_name_and_survives_quiesce() {
+        let fs = ConcurrentFs::new(cfg(PolicyKind::OnDemand));
+        let file = fs.create("before", None);
+        fs.write(file, StreamId::new(0, 0), 0, 8);
+        let ino = fs.rename_file(file, "after").expect("rename succeeds");
+        assert!(fs.open("before").is_none(), "old name gone");
+        assert_eq!(fs.open("after"), Some(file), "new name resolves");
+        fs.close(file); // balance the open above
+        fs.sync();
+        let mut engine = fs.into_engine();
+        assert_eq!(engine.open("after"), Some(file));
+        assert_eq!(engine.mds().lookup(ROOT_INO, "after"), Some(ino));
+        assert_eq!(engine.mds().lookup(ROOT_INO, "before"), None);
+    }
+
+    #[test]
+    fn opposing_renames_do_not_deadlock() {
+        // a→b racing c→a across many shard-routed stripes: the ascending
+        // stripe-index acquisition makes the double-guard safe no matter
+        // which stripes the names hash into.
+        let mut config = cfg(PolicyKind::OnDemand);
+        config.mds_shards = 4;
+        let fs = Arc::new(ConcurrentFs::new(config));
+        for round in 0..16u32 {
+            let a = fs.create(&format!("left{round}"), None);
+            let b = fs.create(&format!("right{round}"), None);
+            std::thread::scope(|s| {
+                let fsa = Arc::clone(&fs);
+                let fsb = Arc::clone(&fs);
+                s.spawn(move || fsa.rename_file(a, &format!("right-post{round}")));
+                s.spawn(move || fsb.rename_file(b, &format!("left-post{round}")));
+            });
+            assert!(fs.open(&format!("right-post{round}")).is_some());
+            assert!(fs.open(&format!("left-post{round}")).is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_renames_of_one_file_chase_the_name() {
+        // Two threads renaming the same file serialize on the source
+        // stripe; the loser re-reads the winner's name and moves it on.
+        let fs = Arc::new(ConcurrentFs::new(cfg(PolicyKind::OnDemand)));
+        let file = fs.create("start", None);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    fs.rename_file(file, &format!("claim{t}"));
+                });
+            }
+        });
+        // Exactly one name survives and it is one of the claims.
+        let survivors: Vec<u32> = (0..4)
+            .filter(|t| fs.open(&format!("claim{t}")).is_some())
+            .collect();
+        assert_eq!(survivors.len(), 1, "one final name: {survivors:?}");
+        assert!(fs.open("start").is_none());
+    }
+
+    #[test]
+    fn shard_routed_stripes_stay_in_range_and_stable() {
+        let mut config = cfg(PolicyKind::OnDemand);
+        config.mds_shards = 3;
+        let fs = ConcurrentFs::new(config);
+        for i in 0..64 {
+            let name = format!("f{i}");
+            let idx = fs.stripe_index(&name);
+            assert!(idx < MDS_STRIPES);
+            assert_eq!(idx, fs.stripe_index(&name), "routing is pure");
+        }
     }
 }

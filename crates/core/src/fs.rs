@@ -389,6 +389,32 @@ impl FileSystem {
         self.tier.invalidate_file(file.0 .0);
     }
 
+    /// Rename `file` to `new_name` within the root directory. Returns the
+    /// file's (possibly new) inode number — embedded mode re-composes it
+    /// from the destination slot, with the old number still resolving
+    /// through the rename correlation until [`end_management`] (§IV-B).
+    /// `None` if the file is unknown or the MDS refused the move.
+    ///
+    /// [`end_management`]: FileSystem::end_management
+    pub fn rename(&mut self, file: OpenFile, new_name: &str) -> Option<InodeNo> {
+        let state = self.files.get(&file.0)?;
+        if state.name == new_name {
+            return Some(state.ino);
+        }
+        let old = state.name.clone();
+        let ino = self.mds.rename(ROOT_INO, &old, ROOT_INO, new_name)?;
+        let state = self.files.get_mut(&file.0).expect("present above");
+        state.name = new_name.to_string();
+        state.ino = ino;
+        Some(ino)
+    }
+
+    /// End of the management routines holding pre-rename file IDs: drops
+    /// the MDS rename correlations (see [`mif_mds::Mds::end_management`]).
+    pub fn end_management(&mut self) {
+        self.mds.end_management();
+    }
+
     /// Delete: free all blocks and remove the MDS entry. Releases policy
     /// state unconditionally — an unlinked file has no future writes, so
     /// remaining open handles cannot keep its windows alive.
@@ -1435,6 +1461,28 @@ mod tests {
         f.read(file, s, 0, 64);
         f.end_round();
         assert!(f.data_stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn rename_repoints_name_and_resolves_old_ino() {
+        let mut f = fs(PolicyKind::Reservation);
+        let file = f.create("orig", None);
+        let s = StreamId::new(1, 1);
+        f.begin_round();
+        f.write(file, s, 0, 16);
+        f.end_round();
+        let old_ino = f.mds().lookup(ROOT_INO, "orig").expect("exists");
+        let new_ino = f.rename(file, "moved").expect("rename succeeds");
+        assert_eq!(f.open("moved"), Some(file));
+        assert!(f.open("orig").is_none());
+        // Embedded mode re-composes the number but keeps the old one
+        // resolving until management routines exit (§IV-B).
+        assert_eq!(f.open_by_ino(old_ino), Some(file));
+        f.end_management();
+        if new_ino != old_ino {
+            assert!(f.open_by_ino(old_ino).is_none());
+        }
+        assert_eq!(f.file_allocated(file), 16, "data untouched by rename");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! metadata path unified under one type so reports, repair dispatch and
 //! tests speak a single language.
 
-use mif_mds::MetaFinding;
+use mif_mds::{MetaFinding, ShardFinding};
 
 /// One consistency violation found by the checker. Data-path variants
 /// carry enough provenance (OST, physical range, owning file and logical
@@ -54,6 +54,10 @@ pub enum Finding {
     },
     /// A metadata-path finding from the MDS checker.
     Meta(MetaFinding),
+    /// A cross-shard finding from the sharded-MDS checker: primary-index
+    /// drift, torn cross-shard moves, op-head regressions, committed-but-
+    /// unapplied transactions.
+    Shard(ShardFinding),
 }
 
 impl Finding {
@@ -66,6 +70,7 @@ impl Finding {
             Finding::TierStaleSource { .. } => "tier-stale-source",
             Finding::TierParityDegraded { .. } => "tier-parity-degraded",
             Finding::Meta(m) => m.rule(),
+            Finding::Shard(s) => s.rule(),
         }
     }
 
@@ -114,6 +119,7 @@ impl Finding {
                 "stripe group {group} of file {file}: {present} usable parity runs (need 2 on distinct OSTs)"
             ),
             Finding::Meta(m) => m.detail(),
+            Finding::Shard(s) => s.detail(),
         }
     }
 }

@@ -67,7 +67,7 @@ pub use image::{FsckImage, GroupUnit, TIER_OWNER_BIT};
 pub use repair::RepairOutcome;
 
 use mif_core::{FileSystem, OpenFile};
-use mif_mds::Mds;
+use mif_mds::{Mds, ShardedMds};
 
 /// Whether the system is quiesced for the check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +210,53 @@ pub fn run_mds(mds: &mut Mds, repair: bool) -> FsckReport {
     }
 }
 
+/// Check (and optionally repair) a sharded MDS cluster: the single-box
+/// meta rules run per shard (the same single checker implementation), then
+/// the cross-shard rules — primary-index consistency in both directions,
+/// doubled entries from torn moves, op-head regressions against the
+/// journaled CAS advances, committed-but-unapplied transactions. Repairs
+/// delegate single-box fixes to the owning server and cross-shard fixes to
+/// the cluster's targeted repairers; a second run reports clean.
+pub fn run_sharded(cluster: &mut ShardedMds, repair: bool) -> FsckReport {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut per_server: Vec<Vec<Finding>> = vec![Vec::new(); cluster.shards()];
+    for (s, batch) in per_server.iter_mut().enumerate() {
+        for m in cluster.server(s).meta_findings() {
+            batch.push(Finding::Meta(m.clone()));
+            findings.push(Finding::Meta(m));
+        }
+    }
+    findings.extend(cluster.shard_findings().into_iter().map(Finding::Shard));
+    let (mut repaired, mut unrepaired, mut actions) = (0, 0, Vec::new());
+    if repair && !findings.is_empty() {
+        for (s, batch) in per_server.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let o = repair::apply_meta(cluster.server_mut(s), batch);
+            repaired += o.repaired;
+            unrepaired += o.unrepaired;
+            actions.extend(o.actions.into_iter().map(|a| format!("shard {s}: {a}")));
+        }
+        for f in &findings {
+            if let Finding::Shard(sf) = f {
+                if cluster.repair(sf) {
+                    repaired += 1;
+                    actions.push(format!("repaired {sf}"));
+                } else {
+                    unrepaired += 1;
+                }
+            }
+        }
+    }
+    FsckReport {
+        findings,
+        repaired,
+        unrepaired,
+        actions,
+    }
+}
+
 /// `fs.fsck(&opts)` sugar over [`run`].
 pub trait FsckExt {
     fn fsck(&mut self, opts: &FsckOptions) -> FsckReport;
@@ -323,6 +370,78 @@ mod tests {
                 second.findings
             );
             assert_eq!(second.repaired, 0, "seed {seed}: repair not idempotent");
+        }
+    }
+
+    #[test]
+    fn run_sharded_repairs_cross_shard_damage() {
+        use mif_mds::ShardedConfig;
+        let build = || {
+            let mut c = ShardedMds::new(ShardedConfig::with_shards(4));
+            let big = c.mkdir_striped("big");
+            let other = c.mkdir("other");
+            for i in 0..32 {
+                c.create(big, &format!("f{i}"), 1);
+            }
+            c.create(other, "seed", 1);
+            for i in 0..4 {
+                c.rename(big, &format!("f{i}"), other, &format!("moved{i}"));
+            }
+            (c, big)
+        };
+
+        // Healthy cluster: clean, nothing repaired.
+        let (mut c, big) = build();
+        let pre = run_sharded(&mut c, true);
+        assert!(pre.clean(), "{:?}", pre.findings);
+        assert_eq!(pre.repaired, 0);
+
+        // Each cross-shard corruption is detected under its slug,
+        // repaired, and the repair is idempotent.
+        type Injector = Box<dyn Fn(&mut ShardedMds)>;
+        let cases: Vec<(&str, Injector)> = vec![
+            (
+                "shard-entry-missing",
+                Box::new(move |c| c.corrupt_drop_store_entry(big, "f10")),
+            ),
+            (
+                "shard-entry-orphan",
+                Box::new(move |c| c.corrupt_forget_index_entry(big, "f11")),
+            ),
+            (
+                "shard-entry-doubled",
+                Box::new(move |c| c.corrupt_double_entry(big, "f12")),
+            ),
+            (
+                "shard-hash-index-drift",
+                Box::new(move |c| c.corrupt_misindex_entry(big, "f13")),
+            ),
+            (
+                "shard-head-regression",
+                Box::new(move |c| {
+                    // Regress a head that actually advanced: the renames
+                    // journal CAS advances on the shards holding the moved
+                    // entries, which need not include big's home shard.
+                    let s = (0..4)
+                        .find(|&s| c.head(s, big) > 0)
+                        .expect("renames advanced some head for big");
+                    c.corrupt_head_regression(s as u32, big);
+                }),
+            ),
+        ];
+        for (slug, damage) in cases {
+            let (mut c, _) = build();
+            damage(&mut c);
+            let r = run_sharded(&mut c, true);
+            assert!(
+                r.findings.iter().any(|f| f.rule() == slug),
+                "{slug} not detected: {:?}",
+                r.findings
+            );
+            assert!(r.repaired > 0, "{slug} not repaired");
+            let second = run_sharded(&mut c, true);
+            assert!(second.clean(), "{slug} second run: {:?}", second.findings);
+            assert_eq!(second.repaired, 0, "{slug} repair not idempotent");
         }
     }
 

@@ -318,17 +318,30 @@ impl MdsCluster {
     /// them individually — there is nothing contiguous to stream, which is
     /// §IV-D's point.
     pub fn readdir_stat(&mut self, dir_path: &str) {
-        let flat = self.distribution == Distribution::HashedPath && !self.dirs[dir_path].striped;
+        let striped = self.dirs[dir_path].striped;
+        let flat = self.distribution == Distribution::HashedPath && !striped;
         let shards: Vec<(usize, InodeNo)> = self.dirs[dir_path]
             .shard_inos
             .iter()
             .enumerate()
             .filter_map(|(s, ino)| ino.map(|i| (s, i)))
             .collect();
-        let mut hops = 0;
+        // A striped readdir is a broadcast: every server is contacted — one
+        // hop each — because nobody knows a shard is empty without asking it
+        // (the primary index answers point lookups, not enumeration). Only
+        // shards that materialized a mirror do disk work, but the hop was
+        // still paid. Non-striped directories contact exactly the shards
+        // holding entries.
+        let mut hops = if striped {
+            self.servers.len() as u64
+        } else {
+            0
+        };
         let mut disk_max = 0; // shards scan in parallel
         for (s, ino) in shards {
-            hops += 1;
+            if !striped {
+                hops += 1;
+            }
             let t0 = self.servers[s].elapsed_ns();
             if flat {
                 let names = self.dirs[dir_path].entries_per_server[s].clone();
@@ -467,5 +480,53 @@ mod tests {
         c.readdir_stat("/p");
         let hops = c.stats().hops - h0;
         assert_eq!(hops as usize, c.spread_of("/p"));
+    }
+
+    #[test]
+    fn striped_readdir_charges_one_hop_per_contacted_server() {
+        // Regression: the fan-out used to be billed only for shards that
+        // happened to hold entries. A striped readdir is a broadcast — the
+        // empty shards are contacted too (that is how you learn they are
+        // empty), so the bill is exactly one hop per server.
+        let mut c = MdsCluster::new(8, DirMode::Embedded, Distribution::Subtree);
+        c.mkdir("/ckpt", true);
+        // Two entries cannot cover eight shards: some mirrors stay
+        // unmaterialized, yet all eight servers answer the broadcast.
+        c.create("/ckpt", "a", 1);
+        c.create("/ckpt", "b", 1);
+        assert!(c.spread_of("/ckpt") < 8, "setup: some shards must be empty");
+        let h0 = c.stats().hops;
+        c.readdir_stat("/ckpt");
+        assert_eq!(c.stats().hops - h0, 8, "broadcast bills every server");
+    }
+
+    #[test]
+    fn primary_index_savings_hold_against_broadcast_readdir() {
+        // Pin the §IV-C economics with the corrected accounting: indexed
+        // stats stay at 1–2 hops each, while every enumeration pays the
+        // full per-server broadcast. The index's per-lookup saving must
+        // not be washed out by honest readdir billing.
+        let servers = 8;
+        let mut c = MdsCluster::new(servers, DirMode::Embedded, Distribution::Subtree);
+        c.mkdir("/big", true);
+        for i in 0..64 {
+            c.create("/big", &format!("rank{i:04}"), 1);
+        }
+        let h0 = c.stats().hops;
+        for i in 0..64 {
+            assert!(c.stat("/big", &format!("rank{i:04}")));
+        }
+        let stat_hops = c.stats().hops - h0;
+        assert!(
+            stat_hops <= 2 * 64,
+            "indexed stat is at most primary+owner: {stat_hops}"
+        );
+        let h1 = c.stats().hops;
+        c.readdir_stat("/big");
+        let readdir_hops = c.stats().hops - h1;
+        assert_eq!(readdir_hops as usize, servers);
+        // 64 indexed stats average under 2 hops; the same work via
+        // broadcast enumeration would pay `servers` hops per round.
+        assert!(stat_hops < 64 * servers as u64 / 2);
     }
 }

@@ -56,6 +56,7 @@ pub mod layout;
 pub mod mds;
 pub mod normal;
 pub mod replay;
+pub mod shard;
 pub mod store;
 pub mod wal;
 
@@ -64,7 +65,7 @@ pub use check::{
     MetaFinding,
 };
 pub use cluster::{ClusterStats, Distribution, MdsCluster};
-pub use dirtable::{DirTable, RenameCorrelation};
+pub use dirtable::{DirTable, RenameCorrelation, ShardMap};
 pub use embedded::EmbeddedStore;
 pub use groupcommit::{FlushFaultPlan, GroupCommitStats, GroupCommitWal};
 pub use htree::HtreeIndex;
@@ -74,9 +75,14 @@ pub use layout::MdsLayout;
 pub use mds::{DirMode, Mds, MdsConfig, MdsStats};
 pub use normal::NormalStore;
 pub use replay::{LoggedOp, OpLog};
+pub use shard::{
+    OpHeadTable, ShardFinding, ShardSeat, ShardStats, ShardedConfig, ShardedMds, StormReport,
+    XsCrashPoint,
+};
 pub use store::{DataArea, OpEffect, ReadSet};
 pub use wal::{
-    encode_write_record, recover_remaps, recover_tier, recover_writes, Recovery, RecoveryStop,
-    RemapOp, RemapRecovery, RemapTxn, RemapWal, TierKind, TierOp, TierRecovery, TierTxn, TierWal,
-    WalWriter, WriteCommit, WriteRecovery, WAL_RECORD_BYTES,
+    encode_write_record, recover_remaps, recover_shard, recover_tier, recover_writes, Recovery,
+    RecoveryStop, RemapOp, RemapRecovery, RemapTxn, RemapWal, ShardNsOp, ShardOp, ShardRecord,
+    ShardRecovery, ShardWal, TierKind, TierOp, TierRecovery, TierTxn, TierWal, WalWriter,
+    WriteCommit, WriteRecovery, XsTxn, WAL_RECORD_BYTES,
 };

@@ -40,6 +40,17 @@ const TAG_TIER_INTENT: u8 = 18;
 const TAG_TIER_COMMIT: u8 = 19;
 // 32+ : data-path size/layout update records (the group-commit stream).
 const TAG_WRITE_COMMIT: u8 = 32;
+// 48+ : sharded-namespace records (one log stream *per MDS shard*, same
+// framing). 48–52 are same-shard namespace ops; 53–55 are the cross-shard
+// CAS protocol (intent / head-advance / commit).
+const TAG_SHARD_MKDIR: u8 = 48;
+const TAG_SHARD_CREATE: u8 = 49;
+const TAG_SHARD_UTIME: u8 = 50;
+const TAG_SHARD_UNLINK: u8 = 51;
+const TAG_SHARD_RENAME: u8 = 52;
+const TAG_XS_INTENT: u8 = 53;
+const TAG_XS_CAS: u8 = 54;
+const TAG_XS_COMMIT: u8 = 55;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -880,6 +891,363 @@ pub fn recover_writes(image: &[u8], first_seqno: u64) -> WriteRecovery {
     WriteRecovery { ops, stop }
 }
 
+/// A same-shard namespace operation as journaled by one MDS shard.
+///
+/// Sharded records name directories by their *global directory id* (the
+/// [`crate::ShardMap`] key) rather than a per-shard inode number: inode
+/// numbers are a per-shard artifact that recovery re-derives, while the
+/// directory id is stable across shard counts and replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardNsOp {
+    /// Register global directory `dir` (striped directories additionally
+    /// get a seat on every shard, re-derived at recovery from the flag).
+    Mkdir {
+        dir: u32,
+        striped: bool,
+        name: String,
+    },
+    /// Create `name` with `extents` extents in `dir` (on the journaling
+    /// shard — the entry's shard is re-derived from the stable map).
+    Create {
+        dir: u32,
+        extents: u32,
+        name: String,
+    },
+    Utime {
+        dir: u32,
+        name: String,
+    },
+    Unlink {
+        dir: u32,
+        name: String,
+    },
+    /// Same-home rename: both directories live on the journaling shard,
+    /// so one record on one log stream carries the whole operation.
+    Rename {
+        src: u32,
+        dst: u32,
+        name: String,
+        new_name: String,
+    },
+}
+
+/// One cross-shard rename transaction's identity: enough for recovery on
+/// *either* shard to finish or forget the operation without consulting the
+/// other shard's log. Carries the operation heads the coordinator observed
+/// so a recovered head table never regresses below what was promised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XsTxn {
+    /// Coordinator-assigned transaction id (globally unique).
+    pub txn: u64,
+    /// Global directory id the entry leaves.
+    pub src_dir: u32,
+    /// Global directory id the entry lands in.
+    pub dst_dir: u32,
+    /// Shard holding `src_dir`.
+    pub src_shard: u32,
+    /// Shard holding `dst_dir`.
+    pub dst_shard: u32,
+    /// `src_dir`'s operation head as observed when the intent was staged.
+    pub src_head: u64,
+    /// `dst_dir`'s operation head as observed when the intent was staged.
+    pub dst_head: u64,
+    pub name: String,
+    pub new_name: String,
+}
+
+/// One sharded-namespace WAL record body.
+///
+/// The cross-shard protocol journals, in order: `XsIntent` on both shards
+/// (no state change — a crash here rolls back to a no-op), one `XsCas` per
+/// successful head advance, and `XsCommit` on both shards. Recovery rolls
+/// a transaction *forward* iff any recovered stream holds its `XsCommit`;
+/// otherwise the intent is forgotten.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardOp {
+    Ns(ShardNsOp),
+    XsIntent(XsTxn),
+    /// Directory `dir`'s operation head advanced `old` → `new` on the
+    /// journaling shard, on behalf of transaction `txn`.
+    XsCas {
+        txn: u64,
+        dir: u32,
+        old: u64,
+        new: u64,
+    },
+    XsCommit {
+        txn: u64,
+    },
+}
+
+/// One sharded-namespace WAL record: a globally-ordered sequence stamp
+/// plus the operation. Each shard journals to its own stream; `gseq` is
+/// drawn from one global counter so multi-stream recovery can merge-sort
+/// the records back into a single total order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    pub gseq: u64,
+    pub op: ShardOp,
+}
+
+fn encode_shard_payload(rec: &ShardRecord) -> (u8, Vec<u8>) {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&rec.gseq.to_le_bytes());
+    let tag = match &rec.op {
+        ShardOp::Ns(ShardNsOp::Mkdir { dir, striped, name }) => {
+            buf.extend_from_slice(&dir.to_le_bytes());
+            buf.push(*striped as u8);
+            push_name(&mut buf, name);
+            TAG_SHARD_MKDIR
+        }
+        ShardOp::Ns(ShardNsOp::Create { dir, extents, name }) => {
+            buf.extend_from_slice(&dir.to_le_bytes());
+            buf.extend_from_slice(&extents.to_le_bytes());
+            push_name(&mut buf, name);
+            TAG_SHARD_CREATE
+        }
+        ShardOp::Ns(ShardNsOp::Utime { dir, name }) => {
+            buf.extend_from_slice(&dir.to_le_bytes());
+            push_name(&mut buf, name);
+            TAG_SHARD_UTIME
+        }
+        ShardOp::Ns(ShardNsOp::Unlink { dir, name }) => {
+            buf.extend_from_slice(&dir.to_le_bytes());
+            push_name(&mut buf, name);
+            TAG_SHARD_UNLINK
+        }
+        ShardOp::Ns(ShardNsOp::Rename {
+            src,
+            dst,
+            name,
+            new_name,
+        }) => {
+            buf.extend_from_slice(&src.to_le_bytes());
+            buf.extend_from_slice(&dst.to_le_bytes());
+            push_name(&mut buf, name);
+            push_name(&mut buf, new_name);
+            TAG_SHARD_RENAME
+        }
+        ShardOp::XsIntent(t) => {
+            buf.extend_from_slice(&t.txn.to_le_bytes());
+            buf.extend_from_slice(&t.src_dir.to_le_bytes());
+            buf.extend_from_slice(&t.dst_dir.to_le_bytes());
+            buf.extend_from_slice(&t.src_shard.to_le_bytes());
+            buf.extend_from_slice(&t.dst_shard.to_le_bytes());
+            buf.extend_from_slice(&t.src_head.to_le_bytes());
+            buf.extend_from_slice(&t.dst_head.to_le_bytes());
+            push_name(&mut buf, &t.name);
+            push_name(&mut buf, &t.new_name);
+            TAG_XS_INTENT
+        }
+        ShardOp::XsCas { txn, dir, old, new } => {
+            buf.extend_from_slice(&txn.to_le_bytes());
+            buf.extend_from_slice(&dir.to_le_bytes());
+            buf.extend_from_slice(&old.to_le_bytes());
+            buf.extend_from_slice(&new.to_le_bytes());
+            TAG_XS_CAS
+        }
+        ShardOp::XsCommit { txn } => {
+            buf.extend_from_slice(&txn.to_le_bytes());
+            TAG_XS_COMMIT
+        }
+    };
+    assert!(
+        buf.len() <= MAX_PAYLOAD,
+        "shard record too large for one WAL record ({} > {MAX_PAYLOAD} bytes)",
+        buf.len()
+    );
+    (tag, buf)
+}
+
+fn decode_shard_payload(tag: u8, payload: &[u8]) -> Option<ShardRecord> {
+    let mut pos = 0usize;
+    let gseq = read_u64(payload, &mut pos)?;
+    let op = match tag {
+        TAG_SHARD_MKDIR => {
+            let dir = read_u32(payload, &mut pos)?;
+            let striped = match *payload.get(pos)? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            pos += 1;
+            ShardOp::Ns(ShardNsOp::Mkdir {
+                dir,
+                striped,
+                name: read_name(payload, &mut pos)?,
+            })
+        }
+        TAG_SHARD_CREATE => ShardOp::Ns(ShardNsOp::Create {
+            dir: read_u32(payload, &mut pos)?,
+            extents: read_u32(payload, &mut pos)?,
+            name: read_name(payload, &mut pos)?,
+        }),
+        TAG_SHARD_UTIME => ShardOp::Ns(ShardNsOp::Utime {
+            dir: read_u32(payload, &mut pos)?,
+            name: read_name(payload, &mut pos)?,
+        }),
+        TAG_SHARD_UNLINK => ShardOp::Ns(ShardNsOp::Unlink {
+            dir: read_u32(payload, &mut pos)?,
+            name: read_name(payload, &mut pos)?,
+        }),
+        TAG_SHARD_RENAME => ShardOp::Ns(ShardNsOp::Rename {
+            src: read_u32(payload, &mut pos)?,
+            dst: read_u32(payload, &mut pos)?,
+            name: read_name(payload, &mut pos)?,
+            new_name: read_name(payload, &mut pos)?,
+        }),
+        TAG_XS_INTENT => ShardOp::XsIntent(XsTxn {
+            txn: read_u64(payload, &mut pos)?,
+            src_dir: read_u32(payload, &mut pos)?,
+            dst_dir: read_u32(payload, &mut pos)?,
+            src_shard: read_u32(payload, &mut pos)?,
+            dst_shard: read_u32(payload, &mut pos)?,
+            src_head: read_u64(payload, &mut pos)?,
+            dst_head: read_u64(payload, &mut pos)?,
+            name: read_name(payload, &mut pos)?,
+            new_name: read_name(payload, &mut pos)?,
+        }),
+        TAG_XS_CAS => ShardOp::XsCas {
+            txn: read_u64(payload, &mut pos)?,
+            dir: read_u32(payload, &mut pos)?,
+            old: read_u64(payload, &mut pos)?,
+            new: read_u64(payload, &mut pos)?,
+        },
+        TAG_XS_COMMIT => ShardOp::XsCommit {
+            txn: read_u64(payload, &mut pos)?,
+        },
+        _ => return None,
+    };
+    if pos != payload.len() {
+        return None;
+    }
+    Some(ShardRecord { gseq, op })
+}
+
+/// Encode one shard record with the standard framing (magic, seqno,
+/// checksum — see [`encode_record`]).
+pub fn encode_shard_record(seqno: u64, rec: &ShardRecord) -> [u8; WAL_RECORD_BYTES] {
+    let (tag, payload) = encode_shard_payload(rec);
+    let mut out = [0u8; WAL_RECORD_BYTES];
+    out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    out[4..12].copy_from_slice(&seqno.to_le_bytes());
+    out[12] = tag;
+    out[13..15].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+    out[HEADER_BYTES..HEADER_BYTES + payload.len()].copy_from_slice(&payload);
+    let sum = fnv1a(&out[..CHECKSUM_OFFSET]);
+    out[CHECKSUM_OFFSET..].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// The result of scanning one shard's WAL image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecovery {
+    /// The longest clean prefix of shard records, in this stream's
+    /// append order (merge-sort streams by `gseq` for the global order).
+    pub records: Vec<ShardRecord>,
+    /// Why the scan stopped.
+    pub stop: RecoveryStop,
+}
+
+/// Scan a shard WAL image: same acceptance rules as [`recover`] (longest
+/// clean prefix; magic, checksum, seqno and payload all validated), but
+/// decoding the sharded-namespace record tags.
+pub fn recover_shard(image: &[u8], first_seqno: u64) -> ShardRecovery {
+    let mut records = Vec::new();
+    let mut at = 0u64;
+    let mut pos = 0usize;
+    let stop = loop {
+        if pos == image.len() {
+            break RecoveryStop::CleanEnd;
+        }
+        if image.len() - pos < WAL_RECORD_BYTES {
+            break RecoveryStop::TornTail { at };
+        }
+        let rec = &image[pos..pos + WAL_RECORD_BYTES];
+        if rec[0..4] != MAGIC.to_le_bytes() {
+            break RecoveryStop::BadMagic { at };
+        }
+        let sum = u64::from_le_bytes(rec[CHECKSUM_OFFSET..].try_into().expect("8 bytes"));
+        if fnv1a(&rec[..CHECKSUM_OFFSET]) != sum {
+            break RecoveryStop::BadChecksum { at };
+        }
+        let seqno = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+        let expected = first_seqno + at;
+        if seqno != expected {
+            break RecoveryStop::SeqnoMismatch {
+                at,
+                expected,
+                found: seqno,
+            };
+        }
+        let len = u16::from_le_bytes(rec[13..15].try_into().expect("2 bytes")) as usize;
+        let op = if len <= MAX_PAYLOAD {
+            decode_shard_payload(rec[12], &rec[HEADER_BYTES..HEADER_BYTES + len])
+        } else {
+            None
+        };
+        match op {
+            Some(op) => records.push(op),
+            None => break RecoveryStop::BadPayload { at },
+        }
+        at += 1;
+        pos += WAL_RECORD_BYTES;
+    };
+    ShardRecovery { records, stop }
+}
+
+/// An append-only shard-WAL image under construction — one MDS shard's
+/// log stream. Mirrors [`RemapWal`], including first-class torn appends
+/// for crash injection.
+#[derive(Debug, Clone, Default)]
+pub struct ShardWal {
+    image: Vec<u8>,
+    next_seqno: u64,
+}
+
+impl ShardWal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one fully-persisted shard record.
+    pub fn append(&mut self, rec: &ShardRecord) {
+        let bytes = encode_shard_record(self.next_seqno, rec);
+        self.image.extend_from_slice(&bytes);
+        self.next_seqno += 1;
+    }
+
+    /// Append a *torn* shard record: only the first `persisted` bytes
+    /// reach the image (clamped to a strict prefix, tail zero-filled).
+    pub fn append_torn(&mut self, rec: &ShardRecord, persisted: usize) {
+        let bytes = encode_shard_record(self.next_seqno, rec);
+        let persisted = persisted.min(WAL_RECORD_BYTES - 1);
+        self.image.extend_from_slice(&bytes[..persisted]);
+        self.image
+            .extend(std::iter::repeat_n(0u8, WAL_RECORD_BYTES - persisted));
+        self.next_seqno += 1;
+    }
+
+    /// Records appended so far (torn ones included).
+    pub fn len(&self) -> u64 {
+        self.next_seqno
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.next_seqno == 0
+    }
+
+    /// The on-media bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Consume the writer, returning the image.
+    pub fn into_image(self) -> Vec<u8> {
+        self.image
+    }
+}
+
 /// Encode a whole redo log as a WAL image (seqnos from 0).
 pub fn encode_log(log: &OpLog) -> Vec<u8> {
     let mut w = WalWriter::new();
@@ -1300,5 +1668,162 @@ mod tests {
             let mds = r.replay(mode);
             assert!(mds.check().is_empty(), "{mode}");
         }
+    }
+}
+
+#[cfg(test)]
+mod shard_wal_tests {
+    use super::*;
+
+    fn sample_records() -> Vec<ShardRecord> {
+        vec![
+            ShardRecord {
+                gseq: 0,
+                op: ShardOp::Ns(ShardNsOp::Mkdir {
+                    dir: 0,
+                    striped: true,
+                    name: "big".into(),
+                }),
+            },
+            ShardRecord {
+                gseq: 1,
+                op: ShardOp::Ns(ShardNsOp::Create {
+                    dir: 0,
+                    extents: 3,
+                    name: "f0".into(),
+                }),
+            },
+            ShardRecord {
+                gseq: 2,
+                op: ShardOp::Ns(ShardNsOp::Utime {
+                    dir: 0,
+                    name: "f0".into(),
+                }),
+            },
+            ShardRecord {
+                gseq: 3,
+                op: ShardOp::XsIntent(XsTxn {
+                    txn: 7,
+                    src_dir: 0,
+                    dst_dir: 1,
+                    src_shard: 0,
+                    dst_shard: 2,
+                    src_head: 4,
+                    dst_head: 9,
+                    name: "f0".into(),
+                    new_name: "g0".into(),
+                }),
+            },
+            ShardRecord {
+                gseq: 4,
+                op: ShardOp::XsCas {
+                    txn: 7,
+                    dir: 0,
+                    old: 4,
+                    new: 5,
+                },
+            },
+            ShardRecord {
+                gseq: 5,
+                op: ShardOp::XsCommit { txn: 7 },
+            },
+            ShardRecord {
+                gseq: 6,
+                op: ShardOp::Ns(ShardNsOp::Rename {
+                    src: 1,
+                    dst: 1,
+                    name: "g0".into(),
+                    new_name: "h0".into(),
+                }),
+            },
+            ShardRecord {
+                gseq: 7,
+                op: ShardOp::Ns(ShardNsOp::Unlink {
+                    dir: 1,
+                    name: "h0".into(),
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn shard_records_round_trip_every_kind() {
+        let mut w = ShardWal::new();
+        for rec in sample_records() {
+            w.append(&rec);
+        }
+        let r = recover_shard(w.image(), 0);
+        assert_eq!(r.stop, RecoveryStop::CleanEnd);
+        assert_eq!(r.records, sample_records());
+    }
+
+    #[test]
+    fn torn_shard_record_ends_the_prefix() {
+        let recs = sample_records();
+        for persisted in [0, 1, HEADER_BYTES, 64, WAL_RECORD_BYTES - 1] {
+            let mut w = ShardWal::new();
+            w.append(&recs[0]);
+            w.append(&recs[3]);
+            w.append_torn(&recs[5], persisted);
+            let r = recover_shard(w.image(), 0);
+            assert_eq!(r.records.len(), 2, "persisted={persisted}");
+            assert!(
+                matches!(
+                    r.stop,
+                    RecoveryStop::BadChecksum { at: 2 } | RecoveryStop::BadMagic { at: 2 }
+                ),
+                "persisted={persisted}: {:?}",
+                r.stop
+            );
+        }
+    }
+
+    #[test]
+    fn shard_scan_rejects_foreign_tags_and_vice_versa() {
+        // A metadata-tag record inside a shard stream is a BadPayload stop.
+        let mut img = Vec::new();
+        img.extend_from_slice(&encode_shard_record(0, &sample_records()[0]));
+        img.extend_from_slice(&encode_record(
+            1,
+            &LoggedOp::Mkdir {
+                parent: crate::ids::ROOT_INO,
+                name: "d".into(),
+            },
+        ));
+        let r = recover_shard(&img, 0);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.stop, RecoveryStop::BadPayload { at: 1 });
+
+        // And a shard record inside a metadata stream is equally rejected.
+        let mut img = Vec::new();
+        img.extend_from_slice(&encode_record(
+            0,
+            &LoggedOp::Mkdir {
+                parent: crate::ids::ROOT_INO,
+                name: "d".into(),
+            },
+        ));
+        img.extend_from_slice(&encode_shard_record(1, &sample_records()[1]));
+        let r = recover(&img, 0);
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(r.stop, RecoveryStop::BadPayload { at: 1 });
+    }
+
+    #[test]
+    fn stale_shard_lap_rejected_by_seqno() {
+        let recs = sample_records();
+        let mut img = Vec::new();
+        img.extend_from_slice(&encode_shard_record(3, &recs[0]));
+        img.extend_from_slice(&encode_shard_record(1, &recs[1]));
+        let r = recover_shard(&img, 3);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(
+            r.stop,
+            RecoveryStop::SeqnoMismatch {
+                at: 1,
+                expected: 4,
+                found: 1
+            }
+        );
     }
 }

@@ -579,3 +579,134 @@ fn interrupted_defrag_run_finishes_after_recovery() {
     );
     assert_settled("after resumed run", &mut fs, &spans);
 }
+
+// ---- cross-shard rename crash matrix --------------------------------------
+
+use mif::fsck::run_sharded;
+use mif::mds::{ShardedConfig, ShardedMds, XsCrashPoint};
+
+/// A 4-shard world with two striped directories and a rename route that
+/// provably crosses shards, plus enough bystander entries that a botched
+/// recovery has something to orphan.
+fn xs_world(seed: u64) -> (ShardedMds, (u32, String, u32, String)) {
+    let mut m = ShardedMds::new(ShardedConfig::with_shards(4));
+    let left = m.mkdir_striped("left");
+    let right = m.mkdir_striped("right");
+    let plain = m.mkdir("plain");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..24 {
+        m.create(left, &format!("x{i}"), rng.gen_range(1u32..4));
+    }
+    for i in 0..8 {
+        m.create(right, &format!("y{i}"), 1);
+        m.create(plain, &format!("p{i}"), 1);
+    }
+    // A couple of clean cross-directory renames so the WALs carry a
+    // committed prefix ahead of the crash.
+    m.rename(left, "x20", right, "warm0");
+    m.rename(left, "x21", plain, "warm1");
+    let route = (0..20)
+        .find_map(|i| {
+            let name = format!("x{i}");
+            let new_name = format!("z{i}");
+            (m.entry_shard(left, &name) != m.entry_shard(right, &new_name))
+                .then_some((left, name, right, new_name))
+        })
+        .expect("some route must cross shards");
+    (m, route)
+}
+
+/// Every crash point of the two-phase CAS protocol, with the record at
+/// the point either absent or torn at offsets spanning the fixed-size
+/// record. Recovery must roll the rename exactly the way the commit
+/// point dictates, recover idempotently, and leave nothing orphaned or
+/// doubled for fsck to find.
+#[test]
+fn cross_shard_rename_crash_matrix() {
+    let seed = 0x8A2D_0001u64;
+    // Expected end states, computed on uncrashed twins.
+    let (rolled_back, _) = xs_world(seed);
+    let rolled_back = rolled_back.snapshot();
+    let (mut fwd, (src, ref name, dst, ref new_name)) = xs_world(seed);
+    fwd.rename(src, name, dst, new_name);
+    let rolled_forward = fwd.snapshot();
+    assert_ne!(rolled_back, rolled_forward, "the rename must be observable");
+
+    let torn: [Option<usize>; 5] = [None, Some(0), Some(1), Some(15), Some(WAL_RECORD_BYTES - 1)];
+    for point in XsCrashPoint::ALL {
+        let cuts: &[Option<usize>] = match point {
+            // No record is being written at these points; a torn budget
+            // has nothing to tear.
+            XsCrashPoint::BeforeIntent | XsCrashPoint::BeforeApply => &[None],
+            _ => &torn,
+        };
+        for &persisted in cuts {
+            let ctx = format!("{point:?} persisted={persisted:?}");
+            let (mut m, (src, name, dst, new_name)) = xs_world(seed);
+            m.rename_crash(src, &name, dst, &new_name, point, persisted);
+
+            let mut rec = ShardedMds::recover(&m.wal_images(), *m.config());
+            let expect = if point.commits() {
+                &rolled_forward
+            } else {
+                &rolled_back
+            };
+            assert_eq!(
+                &rec.snapshot(),
+                expect,
+                "{ctx}: recovery must {} the rename",
+                if point.commits() {
+                    "roll forward"
+                } else {
+                    "roll back"
+                }
+            );
+
+            // Exactly-once at the entry level: never gone from both
+            // sides, never present on both.
+            let at_src = rec.stat(src, &name);
+            let at_dst = rec.stat(dst, &new_name);
+            assert!(at_src ^ at_dst, "{ctx}: entry orphaned or doubled");
+
+            // Nothing for the checker: no orphans, no doubles, no head
+            // regressions against the journaled CAS advances.
+            let report = run_sharded(&mut rec, true);
+            assert!(report.clean(), "{ctx}: {:?}", report.findings);
+            assert_eq!(report.repaired, 0, "{ctx}: recovery left damage");
+
+            // Recovery is idempotent: recovering the recovered cluster's
+            // own journal reaches the same namespace.
+            let again = ShardedMds::recover(&rec.wal_images(), *rec.config());
+            assert_eq!(again.snapshot(), rec.snapshot(), "{ctx}: not idempotent");
+        }
+    }
+}
+
+/// After a crashed attempt, the *same* rename retried on the recovered
+/// cluster converges: rolled-back points simply redo the op; committed
+/// points make the retry a no-op-shaped same-result operation. Either
+/// way the world ends identical to a never-crashed run.
+#[test]
+fn crashed_rename_retry_converges() {
+    let seed = 0x8A2D_0002u64;
+    let (mut fwd, (src, ref name, dst, ref new_name)) = xs_world(seed);
+    fwd.rename(src, name, dst, new_name);
+    let want = fwd.snapshot();
+
+    for point in XsCrashPoint::ALL {
+        let ctx = format!("{point:?}");
+        let (mut m, (src, name, dst, new_name)) = xs_world(seed);
+        m.rename_crash(src, &name, dst, &new_name, point, None);
+        let mut rec = ShardedMds::recover(&m.wal_images(), *m.config());
+        // The client saw no ack, so it retries exactly once.
+        if !point.commits() {
+            rec.rename(src, &name, dst, &new_name);
+        }
+        assert_eq!(rec.snapshot(), want, "{ctx}: retry did not converge");
+        let report = run_sharded(&mut rec, true);
+        assert!(
+            report.clean() && report.repaired == 0,
+            "{ctx}: damage after retry"
+        );
+    }
+}
